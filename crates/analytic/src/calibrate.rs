@@ -1,0 +1,122 @@
+//! Extracting `(T_A, T_P, T_C)` from a measured RADram run.
+//!
+//! "In general, an average activation time (T_A) and average post-page
+//! computation time (T_P) can be measured using a small to medium data-set.
+//! Furthermore, an average Active-Page computation time (T_C) can be
+//! measured from this small data-set." (paper, Section 7.4.2)
+
+use ap_apps::RunReport;
+
+/// Per-activation averages extracted from one RADram run.
+///
+/// All values are in CPU cycles (1 ns at the 1 GHz reference clock). The
+/// model's "page" is one *activation*: for applications that activate each
+/// page once per kernel (database, median, matrix) this is exactly the
+/// paper's per-page quantity; for multi-activation kernels (the array
+/// primitives, the LCS wavefront, the MMX macro-op stream) it is the
+/// per-dispatch quantity, which is the granularity the Figure 7 recurrence
+/// actually reasons about.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Mean activation (dispatch) time, cycles.
+    pub t_a: f64,
+    /// Mean post-activated processor time, cycles.
+    pub t_p: f64,
+    /// Mean Active-Page computation time, cycles.
+    pub t_c: f64,
+    /// Activations observed.
+    pub activations: u64,
+}
+
+impl Calibration {
+    /// The constant-parameter model built from these averages.
+    pub fn model(&self) -> crate::ConstModel {
+        crate::ConstModel { t_a: self.t_a, t_p: self.t_p, t_c: self.t_c }
+    }
+
+    /// T_A in microseconds (Table 4's unit).
+    pub fn t_a_us(&self) -> f64 {
+        self.t_a / 1000.0
+    }
+
+    /// T_P in microseconds (Table 4's unit).
+    pub fn t_p_us(&self) -> f64 {
+        self.t_p / 1000.0
+    }
+
+    /// T_C in milliseconds (Table 4's unit).
+    pub fn t_c_ms(&self) -> f64 {
+        self.t_c / 1.0e6
+    }
+}
+
+/// Derives the averages from one measured RADram [`RunReport`]:
+///
+/// * `T_C` = scheduled logic-busy time / activations,
+/// * `T_A` = measured dispatch time / activations,
+/// * `T_P` = remaining processor-busy kernel time / activations
+///   (kernel − non-overlap − dispatch).
+///
+/// # Panics
+///
+/// Panics if the report is from a conventional run (no activations).
+///
+/// # Examples
+///
+/// ```no_run
+/// use ap_apps::{App, SystemKind};
+/// use radram::RadramConfig;
+///
+/// let r = App::Database.run(SystemKind::Radram, 4.0, &RadramConfig::reference());
+/// let cal = ap_analytic::calibrate(&r);
+/// assert!(cal.t_c > cal.t_a);
+/// ```
+pub fn calibrate(report: &RunReport) -> Calibration {
+    let k = report.stats.activations;
+    assert!(k > 0, "calibration requires a RADram run with activations");
+    let kf = k as f64;
+    let t_c = report.stats.logic_busy_cycles as f64 / kf;
+    let t_a = report.dispatch_cycles as f64 / kf;
+    let busy = report
+        .kernel_cycles
+        .saturating_sub(report.stats.non_overlap_cycles)
+        .saturating_sub(report.dispatch_cycles) as f64;
+    let t_p = busy / kf;
+    Calibration { t_a, t_p, t_c, activations: k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_apps::{App, SystemKind};
+    use radram::RadramConfig;
+
+    #[test]
+    fn database_calibration_is_sensible() {
+        let cfg = RadramConfig::reference();
+        let r = App::Database.run(SystemKind::Radram, 3.0, &cfg);
+        let cal = calibrate(&r);
+        assert_eq!(cal.activations, 3);
+        // Page compute dominates dispatch for this memory-centric kernel.
+        assert!(cal.t_c > 100.0 * cal.t_a, "t_c={} t_a={}", cal.t_c, cal.t_a);
+        assert!(cal.t_a > 100.0, "activation must cost something: {}", cal.t_a);
+        assert!(cal.t_p >= 0.0);
+    }
+
+    #[test]
+    fn model_round_trip() {
+        let cal = Calibration { t_a: 2000.0, t_p: 500.0, t_c: 1.0e6, activations: 4 };
+        let m = cal.model();
+        assert_eq!(m.t_a, 2000.0);
+        assert!((cal.t_a_us() - 2.0).abs() < 1e-12);
+        assert!((cal.t_c_ms() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "activations")]
+    fn conventional_run_rejected() {
+        let cfg = RadramConfig::reference();
+        let r = App::Database.run(SystemKind::Conventional, 0.01, &cfg);
+        calibrate(&r);
+    }
+}

@@ -1,0 +1,243 @@
+//! The Figure 7 equations.
+
+/// Per-page activation, post-compute and page-compute times, in CPU cycles.
+///
+/// # Examples
+///
+/// ```
+/// use ap_analytic::{non_overlap, PageTimes};
+///
+/// let t = PageTimes::constant(3, 10.0, 5.0, 100.0);
+/// let no = non_overlap(&t);
+/// assert_eq!(no.len(), 3);
+/// assert!(no[0] > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageTimes {
+    /// Activation time of page `i` (`T_A(i)`).
+    pub t_a: Vec<f64>,
+    /// Post-activated processor time of page `i` (`T_P(i)`).
+    pub t_p: Vec<f64>,
+    /// Active-Page computation time of page `i` (`T_C(i)`).
+    pub t_c: Vec<f64>,
+}
+
+impl PageTimes {
+    /// Constant-time page set of `k` pages.
+    pub fn constant(k: usize, t_a: f64, t_p: f64, t_c: f64) -> Self {
+        PageTimes { t_a: vec![t_a; k], t_p: vec![t_p; k], t_c: vec![t_c; k] }
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.t_a.len()
+    }
+
+    /// True when there are no pages.
+    pub fn is_empty(&self) -> bool {
+        self.t_a.is_empty()
+    }
+}
+
+/// Evaluates the `NO(i)` recurrence of Figure 7 for every page.
+///
+/// # Panics
+///
+/// Panics if the three vectors differ in length.
+pub fn non_overlap(times: &PageTimes) -> Vec<f64> {
+    let k = times.len();
+    assert_eq!(times.t_p.len(), k, "T_P length mismatch");
+    assert_eq!(times.t_c.len(), k, "T_C length mismatch");
+    // Suffix sums of T_A: sum over n = i+1 .. K.
+    let mut ta_suffix = vec![0.0; k + 1];
+    for i in (0..k).rev() {
+        ta_suffix[i] = ta_suffix[i + 1] + times.t_a[i];
+    }
+    let mut no = Vec::with_capacity(k);
+    let mut tp_prefix = 0.0;
+    let mut no_prefix = 0.0;
+    for i in 0..k {
+        let covered = ta_suffix[i + 1] + tp_prefix + no_prefix;
+        let wait = (times.t_c[i] - covered).max(0.0);
+        no.push(wait);
+        tp_prefix += times.t_p[i];
+        no_prefix += wait;
+    }
+    no
+}
+
+/// Total predicted kernel time: `Σ (T_A + T_P + NO)`.
+pub fn predicted_kernel_time(times: &PageTimes) -> f64 {
+    let no: f64 = non_overlap(times).iter().sum();
+    let ta: f64 = times.t_a.iter().sum();
+    let tp: f64 = times.t_p.iter().sum();
+    ta + tp + no
+}
+
+/// Amdahl's-law bound on whole-application speedup (Figure 7's
+/// `Speedup_overall`).
+///
+/// # Panics
+///
+/// Panics if `fraction_partitioned` is outside `[0, 1]` or the partition
+/// speedup is not positive.
+pub fn amdahl(fraction_partitioned: f64, speedup_partition: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&fraction_partitioned), "fraction must be in [0,1]");
+    assert!(speedup_partition > 0.0, "speedup must be positive");
+    1.0 / ((1.0 - fraction_partitioned) + fraction_partitioned / speedup_partition)
+}
+
+/// The constant-per-page simplification used to compute Table 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstModel {
+    /// Activation time per page, cycles.
+    pub t_a: f64,
+    /// Post-activated processor time per page, cycles.
+    pub t_p: f64,
+    /// Page computation time, cycles.
+    pub t_c: f64,
+}
+
+impl ConstModel {
+    /// Expands to explicit per-page times for `k` pages.
+    pub fn times(&self, k: usize) -> PageTimes {
+        PageTimes::constant(k, self.t_a, self.t_p, self.t_c)
+    }
+
+    /// Predicted kernel time for `k` pages.
+    pub fn predicted_kernel_time(&self, k: usize) -> f64 {
+        predicted_kernel_time(&self.times(k))
+    }
+
+    /// Total predicted non-overlap for `k` pages.
+    pub fn total_non_overlap(&self, k: usize) -> f64 {
+        non_overlap(&self.times(k)).iter().sum()
+    }
+
+    /// Predicted partitioned speedup for `k` pages given the measured
+    /// conventional time for the same problem (`T_conv · α · K` in Figure 7).
+    pub fn predicted_speedup(&self, k: usize, conventional_cycles: f64) -> f64 {
+        conventional_cycles / self.predicted_kernel_time(k)
+    }
+
+    /// Minimum problem size (pages) at which the processor and memory fully
+    /// overlap — Table 4's "Pgs for overlap" column. Searches up to `limit`
+    /// pages; returns `limit` if overlap is never complete.
+    pub fn pages_for_overlap(&self, limit: usize) -> usize {
+        let complete = |k: usize| self.total_non_overlap(k) <= f64::EPSILON * self.t_c;
+        if complete(1) {
+            return 1;
+        }
+        // Exponential probe then binary search (overlap improves with K).
+        let mut hi = 2;
+        while hi < limit && !complete(hi) {
+            hi *= 2;
+        }
+        if hi >= limit {
+            return limit;
+        }
+        let mut lo = hi / 2;
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if complete(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_page_waits_full_compute_minus_nothing() {
+        // One page: no subsequent activations, no previous post-compute.
+        let t = PageTimes::constant(1, 10.0, 5.0, 100.0);
+        assert_eq!(non_overlap(&t), vec![100.0]);
+        assert_eq!(predicted_kernel_time(&t), 115.0);
+    }
+
+    #[test]
+    fn later_activations_hide_compute() {
+        // Page 1's wait is covered by activating pages 2..K.
+        let t = PageTimes::constant(11, 10.0, 0.0, 100.0);
+        let no = non_overlap(&t);
+        assert_eq!(no[0], 0.0, "10 subsequent activations cover T_C exactly");
+        // The final page has nothing after it but all previous NO/T_P.
+        assert!(no[10] <= 100.0);
+    }
+
+    #[test]
+    fn post_compute_hides_the_tail() {
+        let m = ConstModel { t_a: 10.0, t_p: 50.0, t_c: 100.0 };
+        // The first page's wait is only covered by the T_C/T_A = 10
+        // subsequent activations, so complete overlap needs 11 pages; the
+        // large T_P covers everything after that.
+        let k = m.pages_for_overlap(1 << 20);
+        assert_eq!(k, 11);
+        assert_eq!(m.total_non_overlap(k), 0.0);
+        assert!(m.total_non_overlap(k - 1) > 0.0);
+    }
+
+    #[test]
+    fn overlap_threshold_tracks_tc_over_tp() {
+        // K* scales like T_C / T_P (the array rows of Table 4).
+        let m = ConstModel { t_a: 2058.0, t_p: 387.0, t_c: 1_250_000.0 };
+        let k = m.pages_for_overlap(1 << 24);
+        let ratio = m.t_c / m.t_p;
+        assert!((k as f64) > 0.5 * ratio && (k as f64) < 2.0 * ratio, "k={k} ratio={ratio}");
+    }
+
+    #[test]
+    fn zero_tp_never_overlaps_fully() {
+        let m = ConstModel { t_a: 0.0, t_p: 0.0, t_c: 100.0 };
+        assert_eq!(m.pages_for_overlap(1024), 1024);
+    }
+
+    #[test]
+    fn speedup_saturates_with_size() {
+        let m = ConstModel { t_a: 10.0, t_p: 10.0, t_c: 10_000.0 };
+        let conv_per_page = 5_000.0;
+        let s_small = m.predicted_speedup(2, 2.0 * conv_per_page);
+        let s_mid = m.predicted_speedup(100, 100.0 * conv_per_page);
+        let s_large = m.predicted_speedup(5_000, 5_000.0 * conv_per_page);
+        let s_huge = m.predicted_speedup(50_000, 50_000.0 * conv_per_page);
+        assert!(s_mid > s_small);
+        assert!(s_large > s_mid);
+        // Saturated region: speedup stops growing.
+        assert!((s_huge / s_large) < 1.05);
+        // Saturated speedup approaches conv_per_page / (T_A + T_P).
+        assert!((s_huge - 250.0).abs() / 250.0 < 0.05, "got {s_huge}");
+    }
+
+    #[test]
+    fn amdahl_bounds() {
+        assert!((amdahl(1.0, 10.0) - 10.0).abs() < 1e-12);
+        assert!((amdahl(0.0, 10.0) - 1.0).abs() < 1e-12);
+        assert!((amdahl(0.5, f64::INFINITY) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn amdahl_validates() {
+        amdahl(1.5, 2.0);
+    }
+
+    #[test]
+    fn variable_times_differ_from_constant_mean() {
+        // Irregular T_C (the matrix-boeing effect): same mean, different NO.
+        let k = 8;
+        let even = PageTimes::constant(k, 10.0, 10.0, 100.0);
+        let mut skew = even.clone();
+        for i in 0..k {
+            skew.t_c[i] = if i % 2 == 0 { 20.0 } else { 180.0 };
+        }
+        let no_even: f64 = non_overlap(&even).iter().sum();
+        let no_skew: f64 = non_overlap(&skew).iter().sum();
+        assert_ne!(no_even, no_skew);
+    }
+}

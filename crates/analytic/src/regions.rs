@@ -1,0 +1,88 @@
+//! Figure 1: the expected scaling regions of Active-Page performance.
+
+use crate::ConstModel;
+
+/// One point of the idealized Figure 1 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig1Point {
+    /// Problem size in pages.
+    pub pages: usize,
+    /// Predicted speedup over the conventional system.
+    pub speedup: f64,
+    /// Predicted non-overlap fraction of the kernel.
+    pub non_overlap_fraction: f64,
+    /// Region label: "sub-page", "scalable" or "saturated".
+    pub region: &'static str,
+}
+
+/// Generates the idealized speedup/non-overlap curve of Figure 1 from a
+/// constant-parameter model and the conventional cost per page.
+///
+/// The sub-page region is represented by `k = 1` with poor utilization
+/// (`sub_page_utilization` of one page's worth of work, e.g. `0.25`); the
+/// scalable region spans sizes below the complete-overlap threshold; the
+/// saturated region lies above it.
+///
+/// # Examples
+///
+/// ```
+/// use ap_analytic::{fig1_series, ConstModel};
+///
+/// let m = ConstModel { t_a: 1000.0, t_p: 1000.0, t_c: 1_000_000.0 };
+/// let pts = fig1_series(&m, 500_000.0, &[1, 4, 64, 4096]);
+/// assert_eq!(pts.len(), 4);
+/// assert_eq!(pts[0].region, "sub-page");
+/// assert!(pts[3].speedup > pts[1].speedup);
+/// ```
+pub fn fig1_series(model: &ConstModel, conv_per_page: f64, sizes: &[usize]) -> Vec<Fig1Point> {
+    let k_star = model.pages_for_overlap(1 << 26);
+    sizes
+        .iter()
+        .map(|&k| {
+            let kernel = model.predicted_kernel_time(k.max(1));
+            let no: f64 = model.total_non_overlap(k.max(1));
+            let speedup = (conv_per_page * k.max(1) as f64) / kernel;
+            let region = if k <= 1 {
+                "sub-page"
+            } else if k < k_star {
+                "scalable"
+            } else {
+                "saturated"
+            };
+            Fig1Point {
+                pages: k,
+                speedup,
+                non_overlap_fraction: (no / kernel).clamp(0.0, 1.0),
+                region,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_progress_with_size() {
+        let m = ConstModel { t_a: 100.0, t_p: 100.0, t_c: 10_000.0 };
+        let k_star = m.pages_for_overlap(1 << 22);
+        let pts = fig1_series(&m, 5_000.0, &[1, k_star / 2, k_star * 4]);
+        assert_eq!(pts[0].region, "sub-page");
+        assert_eq!(pts[1].region, "scalable");
+        assert_eq!(pts[2].region, "saturated");
+        // Non-overlap falls to zero in the saturated region.
+        assert_eq!(pts[2].non_overlap_fraction, 0.0);
+        assert!(pts[1].non_overlap_fraction > 0.0);
+    }
+
+    #[test]
+    fn scalable_region_grows_linearly_ish() {
+        let m = ConstModel { t_a: 100.0, t_p: 100.0, t_c: 100_000.0 };
+        let pts = fig1_series(&m, 50_000.0, &[2, 4, 8, 16]);
+        for w in pts.windows(2) {
+            let ratio = w[1].speedup / w[0].speedup;
+            assert!(ratio > 1.5, "scalable region should grow near-linearly, got {ratio}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Statistical helpers.
+
+/// Pearson correlation coefficient between two series.
+///
+/// Returns 0 when either series is degenerate (fewer than two points or zero
+/// variance).
+///
+/// # Examples
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.1, 3.9, 6.2, 8.1];
+/// assert!(ap_analytic::pearson(&x, &y) > 0.99);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "series must be the same length");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+    let (mx, my) = (mean(x), mean(y));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [10.0, 20.0, 30.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [30.0, 20.0, 10.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_series_yield_zero() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn noise_reduces_correlation() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let noisy: Vec<f64> = x.iter().map(|v| v + if (*v as u64).is_multiple_of(2) { 20.0 } else { -20.0 }).collect();
+        let clean = pearson(&x, &x);
+        let r = pearson(&x, &noisy);
+        assert!(r < clean);
+        assert!(r > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn length_mismatch_panics() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared reporting types for the evaluation applications.
+
+use radram::SystemStats;
+
+/// Which memory system an application run targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// The baseline: a conventional DRAM memory system.
+    Conventional,
+    /// The RADram Active-Page memory system.
+    Radram,
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemKind::Conventional => write!(f, "conventional"),
+            SystemKind::Radram => write!(f, "radram"),
+        }
+    }
+}
+
+/// Outcome of running one application kernel on one system.
+///
+/// `checksum` digests the functional result; a conventional run and a RADram
+/// run of the same workload must produce identical checksums — the paper's
+/// partitions compute the same answers, only faster.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Application name ("array-insert", "database", ...).
+    pub app: &'static str,
+    /// Which system produced this report.
+    pub system: SystemKind,
+    /// Problem size in 512 KB Active Pages (the paper's x-axis).
+    pub pages: f64,
+    /// Cycles of the measured kernel (dispatch + compute + post-processing).
+    pub kernel_cycles: u64,
+    /// Cycles including setup phases the paper reports separately (e.g.
+    /// `median-total` = layout transform + kernel).
+    pub total_cycles: u64,
+    /// Cycles spent dispatching work to the memory system (parameter writes
+    /// and activation stores; zero on a conventional system). Divided by the
+    /// activation count this is the paper's activation time T_A.
+    pub dispatch_cycles: u64,
+    /// Digest of the functional result.
+    pub checksum: u64,
+    /// Full system statistics at the end of the run.
+    pub stats: SystemStats,
+}
+
+impl RunReport {
+    /// Non-overlap stall fraction over the kernel (Figure 4's metric).
+    pub fn non_overlap_fraction(&self) -> f64 {
+        if self.kernel_cycles == 0 {
+            0.0
+        } else {
+            (self.stats.non_overlap_cycles as f64 / self.kernel_cycles as f64).min(1.0)
+        }
+    }
+}
+
+/// Speedup of `radram` over `conventional` on kernel cycles (Figure 3's
+/// metric).
+///
+/// # Panics
+///
+/// Panics if the two reports come from different applications or disagree on
+/// the functional result — a disagreement means one partition computed the
+/// wrong answer, which must never be silently plotted.
+pub fn speedup(conventional: &RunReport, radram: &RunReport) -> f64 {
+    assert_eq!(conventional.app, radram.app, "speedup across different apps");
+    assert_eq!(
+        conventional.checksum, radram.checksum,
+        "functional results diverged on {}",
+        conventional.app
+    );
+    conventional.kernel_cycles as f64 / radram.kernel_cycles.max(1) as f64
+}
+
+/// FNV-1a digest used for result checksums.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Mixes a `u64` into an FNV-style running digest.
+pub fn fnv_mix(h: u64, v: u64) -> u64 {
+    let mut h = h ^ v;
+    h = h.wrapping_mul(0x1000_0000_01b3);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(app: &'static str, cycles: u64, checksum: u64) -> RunReport {
+        RunReport {
+            app,
+            system: SystemKind::Conventional,
+            pages: 1.0,
+            kernel_cycles: cycles,
+            total_cycles: cycles,
+            dispatch_cycles: 0,
+            checksum,
+            stats: SystemStats::default(),
+        }
+    }
+
+    #[test]
+    fn speedup_is_ratio() {
+        let c = report("x", 1000, 7);
+        let r = report("x", 100, 7);
+        assert!((speedup(&c, &r) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn speedup_rejects_mismatched_results() {
+        let c = report("x", 1000, 7);
+        let r = report("x", 100, 8);
+        speedup(&c, &r);
+    }
+
+    #[test]
+    fn fnv_distinguishes_inputs() {
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        // Sequence order matters.
+        assert_ne!(fnv_mix(fnv_mix(0, 1), 2), fnv_mix(fnv_mix(0, 2), 1));
+    }
+
+    #[test]
+    fn non_overlap_fraction_bounded() {
+        let mut r = report("x", 100, 0);
+        r.stats.non_overlap_cycles = 40;
+        assert!((r.non_overlap_fraction() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,248 @@
+//! Unindexed database query (paper Section 5.1).
+//!
+//! Counts exact matches of a last name over a synthetic address book. The
+//! conventional system scans every record with an early-exit string compare;
+//! the RADram partition distributes record blocks over pages, each page's
+//! search engine scans its block, and the processor merely initiates the
+//! query and sums the per-page counts (Table 2).
+
+use crate::common::{fnv_mix, RunReport, SystemKind};
+use active_pages::{sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE};
+use ap_workloads::database::{AddressBook, LAST_NAME_LEN, RECORD_BYTES};
+use radram::{RadramConfig, System};
+use std::rc::Rc;
+use std::sync::OnceLock;
+
+/// Records stored per Active Page.
+pub const RECORDS_PER_PAGE: usize = 4000;
+
+const CMD_SEARCH: u32 = 1;
+
+/// The per-page search engine (Table 3's `Database` circuit): streams every
+/// record of the block past a key comparator with a per-record mismatch
+/// latch.
+#[derive(Debug)]
+pub struct DatabaseSearchFn;
+
+impl PageFunction for DatabaseSearchFn {
+    fn name(&self) -> &'static str {
+        "database"
+    }
+
+    fn logic_elements(&self) -> u32 {
+        static LES: OnceLock<u32> = OnceLock::new();
+        *LES.get_or_init(|| ap_synth::circuits::logic_elements("Database"))
+    }
+
+    fn execute(&self, page: &mut PageSlice<'_>) -> Execution {
+        debug_assert_eq!(page.ctrl(sync::CMD), CMD_SEARCH);
+        let records = page.ctrl(sync::PARAM) as usize;
+        // The key is staged in the last four PARAM words (16 bytes).
+        let mut key = [0u8; LAST_NAME_LEN];
+        for (w, chunk) in key.chunks_mut(4).enumerate() {
+            let v = page.ctrl(sync::PARAM + 1 + w);
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        let mut count = 0u32;
+        for r in 0..records {
+            let off = sync::BODY_OFFSET + r * RECORD_BYTES;
+            if page.slice(off, LAST_NAME_LEN) == key {
+                count += 1;
+            }
+        }
+        page.set_ctrl(sync::RESULT, count);
+        page.set_ctrl(sync::STATUS, sync::DONE);
+        // The search engine streams the whole record block at one 32-bit
+        // word per logic cycle (it can match any field, so it reads every
+        // word of every record).
+        Execution::run((records * RECORD_BYTES / 4) as u64 + 16)
+    }
+}
+
+fn book_for(pages: f64) -> (AddressBook, usize) {
+    let records = ((pages * RECORDS_PER_PAGE as f64) as usize).max(16);
+    (AddressBook::generate(0xDB5EED, records), records)
+}
+
+fn key_words(book: &AddressBook) -> [u32; 4] {
+    let mut key = [0u8; LAST_NAME_LEN];
+    let q = book.query().as_bytes();
+    let n = q.len().min(LAST_NAME_LEN);
+    key[..n].copy_from_slice(&q[..n]);
+    let mut words = [0u32; 4];
+    for (w, slot) in words.iter_mut().enumerate() {
+        *slot = u32::from_le_bytes(key[w * 4..w * 4 + 4].try_into().unwrap());
+    }
+    words
+}
+
+/// Runs the database benchmark at `pages` problem size.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ap_apps::{database, SystemKind};
+/// use radram::RadramConfig;
+///
+/// let r = database::run(SystemKind::Radram, 1.0, &RadramConfig::reference());
+/// assert!(r.stats.activations >= 1);
+/// ```
+pub fn run(kind: SystemKind, pages: f64, cfg: &RadramConfig) -> RunReport {
+    let (book, records) = book_for(pages);
+    let alloc_pages = records.div_ceil(RECORDS_PER_PAGE);
+    let mut cfg = cfg.clone();
+    cfg.ram_capacity = (alloc_pages + 6) * PAGE_SIZE;
+    match kind {
+        SystemKind::Conventional => run_conventional(pages, &book, records, cfg),
+        SystemKind::Radram => run_radram(pages, &book, records, alloc_pages, cfg),
+    }
+}
+
+fn report(
+    kind: SystemKind,
+    pages: f64,
+    kernel: u64,
+    dispatch: u64,
+    count: u32,
+    expected: usize,
+    sys: &System,
+) -> RunReport {
+    assert_eq!(count as usize, expected, "database search returned a wrong count");
+    RunReport {
+        app: "database",
+        system: kind,
+        pages,
+        kernel_cycles: kernel,
+        total_cycles: kernel,
+        dispatch_cycles: dispatch,
+        checksum: fnv_mix(0, count as u64),
+        stats: sys.stats(),
+    }
+}
+
+fn run_conventional(
+    pages: f64,
+    book: &AddressBook,
+    records: usize,
+    cfg: RadramConfig,
+) -> RunReport {
+    let mut sys = System::conventional_with(cfg);
+    let base = sys.ram_alloc(records * RECORD_BYTES, 64);
+    for (i, &b) in book.bytes().iter().enumerate() {
+        sys.ram_write_u8(base + i as u64, b);
+    }
+    let key = key_words(book);
+    let t0 = sys.now();
+    let mut count = 0u32;
+    for r in 0..records {
+        let rec = base + (r * RECORD_BYTES) as u64;
+        // Early-exit word-wise compare of the last-name field.
+        let mut matched = true;
+        for (w, &kw) in key.iter().enumerate() {
+            let v = sys.load_u32(rec + (w * 4) as u64);
+            sys.alu(1);
+            if !sys.branch(11, v == kw) {
+                matched = false;
+                break;
+            }
+        }
+        sys.alu(2); // record pointer bump + loop test
+        if matched {
+            count += 1;
+            sys.alu(1);
+        }
+    }
+    let kernel = sys.now() - t0;
+    report(SystemKind::Conventional, pages, kernel, 0, count, book.expected_matches(book.query()), &sys)
+}
+
+fn run_radram(
+    pages: f64,
+    book: &AddressBook,
+    records: usize,
+    alloc_pages: usize,
+    cfg: RadramConfig,
+) -> RunReport {
+    let mut sys = System::radram(cfg);
+    let group = GroupId::new(2);
+    let base = sys.ap_alloc_pages(group, alloc_pages);
+    sys.ap_bind(group, Rc::new(DatabaseSearchFn));
+    // Untimed setup: distribute record blocks over the pages.
+    for p in 0..alloc_pages {
+        let page_base = base + (p * PAGE_SIZE) as u64;
+        let lo = p * RECORDS_PER_PAGE;
+        let hi = ((p + 1) * RECORDS_PER_PAGE).min(records);
+        for (i, &b) in book.bytes()[lo * RECORD_BYTES..hi * RECORD_BYTES].iter().enumerate() {
+            sys.ram_write_u8(page_base + (sync::BODY_OFFSET + i) as u64, b);
+        }
+    }
+    let key = key_words(book);
+    let t0 = sys.now();
+    // Initiate the query on every page.
+    let d0 = sys.now();
+    for p in 0..alloc_pages {
+        let pb = base + (p * PAGE_SIZE) as u64;
+        let lo = p * RECORDS_PER_PAGE;
+        let hi = ((p + 1) * RECORDS_PER_PAGE).min(records);
+        sys.write_ctrl(pb, sync::PARAM, (hi - lo) as u32);
+        for (w, &kw) in key.iter().enumerate() {
+            sys.write_ctrl(pb, sync::PARAM + 1 + w, kw);
+        }
+        sys.activate(pb, CMD_SEARCH);
+    }
+    let dispatch = sys.now() - d0;
+    // Summarize results.
+    let mut count = 0u32;
+    for p in 0..alloc_pages {
+        let pb = base + (p * PAGE_SIZE) as u64;
+        sys.wait_done(pb);
+        count += sys.read_ctrl(pb, sync::RESULT);
+        sys.alu(2);
+    }
+    let kernel = sys.now() - t0;
+    report(SystemKind::Radram, pages, kernel, dispatch, count, book.expected_matches(book.query()), &sys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::speedup;
+
+    #[test]
+    fn both_systems_count_the_same_matches() {
+        let cfg = RadramConfig::reference();
+        let c = run(SystemKind::Conventional, 0.05, &cfg);
+        let r = run(SystemKind::Radram, 0.05, &cfg);
+        assert_eq!(c.checksum, r.checksum);
+    }
+
+    #[test]
+    fn multi_page_query_aggregates_partial_counts() {
+        let cfg = RadramConfig::reference();
+        let c = run(SystemKind::Conventional, 2.5, &cfg);
+        let r = run(SystemKind::Radram, 2.5, &cfg);
+        assert_eq!(c.checksum, r.checksum);
+        assert_eq!(r.stats.activations, 3);
+        assert!(speedup(&c, &r) > 0.5);
+    }
+
+    #[test]
+    fn search_circuit_counts_exactly() {
+        use active_pages::IdealExecutor;
+        let book = AddressBook::generate(77, 200);
+        let mut exec = IdealExecutor::new(1);
+        let page = exec.page_mut(0);
+        for (i, &b) in book.bytes().iter().enumerate() {
+            page[sync::BODY_OFFSET + i] = b;
+        }
+        let key = key_words(&book);
+        exec.write_u32(0, sync::ctrl_offset(sync::PARAM), 200);
+        for (w, &kw) in key.iter().enumerate() {
+            exec.write_u32(0, sync::ctrl_offset(sync::PARAM + 1 + w), kw);
+        }
+        exec.write_u32(0, sync::ctrl_offset(sync::CMD), CMD_SEARCH);
+        exec.activate(&DatabaseSearchFn, 0);
+        let count = exec.read_u32(0, sync::ctrl_offset(sync::RESULT));
+        assert_eq!(count as usize, book.expected_matches(book.query()));
+    }
+}

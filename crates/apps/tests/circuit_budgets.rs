@@ -1,0 +1,68 @@
+//! Every application circuit must fit a RADram page's logic budget, carry a
+//! stable name, and be bindable on a reference system.
+
+use active_pages::{ActivePageMemory, GroupId, PageFunction};
+use ap_apps::array::{ArrayDeleteFn, ArrayFindFn, ArrayInsertFn};
+use ap_apps::database::DatabaseSearchFn;
+use ap_apps::lcs::{LcsFn, LcsIntrFn};
+use ap_apps::median::MedianFn;
+use ap_apps::mpeg::MmxPageFn;
+use ap_apps::mpeg_decode::EntropyDecodeFn;
+use ap_apps::primitives::DataPrimitivesFn;
+use radram::{RadramConfig, System};
+use std::rc::Rc;
+
+fn all_functions() -> Vec<Rc<dyn PageFunction>> {
+    vec![
+        Rc::new(ArrayInsertFn),
+        Rc::new(ArrayDeleteFn),
+        Rc::new(ArrayFindFn),
+        Rc::new(DatabaseSearchFn),
+        Rc::new(MedianFn),
+        Rc::new(LcsFn),
+        Rc::new(LcsIntrFn),
+        Rc::new(ap_apps::matrix::MatrixGatherFn),
+        Rc::new(MmxPageFn),
+        Rc::new(EntropyDecodeFn),
+        Rc::new(DataPrimitivesFn),
+    ]
+}
+
+#[test]
+fn every_circuit_fits_the_256_le_budget() {
+    for f in all_functions() {
+        let les = f.logic_elements();
+        assert!(les > 0 && les <= 256, "{}: {} LEs", f.name(), les);
+    }
+}
+
+#[test]
+fn circuit_names_are_unique_and_stable() {
+    let mut names: Vec<&str> = all_functions().iter().map(|f| f.name()).collect();
+    let before = names.len();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), before, "duplicate circuit names");
+}
+
+#[test]
+fn every_circuit_binds_on_the_reference_system() {
+    for f in all_functions() {
+        let mut sys = System::radram(RadramConfig::reference().with_ram_capacity(4 << 20));
+        let g = GroupId::new(0);
+        sys.ap_alloc_pages(g, 1);
+        sys.ap_bind(g, f); // panics if over budget
+    }
+}
+
+#[test]
+fn mmx_functions_trigger_only_on_their_opcodes() {
+    let f = MmxPageFn;
+    assert!(f.triggers(active_pages::sync::CMD, 1));
+    assert!(f.triggers(active_pages::sync::CMD, 3));
+    assert!(!f.triggers(active_pages::sync::CMD, 9));
+    assert!(!f.triggers(active_pages::sync::PARAM, 1));
+    let d = DataPrimitivesFn;
+    assert!(d.triggers(active_pages::sync::CMD, 4));
+    assert!(!d.triggers(active_pages::sync::CMD, 5));
+}

@@ -1,0 +1,161 @@
+//! Ablation studies for design choices called out in DESIGN.md and in the
+//! paper's Sections 3 and 10:
+//!
+//! 1. `AP_bind` reconfiguration cost (the paper anticipates Active-Page
+//!    replacement costing 2–4× a conventional page fault; Section 10 notes
+//!    future technologies may cut it by orders of magnitude).
+//! 2. Inter-page interrupt overhead (Section 3's processor-mediated
+//!    communication; hardware support is future work).
+//! 3. Activation dispatch overhead (driver cost of starting a page).
+//! 4. Boundary-communication mechanism for the wavefront: application-
+//!    driven staging vs. circuit-raised interrupts vs. the in-chip network,
+//!    and interrupts vs. polling, and outstanding references per page.
+//! 5. Application-specific circuits vs. a fixed data-primitive set on the
+//!    mixed STL-array script.
+//! 6. Active-Page swap/replacement overhead vs. reconfiguration technology
+//!    (the paper's 2-4x anticipation, and the DPGA-class future).
+
+use active_pages::ActivePageMemory;
+use ap_apps::array::{run_script, ArrayFindFn, ArrayInsertFn};
+use ap_apps::lcs::{self, BoundaryMode};
+use ap_apps::primitives::run_script_primitives;
+use ap_apps::{App, SystemKind};
+use ap_workloads::array_ops::Script;
+use radram::{CommMode, RadramConfig, ServiceMode, System};
+use std::rc::Rc;
+
+/// Cost of a workload that alternates insert and find bindings `swaps`
+/// times over `pages` pages (forces reconfiguration on every swap).
+fn rebind_workload_cycles(rebind_cost: u64, pages: usize, swaps: usize) -> u64 {
+    let mut cfg = RadramConfig::reference().with_ram_capacity((pages + 4) << 19);
+    cfg.rebind_cost = rebind_cost;
+    let mut sys = System::radram(cfg);
+    let g = active_pages::GroupId::new(0);
+    let _base = sys.ap_alloc_pages(g, pages);
+    let t0 = sys.now();
+    for i in 0..swaps {
+        if i % 2 == 0 {
+            sys.ap_bind(g, Rc::new(ArrayInsertFn));
+        } else {
+            sys.ap_bind(g, Rc::new(ArrayFindFn));
+        }
+    }
+    sys.now() - t0
+}
+
+fn main() {
+    let quick = ap_bench::quick_mode();
+
+    println!("Ablation 1: AP_bind reconfiguration cost (mixed-function workload)");
+    println!("{:>14} {:>16}", "rebind cycles", "8 swaps/4 pages");
+    for cost in [0u64, 10_000, 100_000, 1_000_000] {
+        println!("{:>14} {:>16}", cost, rebind_workload_cycles(cost, 4, 8));
+    }
+
+    println!();
+    println!("Ablation 2: inter-page interrupt overhead (dynamic-prog kernel)");
+    println!("{:>16} {:>14} {:>10}", "intr cycles", "rad cycles", "speedup");
+    let overheads: &[u64] = if quick { &[500] } else { &[100, 500, 2000, 10_000] };
+    for &ov in overheads {
+        let mut cfg = RadramConfig::reference();
+        cfg.interrupt_overhead = ov;
+        let c = App::DynProg.run(SystemKind::Conventional, 2.0, &cfg);
+        let r = App::DynProg.run(SystemKind::Radram, 2.0, &cfg);
+        println!(
+            "{:>16} {:>14} {:>9.2}x",
+            ov,
+            r.kernel_cycles,
+            ap_apps::speedup(&c, &r)
+        );
+    }
+
+    println!();
+    println!("Ablation 3: activation dispatch overhead (database kernel)");
+    println!("{:>16} {:>14} {:>10}", "dispatch cycles", "rad cycles", "speedup");
+    let dispatches: &[u64] = if quick { &[200] } else { &[50, 200, 1000, 5000] };
+    for &ov in dispatches {
+        let mut cfg = RadramConfig::reference();
+        cfg.activation_overhead = ov;
+        let c = App::Database.run(SystemKind::Conventional, 4.0, &cfg);
+        let r = App::Database.run(SystemKind::Radram, 4.0, &cfg);
+        println!(
+            "{:>16} {:>14} {:>9.2}x",
+            ov,
+            r.kernel_cycles,
+            ap_apps::speedup(&c, &r)
+        );
+    }
+    println!();
+    println!("Ablation 4: wavefront boundary communication (dynamic-prog, 4 pages)");
+    println!("{:<44} {:>14} {:>12}", "mechanism", "rad cycles", "interrupts");
+    let conv4 = App::DynProg.run(SystemKind::Conventional, 4.0, &RadramConfig::reference());
+    let mechs: Vec<(&str, RadramConfig, BoundaryMode)> = vec![
+        ("app-driven staging (paper partition)", RadramConfig::reference(), BoundaryMode::AppDriven),
+        (
+            "circuit-raised, processor-mediated intr",
+            RadramConfig::reference(),
+            BoundaryMode::CircuitRequested,
+        ),
+        (
+            "circuit-raised, processor polling",
+            RadramConfig::reference().with_service_mode(ServiceMode::Polling),
+            BoundaryMode::CircuitRequested,
+        ),
+        (
+            "circuit-raised, in-chip hardware network",
+            RadramConfig::reference().with_comm_mode(CommMode::HardwareCopy),
+            BoundaryMode::CircuitRequested,
+        ),
+    ];
+    for (label, cfg, mode) in mechs {
+        let r = lcs::run_with(SystemKind::Radram, 4.0, &cfg, mode);
+        assert_eq!(r.checksum, conv4.checksum, "ablation changed the answer");
+        println!("{:<44} {:>14} {:>12}", label, r.kernel_cycles, r.stats.interrupt_batches);
+    }
+
+    println!();
+    println!("Ablation 6: Active-Page replacement overhead vs. reconfiguration time");
+    println!("(cyclic trace over 6 superpages, 4 physical frames, 1998-class disk)");
+    println!("{:<22} {:>10} {:>18} {:>10}", "technology", "faults", "fault cycles", "overhead");
+    let trace: Vec<u32> = (0..60).map(|i| i % 6).collect();
+    for (label, model) in [
+        ("FPGA (100 ms config)", radram::paging::SwapModel::fpga_1998()),
+        ("DPGA (1 ms config)", radram::paging::SwapModel::dpga_future()),
+    ] {
+        let r = radram::paging::LruFrames::new(4).replay(&trace, &model, true);
+        println!(
+            "{:<22} {:>10} {:>18} {:>9.2}x",
+            label,
+            r.faults,
+            r.active_cycles,
+            r.overhead_ratio()
+        );
+    }
+
+    println!();
+    println!("Ablation 5: custom circuits (with re-binding) vs. data primitives");
+    println!("{:<26} {:>14} {:>9} {:>12}", "backend", "rad cycles", "rebinds", "logic busy");
+    let script = Script::generate(5, 300_000, if quick { 8 } else { 24 });
+    for rebind_cost in [10_000u64, 100_000, 1_000_000] {
+        let mut cfg = RadramConfig::reference();
+        cfg.rebind_cost = rebind_cost;
+        let custom = run_script(&script, SystemKind::Radram, &cfg);
+        println!(
+            "{:<26} {:>14} {:>9} {:>12}",
+            format!("custom @ rebind {rebind_cost}"),
+            custom.kernel_cycles,
+            custom.stats.rebinds,
+            custom.stats.logic_busy_cycles
+        );
+    }
+    let prim = run_script_primitives(&script, &RadramConfig::reference());
+    println!(
+        "{:<26} {:>14} {:>9} {:>12}",
+        "data primitives",
+        prim.kernel_cycles,
+        prim.stats.rebinds,
+        prim.stats.logic_busy_cycles
+    );
+
+}
+

@@ -1,0 +1,4 @@
+//! Regenerates Figure 1 (expected computation scaling, idealized).
+fn main() {
+    ap_bench::render::print_fig1(&ap_bench::experiments::fig1());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 5 (execution time vs. L1 data-cache size).
+fn main() {
+    let rows = ap_bench::experiments::fig5(ap_bench::quick_mode());
+    ap_bench::render::print_fig5(&rows);
+    ap_bench::write_result_file("fig5.csv", &ap_bench::render::fig5_csv(&rows));
+    let l2 = ap_bench::experiments::fig5_l2(ap_bench::quick_mode());
+    println!("Companion sweep: execution time vs. L2 size (KB)");
+    ap_bench::render::print_fig5(&l2);
+    ap_bench::write_result_file("fig5_l2.csv", &ap_bench::render::fig5_csv(&l2));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 8 (speedup vs. cache-miss latency).
+fn main() {
+    let rows = ap_bench::experiments::fig8(ap_bench::quick_mode());
+    ap_bench::render::print_sensitivity(
+        "Figure 8: RADram speedup as cache-to-memory latency varies",
+        "ns",
+        &rows,
+    );
+    ap_bench::write_result_file("fig8.csv", &ap_bench::render::sensitivity_csv("latency_ns", &rows));
+}

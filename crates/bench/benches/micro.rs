@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of the simulator substrates themselves
+//! (host performance, not simulated time).
+
+use active_pages::{sync, IdealExecutor};
+use ap_apps::database::DatabaseSearchFn;
+use ap_mem::{Hierarchy, HierarchyConfig, VAddr};
+use ap_workloads::database::AddressBook;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cache_hierarchy(c: &mut Criterion) {
+    c.bench_function("hierarchy_sequential_reads", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::reference());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 4) & 0xF_FFFF;
+            black_box(h.read(VAddr::new(0x1_0000 + addr)))
+        });
+    });
+    c.bench_function("hierarchy_strided_misses", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::reference());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 4096) & 0xFF_FFFF;
+            black_box(h.write(VAddr::new(0x1_0000 + addr)))
+        });
+    });
+}
+
+fn bench_synth(c: &mut Criterion) {
+    c.bench_function("map_matrix_circuit", |b| {
+        b.iter(|| {
+            let n = ap_synth::circuits::matrix();
+            black_box(ap_synth::mapper::map(&n).logic_elements)
+        });
+    });
+}
+
+fn bench_page_function(c: &mut Criterion) {
+    c.bench_function("database_page_search", |b| {
+        let book = AddressBook::generate(1, 1000);
+        let mut exec = IdealExecutor::new(1);
+        let page = exec.page_mut(0);
+        page[sync::BODY_OFFSET..sync::BODY_OFFSET + book.bytes().len()]
+            .copy_from_slice(book.bytes());
+        exec.write_u32(0, sync::ctrl_offset(sync::PARAM), 1000);
+        b.iter(|| black_box(exec.activate(&DatabaseSearchFn, 0).logic_cycles));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache_hierarchy, bench_synth, bench_page_function
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (RADram system parameters).
+fn main() {
+    ap_bench::render::print_table1(&ap_bench::experiments::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (application partitioning).
+fn main() {
+    ap_bench::render::print_table2();
+}

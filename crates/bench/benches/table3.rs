@@ -1,0 +1,15 @@
+//! Regenerates Table 3 (synthesized Active-Page circuits).
+fn main() {
+    ap_bench::render::print_table3(&ap_bench::experiments::table3());
+    println!();
+    println!("Extension circuits (Section 10; not part of the paper's Table 3):");
+    for r in ap_synth::report::extensions() {
+        println!(
+            "{:<16} {:>4} LEs  {:>5.1} ns  {:>5.1} KB config",
+            r.name,
+            r.les,
+            r.speed_ns,
+            r.code_bytes as f64 / 1024.0
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 4 (analytic-model calibration and correlation).
+fn main() {
+    let rows = ap_bench::experiments::table4(ap_bench::quick_mode());
+    ap_bench::render::print_table4(&rows);
+    ap_bench::write_result_file("table4.csv", &ap_bench::render::table4_csv(&rows));
+    println!();
+    let c = ap_bench::experiments::amdahl_check(8.0);
+    println!("Amdahl whole-application check (median, 8 pages):");
+    println!(
+        "  partitioned fraction {:.3}, kernel speedup {:.2}x -> predicted overall {:.2}x, measured {:.2}x",
+        c.fraction_partitioned, c.kernel_speedup, c.predicted_overall, c.measured_overall
+    );
+}

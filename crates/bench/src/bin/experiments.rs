@@ -1,0 +1,74 @@
+//! Runs every experiment and writes CSV results.
+//!
+//! Usage: `experiments [table1|table2|table3|table4|fig1|fig3|fig4|fig5|fig8|fig9|all]`
+//! (default `all`). Set `AP_QUICK=1` for reduced sweeps.
+
+use ap_bench::{experiments, quick_mode, render, write_result_file};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let quick = quick_mode();
+    let want = |name: &str| which == "all" || which == name;
+
+    if want("table1") {
+        render::print_table1(&experiments::table1());
+        println!();
+    }
+    if want("table2") {
+        render::print_table2();
+        println!();
+    }
+    if want("table3") {
+        render::print_table3(&experiments::table3());
+        println!();
+    }
+    if want("fig1") {
+        render::print_fig1(&experiments::fig1());
+        println!();
+    }
+    if want("fig3") || want("fig4") {
+        let data = experiments::fig3_fig4(quick);
+        println!("Figure 3: RADram speedup as problem size varies");
+        for (app, points) in &data {
+            render::print_sweep(*app, points);
+        }
+        println!();
+        println!("Figure 4: percent cycles the processor is stalled on RADram");
+        for (app, points) in &data {
+            print!("{:<15}", app.name());
+            for p in points {
+                print!(" {:>6.2}:{:>5.1}%", p.pages, p.non_overlap_percent());
+            }
+            println!();
+        }
+        write_result_file("fig3_fig4.csv", &render::sweep_csv(&data));
+        println!();
+    }
+    if want("fig5") {
+        let rows = experiments::fig5(quick);
+        render::print_fig5(&rows);
+        write_result_file("fig5.csv", &render::fig5_csv(&rows));
+        let l2 = experiments::fig5_l2(quick);
+        println!("Companion sweep: execution time vs. L2 size (KB)");
+        render::print_fig5(&l2);
+        write_result_file("fig5_l2.csv", &render::fig5_csv(&l2));
+        println!();
+    }
+    if want("fig8") {
+        let rows = experiments::fig8(quick);
+        render::print_sensitivity("Figure 8: speedup vs. cache-miss latency", "ns", &rows);
+        write_result_file("fig8.csv", &render::sensitivity_csv("latency_ns", &rows));
+        println!();
+    }
+    if want("fig9") {
+        let rows = experiments::fig9(quick);
+        render::print_sensitivity("Figure 9: speedup vs. logic-clock divisor", "div", &rows);
+        write_result_file("fig9.csv", &render::sensitivity_csv("divisor", &rows));
+        println!();
+    }
+    if want("table4") {
+        let rows = experiments::table4(quick);
+        render::print_table4(&rows);
+        write_result_file("table4.csv", &render::table4_csv(&rows));
+    }
+}

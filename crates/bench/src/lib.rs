@@ -1,0 +1,42 @@
+//! Experiment harness for the Active Pages reproduction.
+//!
+//! One function per table and figure of the paper's evaluation, each
+//! returning structured data and rendered through [`render`] as the aligned
+//! rows/series the paper reports. The `benches/` targets (run by
+//! `cargo bench`) print one experiment each; the `experiments` binary runs
+//! them all and writes CSV files under `results/`.
+//!
+//! Set `AP_QUICK=1` to shrink the sweeps for smoke runs.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! let rows = ap_bench::experiments::table3();
+//! ap_bench::render::print_table3(&rows);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod render;
+pub mod sweep;
+
+/// True when the `AP_QUICK` environment variable requests reduced sweeps.
+pub fn quick_mode() -> bool {
+    std::env::var("AP_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+}
+
+/// Writes `contents` to `results/<name>` under the workspace root; best
+/// effort (failures are reported to stderr, not fatal).
+pub fn write_result_file(name: &str, contents: &str) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+        return;
+    }
+    let path = dir.join(name);
+    if let Err(e) = std::fs::write(&path, contents) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}

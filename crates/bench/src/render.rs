@@ -1,0 +1,200 @@
+//! Text-table and CSV rendering of experiment results.
+
+use crate::experiments::{Fig5Row, SensitivityRow, Table4Row};
+use crate::sweep::SweepPoint;
+use ap_analytic::Fig1Point;
+use ap_apps::App;
+use ap_synth::report::Table3Row;
+use std::fmt::Write as _;
+
+/// Prints Table 1 (system parameters).
+pub fn print_table1(rows: &[(&'static str, String, &'static str)]) {
+    println!("Table 1: RADram system parameters");
+    println!("{:<14} {:>12} {:>14}", "Parameter", "Reference", "Variation");
+    for (p, reference, var) in rows {
+        println!("{p:<14} {reference:>12} {var:>14}");
+    }
+}
+
+/// Prints Table 2 (application partitioning) from the model crate's data.
+pub fn print_table2() {
+    println!("Table 2: partitioning of applications between processor and active pages");
+    for d in &active_pages::TABLE2 {
+        println!("{:<13} [{}]", d.name, d.partitioning);
+        println!("    application : {}", d.application);
+        println!("    processor   : {}", d.processor_computation);
+        println!("    active page : {}", d.active_page_computation);
+    }
+}
+
+/// Prints Table 3 (synthesized circuits) with paper values alongside.
+pub fn print_table3(rows: &[Table3Row]) {
+    println!("Table 3: Active-Page functions synthesized for RADram");
+    println!(
+        "{:<13} {:>5} {:>7} | {:>9} {:>9} | {:>8} {:>8}",
+        "Circuit", "LEs", "(paper)", "Speed", "(paper)", "Code", "(paper)"
+    );
+    for r in rows {
+        println!(
+            "{:<13} {:>5} {:>7} | {:>7.1}ns {:>7.1}ns | {:>8} {:>5.1}KB",
+            r.name,
+            r.les,
+            r.paper_les,
+            r.speed_ns,
+            r.paper_speed_ns,
+            format!("{:.1}KB", r.code_bytes as f64 / 1024.0),
+            r.paper_code_kb,
+        );
+    }
+}
+
+/// Prints Table 4 (analytic-model calibration and correlation).
+pub fn print_table4(rows: &[Table4Row]) {
+    println!("Table 4: activation/compute times and analytic-model correlation");
+    println!(
+        "{:<15} {:>9} {:>9} {:>10} {:>12} {:>8}",
+        "Application", "T_A (us)", "T_P (us)", "T_C (ms)", "Pgs overlap", "Correl"
+    );
+    for r in rows {
+        println!(
+            "{:<15} {:>9.3} {:>9.3} {:>10.4} {:>12} {:>8.3}",
+            r.app.name(),
+            r.cal.t_a_us(),
+            r.cal.t_p_us(),
+            r.cal.t_c_ms(),
+            r.pages_for_overlap,
+            r.correlation
+        );
+    }
+}
+
+/// Prints Figure 1 (idealized scaling regions).
+pub fn print_fig1(points: &[Fig1Point]) {
+    println!("Figure 1: expected computation scaling of Active Pages (idealized)");
+    println!("{:>9} {:>12} {:>12} {:>10}", "pages", "speedup", "non-overlap", "region");
+    for p in points {
+        println!(
+            "{:>9} {:>12.2} {:>11.1}% {:>10}",
+            p.pages,
+            p.speedup,
+            p.non_overlap_fraction * 100.0,
+            p.region
+        );
+    }
+}
+
+/// Prints one application's Figure 3/4 sweep.
+pub fn print_sweep(app: App, points: &[SweepPoint]) {
+    println!("-- {} --", app.name());
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>12}",
+        "pages", "conv cycles", "radram cycles", "speedup", "non-overlap"
+    );
+    for p in points {
+        println!(
+            "{:>8.2} {:>14} {:>14} {:>10.2} {:>11.1}%",
+            p.pages,
+            p.conventional.kernel_cycles,
+            p.radram.kernel_cycles,
+            p.speedup(),
+            p.non_overlap_percent()
+        );
+    }
+}
+
+/// Prints the Figure 5 cache-size series.
+pub fn print_fig5(rows: &[Fig5Row]) {
+    println!("Figure 5: execution time vs. L1 data-cache size");
+    for row in rows {
+        print!("{:<24}", row.label);
+        for (kb, cycles) in &row.points {
+            print!(" {kb:>4}K:{cycles:>13}");
+        }
+        println!();
+    }
+}
+
+/// Prints a Figure 8/9 sensitivity sweep.
+pub fn print_sensitivity(title: &str, unit: &str, rows: &[SensitivityRow]) {
+    println!("{title}");
+    for row in rows {
+        print!("{:<15}", row.app.name());
+        for (v, s) in &row.points {
+            print!(" {v:>4}{unit}:{s:>8.2}x");
+        }
+        println!();
+    }
+}
+
+/// CSV for the Figure 3/4 sweeps.
+pub fn sweep_csv(data: &[(App, Vec<SweepPoint>)]) -> String {
+    let mut out = String::from("app,pages,conv_cycles,radram_cycles,speedup,non_overlap_pct\n");
+    for (app, points) in data {
+        for p in points {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.4},{:.2}",
+                app.name(),
+                p.pages,
+                p.conventional.kernel_cycles,
+                p.radram.kernel_cycles,
+                p.speedup(),
+                p.non_overlap_percent()
+            );
+        }
+    }
+    out
+}
+
+/// CSV for a sensitivity sweep.
+pub fn sensitivity_csv(param: &str, rows: &[SensitivityRow]) -> String {
+    let mut out = format!("app,{param},speedup\n");
+    for row in rows {
+        for (v, s) in &row.points {
+            let _ = writeln!(out, "{},{},{:.4}", row.app.name(), v, s);
+        }
+    }
+    out
+}
+
+/// CSV for the Figure 5 series.
+pub fn fig5_csv(rows: &[Fig5Row]) -> String {
+    let mut out = String::from("series,l1d_kb,cycles\n");
+    for row in rows {
+        for (kb, cycles) in &row.points {
+            let _ = writeln!(out, "{},{},{}", row.label, kb, cycles);
+        }
+    }
+    out
+}
+
+/// CSV for Table 4.
+pub fn table4_csv(rows: &[Table4Row]) -> String {
+    let mut out = String::from("app,t_a_us,t_p_us,t_c_ms,pages_for_overlap,correlation\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{:.4},{:.4},{:.5},{},{:.4}",
+            r.app.name(),
+            r.cal.t_a_us(),
+            r.cal.t_p_us(),
+            r.cal.t_c_ms(),
+            r.pages_for_overlap,
+            r.correlation
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_headers_present() {
+        assert!(sweep_csv(&[]).starts_with("app,pages"));
+        assert!(sensitivity_csv("ns", &[]).starts_with("app,ns"));
+        assert!(fig5_csv(&[]).starts_with("series,"));
+        assert!(table4_csv(&[]).starts_with("app,t_a_us"));
+    }
+}

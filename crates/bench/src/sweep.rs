@@ -1,0 +1,94 @@
+//! Problem-size sweeps shared by the figures.
+
+use ap_apps::{speedup, App, RunReport, SystemKind};
+use radram::RadramConfig;
+
+/// One problem size measured on both systems.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Problem size in Active Pages.
+    pub pages: f64,
+    /// Conventional-system run.
+    pub conventional: RunReport,
+    /// RADram run.
+    pub radram: RunReport,
+}
+
+impl SweepPoint {
+    /// RADram speedup over conventional (Figure 3's y-axis). Panics if the
+    /// two runs' functional results diverged.
+    pub fn speedup(&self) -> f64 {
+        speedup(&self.conventional, &self.radram)
+    }
+
+    /// Percent of RADram kernel cycles the processor stalled (Figure 4).
+    pub fn non_overlap_percent(&self) -> f64 {
+        self.radram.non_overlap_fraction() * 100.0
+    }
+}
+
+/// The Figure 3/4 problem-size grid for one application, in pages.
+///
+/// Heavier kernels sweep to 32 pages, lighter ones to 128, covering the
+/// sub-page, scalable and (for the processor-centric apps) saturated
+/// regions. `quick` shrinks the grid for smoke runs.
+pub fn size_grid(app: App, quick: bool) -> Vec<f64> {
+    if quick {
+        return vec![0.5, 2.0, 8.0];
+    }
+    let mut sizes = vec![0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+    match app {
+        // Cheap kernels can afford the far end of the x-axis.
+        App::Database | App::MatrixSimplex | App::MatrixBoeing | App::MpegMmx => {
+            sizes.extend([64.0, 128.0]);
+        }
+        App::ArrayInsert | App::ArrayDelete | App::ArrayFind => {
+            sizes.push(64.0);
+        }
+        App::Median | App::DynProg => {
+            sizes.push(64.0);
+        }
+    }
+    sizes
+}
+
+/// Runs `app` on both systems at one size.
+pub fn run_point(app: App, pages: f64, cfg: &RadramConfig) -> SweepPoint {
+    let conventional = app.run(SystemKind::Conventional, pages, cfg);
+    let radram = app.run(SystemKind::Radram, pages, cfg);
+    SweepPoint { pages, conventional, radram }
+}
+
+/// Runs the full size sweep for `app`.
+pub fn run_sweep(app: App, cfg: &RadramConfig, quick: bool) -> Vec<SweepPoint> {
+    size_grid(app, quick).into_iter().map(|pages| run_point(app, pages, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_ascending_and_cover_subpage() {
+        for app in App::ALL {
+            let g = size_grid(app, false);
+            assert!(g[0] < 1.0, "{}: sub-page region missing", app.name());
+            assert!(g.windows(2).all(|w| w[0] < w[1]));
+            assert!(g.len() >= 8);
+        }
+    }
+
+    #[test]
+    fn quick_grid_is_small() {
+        assert!(size_grid(App::Median, true).len() <= 4);
+    }
+
+    #[test]
+    fn point_speedup_consistent() {
+        let cfg = RadramConfig::reference();
+        let p = run_point(App::Database, 0.05, &cfg);
+        let s = p.speedup();
+        assert!(s > 0.0);
+        assert!(p.non_overlap_percent() >= 0.0 && p.non_overlap_percent() <= 100.0);
+    }
+}

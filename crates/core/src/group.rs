@@ -1,0 +1,55 @@
+//! Page groups.
+
+use std::fmt;
+
+/// Identifier of a page group.
+///
+/// "Pages operating on the same data will often belong to a page group,
+/// named by a `group_id`, in order to coordinate operations" (paper,
+/// Section 2). `AP_bind` associates one function set with every page of a
+/// group.
+///
+/// # Examples
+///
+/// ```
+/// use active_pages::GroupId;
+///
+/// const MATRIX_A: GroupId = GroupId::new(0);
+/// const MATRIX_B: GroupId = GroupId::new(1);
+/// assert_ne!(MATRIX_A, MATRIX_B);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GroupId(u32);
+
+impl GroupId {
+    /// Creates a group id.
+    #[inline]
+    pub const fn new(id: u32) -> Self {
+        GroupId(id)
+    }
+
+    /// The raw id value.
+    #[inline]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        let g = GroupId::new(5);
+        assert_eq!(g.get(), 5);
+        assert_eq!(format!("{g}"), "group#5");
+        assert_eq!(GroupId::default(), GroupId::new(0));
+    }
+}

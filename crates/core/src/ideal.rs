@@ -1,0 +1,170 @@
+//! A timing-free executor for testing page functions.
+
+use crate::{GroupId, PageFunction, PageInfo, PageSlice, PAGE_SIZE};
+use ap_mem::VAddr;
+
+/// Result of one functional activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivationSummary {
+    /// Total logic-clock cycles the execution reported.
+    pub logic_cycles: u64,
+    /// Inter-page copies the processor had to mediate.
+    pub copies: usize,
+    /// Bytes moved by those copies.
+    pub copied_bytes: usize,
+}
+
+/// Executes page functions functionally, with no clock and no caches.
+///
+/// Useful for unit and property tests that check a circuit computes the same
+/// answer as reference software, independent of the RADram timing model. The
+/// executor owns `n` contiguous pages; page `i` begins at virtual address
+/// `(i + 1) * PAGE_SIZE`.
+///
+/// # Examples
+///
+/// See the crate-level example in [`crate`].
+#[derive(Debug)]
+pub struct IdealExecutor {
+    bytes: Vec<u8>,
+    pages: usize,
+    group: GroupId,
+}
+
+impl IdealExecutor {
+    /// Creates an executor owning `pages` zeroed pages in one group.
+    pub fn new(pages: usize) -> Self {
+        IdealExecutor { bytes: vec![0; (pages + 1) * PAGE_SIZE], pages, group: GroupId::new(0) }
+    }
+
+    /// Number of pages owned.
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// Base virtual address of page `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn page_base(&self, i: usize) -> VAddr {
+        assert!(i < self.pages, "page {i} out of range");
+        VAddr::new(((i + 1) * PAGE_SIZE) as u64)
+    }
+
+    /// Mutable access to the raw bytes of page `i`.
+    pub fn page_mut(&mut self, i: usize) -> &mut [u8] {
+        let start = self.page_base(i).get() as usize;
+        &mut self.bytes[start..start + PAGE_SIZE]
+    }
+
+    /// Read-only access to the raw bytes of page `i`.
+    pub fn page(&self, i: usize) -> &[u8] {
+        let start = self.page_base(i).get() as usize;
+        &self.bytes[start..start + PAGE_SIZE]
+    }
+
+    /// Reads a `u32` at byte `offset` of page `i`.
+    pub fn read_u32(&self, i: usize, offset: usize) -> u32 {
+        let start = self.page_base(i).get() as usize + offset;
+        u32::from_le_bytes(self.bytes[start..start + 4].try_into().unwrap())
+    }
+
+    /// Writes a `u32` at byte `offset` of page `i`.
+    pub fn write_u32(&mut self, i: usize, offset: usize, v: u32) {
+        let start = self.page_base(i).get() as usize + offset;
+        self.bytes[start..start + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Activates `func` on page `i`: satisfies its pre-declared inter-page
+    /// requests, executes it, applies any mid-execution copies it emitted,
+    /// and returns a summary.
+    pub fn activate(&mut self, func: &dyn PageFunction, i: usize) -> ActivationSummary {
+        let base = self.page_base(i);
+        let info = PageInfo { base, group: self.group, index_in_group: i as u32 };
+        let start = base.get() as usize;
+        let mut copies = 0;
+        let mut copied_bytes = 0;
+        let pre = {
+            let slice = PageSlice::new(&mut self.bytes[start..start + PAGE_SIZE], info);
+            func.inter_page_requests(&slice)
+        };
+        for req in &pre {
+            self.apply_copy(req);
+            copies += 1;
+            copied_bytes += req.len;
+        }
+        let execution = {
+            let mut slice = PageSlice::new(&mut self.bytes[start..start + PAGE_SIZE], info);
+            func.execute(&mut slice)
+        };
+        for req in execution.copies() {
+            self.apply_copy(req);
+            copies += 1;
+            copied_bytes += req.len;
+        }
+        ActivationSummary { logic_cycles: execution.total_logic_cycles(), copies, copied_bytes }
+    }
+
+    fn apply_copy(&mut self, req: &crate::CopyRequest) {
+        let s = req.src.get() as usize;
+        let d = req.dst.get() as usize;
+        assert!(
+            s + req.len <= self.bytes.len() && d + req.len <= self.bytes.len(),
+            "copy request outside executor memory"
+        );
+        self.bytes.copy_within(s..s + req.len, d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sync, CopyRequest, Execution};
+
+    /// Copies the first body word of this page into the next page's body.
+    #[derive(Debug)]
+    struct Exporter;
+    impl PageFunction for Exporter {
+        fn name(&self) -> &'static str {
+            "exporter"
+        }
+        fn logic_elements(&self) -> u32 {
+            10
+        }
+        fn execute(&self, page: &mut PageSlice<'_>) -> Execution {
+            let base = page.info().base;
+            page.set_ctrl(sync::STATUS, sync::DONE);
+            Execution::run(2).then_copy(CopyRequest {
+                src: base + sync::BODY_OFFSET as u64,
+                dst: base + (PAGE_SIZE + sync::BODY_OFFSET) as u64,
+                len: 4,
+            })
+        }
+    }
+
+    #[test]
+    fn page_layout_is_contiguous() {
+        let e = IdealExecutor::new(3);
+        assert_eq!(e.page_base(1) - e.page_base(0), PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn activation_applies_inter_page_copies() {
+        let mut e = IdealExecutor::new(2);
+        e.write_u32(0, sync::BODY_OFFSET, 0xABCD);
+        let s = e.activate(&Exporter, 0);
+        assert_eq!(e.read_u32(1, sync::BODY_OFFSET), 0xABCD);
+        assert_eq!(s.copies, 1);
+        assert_eq!(s.copied_bytes, 4);
+        assert_eq!(s.logic_cycles, 2);
+        assert_eq!(e.read_u32(0, sync::ctrl_offset(sync::STATUS)), sync::DONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn page_base_bounds() {
+        let e = IdealExecutor::new(1);
+        e.page_base(1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Partitioning descriptors (the paper's Table 2).
+
+use std::fmt;
+
+/// How an application divides work between processor and Active Pages.
+///
+/// "Partitioning varies in emphasis between efficient use of processor
+/// computation and efficient use of Active-Page computation. We refer to
+/// these two extremes as processor-centric and memory-centric partitioning."
+/// (paper, Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Partitioning {
+    /// Data manipulation and integer arithmetic run in the memory system;
+    /// the processor mostly coordinates.
+    MemoryCentric,
+    /// Complex computation (e.g. floating point) stays on the processor; the
+    /// memory system gathers and marshals data to feed it.
+    ProcessorCentric,
+}
+
+impl fmt::Display for Partitioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Partitioning::MemoryCentric => write!(f, "memory-centric"),
+            Partitioning::ProcessorCentric => write!(f, "processor-centric"),
+        }
+    }
+}
+
+/// A row of Table 2: an evaluation application and its partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppDescriptor {
+    /// Short name used throughout the harness ("array", "database", ...).
+    pub name: &'static str,
+    /// What the application is.
+    pub application: &'static str,
+    /// Which partitioning class it illustrates.
+    pub partitioning: Partitioning,
+    /// Work left on the processor.
+    pub processor_computation: &'static str,
+    /// Work moved into the Active Pages.
+    pub active_page_computation: &'static str,
+}
+
+/// Table 2 of the paper: partitioning of the six evaluation applications.
+pub const TABLE2: [AppDescriptor; 6] = [
+    AppDescriptor {
+        name: "array",
+        application: "C++ standard template library array class",
+        partitioning: Partitioning::MemoryCentric,
+        processor_computation: "C++ code using array class; cross-page moves",
+        active_page_computation: "Array insert, delete, and find",
+    },
+    AppDescriptor {
+        name: "database",
+        application: "Address database",
+        partitioning: Partitioning::MemoryCentric,
+        processor_computation: "Initiates queries; summarizes results",
+        active_page_computation: "Searches unindexed data",
+    },
+    AppDescriptor {
+        name: "median",
+        application: "Median filter for images",
+        partitioning: Partitioning::MemoryCentric,
+        processor_computation: "Image I/O",
+        active_page_computation: "Median of neighboring pixels",
+    },
+    AppDescriptor {
+        name: "dynamic-prog",
+        application: "Protein/DNA sequence matching (largest common subsequence)",
+        partitioning: Partitioning::MemoryCentric,
+        processor_computation: "Backtracking",
+        active_page_computation: "Compute MINs and fills table",
+    },
+    AppDescriptor {
+        name: "matrix",
+        application: "Sparse matrix multiply for Simplex and finite element",
+        partitioning: Partitioning::ProcessorCentric,
+        processor_computation: "Floating point multiplies",
+        active_page_computation: "Index comparison and gather/scatter of data",
+    },
+    AppDescriptor {
+        name: "mpeg-mmx",
+        application: "MPEG decoder using MMX instructions",
+        partitioning: Partitioning::ProcessorCentric,
+        processor_computation: "MMX dispatch; discrete cosine transform",
+        active_page_computation: "MMX instructions",
+    },
+];
+
+/// Looks up a Table 2 descriptor by its short name.
+///
+/// # Examples
+///
+/// ```
+/// use active_pages::{AppDescriptor, Partitioning};
+///
+/// let m = active_pages::descriptor("matrix").unwrap();
+/// assert_eq!(m.partitioning, Partitioning::ProcessorCentric);
+/// ```
+pub fn descriptor(name: &str) -> Option<&'static AppDescriptor> {
+    TABLE2.iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_six_rows_with_unique_names() {
+        let mut names: Vec<_> = TABLE2.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn partition_classes_match_the_paper() {
+        assert_eq!(descriptor("median").unwrap().partitioning, Partitioning::MemoryCentric);
+        assert_eq!(descriptor("mpeg-mmx").unwrap().partitioning, Partitioning::ProcessorCentric);
+        assert!(descriptor("nonesuch").is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Partitioning::MemoryCentric), "memory-centric");
+        assert_eq!(format!("{}", Partitioning::ProcessorCentric), "processor-centric");
+    }
+}

@@ -1,0 +1,61 @@
+//! Page identity and geometry.
+
+use std::fmt;
+
+/// Size of one Active Page in bytes.
+///
+/// The paper's RADram implementation associates reconfigurable logic with
+/// each 512 KB DRAM subarray, "a good subarray size to minimize power and
+/// latency" for gigabit DRAMs, and measures problem sizes in these 512 KB
+/// superpages throughout the evaluation.
+pub const PAGE_SIZE: usize = 512 * 1024;
+
+/// Identifier of one allocated Active Page.
+///
+/// # Examples
+///
+/// ```
+/// use active_pages::PageId;
+///
+/// let p = PageId::new(3);
+/// assert_eq!(p.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(u32);
+
+impl PageId {
+    /// Creates a page id from an index into the page table.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        PageId(index)
+    }
+
+    /// The index into the page table.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_is_the_papers_superpage() {
+        assert_eq!(PAGE_SIZE, 512 * 1024);
+        assert!(PAGE_SIZE.is_power_of_two());
+    }
+
+    #[test]
+    fn id_round_trip() {
+        assert_eq!(PageId::new(7).index(), 7);
+        assert_eq!(format!("{}", PageId::new(7)), "page#7");
+    }
+}

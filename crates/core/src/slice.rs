@@ -1,0 +1,214 @@
+//! Typed access to one page's bytes during function execution.
+
+use crate::{GroupId, PAGE_SIZE};
+use ap_mem::VAddr;
+
+/// Placement information a page function may consult while executing.
+///
+/// # Examples
+///
+/// ```
+/// use active_pages::{GroupId, PageInfo};
+/// use ap_mem::VAddr;
+///
+/// let info = PageInfo { base: VAddr::new(0x8_0000), group: GroupId::new(1), index_in_group: 2 };
+/// assert_eq!(info.index_in_group, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageInfo {
+    /// Virtual address of the first byte of this page.
+    pub base: VAddr,
+    /// Group the page belongs to.
+    pub group: GroupId,
+    /// Position of this page within its group's allocation order.
+    pub index_in_group: u32,
+}
+
+/// A mutable view of one Active Page presented to a [`crate::PageFunction`].
+///
+/// Offsets are byte offsets from the page base; multi-byte values are
+/// little-endian. The view also exposes the control words defined in
+/// [`crate::sync`].
+///
+/// # Examples
+///
+/// ```
+/// use active_pages::{GroupId, PageInfo, PageSlice};
+/// use ap_mem::VAddr;
+///
+/// let mut bytes = vec![0u8; active_pages::PAGE_SIZE];
+/// let info = PageInfo { base: VAddr::new(0), group: GroupId::new(0), index_in_group: 0 };
+/// let mut page = PageSlice::new(&mut bytes, info);
+/// page.write_u32(64, 123);
+/// assert_eq!(page.read_u32(64), 123);
+/// ```
+#[derive(Debug)]
+pub struct PageSlice<'a> {
+    bytes: &'a mut [u8],
+    info: PageInfo,
+}
+
+impl<'a> PageSlice<'a> {
+    /// Wraps one page worth of bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly [`PAGE_SIZE`] long.
+    pub fn new(bytes: &'a mut [u8], info: PageInfo) -> Self {
+        assert_eq!(bytes.len(), PAGE_SIZE, "a PageSlice must cover exactly one page");
+        PageSlice { bytes, info }
+    }
+
+    /// Placement information for this page.
+    #[inline]
+    pub fn info(&self) -> PageInfo {
+        self.info
+    }
+
+    /// Reads one byte at `offset`.
+    #[inline]
+    pub fn read_u8(&self, offset: usize) -> u8 {
+        self.bytes[offset]
+    }
+
+    /// Writes one byte at `offset`.
+    #[inline]
+    pub fn write_u8(&mut self, offset: usize, v: u8) {
+        self.bytes[offset] = v;
+    }
+
+    /// Reads a little-endian `u16` at `offset`.
+    #[inline]
+    pub fn read_u16(&self, offset: usize) -> u16 {
+        u16::from_le_bytes(self.bytes[offset..offset + 2].try_into().unwrap())
+    }
+
+    /// Writes a little-endian `u16` at `offset`.
+    #[inline]
+    pub fn write_u16(&mut self, offset: usize, v: u16) {
+        self.bytes[offset..offset + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32` at `offset`.
+    #[inline]
+    pub fn read_u32(&self, offset: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[offset..offset + 4].try_into().unwrap())
+    }
+
+    /// Writes a little-endian `u32` at `offset`.
+    #[inline]
+    pub fn write_u32(&mut self, offset: usize, v: u32) {
+        self.bytes[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64` at `offset`.
+    #[inline]
+    pub fn read_u64(&self, offset: usize) -> u64 {
+        u64::from_le_bytes(self.bytes[offset..offset + 8].try_into().unwrap())
+    }
+
+    /// Writes a little-endian `u64` at `offset`.
+    #[inline]
+    pub fn write_u64(&mut self, offset: usize, v: u64) {
+        self.bytes[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads an `f64` at `offset`.
+    #[inline]
+    pub fn read_f64(&self, offset: usize) -> f64 {
+        f64::from_bits(self.read_u64(offset))
+    }
+
+    /// Writes an `f64` at `offset`.
+    #[inline]
+    pub fn write_f64(&mut self, offset: usize, v: f64) {
+        self.write_u64(offset, v.to_bits());
+    }
+
+    /// Reads control word `word` (see [`crate::sync`]).
+    #[inline]
+    pub fn ctrl(&self, word: usize) -> u32 {
+        self.read_u32(crate::sync::ctrl_offset(word))
+    }
+
+    /// Writes control word `word`.
+    #[inline]
+    pub fn set_ctrl(&mut self, word: usize, v: u32) {
+        self.write_u32(crate::sync::ctrl_offset(word), v);
+    }
+
+    /// Moves `len` bytes within the page (regions may overlap, like
+    /// `memmove`).
+    #[inline]
+    pub fn copy_within(&mut self, src: usize, dst: usize, len: usize) {
+        self.bytes.copy_within(src..src + len, dst);
+    }
+
+    /// Borrows `len` bytes at `offset`.
+    #[inline]
+    pub fn slice(&self, offset: usize, len: usize) -> &[u8] {
+        &self.bytes[offset..offset + len]
+    }
+
+    /// Mutably borrows `len` bytes at `offset`.
+    #[inline]
+    pub fn slice_mut(&mut self, offset: usize, len: usize) -> &mut [u8] {
+        &mut self.bytes[offset..offset + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync;
+
+    fn make(bytes: &mut [u8]) -> PageSlice<'_> {
+        let info =
+            PageInfo { base: VAddr::new(0x8_0000), group: GroupId::new(0), index_in_group: 1 };
+        PageSlice::new(bytes, info)
+    }
+
+    #[test]
+    fn typed_round_trips() {
+        let mut b = vec![0u8; PAGE_SIZE];
+        let mut p = make(&mut b);
+        p.write_u8(100, 1);
+        p.write_u16(102, 2);
+        p.write_u32(104, 3);
+        p.write_u64(108, 4);
+        p.write_f64(116, 5.5);
+        assert_eq!(p.read_u8(100), 1);
+        assert_eq!(p.read_u16(102), 2);
+        assert_eq!(p.read_u32(104), 3);
+        assert_eq!(p.read_u64(108), 4);
+        assert_eq!(p.read_f64(116), 5.5);
+    }
+
+    #[test]
+    fn ctrl_words_map_to_header_bytes() {
+        let mut b = vec![0u8; PAGE_SIZE];
+        let mut p = make(&mut b);
+        p.set_ctrl(sync::STATUS, sync::DONE);
+        assert_eq!(p.ctrl(sync::STATUS), sync::DONE);
+        assert_eq!(p.read_u32(4), sync::DONE);
+    }
+
+    #[test]
+    fn copy_within_is_memmove() {
+        let mut b = vec![0u8; PAGE_SIZE];
+        let mut p = make(&mut b);
+        for i in 0..8 {
+            p.write_u8(200 + i, i as u8);
+        }
+        p.copy_within(200, 201, 8);
+        assert_eq!(p.slice(200, 9), &[0, 0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one page")]
+    fn rejects_wrong_size() {
+        let mut b = vec![0u8; 100];
+        let info = PageInfo { base: VAddr::new(0), group: GroupId::new(0), index_in_group: 0 };
+        let _ = PageSlice::new(&mut b, info);
+    }
+}

@@ -1,0 +1,96 @@
+//! Synchronization-variable conventions.
+//!
+//! The paper leaves the structure and layout of synchronization variables
+//! "implementation and application specific"; every application in the study
+//! uses a handful of words per page to start computations and publish
+//! results, "similar to memory-mapped registers used for network interfaces".
+//!
+//! This reproduction standardizes a 64-byte control area at the start of each
+//! Active Page, leaving the rest of the page ([`BODY_OFFSET`]`..`) as the
+//! data body:
+//!
+//! | word | name     | written by | meaning                                   |
+//! |------|----------|-----------|--------------------------------------------|
+//! | 0    | `CMD`    | processor | command; storing here activates the page  |
+//! | 1    | `STATUS` | page      | [`IDLE`] / [`RUNNING`] / [`DONE`]          |
+//! | 2..8 | `RESULT` | page      | function-specific results                  |
+//! | 8..16| `PARAM`  | processor | function-specific parameters               |
+//!
+//! Accesses to the control area bypass the processor caches (they are
+//! volatile, memory-mapped locations); the data body is ordinary cacheable
+//! memory.
+
+/// Bytes reserved at the start of each page for control words.
+pub const CTRL_SIZE: usize = 64;
+
+/// Byte offset of the first data-body byte in a page.
+pub const BODY_OFFSET: usize = CTRL_SIZE;
+
+/// Usable data bytes per page once the control area is reserved.
+pub const BODY_SIZE: usize = crate::PAGE_SIZE - CTRL_SIZE;
+
+/// Control word index: command / activation trigger.
+pub const CMD: usize = 0;
+
+/// Control word index: page status.
+pub const STATUS: usize = 1;
+
+/// First of six control word indices holding function results.
+pub const RESULT: usize = 2;
+
+/// First of eight control word indices holding function parameters.
+pub const PARAM: usize = 8;
+
+/// Number of 32-bit control words in the control area.
+pub const CTRL_WORDS: usize = CTRL_SIZE / 4;
+
+/// `STATUS` value: no computation pending.
+pub const IDLE: u32 = 0;
+
+/// `STATUS` value: the page function is executing.
+pub const RUNNING: u32 = 1;
+
+/// `STATUS` value: results are valid.
+pub const DONE: u32 = 2;
+
+/// Byte offset of control word `word` within a page.
+///
+/// # Panics
+///
+/// Panics if `word >= CTRL_WORDS`.
+///
+/// # Examples
+///
+/// ```
+/// use active_pages::sync;
+///
+/// assert_eq!(sync::ctrl_offset(sync::STATUS), 4);
+/// assert_eq!(sync::ctrl_offset(sync::PARAM + 1), 36);
+/// ```
+#[inline]
+pub fn ctrl_offset(word: usize) -> usize {
+    assert!(word < CTRL_WORDS, "control word {word} out of range");
+    word * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // compile-time layout checks
+    fn layout_is_consistent() {
+        assert_eq!(CTRL_SIZE % 4, 0);
+        assert_eq!(CTRL_WORDS, 16);
+        assert_eq!(BODY_OFFSET + BODY_SIZE, crate::PAGE_SIZE);
+        assert!(RESULT > STATUS);
+        assert!(PARAM > RESULT);
+        assert!(PARAM < CTRL_WORDS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ctrl_offset_checks_bounds() {
+        ctrl_offset(CTRL_WORDS);
+    }
+}

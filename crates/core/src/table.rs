@@ -1,0 +1,190 @@
+//! Page-table bookkeeping and the allocation/binding interface.
+
+use crate::{GroupId, PageFunction, PageId, PAGE_SIZE};
+use ap_mem::VAddr;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Placement record for one allocated Active Page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageEntry {
+    /// Virtual address of the page's first byte (page-aligned).
+    pub base: VAddr,
+    /// Group the page was allocated into.
+    pub group: GroupId,
+    /// Position within the group's allocation order.
+    pub index_in_group: u32,
+}
+
+/// Registry of allocated Active Pages, their groups, and bound functions.
+///
+/// This is the bookkeeping half of the paper's interface: `AP_alloc` places
+/// pages into groups, `AP_bind` associates (and may re-associate) a function
+/// set with a group.
+///
+/// # Examples
+///
+/// ```
+/// use active_pages::{GroupId, PageTable};
+/// use ap_mem::VAddr;
+///
+/// let mut pt = PageTable::new();
+/// let g = GroupId::new(0);
+/// let p = pt.register_page(g, VAddr::new(0x8_0000));
+/// assert_eq!(pt.pages_in(g), &[p]);
+/// assert_eq!(pt.entry(p).index_in_group, 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct PageTable {
+    entries: Vec<PageEntry>,
+    groups: HashMap<GroupId, Vec<PageId>>,
+    functions: HashMap<GroupId, Rc<dyn PageFunction>>,
+    rebinds: u64,
+}
+
+impl PageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    /// Registers a page at `base` into `group`; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 512 KB aligned.
+    pub fn register_page(&mut self, group: GroupId, base: VAddr) -> PageId {
+        assert_eq!(base.get() % PAGE_SIZE as u64, 0, "Active Pages are {PAGE_SIZE}-byte aligned");
+        let members = self.groups.entry(group).or_default();
+        let id = PageId::new(self.entries.len() as u32);
+        self.entries.push(PageEntry { base, group, index_in_group: members.len() as u32 });
+        members.push(id);
+        id
+    }
+
+    /// Binds `functions` to every page of `group` (the paper's `AP_bind`).
+    ///
+    /// Returns `true` when this replaced a previous binding — the paper notes
+    /// re-binding "may be necessary to make room for new functions", at a
+    /// reconfiguration cost the hosting memory system charges.
+    pub fn bind(&mut self, group: GroupId, functions: Rc<dyn PageFunction>) -> bool {
+        let rebound = self.functions.insert(group, functions).is_some();
+        if rebound {
+            self.rebinds += 1;
+        }
+        rebound
+    }
+
+    /// The function set currently bound to `group`, if any.
+    pub fn function_of(&self, group: GroupId) -> Option<&Rc<dyn PageFunction>> {
+        self.functions.get(&group)
+    }
+
+    /// Pages allocated into `group`, in allocation order.
+    pub fn pages_in(&self, group: GroupId) -> &[PageId] {
+        self.groups.get(&group).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Placement record of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` was not registered by this table.
+    pub fn entry(&self, page: PageId) -> &PageEntry {
+        &self.entries[page.index()]
+    }
+
+    /// Total pages registered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no pages have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of times a group's functions were replaced.
+    pub fn rebinds(&self) -> u64 {
+        self.rebinds
+    }
+
+    /// Iterates over all registered pages in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, &PageEntry)> {
+        self.entries.iter().enumerate().map(|(i, e)| (PageId::new(i as u32), e))
+    }
+}
+
+/// The Active Pages allocation/binding interface (paper, Section 2).
+///
+/// A memory system implementing Active Pages provides `AP_alloc` and
+/// `AP_bind` on top of its ordinary `read`/`write` interface. The `radram`
+/// crate's `System` is the production implementation; tests may provide
+/// lightweight ones.
+pub trait ActivePageMemory {
+    /// Allocates `bytes` of Active-Page memory (rounded up to whole 512 KB
+    /// pages) in `group` and returns the base virtual address.
+    fn ap_alloc(&mut self, group: GroupId, bytes: usize) -> VAddr;
+
+    /// Binds a function set to `group`; repeated calls re-bind.
+    fn ap_bind(&mut self, group: GroupId, functions: Rc<dyn PageFunction>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Execution, PageSlice};
+
+    #[derive(Debug)]
+    struct Nop;
+    impl PageFunction for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+        fn logic_elements(&self) -> u32 {
+            0
+        }
+        fn execute(&self, _page: &mut PageSlice<'_>) -> Execution {
+            Execution::empty()
+        }
+    }
+
+    #[test]
+    fn groups_track_allocation_order() {
+        let mut pt = PageTable::new();
+        let g0 = GroupId::new(0);
+        let g1 = GroupId::new(1);
+        let a = pt.register_page(g0, VAddr::new(0x8_0000));
+        let b = pt.register_page(g1, VAddr::new(0x10_0000));
+        let c = pt.register_page(g0, VAddr::new(0x18_0000));
+        assert_eq!(pt.pages_in(g0), &[a, c]);
+        assert_eq!(pt.pages_in(g1), &[b]);
+        assert_eq!(pt.entry(c).index_in_group, 1);
+        assert_eq!(pt.len(), 3);
+    }
+
+    #[test]
+    fn bind_and_rebind() {
+        let mut pt = PageTable::new();
+        let g = GroupId::new(7);
+        assert!(pt.function_of(g).is_none());
+        assert!(!pt.bind(g, Rc::new(Nop)));
+        assert!(pt.bind(g, Rc::new(Nop)));
+        assert_eq!(pt.rebinds(), 1);
+        assert_eq!(pt.function_of(g).unwrap().name(), "nop");
+    }
+
+    #[test]
+    fn unknown_group_has_no_pages() {
+        let pt = PageTable::new();
+        assert!(pt.pages_in(GroupId::new(42)).is_empty());
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn rejects_unaligned_base() {
+        let mut pt = PageTable::new();
+        pt.register_page(GroupId::new(0), VAddr::new(0x100));
+    }
+}

@@ -1,0 +1,440 @@
+//! The processor cost model.
+
+use crate::bpred::BranchPredictor;
+use crate::mmx::MmxOp;
+use crate::stats::CpuStats;
+use ap_mem::{Hierarchy, HierarchyConfig, SimRam, VAddr};
+
+/// Processor configuration (Table 1: 1 GHz reference clock).
+///
+/// All latencies are in cycles. The reference floating-point unit is fully
+/// pipelined — the paper's goal is a processor "running at peak
+/// floating-point speeds" when the memory system feeds it — so FP throughput
+/// is one operation per cycle.
+///
+/// # Examples
+///
+/// ```
+/// use ap_cpu::CpuConfig;
+///
+/// let cfg = CpuConfig::reference();
+/// assert_eq!(cfg.mispredict_penalty, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Memory hierarchy in front of the core.
+    pub hierarchy: HierarchyConfig,
+    /// Cycles per simple integer operation.
+    pub alu_latency: u64,
+    /// Cycles per integer multiply.
+    pub mul_latency: u64,
+    /// Cycles per integer divide.
+    pub div_latency: u64,
+    /// Cycles per (pipelined) floating-point operation.
+    pub fp_latency: u64,
+    /// Extra cycles on a mispredicted branch.
+    pub mispredict_penalty: u64,
+    /// Branch-predictor table entries.
+    pub bpred_entries: usize,
+}
+
+impl CpuConfig {
+    /// The paper's reference processor.
+    pub fn reference() -> Self {
+        CpuConfig {
+            hierarchy: HierarchyConfig::reference(),
+            alu_latency: 1,
+            mul_latency: 3,
+            div_latency: 20,
+            fp_latency: 1,
+            mispredict_penalty: 3,
+            bpred_entries: 2048,
+        }
+    }
+
+    /// Reference processor over a custom memory hierarchy.
+    pub fn with_hierarchy(hierarchy: HierarchyConfig) -> Self {
+        CpuConfig { hierarchy, ..Self::reference() }
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// The simulated processor: global clock, memory hierarchy and real memory.
+///
+/// Applications drive the model by calling one method per operation they
+/// would execute; the data they compute on lives in [`SimRam`] (public field
+/// `ram`) so control flow is authentic.
+///
+/// # Examples
+///
+/// ```
+/// use ap_cpu::{Cpu, CpuConfig};
+///
+/// let mut cpu = Cpu::new(CpuConfig::reference(), 1 << 20);
+/// let a = cpu.ram.alloc(8, 8);
+/// cpu.store_u64(a, 42);
+/// assert_eq!(cpu.load_u64(a), 42);
+/// let s = cpu.stats();
+/// assert_eq!((s.loads, s.stores), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct Cpu {
+    /// The simulated memory contents (public: applications allocate and the
+    /// RADram logic engine operates on page bytes held here).
+    pub ram: SimRam,
+    hier: Hierarchy,
+    cfg: CpuConfig,
+    now: u64,
+    bpred: BranchPredictor,
+    stats: CpuStats,
+}
+
+impl Cpu {
+    /// Creates a processor with `ram_capacity` bytes of simulated memory.
+    pub fn new(cfg: CpuConfig, ram_capacity: usize) -> Self {
+        Cpu {
+            ram: SimRam::new(ram_capacity),
+            hier: Hierarchy::new(cfg.hierarchy.clone()),
+            bpred: BranchPredictor::new(cfg.bpred_entries),
+            now: 0,
+            stats: CpuStats::new(),
+            cfg,
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time in cycles.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the clock without executing instructions (used by the memory
+    /// system to model the processor stalled on Active-Page computation).
+    #[inline]
+    pub fn advance(&mut self, cycles: u64) {
+        self.now += cycles;
+    }
+
+    /// Executes `n` single-cycle integer operations.
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.stats.instructions += n;
+        self.now += n * self.cfg.alu_latency;
+    }
+
+    /// Executes one integer multiply.
+    #[inline]
+    pub fn mul(&mut self) {
+        self.stats.instructions += 1;
+        self.now += self.cfg.mul_latency;
+    }
+
+    /// Executes one integer divide.
+    #[inline]
+    pub fn div(&mut self) {
+        self.stats.instructions += 1;
+        self.now += self.cfg.div_latency;
+    }
+
+    /// Executes `n` pipelined floating-point operations.
+    #[inline]
+    pub fn flop(&mut self, n: u64) {
+        self.stats.instructions += n;
+        self.stats.flops += n;
+        self.now += n * self.cfg.fp_latency;
+    }
+
+    /// Executes a conditional branch identified by call `site`, charging a
+    /// penalty when the 2-bit predictor is wrong. Returns `taken` unchanged
+    /// so it can wrap a condition inline.
+    #[inline]
+    pub fn branch(&mut self, site: u32, taken: bool) -> bool {
+        self.stats.instructions += 1;
+        self.stats.branches += 1;
+        self.now += self.cfg.alu_latency;
+        if !self.bpred.predict_and_train(site, taken) {
+            self.stats.mispredicts += 1;
+            self.now += self.cfg.mispredict_penalty;
+        }
+        taken
+    }
+
+    /// Executes one register-to-register MMX operation.
+    #[inline]
+    pub fn mmx(&mut self, op: MmxOp, a: u64, b: u64) -> u64 {
+        self.stats.instructions += 1;
+        self.stats.mmx_ops += 1;
+        self.now += self.cfg.alu_latency;
+        op.apply(a, b)
+    }
+
+    #[inline]
+    fn charge_load(&mut self, addr: VAddr) {
+        self.stats.instructions += 1;
+        self.stats.loads += 1;
+        self.now += self.hier.read(addr);
+    }
+
+    #[inline]
+    fn charge_store(&mut self, addr: VAddr) {
+        self.stats.instructions += 1;
+        self.stats.stores += 1;
+        self.now += self.hier.write(addr);
+    }
+
+    /// Loads a byte through the data cache.
+    #[inline]
+    pub fn load_u8(&mut self, addr: VAddr) -> u8 {
+        self.charge_load(addr);
+        self.ram.read_u8(addr)
+    }
+
+    /// Loads a 16-bit word through the data cache.
+    #[inline]
+    pub fn load_u16(&mut self, addr: VAddr) -> u16 {
+        self.charge_load(addr);
+        self.ram.read_u16(addr)
+    }
+
+    /// Loads a 32-bit word through the data cache.
+    #[inline]
+    pub fn load_u32(&mut self, addr: VAddr) -> u32 {
+        self.charge_load(addr);
+        self.ram.read_u32(addr)
+    }
+
+    /// Loads a 64-bit word through the data cache.
+    #[inline]
+    pub fn load_u64(&mut self, addr: VAddr) -> u64 {
+        self.charge_load(addr);
+        self.ram.read_u64(addr)
+    }
+
+    /// Loads a double through the data cache.
+    #[inline]
+    pub fn load_f64(&mut self, addr: VAddr) -> f64 {
+        self.charge_load(addr);
+        self.ram.read_f64(addr)
+    }
+
+    /// Stores a byte through the data cache.
+    #[inline]
+    pub fn store_u8(&mut self, addr: VAddr, v: u8) {
+        self.charge_store(addr);
+        self.ram.write_u8(addr, v);
+    }
+
+    /// Stores a 16-bit word through the data cache.
+    #[inline]
+    pub fn store_u16(&mut self, addr: VAddr, v: u16) {
+        self.charge_store(addr);
+        self.ram.write_u16(addr, v);
+    }
+
+    /// Stores a 32-bit word through the data cache.
+    #[inline]
+    pub fn store_u32(&mut self, addr: VAddr, v: u32) {
+        self.charge_store(addr);
+        self.ram.write_u32(addr, v);
+    }
+
+    /// Stores a 64-bit word through the data cache.
+    #[inline]
+    pub fn store_u64(&mut self, addr: VAddr, v: u64) {
+        self.charge_store(addr);
+        self.ram.write_u64(addr, v);
+    }
+
+    /// Stores a double through the data cache.
+    #[inline]
+    pub fn store_f64(&mut self, addr: VAddr, v: f64) {
+        self.charge_store(addr);
+        self.ram.write_f64(addr, v);
+    }
+
+    /// Charges one instruction fetch at `pc` through the L1 instruction
+    /// cache, advancing the clock by the *miss penalty only* (an L1I hit is
+    /// hidden by the pipeline). Does not count an instruction — the caller
+    /// accounts for the executed operation itself.
+    #[inline]
+    pub fn charge_fetch(&mut self, pc: VAddr) {
+        let cycles = self.hier.fetch(pc);
+        let hidden = self.cfg.hierarchy.l1i.hit_latency;
+        self.now += cycles.saturating_sub(hidden);
+    }
+
+    /// Charges one uncached word access (instruction count, load/store count
+    /// and DRAM round-trip time) without touching data. Memory systems that
+    /// route accesses themselves pair this with a raw [`SimRam`] transfer.
+    #[inline]
+    pub fn charge_uncached_access(&mut self, store: bool) {
+        self.stats.instructions += 1;
+        if store {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+        self.now += self.hier.uncached();
+    }
+
+    /// Uncached 32-bit load (synchronization variables bypass the caches).
+    #[inline]
+    pub fn uncached_load_u32(&mut self, addr: VAddr) -> u32 {
+        self.stats.instructions += 1;
+        self.stats.loads += 1;
+        self.now += self.hier.uncached();
+        self.ram.read_u32(addr)
+    }
+
+    /// Uncached 32-bit store.
+    #[inline]
+    pub fn uncached_store_u32(&mut self, addr: VAddr, v: u32) {
+        self.stats.instructions += 1;
+        self.stats.stores += 1;
+        self.now += self.hier.uncached();
+        self.ram.write_u32(addr, v);
+    }
+
+    /// Invalidates cached copies of `[start, start + len)`; called by the
+    /// memory system when in-page logic mutates DRAM directly.
+    pub fn invalidate_range(&mut self, start: VAddr, len: u64) {
+        self.hier.invalidate_range(start, len);
+    }
+
+    /// Statistics snapshot (includes the memory hierarchy's counters and the
+    /// current cycle count).
+    pub fn stats(&self) -> CpuStats {
+        let mut s = self.stats.clone();
+        s.cycles = self.now;
+        s.mem = self.hier.stats();
+        s
+    }
+
+    /// Borrows the memory hierarchy (read-only; for inspection in tests).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> Cpu {
+        Cpu::new(CpuConfig::reference(), 1 << 22)
+    }
+
+    #[test]
+    fn loads_cost_more_on_misses() {
+        let mut c = cpu();
+        let a = c.ram.alloc(64, 64);
+        let t0 = c.now();
+        c.load_u32(a);
+        let miss_cost = c.now() - t0;
+        let t1 = c.now();
+        c.load_u32(a + 4);
+        let hit_cost = c.now() - t1;
+        assert!(miss_cost > hit_cost);
+        assert_eq!(hit_cost, 1);
+    }
+
+    #[test]
+    fn alu_and_fp_costs() {
+        let mut c = cpu();
+        c.alu(5);
+        assert_eq!(c.now(), 5);
+        c.flop(3);
+        assert_eq!(c.now(), 8);
+        c.mul();
+        assert_eq!(c.now(), 11);
+        c.div();
+        assert_eq!(c.now(), 31);
+    }
+
+    #[test]
+    fn branch_penalty_applies_to_mispredictions() {
+        let mut c = cpu();
+        // Cold predictor: first taken branch mispredicts.
+        c.branch(9, true);
+        let s = c.stats();
+        assert_eq!(s.mispredicts, 1);
+        assert_eq!(s.cycles, 1 + 3);
+    }
+
+    #[test]
+    fn trained_branch_costs_one_cycle() {
+        let mut c = cpu();
+        for _ in 0..4 {
+            c.branch(9, true);
+        }
+        let before = c.now();
+        c.branch(9, true);
+        assert_eq!(c.now() - before, 1);
+    }
+
+    #[test]
+    fn data_round_trips_through_ram() {
+        let mut c = cpu();
+        let a = c.ram.alloc(32, 8);
+        c.store_u16(a, 0xBEEF);
+        c.store_f64(a + 8, 2.5);
+        c.store_u8(a + 16, 7);
+        assert_eq!(c.load_u16(a), 0xBEEF);
+        assert_eq!(c.load_f64(a + 8), 2.5);
+        assert_eq!(c.load_u8(a + 16), 7);
+    }
+
+    #[test]
+    fn uncached_access_is_constant_cost_and_counted() {
+        let mut c = cpu();
+        let a = c.ram.alloc(64, 64);
+        c.uncached_store_u32(a, 1);
+        c.uncached_store_u32(a, 2);
+        let s = c.stats();
+        assert_eq!(s.mem.uncached, 2);
+        assert_eq!(s.cycles, 2 * 60);
+        // Uncached writes still hit RAM.
+        assert_eq!(c.ram.read_u32(a), 2);
+    }
+
+    #[test]
+    fn advance_moves_clock_without_instructions() {
+        let mut c = cpu();
+        c.advance(1000);
+        let s = c.stats();
+        assert_eq!(s.cycles, 1000);
+        assert_eq!(s.instructions, 0);
+    }
+
+    #[test]
+    fn invalidate_range_re_misses() {
+        let mut c = cpu();
+        let a = c.ram.alloc(64, 64);
+        c.load_u32(a);
+        let t = c.now();
+        c.load_u32(a);
+        assert_eq!(c.now() - t, 1);
+        c.invalidate_range(a, 64);
+        let t = c.now();
+        c.load_u32(a);
+        assert!(c.now() - t > 1);
+    }
+
+    #[test]
+    fn mmx_op_counted_and_functional() {
+        let mut c = cpu();
+        let r = c.mmx(MmxOp::PXor, 0xF0F0, 0x0FF0);
+        assert_eq!(r, 0xFF00);
+        assert_eq!(c.stats().mmx_ops, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Processor substrate for the Active Pages reproduction.
+//!
+//! The paper models a 1 GHz processor (Table 1) in front of its memory
+//! system using the SimpleScalar tool set extended with Intel MMX opcodes.
+//! This crate provides the corresponding execution-driven cost model:
+//!
+//! * [`Cpu`] — the processor. Applications are *instrumented kernels*: they
+//!   call [`Cpu`] methods for every load, store, ALU/FP operation and branch
+//!   they would execute, computing on the real bytes held in
+//!   [`ap_mem::SimRam`]. The CPU owns the global cycle clock and the
+//!   [`ap_mem::Hierarchy`], so cache behaviour is driven by the application's
+//!   genuine address stream.
+//! * [`mmx`] — functional Intel-MMX packed arithmetic (saturating adds,
+//!   pack/unpack, multiplies) used by the MPEG application, with per-op
+//!   single-cycle cost exactly as in the paper ("MMX instructions ... are
+//!   generally complete in a single processor cycle").
+//! * [`BranchPredictor`] — a 2-bit saturating-counter predictor so branchy
+//!   conventional kernels (median filter, string compare) pay realistic
+//!   misprediction penalties.
+//!
+//! # Examples
+//!
+//! ```
+//! use ap_cpu::{Cpu, CpuConfig};
+//!
+//! let mut cpu = Cpu::new(CpuConfig::reference(), 1 << 20);
+//! let buf = cpu.ram.alloc(64, 8);
+//! cpu.store_u32(buf, 7);
+//! let v = cpu.load_u32(buf);
+//! assert_eq!(v, 7);
+//! assert!(cpu.now() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bpred;
+mod cpu;
+pub mod mmx;
+mod stats;
+
+pub use bpred::BranchPredictor;
+pub use cpu::{Cpu, CpuConfig};
+pub use stats::CpuStats;

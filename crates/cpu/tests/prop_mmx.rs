@@ -1,0 +1,87 @@
+//! Property tests: every packed MMX operation against lane-wise scalar
+//! reference semantics.
+
+use ap_cpu::mmx;
+use proptest::prelude::*;
+
+fn lanes_b(v: u64) -> [u8; 8] {
+    core::array::from_fn(|i| (v >> (i * 8)) as u8)
+}
+
+fn lanes_w(v: u64) -> [i16; 4] {
+    core::array::from_fn(|i| (v >> (i * 16)) as u16 as i16)
+}
+
+fn pack_w(l: [i16; 4]) -> u64 {
+    l.iter().enumerate().fold(0u64, |a, (i, &w)| a | ((w as u16 as u64) << (i * 16)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn byte_ops_match_scalars(a in any::<u64>(), b in any::<u64>()) {
+        let (la, lb) = (lanes_b(a), lanes_b(b));
+        let check = |got: u64, f: fn(u8, u8) -> u8| {
+            let want: [u8; 8] = core::array::from_fn(|i| f(la[i], lb[i]));
+            lanes_b(got) == want
+        };
+        prop_assert!(check(mmx::paddb(a, b), |x, y| x.wrapping_add(y)));
+        prop_assert!(check(mmx::paddusb(a, b), |x, y| x.saturating_add(y)));
+        prop_assert!(check(mmx::psubb(a, b), |x, y| x.wrapping_sub(y)));
+        prop_assert!(check(mmx::psubusb(a, b), |x, y| x.saturating_sub(y)));
+        prop_assert!(check(mmx::paddsb(a, b), |x, y| (x as i8).saturating_add(y as i8) as u8));
+    }
+
+    #[test]
+    fn word_ops_match_scalars(a in any::<u64>(), b in any::<u64>()) {
+        let (la, lb) = (lanes_w(a), lanes_w(b));
+        let addsw: [i16; 4] = core::array::from_fn(|i| la[i].saturating_add(lb[i]));
+        prop_assert_eq!(mmx::paddsw(a, b), pack_w(addsw));
+        let subsw: [i16; 4] = core::array::from_fn(|i| la[i].saturating_sub(lb[i]));
+        prop_assert_eq!(mmx::psubsw(a, b), pack_w(subsw));
+        let addw: [i16; 4] = core::array::from_fn(|i| la[i].wrapping_add(lb[i]));
+        prop_assert_eq!(mmx::paddw(a, b), pack_w(addw));
+        let mull: [i16; 4] =
+            core::array::from_fn(|i| ((la[i] as i32).wrapping_mul(lb[i] as i32)) as i16);
+        prop_assert_eq!(mmx::pmullw(a, b), pack_w(mull));
+        let mulh: [i16; 4] =
+            core::array::from_fn(|i| (((la[i] as i32) * (lb[i] as i32)) >> 16) as i16);
+        prop_assert_eq!(mmx::pmulhw(a, b), pack_w(mulh));
+    }
+
+    /// Unpack then pack with zero correction is the identity on low bytes
+    /// (all predicted pixels are representable).
+    #[test]
+    fn unpack_pack_round_trip(a in any::<u32>()) {
+        let wide = mmx::punpcklbw(a as u64, 0);
+        let packed = mmx::packuswb(wide, 0) as u32;
+        prop_assert_eq!(packed, a);
+    }
+
+    /// The fused motion-correction pipeline matches scalar saturating math.
+    #[test]
+    fn motion_correction_matches_scalar(px in any::<u32>(), corr in any::<u64>()) {
+        let wide = mmx::punpcklbw(px as u64, 0);
+        let sum = mmx::paddsw(wide, corr);
+        let packed = mmx::packuswb(sum, 0) as u32;
+        for i in 0..4 {
+            let p = (px >> (i * 8)) as u8;
+            let c = (corr >> (i * 16)) as u16 as i16;
+            let want = (p as i16).saturating_add(c).clamp(0, 255) as u8;
+            prop_assert_eq!((packed >> (i * 8)) as u8, want, "lane {}", i);
+        }
+    }
+
+    /// Shifts agree with lane-wise scalar shifts for in-range counts.
+    #[test]
+    fn shifts_match(a in any::<u64>(), count in 0u32..16) {
+        let l = lanes_w(a);
+        let sll: [i16; 4] = core::array::from_fn(|i| ((l[i] as u16) << count) as i16);
+        prop_assert_eq!(mmx::psllw(a, count), pack_w(sll));
+        let srl: [i16; 4] = core::array::from_fn(|i| ((l[i] as u16) >> count) as i16);
+        prop_assert_eq!(mmx::psrlw(a, count), pack_w(srl));
+        let sra: [i16; 4] = core::array::from_fn(|i| l[i] >> count);
+        prop_assert_eq!(mmx::psraw(a, count), pack_w(sra));
+    }
+}

@@ -1,0 +1,160 @@
+//! Virtual addresses.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A virtual address in the simulated global address space.
+///
+/// The Active Pages model uses a single global virtual address space shared by
+/// the processor and every page function (paper, Section 2). `VAddr` is a
+/// zero-cost newtype over `u64` that keeps addresses from being confused with
+/// ordinary integers such as lengths or element counts.
+///
+/// # Examples
+///
+/// ```
+/// use ap_mem::VAddr;
+///
+/// let base = VAddr::new(0x1000);
+/// let third_word = base + 2 * 4;
+/// assert_eq!(third_word.get(), 0x1008);
+/// assert_eq!(third_word - base, 8);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(u64);
+
+impl VAddr {
+    /// Creates an address from a raw value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        VAddr(raw)
+    }
+
+    /// Returns the raw address value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address offset by `bytes` (checked in debug builds).
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> Self {
+        VAddr(self.0 + bytes)
+    }
+
+    /// Aligns the address down to a multiple of `align` (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `align` is not a power of two.
+    #[inline]
+    pub fn align_down(self, align: u64) -> Self {
+        debug_assert!(align.is_power_of_two());
+        VAddr(self.0 & !(align - 1))
+    }
+
+    /// Aligns the address up to a multiple of `align` (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `align` is not a power of two.
+    #[inline]
+    pub fn align_up(self, align: u64) -> Self {
+        debug_assert!(align.is_power_of_two());
+        VAddr((self.0 + align - 1) & !(align - 1))
+    }
+}
+
+impl fmt::Debug for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for VAddr {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        VAddr(raw)
+    }
+}
+
+impl From<VAddr> for u64 {
+    #[inline]
+    fn from(addr: VAddr) -> Self {
+        addr.0
+    }
+}
+
+impl Add<u64> for VAddr {
+    type Output = VAddr;
+    #[inline]
+    fn add(self, rhs: u64) -> VAddr {
+        VAddr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for VAddr {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<VAddr> for VAddr {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: VAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_down_and_up() {
+        let a = VAddr::new(0x1234);
+        assert_eq!(a.align_down(0x1000).get(), 0x1000);
+        assert_eq!(a.align_up(0x1000).get(), 0x2000);
+        let b = VAddr::new(0x2000);
+        assert_eq!(b.align_down(0x1000), b);
+        assert_eq!(b.align_up(0x1000), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = VAddr::new(100);
+        assert_eq!((a + 28).get(), 128);
+        assert_eq!((a + 28) - a, 28);
+        let mut c = a;
+        c += 4;
+        assert_eq!(c.get(), 104);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let a = VAddr::from(0xdead_u64);
+        assert_eq!(u64::from(a), 0xdead);
+        assert_eq!(format!("{a}"), "0xdead");
+        assert_eq!(format!("{a:?}"), "VAddr(0xdead)");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(VAddr::new(8) < VAddr::new(9));
+        assert_eq!(VAddr::default(), VAddr::new(0));
+    }
+}

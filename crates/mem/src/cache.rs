@@ -1,0 +1,376 @@
+//! Set-associative cache model.
+
+use crate::stats::CacheStats;
+use crate::VAddr;
+
+/// Configuration of one cache level.
+///
+/// The reference machine (paper, Table 1) uses a 64 KB split L1 (2-way) and a
+/// 1 MB unified L2 (4-way); Figure 5 varies the L1 data cache from 32 KB to
+/// 256 KB and the L2 from 256 KB to 4 MB.
+///
+/// # Examples
+///
+/// ```
+/// use ap_mem::CacheConfig;
+///
+/// let l1 = CacheConfig::new("L1D", 64 * 1024, 2, 32, 1);
+/// assert_eq!(l1.sets(), 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable level name used in statistics ("L1D", "L2", ...).
+    pub name: &'static str,
+    /// Total capacity in bytes (power of two).
+    pub size: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line: usize,
+    /// Access latency on a hit, in CPU cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Creates a cache configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` or `line` is not a power of two, if `assoc` is zero,
+    /// or if the geometry does not yield at least one set.
+    pub fn new(name: &'static str, size: usize, assoc: usize, line: usize, hit_latency: u64) -> Self {
+        assert!(size.is_power_of_two(), "cache size must be a power of two");
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc > 0, "associativity must be positive");
+        assert!(size >= assoc * line, "cache must hold at least one set");
+        CacheConfig { name, size, assoc, line, hit_latency }
+    }
+
+    /// Number of sets implied by the geometry.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        self.size / (self.assoc * self.line)
+    }
+}
+
+/// Outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit in this cache.
+    pub hit: bool,
+    /// Base address of a dirty line that had to be written back to make room.
+    pub writeback: Option<VAddr>,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache with LRU replacement.
+///
+/// The cache is *timing-only*: it tracks which lines would be resident, but
+/// the actual bytes always live in [`crate::SimRam`]. This matches the way the
+/// reproduction drives the simulator — kernels perform real loads and stores
+/// against real data while the hierarchy accounts for time.
+///
+/// # Examples
+///
+/// ```
+/// use ap_mem::{Cache, CacheConfig, VAddr};
+///
+/// let mut c = Cache::new(CacheConfig::new("L1D", 1024, 2, 32, 1));
+/// assert!(!c.access(VAddr::new(0), false).hit); // cold miss
+/// assert!(c.access(VAddr::new(4), false).hit);  // same line
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    line_shift: u32,
+    set_mask: u64,
+    lines: Vec<Line>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for Line {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Line")
+            .field("tag", &self.tag)
+            .field("valid", &self.valid)
+            .field("dirty", &self.dirty)
+            .finish()
+    }
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not yield a power-of-two number of sets.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        let line_shift = cfg.line.trailing_zeros();
+        Cache {
+            sets,
+            line_shift,
+            set_mask: sets as u64 - 1,
+            lines: vec![Line::default(); sets * cfg.assoc],
+            tick: 0,
+            stats: CacheStats::new(cfg.name),
+            cfg,
+        }
+    }
+
+    /// Returns the configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Returns accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics without touching cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new(self.cfg.name);
+    }
+
+    #[inline]
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let block = addr >> self.line_shift;
+        ((block & self.set_mask) as usize, block >> self.sets.trailing_zeros())
+    }
+
+    /// Performs a read (`write == false`) or write (`write == true`) access.
+    ///
+    /// On a miss the line is allocated (write-allocate); if a dirty victim is
+    /// evicted its base address is reported so the caller can charge the
+    /// write-back to the next level.
+    #[inline]
+    pub fn access(&mut self, addr: VAddr, write: bool) -> AccessOutcome {
+        self.tick += 1;
+        let (set, tag) = self.index(addr.get());
+        let base = set * self.cfg.assoc;
+        let ways = &mut self.lines[base..base + self.cfg.assoc];
+
+        // Hit path.
+        for line in ways.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.stamp = self.tick;
+                line.dirty |= write;
+                self.stats.record(true, write, false);
+                return AccessOutcome { hit: true, writeback: None };
+            }
+        }
+
+        // Miss: pick LRU victim (an invalid way wins outright).
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for (i, line) in ways.iter().enumerate() {
+            if !line.valid {
+                victim = i;
+                break;
+            }
+            if line.stamp < best {
+                best = line.stamp;
+                victim = i;
+            }
+        }
+        let line = &mut ways[victim];
+        let writeback = if line.valid && line.dirty {
+            let victim_block = (line.tag << self.sets.trailing_zeros()) | set as u64;
+            Some(VAddr::new(victim_block << self.line_shift))
+        } else {
+            None
+        };
+        line.tag = tag;
+        line.valid = true;
+        line.dirty = write;
+        line.stamp = self.tick;
+        self.stats.record(false, write, writeback.is_some());
+        AccessOutcome { hit: false, writeback }
+    }
+
+    /// Returns true if the line containing `addr` is resident.
+    pub fn contains(&self, addr: VAddr) -> bool {
+        let (set, tag) = self.index(addr.get());
+        let base = set * self.cfg.assoc;
+        self.lines[base..base + self.cfg.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates every resident line whose base address falls in
+    /// `[start, start + len)`, discarding dirty data.
+    ///
+    /// Used when Active-Page logic mutates page bytes directly in DRAM: any
+    /// cached copy the processor holds is stale afterwards. Returns the number
+    /// of lines dropped.
+    pub fn invalidate_range(&mut self, start: VAddr, len: u64) -> usize {
+        let lo = start.get();
+        let hi = lo + len;
+        let mut dropped = 0;
+        let set_bits = self.sets.trailing_zeros();
+        for set in 0..self.sets {
+            let base = set * self.cfg.assoc;
+            for way in 0..self.cfg.assoc {
+                let line = &mut self.lines[base + way];
+                if !line.valid {
+                    continue;
+                }
+                let block = (line.tag << set_bits) | set as u64;
+                let addr = block << self.line_shift;
+                if addr >= lo && addr < hi {
+                    line.valid = false;
+                    line.dirty = false;
+                    dropped += 1;
+                }
+            }
+        }
+        self.stats.invalidated += dropped as u64;
+        dropped
+    }
+
+    /// Invalidates the entire cache contents (keeps statistics).
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets, 2 ways, 16-byte lines.
+        Cache::new(CacheConfig::new("T", 128, 2, 16, 1))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.config().sets(), 4);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        let a = VAddr::new(0x40);
+        assert!(!c.access(a, false).hit);
+        assert!(c.access(a, false).hit);
+        assert!(c.access(a + 15, false).hit); // same line
+        assert!(!c.access(a + 16, false).hit); // next line
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Three lines mapping to set 0: addresses differ by sets*line = 64.
+        let a = VAddr::new(0);
+        let b = VAddr::new(64);
+        let d = VAddr::new(128);
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // touch a so b is LRU
+        c.access(d, false); // evicts b
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn writeback_reported_with_victim_address() {
+        let mut c = small();
+        let a = VAddr::new(0);
+        let b = VAddr::new(64);
+        let d = VAddr::new(128);
+        c.access(a, true); // dirty
+        c.access(b, false);
+        let out = c.access(d, false); // evicts a (LRU, dirty)
+        assert_eq!(out.writeback, Some(a));
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small();
+        c.access(VAddr::new(0), false);
+        c.access(VAddr::new(64), false);
+        let out = c.access(VAddr::new(128), false);
+        assert!(out.writeback.is_none());
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        let a = VAddr::new(0);
+        c.access(a, false); // clean
+        c.access(a, true); // now dirty via write hit
+        c.access(VAddr::new(64), false);
+        let out = c.access(VAddr::new(128), false);
+        assert_eq!(out.writeback, Some(a));
+    }
+
+    #[test]
+    fn invalidate_range_drops_lines() {
+        let mut c = small();
+        c.access(VAddr::new(0), true);
+        c.access(VAddr::new(16), false);
+        c.access(VAddr::new(32), false);
+        let dropped = c.invalidate_range(VAddr::new(0), 32);
+        assert_eq!(dropped, 2);
+        assert!(!c.contains(VAddr::new(0)));
+        assert!(!c.contains(VAddr::new(16)));
+        assert!(c.contains(VAddr::new(32)));
+    }
+
+    #[test]
+    fn invalidate_discards_dirty_state() {
+        let mut c = small();
+        let a = VAddr::new(0);
+        c.access(a, true);
+        c.invalidate_range(a, 16);
+        // Refill and evict: no writeback expected because dirt was discarded.
+        c.access(a, false);
+        c.access(VAddr::new(64), false);
+        let out = c.access(VAddr::new(128), false);
+        assert!(out.writeback.is_none());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = small();
+        c.access(VAddr::new(0), false);
+        c.access(VAddr::new(0), false);
+        c.access(VAddr::new(0), true);
+        let s = c.stats();
+        assert_eq!(s.accesses(), 3);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.writes, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_size() {
+        Cache::new(CacheConfig::new("T", 100, 2, 16, 1));
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = small();
+        c.access(VAddr::new(0), true);
+        c.flush();
+        assert!(!c.contains(VAddr::new(0)));
+    }
+}

@@ -1,0 +1,181 @@
+//! DRAM and memory-bus timing model.
+
+/// DRAM timing parameters.
+///
+/// Table 1 of the paper gives a 50 ns cache-miss (DRAM access) latency,
+/// varied from 0 to 600 ns in the Figure 8 sensitivity study, and assumes a
+/// memory bus "capable of transferring 32 bits of data between memory and
+/// cache every 10 ns".
+///
+/// Cycles are CPU cycles; at the 1 GHz reference clock one cycle is 1 ns.
+///
+/// # Examples
+///
+/// ```
+/// use ap_mem::DramConfig;
+///
+/// let d = DramConfig::reference();
+/// // A 32-byte line: 50 ns access + 8 bus beats of 10 ns.
+/// assert_eq!(d.line_fill_cycles(32), 130);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Access (cache-miss) latency in cycles before the first data beat.
+    pub latency: u64,
+    /// Bytes moved per bus beat (32 bits in the paper).
+    pub bus_bytes: u64,
+    /// Cycles per bus beat (10 ns in the paper).
+    pub bus_cycles: u64,
+}
+
+impl DramConfig {
+    /// The paper's reference parameters: 50 ns latency, 32-bit/10 ns bus.
+    pub fn reference() -> Self {
+        DramConfig { latency: 50, bus_bytes: 4, bus_cycles: 10 }
+    }
+
+    /// Reference timing with a different miss latency (Figure 8 sweep).
+    pub fn with_latency(latency: u64) -> Self {
+        DramConfig { latency, ..Self::reference() }
+    }
+
+    /// Cycles to fill one cache line of `line_bytes`.
+    #[inline]
+    pub fn line_fill_cycles(&self, line_bytes: usize) -> u64 {
+        self.latency + self.transfer_cycles(line_bytes)
+    }
+
+    /// Cycles to write one dirty line back (posted: bus occupancy only).
+    #[inline]
+    pub fn line_writeback_cycles(&self, line_bytes: usize) -> u64 {
+        self.transfer_cycles(line_bytes)
+    }
+
+    /// Cycles for an uncached word access (synchronization variables):
+    /// full access latency plus one bus beat.
+    #[inline]
+    pub fn uncached_cycles(&self) -> u64 {
+        self.latency + self.bus_cycles
+    }
+
+    /// Pure bus-transfer cycles for `bytes` of data.
+    #[inline]
+    pub fn transfer_cycles(&self, bytes: usize) -> u64 {
+        let beats = (bytes as u64).div_ceil(self.bus_bytes);
+        beats * self.bus_cycles
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// DRAM device: timing plus fill/write-back counters.
+///
+/// # Examples
+///
+/// ```
+/// use ap_mem::{Dram, DramConfig};
+///
+/// let mut d = Dram::new(DramConfig::reference());
+/// let cycles = d.fill(64);
+/// assert_eq!(cycles, 50 + 16 * 10);
+/// assert_eq!(d.fills(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: DramConfig,
+    fills: u64,
+    writebacks: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM device with the given timing.
+    pub fn new(cfg: DramConfig) -> Self {
+        Dram { cfg, fills: 0, writebacks: 0 }
+    }
+
+    /// Returns the timing configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Charges and counts one line fill; returns its cycle cost.
+    #[inline]
+    pub fn fill(&mut self, line_bytes: usize) -> u64 {
+        self.fills += 1;
+        self.cfg.line_fill_cycles(line_bytes)
+    }
+
+    /// Charges and counts one line write-back; returns its cycle cost.
+    #[inline]
+    pub fn writeback(&mut self, line_bytes: usize) -> u64 {
+        self.writebacks += 1;
+        self.cfg.line_writeback_cycles(line_bytes)
+    }
+
+    /// Number of line fills performed.
+    pub fn fills(&self) -> u64 {
+        self.fills
+    }
+
+    /// Number of line write-backs performed.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Resets counters.
+    pub fn reset_stats(&mut self) {
+        self.fills = 0;
+        self.writebacks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_table_1() {
+        let d = DramConfig::reference();
+        assert_eq!(d.latency, 50);
+        assert_eq!(d.bus_bytes, 4);
+        assert_eq!(d.bus_cycles, 10);
+    }
+
+    #[test]
+    fn fill_cost_includes_bus_beats() {
+        let d = DramConfig::reference();
+        assert_eq!(d.line_fill_cycles(64), 50 + 160);
+        assert_eq!(d.line_writeback_cycles(64), 160);
+        assert_eq!(d.uncached_cycles(), 60);
+    }
+
+    #[test]
+    fn zero_latency_variation() {
+        // Figure 8 sweeps down to a 0 ns miss penalty.
+        let d = DramConfig::with_latency(0);
+        assert_eq!(d.line_fill_cycles(32), 80);
+    }
+
+    #[test]
+    fn transfer_rounds_up_to_whole_beats() {
+        let d = DramConfig::reference();
+        assert_eq!(d.transfer_cycles(1), 10);
+        assert_eq!(d.transfer_cycles(5), 20);
+    }
+
+    #[test]
+    fn counters() {
+        let mut d = Dram::new(DramConfig::reference());
+        d.fill(32);
+        d.fill(32);
+        d.writeback(32);
+        assert_eq!(d.fills(), 2);
+        assert_eq!(d.writebacks(), 1);
+        d.reset_stats();
+        assert_eq!(d.fills(), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Memory-hierarchy substrate for the Active Pages reproduction.
+//!
+//! The paper ("Active Pages: A Computation Model for Intelligent Memory",
+//! ISCA 1998) evaluates RADram with the SimpleScalar simulator whose memory
+//! hierarchy was replaced by an Active-Page memory system. This crate is the
+//! corresponding substrate built from scratch:
+//!
+//! * [`Cache`] — a set-associative, write-back, write-allocate cache with LRU
+//!   replacement (used for the L1 instruction, L1 data and unified L2 caches).
+//! * [`Dram`] — the DRAM timing model (Table 1: 50 ns cache-miss latency,
+//!   varied 0–600 ns in Figure 8) plus the 32-bit / 10 ns memory bus the paper
+//!   assumes between memory and cache.
+//! * [`Hierarchy`] — the composed L1I/L1D/L2/DRAM hierarchy with per-level
+//!   statistics, uncached accesses (used for Active-Page synchronization
+//!   variables) and range invalidation (used when in-memory logic mutates a
+//!   page behind the processor's caches).
+//! * [`SimRam`] — the simulated flat physical/virtual memory holding the real
+//!   bytes every workload computes on, with a bump allocator.
+//!
+//! Timing is expressed in CPU cycles; the reference processor runs at 1 GHz so
+//! one cycle is one nanosecond, which keeps Table 1's nanosecond parameters
+//! directly usable.
+//!
+//! # Examples
+//!
+//! ```
+//! use ap_mem::{Hierarchy, HierarchyConfig, VAddr};
+//!
+//! let mut hier = Hierarchy::new(HierarchyConfig::reference());
+//! let a = VAddr::new(0x1_0000);
+//! let cold = hier.read(a);          // compulsory miss: L1 + L2 + DRAM
+//! let warm = hier.read(a);          // L1 hit
+//! assert!(cold > warm);
+//! assert_eq!(warm, hier.config().l1d.hit_latency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod cache;
+mod dram;
+mod hierarchy;
+mod ram;
+mod stats;
+
+pub use addr::VAddr;
+pub use cache::{AccessOutcome, Cache, CacheConfig};
+pub use dram::{Dram, DramConfig};
+pub use hierarchy::{Hierarchy, HierarchyConfig};
+pub use ram::SimRam;
+pub use stats::{CacheStats, MemStats};

@@ -1,0 +1,236 @@
+//! Simulated RAM: the real bytes behind the timing model.
+
+use crate::VAddr;
+
+/// Base of the simulated address space; address 0 is kept unmapped so stray
+/// null-ish addresses panic loudly.
+const BASE: u64 = 0x1_0000;
+
+/// Flat simulated memory with a bump allocator.
+///
+/// Workloads compute on real data stored here; the cache hierarchy only
+/// accounts for time. The allocator hands out non-overlapping regions and can
+/// align them to Active-Page boundaries (512 KB superpages).
+///
+/// # Examples
+///
+/// ```
+/// use ap_mem::SimRam;
+///
+/// let mut ram = SimRam::new(1 << 20);
+/// let a = ram.alloc(16, 8);
+/// ram.write_u32(a, 0xdead_beef);
+/// assert_eq!(ram.read_u32(a), 0xdead_beef);
+/// ```
+#[derive(Debug)]
+pub struct SimRam {
+    bytes: Vec<u8>,
+    brk: u64,
+}
+
+impl SimRam {
+    /// Creates a zeroed memory of `capacity` total bytes. The first 64 KB are
+    /// an unmapped guard region, so usable capacity is slightly smaller.
+    pub fn new(capacity: usize) -> Self {
+        SimRam { bytes: vec![0; capacity], brk: BASE }
+    }
+
+    /// Lowest mapped address.
+    pub fn base(&self) -> VAddr {
+        VAddr::new(BASE)
+    }
+
+    /// One-past-the-last allocated address.
+    pub fn brk(&self) -> VAddr {
+        VAddr::new(self.brk)
+    }
+
+    /// Total usable capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.bytes.len() - BASE as usize
+    }
+
+    /// Allocates `len` bytes aligned to `align` (a power of two) and returns
+    /// the base address. Memory starts zeroed and is never reclaimed — the
+    /// simulator models one application run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or capacity is exhausted.
+    pub fn alloc(&mut self, len: usize, align: u64) -> VAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let start = VAddr::new(self.brk).align_up(align).get();
+        let end = start + len as u64;
+        assert!(
+            (end as usize) <= self.bytes.len(),
+            "SimRam exhausted: need {} bytes at {:#x}, capacity {}",
+            len,
+            start,
+            self.bytes.len()
+        );
+        self.brk = end;
+        VAddr::new(start)
+    }
+
+    #[inline]
+    fn idx(&self, addr: VAddr, len: usize) -> usize {
+        let i = addr.get() as usize;
+        debug_assert!(
+            addr.get() >= BASE && i + len <= self.bytes.len(),
+            "address {addr} out of mapped range"
+        );
+        i
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: VAddr) -> u8 {
+        self.bytes[self.idx(addr, 1)]
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: VAddr, v: u8) {
+        let i = self.idx(addr, 1);
+        self.bytes[i] = v;
+    }
+
+    /// Reads a little-endian `u16`.
+    #[inline]
+    pub fn read_u16(&self, addr: VAddr) -> u16 {
+        let i = self.idx(addr, 2);
+        u16::from_le_bytes([self.bytes[i], self.bytes[i + 1]])
+    }
+
+    /// Writes a little-endian `u16`.
+    #[inline]
+    pub fn write_u16(&mut self, addr: VAddr, v: u16) {
+        let i = self.idx(addr, 2);
+        self.bytes[i..i + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32`.
+    #[inline]
+    pub fn read_u32(&self, addr: VAddr) -> u32 {
+        let i = self.idx(addr, 4);
+        u32::from_le_bytes(self.bytes[i..i + 4].try_into().unwrap())
+    }
+
+    /// Writes a little-endian `u32`.
+    #[inline]
+    pub fn write_u32(&mut self, addr: VAddr, v: u32) {
+        let i = self.idx(addr, 4);
+        self.bytes[i..i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    #[inline]
+    pub fn read_u64(&self, addr: VAddr) -> u64 {
+        let i = self.idx(addr, 8);
+        u64::from_le_bytes(self.bytes[i..i + 8].try_into().unwrap())
+    }
+
+    /// Writes a little-endian `u64`.
+    #[inline]
+    pub fn write_u64(&mut self, addr: VAddr, v: u64) {
+        let i = self.idx(addr, 8);
+        self.bytes[i..i + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads an `f64` stored in little-endian byte order.
+    #[inline]
+    pub fn read_f64(&self, addr: VAddr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64` in little-endian byte order.
+    #[inline]
+    pub fn write_f64(&mut self, addr: VAddr, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+
+    /// Borrows `len` bytes starting at `addr`.
+    #[inline]
+    pub fn slice(&self, addr: VAddr, len: usize) -> &[u8] {
+        let i = self.idx(addr, len);
+        &self.bytes[i..i + len]
+    }
+
+    /// Mutably borrows `len` bytes starting at `addr`.
+    #[inline]
+    pub fn slice_mut(&mut self, addr: VAddr, len: usize) -> &mut [u8] {
+        let i = self.idx(addr, len);
+        &mut self.bytes[i..i + len]
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (regions may overlap).
+    pub fn copy(&mut self, dst: VAddr, src: VAddr, len: usize) {
+        let s = self.idx(src, len);
+        let d = self.idx(dst, len);
+        self.bytes.copy_within(s..s + len, d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_disjoint_and_aligned() {
+        let mut ram = SimRam::new(1 << 20);
+        let a = ram.alloc(10, 8);
+        let b = ram.alloc(10, 64);
+        assert_eq!(a.get() % 8, 0);
+        assert_eq!(b.get() % 64, 0);
+        assert!(b.get() >= a.get() + 10);
+    }
+
+    #[test]
+    fn typed_round_trips() {
+        let mut ram = SimRam::new(1 << 20);
+        let a = ram.alloc(64, 8);
+        ram.write_u8(a, 0xab);
+        ram.write_u16(a + 2, 0x1234);
+        ram.write_u32(a + 4, 0xdead_beef);
+        ram.write_u64(a + 8, 0x0123_4567_89ab_cdef);
+        ram.write_f64(a + 16, -1.5);
+        assert_eq!(ram.read_u8(a), 0xab);
+        assert_eq!(ram.read_u16(a + 2), 0x1234);
+        assert_eq!(ram.read_u32(a + 4), 0xdead_beef);
+        assert_eq!(ram.read_u64(a + 8), 0x0123_4567_89ab_cdef);
+        assert_eq!(ram.read_f64(a + 16), -1.5);
+    }
+
+    #[test]
+    fn memory_starts_zeroed() {
+        let mut ram = SimRam::new(1 << 20);
+        let a = ram.alloc(4096, 4096);
+        assert!(ram.slice(a, 4096).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn overlapping_copy_behaves_like_memmove() {
+        let mut ram = SimRam::new(1 << 20);
+        let a = ram.alloc(16, 4);
+        for i in 0..8u8 {
+            ram.write_u8(a + i as u64, i);
+        }
+        ram.copy(a + 1, a, 8);
+        let got: Vec<u8> = ram.slice(a, 9).to_vec();
+        assert_eq!(got, vec![0, 0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimRam exhausted")]
+    fn alloc_overflow_panics() {
+        let mut ram = SimRam::new(1 << 17);
+        ram.alloc(1 << 20, 8);
+    }
+
+    #[test]
+    fn capacity_excludes_guard_region() {
+        let ram = SimRam::new(1 << 20);
+        assert_eq!(ram.capacity(), (1 << 20) - 0x1_0000);
+        assert_eq!(ram.base().get(), 0x1_0000);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests: the cache model against a naive reference
+//! implementation, and hierarchy timing invariants.
+
+use ap_mem::{Cache, CacheConfig, Hierarchy, HierarchyConfig, VAddr};
+use proptest::prelude::*;
+
+/// A deliberately naive set-associative LRU cache used as the oracle.
+struct RefCache {
+    sets: Vec<Vec<(u64, bool)>>, // (tag, dirty), most-recent last
+    assoc: usize,
+    line: u64,
+    set_count: u64,
+}
+
+impl RefCache {
+    fn new(size: usize, assoc: usize, line: usize) -> Self {
+        let set_count = (size / (assoc * line)) as u64;
+        RefCache {
+            sets: vec![Vec::new(); set_count as usize],
+            assoc,
+            line: line as u64,
+            set_count,
+        }
+    }
+
+    /// Returns (hit, writeback_addr).
+    fn access(&mut self, addr: u64, write: bool) -> (bool, Option<u64>) {
+        let block = addr / self.line;
+        let set = (block % self.set_count) as usize;
+        let tag = block / self.set_count;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = ways.remove(pos);
+            ways.push((t, d || write));
+            return (true, None);
+        }
+        let mut wb = None;
+        if ways.len() == self.assoc {
+            let (vt, vd) = ways.remove(0);
+            if vd {
+                wb = Some((vt * self.set_count + set as u64) * self.line);
+            }
+        }
+        ways.push((tag, write));
+        (false, wb)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hit/miss and write-back behaviour matches the oracle for arbitrary
+    /// access sequences over a small cache.
+    #[test]
+    fn cache_matches_reference(
+        ops in proptest::collection::vec((0u64..4096, proptest::bool::ANY), 1..400)
+    ) {
+        let mut dut = Cache::new(CacheConfig::new("T", 512, 2, 16, 1));
+        let mut oracle = RefCache::new(512, 2, 16);
+        for (addr, write) in ops {
+            let got = dut.access(VAddr::new(addr), write);
+            let (hit, wb) = oracle.access(addr, write);
+            prop_assert_eq!(got.hit, hit, "hit mismatch at {:#x}", addr);
+            prop_assert_eq!(got.writeback.map(VAddr::get), wb, "writeback mismatch at {:#x}", addr);
+        }
+    }
+
+    /// A line just accessed is always resident; invalidation always evicts.
+    #[test]
+    fn residency_follows_accesses(addrs in proptest::collection::vec(0u64..65536, 1..100)) {
+        let mut c = Cache::new(CacheConfig::new("T", 2048, 4, 32, 1));
+        for addr in addrs {
+            c.access(VAddr::new(addr), false);
+            prop_assert!(c.contains(VAddr::new(addr)));
+            c.invalidate_range(VAddr::new(addr & !31), 32);
+            prop_assert!(!c.contains(VAddr::new(addr)));
+        }
+    }
+
+    /// Hierarchy access costs are always at least the L1 hit latency and at
+    /// most one full L1+L2+DRAM+writeback round trip.
+    #[test]
+    fn hierarchy_cost_bounds(addrs in proptest::collection::vec(0u64..(1 << 24), 1..300)) {
+        let cfg = HierarchyConfig::reference();
+        let worst = cfg.l1d.hit_latency
+            + cfg.l2.hit_latency
+            + 2 * cfg.dram.line_fill_cycles(cfg.l2.line)
+            + 2 * cfg.dram.line_writeback_cycles(cfg.l2.line);
+        let mut h = Hierarchy::new(cfg);
+        for addr in addrs {
+            let c = h.write(VAddr::new(addr + 0x1_0000));
+            prop_assert!(c >= 1 && c <= worst, "cost {c} out of [1, {worst}]");
+        }
+    }
+
+    /// Repeating the same address is monotonically cheap: the second access
+    /// in a row always hits.
+    #[test]
+    fn immediate_rereference_hits(addr in 0u64..(1 << 22)) {
+        let mut h = Hierarchy::new(HierarchyConfig::reference());
+        let a = VAddr::new(addr + 0x1_0000);
+        h.read(a);
+        prop_assert_eq!(h.read(a), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! RADram system parameters (paper, Table 1).
+
+use ap_cpu::CpuConfig;
+use ap_mem::HierarchyConfig;
+
+/// How inter-page memory references are satisfied.
+///
+/// The paper's reference design is processor-mediated ("it blocks and raises
+/// a processor interrupt"); Section 10 lists dedicated in-chip hardware as
+/// future work, modeled here as [`CommMode::HardwareCopy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommMode {
+    /// The processor services blocked pages (the paper's design).
+    #[default]
+    ProcessorMediated,
+    /// An in-chip network moves one 32-bit word per logic cycle between
+    /// subarrays with no processor involvement (Section 10 extension).
+    HardwareCopy,
+}
+
+/// How the processor learns about raised inter-page requests.
+///
+/// Section 3 mentions "processor-polling for requests" as an alternative to
+/// interrupts, to be evaluated in future work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServiceMode {
+    /// Asynchronous interrupts with trap overhead (the paper's design).
+    #[default]
+    Interrupt,
+    /// The processor discovers requests on its next synchronization-variable
+    /// access; no trap overhead, one extra uncached probe per batch.
+    Polling,
+}
+
+/// Parameters of a RADram system.
+///
+/// The reference values reproduce Table 1: a 1 GHz processor with 64 KB split
+/// L1 caches and a 1 MB L2, 50 ns cache-miss latency, and 100 MHz
+/// reconfigurable logic (a logic divisor of 10). The sensitivity studies
+/// vary `logic_divisor` (Figure 9, 10–500 MHz) and the DRAM miss latency
+/// (Figure 8, 0–600 ns).
+///
+/// # Examples
+///
+/// ```
+/// use radram::RadramConfig;
+///
+/// let cfg = RadramConfig::reference();
+/// assert_eq!(cfg.logic_divisor, 10);
+/// assert_eq!(cfg.les_per_page, 256);
+///
+/// let slow_logic = RadramConfig::reference().with_logic_divisor(100); // 10 MHz
+/// assert_eq!(slow_logic.logic_divisor, 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RadramConfig {
+    /// Processor and cache-hierarchy parameters.
+    pub cpu: CpuConfig,
+    /// Simulated physical memory capacity in bytes.
+    pub ram_capacity: usize,
+    /// CPU cycles per reconfigurable-logic cycle (10 ⇒ 100 MHz at 1 GHz).
+    pub logic_divisor: u64,
+    /// Logic elements available to each 512 KB subarray.
+    pub les_per_page: u32,
+    /// Processor cycles of runtime dispatch charged per activation (driver
+    /// call, parameter marshalling) in addition to the memory-mapped stores
+    /// the application performs itself.
+    pub activation_overhead: u64,
+    /// Processor cycles to take one inter-page interrupt (trap + handler
+    /// entry); individual copies are charged through the caches on top.
+    pub interrupt_overhead: u64,
+    /// Processor cycles per page to reconfigure logic when `AP_bind`
+    /// replaces an existing binding.
+    pub rebind_cost: u64,
+    /// How inter-page references are satisfied.
+    pub comm: CommMode,
+    /// How raised requests reach the processor.
+    pub service: ServiceMode,
+    /// Outstanding inter-page references a page can expose per interrupt;
+    /// more references than this need additional service round trips
+    /// (the paper's reference design supports one).
+    pub outstanding_refs: usize,
+}
+
+impl RadramConfig {
+    /// The paper's reference system.
+    pub fn reference() -> Self {
+        RadramConfig {
+            cpu: CpuConfig::reference(),
+            ram_capacity: 256 << 20,
+            logic_divisor: 10,
+            les_per_page: 256,
+            activation_overhead: 200,
+            interrupt_overhead: 500,
+            rebind_cost: 100_000,
+            comm: CommMode::ProcessorMediated,
+            service: ServiceMode::Interrupt,
+            outstanding_refs: 1,
+        }
+    }
+
+    /// Reference system with a different logic-clock divisor (Figure 9).
+    pub fn with_logic_divisor(mut self, divisor: u64) -> Self {
+        assert!(divisor > 0, "logic divisor must be positive");
+        self.logic_divisor = divisor;
+        self
+    }
+
+    /// Reference system with a different DRAM miss latency in ns (Figure 8).
+    pub fn with_miss_latency(mut self, latency: u64) -> Self {
+        self.cpu.hierarchy = HierarchyConfig::with_miss_latency(latency);
+        self
+    }
+
+    /// Reference system with a different L1 data-cache size (Figure 5).
+    pub fn with_l1d_size(mut self, size: usize) -> Self {
+        self.cpu.hierarchy = HierarchyConfig::with_l1d_size(size);
+        self
+    }
+
+    /// Reference system with a different L2 size (Figure 5 discussion).
+    pub fn with_l2_size(mut self, size: usize) -> Self {
+        self.cpu.hierarchy = HierarchyConfig::with_l2_size(size);
+        self
+    }
+
+    /// Reference system with a different simulated memory capacity.
+    pub fn with_ram_capacity(mut self, bytes: usize) -> Self {
+        self.ram_capacity = bytes;
+        self
+    }
+
+    /// Reference system with a different inter-page communication mode
+    /// (Section 10 ablation).
+    pub fn with_comm_mode(mut self, comm: CommMode) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Reference system with a different request-service mode.
+    pub fn with_service_mode(mut self, service: ServiceMode) -> Self {
+        self.service = service;
+        self
+    }
+
+    /// Reference system supporting `refs` outstanding references per page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refs` is zero.
+    pub fn with_outstanding_refs(mut self, refs: usize) -> Self {
+        assert!(refs > 0, "at least one outstanding reference is required");
+        self.outstanding_refs = refs;
+        self
+    }
+
+    /// Reconfigurable-logic clock in MHz implied by the divisor (the CPU
+    /// runs at 1 GHz).
+    pub fn logic_mhz(&self) -> f64 {
+        1000.0 / self.logic_divisor as f64
+    }
+}
+
+impl Default for RadramConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_table_1() {
+        let cfg = RadramConfig::reference();
+        assert_eq!(cfg.cpu.hierarchy.l1d.size, 64 * 1024);
+        assert_eq!(cfg.cpu.hierarchy.l2.size, 1024 * 1024);
+        assert_eq!(cfg.cpu.hierarchy.dram.latency, 50);
+        assert!((cfg.logic_mhz() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = RadramConfig::reference().with_miss_latency(600).with_logic_divisor(2);
+        assert_eq!(cfg.cpu.hierarchy.dram.latency, 600);
+        assert!((cfg.logic_mhz() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_divisor_rejected() {
+        let _ = RadramConfig::reference().with_logic_divisor(0);
+    }
+}

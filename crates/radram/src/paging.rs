@@ -1,0 +1,235 @@
+//! Active-Page swapping and replacement costs (paper, Section 10).
+//!
+//! "Of particular concern is the high cost of swapping Active Pages to and
+//! from disk. Current FPGA technologies take 100s of milliseconds to
+//! reconfigure. New technologies, however, promise to reduce these times by
+//! several orders of magnitude." The paper's Section 6 anticipates
+//! Active-Page replacement costing "2-4 times larger than for conventional
+//! pages due to reconfiguration time" (and notes that pages which do not
+//! use Active-Page functions do not pay it).
+//!
+//! This module models that trade-off: a 1998-class disk, the 512 KB
+//! superpage transfer, and a configurable reconfiguration time, plus an LRU
+//! frame simulator that plays virtual-page reference traces against a
+//! limited number of physical Active-Page frames.
+
+/// Cost parameters for swapping one 512 KB superpage.
+///
+/// # Examples
+///
+/// ```
+/// use radram::paging::SwapModel;
+///
+/// let m = SwapModel::fpga_1998();
+/// // FPGA-era reconfiguration makes Active-Page replacement 2-4x a
+/// // conventional superpage fault, as the paper anticipates.
+/// let ratio = m.active_fault_cycles() as f64 / m.conventional_fault_cycles() as f64;
+/// assert!((2.0..=4.0).contains(&ratio), "ratio {ratio}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapModel {
+    /// Page size in bytes (512 KB superpages).
+    pub page_bytes: u64,
+    /// Disk seek + rotational latency in cycles (ns at 1 GHz).
+    pub disk_seek: u64,
+    /// Disk streaming bandwidth in bytes per cycle (e.g. 0.02 = 20 MB/s).
+    pub disk_bytes_per_cycle: f64,
+    /// Reconfigurable-logic programming time in cycles.
+    pub reconfig: u64,
+}
+
+impl SwapModel {
+    /// A 1998-class disk (8 ms seek, 20 MB/s) with FPGA-era reconfiguration
+    /// ("100s of milliseconds" — we take 100 ms as the optimistic end).
+    pub fn fpga_1998() -> Self {
+        SwapModel {
+            page_bytes: 512 * 1024,
+            disk_seek: 8_000_000,
+            disk_bytes_per_cycle: 0.02,
+            reconfig: 100_000_000,
+        }
+    }
+
+    /// The same machine with a DPGA-class part (paper Section 10's "new
+    /// technologies" — reconfiguration cut by two orders of magnitude).
+    pub fn dpga_future() -> Self {
+        SwapModel { reconfig: 1_000_000, ..Self::fpga_1998() }
+    }
+
+    /// Cycles to transfer one page to or from disk.
+    pub fn transfer_cycles(&self) -> u64 {
+        (self.page_bytes as f64 / self.disk_bytes_per_cycle) as u64
+    }
+
+    /// Cycles to fault a *conventional* superpage: write the victim, read
+    /// the new page (two seeks, two transfers).
+    pub fn conventional_fault_cycles(&self) -> u64 {
+        2 * (self.disk_seek + self.transfer_cycles())
+    }
+
+    /// Cycles to fault an *Active* superpage: the conventional cost plus
+    /// reprogramming the subarray's logic for the incoming page's group.
+    pub fn active_fault_cycles(&self) -> u64 {
+        self.conventional_fault_cycles() + self.reconfig
+    }
+}
+
+impl Default for SwapModel {
+    fn default() -> Self {
+        Self::fpga_1998()
+    }
+}
+
+/// Outcome of replaying a reference trace against limited frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagingReport {
+    /// References replayed.
+    pub references: u64,
+    /// Faults taken.
+    pub faults: u64,
+    /// Total fault cycles for conventional superpages.
+    pub conventional_cycles: u64,
+    /// Total fault cycles for Active Pages (adds reconfiguration per fault
+    /// on pages that use Active-Page functions).
+    pub active_cycles: u64,
+}
+
+impl PagingReport {
+    /// Fault rate in `[0, 1]`.
+    pub fn fault_rate(&self) -> f64 {
+        if self.references == 0 {
+            0.0
+        } else {
+            self.faults as f64 / self.references as f64
+        }
+    }
+
+    /// Replacement-cost ratio Active/conventional (the paper's 2–4×).
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.conventional_cycles == 0 {
+            1.0
+        } else {
+            self.active_cycles as f64 / self.conventional_cycles as f64
+        }
+    }
+}
+
+/// An LRU physical-frame pool for superpages.
+///
+/// # Examples
+///
+/// ```
+/// use radram::paging::{LruFrames, SwapModel};
+///
+/// // Four frames, a cyclic trace over five pages: every reference faults.
+/// let trace: Vec<u32> = (0..40).map(|i| i % 5).collect();
+/// let report = LruFrames::new(4).replay(&trace, &SwapModel::fpga_1998(), true);
+/// assert_eq!(report.faults, 40);
+/// assert!(report.overhead_ratio() > 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruFrames {
+    frames: Vec<u32>,
+    capacity: usize,
+}
+
+impl LruFrames {
+    /// Creates an empty pool of `capacity` physical frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "at least one frame is required");
+        LruFrames { frames: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Touches one virtual page; returns `true` on a fault.
+    pub fn touch(&mut self, page: u32) -> bool {
+        if let Some(pos) = self.frames.iter().position(|&p| p == page) {
+            let p = self.frames.remove(pos);
+            self.frames.push(p);
+            return false;
+        }
+        if self.frames.len() == self.capacity {
+            self.frames.remove(0);
+        }
+        self.frames.push(page);
+        true
+    }
+
+    /// Replays a reference trace, accumulating fault costs under `model`.
+    /// `uses_functions` marks whether the faulting pages carry bound
+    /// Active-Page functions (pages that do not "do not incur this cost").
+    pub fn replay(mut self, trace: &[u32], model: &SwapModel, uses_functions: bool) -> PagingReport {
+        let mut report = PagingReport {
+            references: trace.len() as u64,
+            faults: 0,
+            conventional_cycles: 0,
+            active_cycles: 0,
+        };
+        for &page in trace {
+            if self.touch(page) {
+                report.faults += 1;
+                report.conventional_cycles += model.conventional_fault_cycles();
+                report.active_cycles += if uses_functions {
+                    model.active_fault_cycles()
+                } else {
+                    model.conventional_fault_cycles()
+                };
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpga_replacement_is_two_to_four_times_conventional() {
+        let m = SwapModel::fpga_1998();
+        let ratio = m.active_fault_cycles() as f64 / m.conventional_fault_cycles() as f64;
+        assert!((2.0..=4.0).contains(&ratio), "got {ratio}");
+    }
+
+    #[test]
+    fn dpga_reconfiguration_nearly_closes_the_gap() {
+        let m = SwapModel::dpga_future();
+        let ratio = m.active_fault_cycles() as f64 / m.conventional_fault_cycles() as f64;
+        assert!(ratio < 1.05, "got {ratio}");
+    }
+
+    #[test]
+    fn lru_keeps_hot_pages() {
+        let mut f = LruFrames::new(2);
+        assert!(f.touch(1));
+        assert!(f.touch(2));
+        assert!(!f.touch(1)); // hit, refreshed
+        assert!(f.touch(3)); // evicts 2
+        assert!(!f.touch(1));
+        assert!(f.touch(2)); // 2 was the victim
+    }
+
+    #[test]
+    fn working_set_within_frames_never_faults_again() {
+        let trace: Vec<u32> = (0..100).map(|i| i % 4).collect();
+        let r = LruFrames::new(4).replay(&trace, &SwapModel::fpga_1998(), true);
+        assert_eq!(r.faults, 4, "only compulsory faults");
+        assert!(r.fault_rate() < 0.05);
+    }
+
+    #[test]
+    fn pages_without_functions_skip_reconfiguration() {
+        let trace: Vec<u32> = (0..30).map(|i| i % 6).collect();
+        let plain = LruFrames::new(3).replay(&trace, &SwapModel::fpga_1998(), false);
+        assert!((plain.overhead_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_rejected() {
+        LruFrames::new(0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Runtime state of the Active-Page memory system.
+
+use active_pages::{CopyRequest, ExecEvent};
+
+/// A blocked execution waiting on processor-mediated communication.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockedExec {
+    /// Cycle at which the page raised its interrupt.
+    pub raised_at: u64,
+    /// The outstanding non-local references.
+    pub requests: Vec<CopyRequest>,
+    /// Events still to run once the processor services the requests.
+    pub rest: Vec<ExecEvent>,
+    /// True when the page blocked *before* computing (pre-declared
+    /// references): the function body must run after the copies land.
+    pub run_on_service: bool,
+}
+
+/// Per-page runtime state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PageState {
+    /// The page's logic is busy until this cycle.
+    pub busy_until: u64,
+    /// Set when the page blocked on inter-page references. The page does
+    /// not make progress until the processor services it.
+    pub blocked: Option<BlockedExec>,
+}
+
+impl PageState {
+    /// True if the page cannot accept processor accesses at `now`: either
+    /// its logic is still running or it is blocked on the processor.
+    pub fn busy_at(&self, now: u64) -> bool {
+        self.blocked.is_some() || self.busy_until > now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_logic() {
+        let mut st = PageState::default();
+        assert!(!st.busy_at(0));
+        st.busy_until = 100;
+        assert!(st.busy_at(99));
+        assert!(!st.busy_at(100));
+        st.busy_until = 0;
+        st.blocked = Some(BlockedExec {
+            raised_at: 5,
+            requests: vec![],
+            rest: vec![],
+            run_on_service: false,
+        });
+        assert!(st.busy_at(1_000_000));
+    }
+}

@@ -1,0 +1,83 @@
+//! Whole-system statistics.
+
+use ap_cpu::CpuStats;
+use std::fmt;
+
+/// Counters describing one simulated run.
+///
+/// `non_overlap_cycles` is the paper's processor-memory non-overlap metric
+/// (Section 7.2): cycles the processor spent stalled waiting for Active-Page
+/// computation. Figure 4 plots it as a percentage of total cycles.
+///
+/// # Examples
+///
+/// ```
+/// use radram::{RadramConfig, System};
+///
+/// let sys = System::radram(RadramConfig::reference());
+/// let s = sys.stats();
+/// assert_eq!(s.activations, 0);
+/// assert_eq!(s.non_overlap_fraction(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SystemStats {
+    /// Processor counters (cycles, instructions, cache behaviour).
+    pub cpu: CpuStats,
+    /// Cycles the processor stalled waiting on busy Active Pages.
+    pub non_overlap_cycles: u64,
+    /// Page activations dispatched.
+    pub activations: u64,
+    /// Inter-page interrupt batches serviced by the processor.
+    pub interrupt_batches: u64,
+    /// Individual inter-page copy requests serviced.
+    pub interpage_copies: u64,
+    /// Bytes moved by processor-mediated copies.
+    pub copied_bytes: u64,
+    /// `AP_bind` calls that replaced an existing binding.
+    pub rebinds: u64,
+    /// Total reconfigurable-logic busy time scheduled, in CPU cycles
+    /// (run segments times the logic divisor, summed over activations).
+    pub logic_busy_cycles: u64,
+}
+
+impl SystemStats {
+    /// Non-overlap stall as a fraction of total cycles (Figure 4's y-axis).
+    pub fn non_overlap_fraction(&self) -> f64 {
+        if self.cpu.cycles == 0 {
+            0.0
+        } else {
+            self.non_overlap_cycles as f64 / self.cpu.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for SystemStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.cpu)?;
+        write!(
+            f,
+            "active pages: {} activations, {:.1}% non-overlap, {} interrupts ({} copies, {} bytes), {} rebinds",
+            self.activations,
+            self.non_overlap_fraction() * 100.0,
+            self.interrupt_batches,
+            self.interpage_copies,
+            self.copied_bytes,
+            self.rebinds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_handles_zero_cycles() {
+        assert_eq!(SystemStats::default().non_overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", SystemStats::default()).is_empty());
+    }
+}

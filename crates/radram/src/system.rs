@@ -1,0 +1,1104 @@
+//! The full-system simulator: processor + caches + (optionally) RADram.
+
+use crate::config::RadramConfig;
+use crate::state::{BlockedExec, PageState};
+use crate::stats::SystemStats;
+use active_pages::{
+    sync, ActivePageMemory, GroupId, PageFunction, PageId, PageInfo, PageSlice, PAGE_SIZE,
+};
+use ap_cpu::mmx::MmxOp;
+use ap_cpu::Cpu;
+use ap_mem::VAddr;
+use std::rc::Rc;
+
+const PAGE_SHIFT: u32 = 19; // 512 KB pages
+const PAGE_MASK: u64 = PAGE_SIZE as u64 - 1;
+
+#[derive(Debug, Default)]
+struct Counters {
+    non_overlap: u64,
+    activations: u64,
+    interrupt_batches: u64,
+    interpage_copies: u64,
+    copied_bytes: u64,
+    rebinds: u64,
+    logic_busy: u64,
+}
+
+#[derive(Debug)]
+struct Rad {
+    table: active_pages::PageTable,
+    pages: Vec<PageState>,
+    frames: Vec<Option<u32>>,
+    /// Page ids blocked on an inter-page reference, in raise order.
+    pending: Vec<u32>,
+    counters: Counters,
+}
+
+/// A simulated uniprocessor workstation with either a conventional memory
+/// system or a RADram Active-Page memory system.
+///
+/// Applications drive the system through instrumented operations (loads,
+/// stores, ALU/FP work, branches); the Active-Page interface of the paper is
+/// available through [`System::ap_alloc`], [`System::ap_bind`] and ordinary
+/// stores to per-page synchronization variables ([`System::activate`],
+/// [`System::wait_done`] are thin helpers over those stores and loads).
+///
+/// See the crate-level example for an end-to-end activation.
+#[derive(Debug)]
+pub struct System {
+    cpu: Cpu,
+    cfg: RadramConfig,
+    rad: Option<Rad>,
+}
+
+impl System {
+    /// Creates a system with a conventional memory system (the baseline in
+    /// every experiment) and the reference configuration.
+    pub fn conventional() -> Self {
+        Self::conventional_with(RadramConfig::reference())
+    }
+
+    /// Creates a conventional-memory system with custom parameters (cache
+    /// sizes, DRAM latency); Active-Page calls panic on this system.
+    pub fn conventional_with(cfg: RadramConfig) -> Self {
+        System { cpu: Cpu::new(cfg.cpu.clone(), cfg.ram_capacity), cfg, rad: None }
+    }
+
+    /// Creates a system whose memory implements Active Pages on RADram.
+    pub fn radram(cfg: RadramConfig) -> Self {
+        let frames = cfg.ram_capacity >> PAGE_SHIFT;
+        System {
+            cpu: Cpu::new(cfg.cpu.clone(), cfg.ram_capacity),
+            rad: Some(Rad {
+                table: active_pages::PageTable::new(),
+                pages: Vec::new(),
+                frames: vec![None; frames],
+                pending: Vec::new(),
+                counters: Counters::default(),
+            }),
+            cfg,
+        }
+    }
+
+    /// Returns the system configuration.
+    pub fn config(&self) -> &RadramConfig {
+        &self.cfg
+    }
+
+    /// True when the memory system implements Active Pages.
+    pub fn is_radram(&self) -> bool {
+        self.rad.is_some()
+    }
+
+    /// Current simulated time in CPU cycles (1 ns at the 1 GHz reference).
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.cpu.now()
+    }
+
+    /// Cumulative processor-memory non-overlap stall cycles so far (zero on
+    /// a conventional system). Cheap accessor for phase accounting.
+    #[inline]
+    pub fn non_overlap_cycles(&self) -> u64 {
+        self.rad.as_ref().map_or(0, |r| r.counters.non_overlap)
+    }
+
+    /// Allocates ordinary (non-Active-Page) memory.
+    pub fn ram_alloc(&mut self, len: usize, align: u64) -> VAddr {
+        self.cpu.ram.alloc(len, align)
+    }
+
+    /// Whole-run statistics snapshot.
+    pub fn stats(&self) -> SystemStats {
+        let mut s = SystemStats { cpu: self.cpu.stats(), ..SystemStats::default() };
+        if let Some(rad) = &self.rad {
+            s.non_overlap_cycles = rad.counters.non_overlap;
+            s.activations = rad.counters.activations;
+            s.interrupt_batches = rad.counters.interrupt_batches;
+            s.interpage_copies = rad.counters.interpage_copies;
+            s.copied_bytes = rad.counters.copied_bytes;
+            s.rebinds = rad.counters.rebinds;
+            s.logic_busy_cycles = rad.counters.logic_busy;
+        }
+        s
+    }
+
+    // ---- processor compute operations (pass-through) --------------------
+
+    /// Executes `n` single-cycle integer operations.
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.cpu.alu(n);
+    }
+
+    /// Executes one integer multiply.
+    #[inline]
+    pub fn mul(&mut self) {
+        self.cpu.mul();
+    }
+
+    /// Executes one integer divide.
+    #[inline]
+    pub fn div(&mut self) {
+        self.cpu.div();
+    }
+
+    /// Executes `n` pipelined floating-point operations.
+    #[inline]
+    pub fn flop(&mut self, n: u64) {
+        self.cpu.flop(n);
+    }
+
+    /// Executes a conditional branch; returns `taken`.
+    #[inline]
+    pub fn branch(&mut self, site: u32, taken: bool) -> bool {
+        self.cpu.branch(site, taken)
+    }
+
+    /// Executes one register-to-register MMX operation.
+    #[inline]
+    pub fn mmx(&mut self, op: MmxOp, a: u64, b: u64) -> u64 {
+        self.cpu.mmx(op, a, b)
+    }
+
+    // ---- routed memory operations ----------------------------------------
+
+    #[inline]
+    fn lookup(&self, addr: VAddr) -> Option<(u32, usize)> {
+        let rad = self.rad.as_ref()?;
+        let frame = (addr.get() >> PAGE_SHIFT) as usize;
+        let pid = *rad.frames.get(frame)?;
+        pid.map(|p| (p, (addr.get() & PAGE_MASK) as usize))
+    }
+
+    /// Pre-access hook. Waits out a busy page, then returns `true` when the
+    /// address lies in a page's control area — the caller must charge an
+    /// uncached access and perform a raw RAM transfer instead of a cached
+    /// access.
+    #[inline]
+    fn pre_access(&mut self, addr: VAddr) -> bool {
+        match self.lookup(addr) {
+            Some((pid, offset)) => {
+                self.wait_page_idle(pid);
+                offset < sync::CTRL_SIZE
+            }
+            None => false,
+        }
+    }
+
+    /// After a 32-bit control-area store: starts the bound function if this
+    /// word/value combination triggers it.
+    fn maybe_trigger(&mut self, addr: VAddr, value: u32) {
+        if !addr.get().is_multiple_of(4) {
+            return;
+        }
+        let Some((pid, offset)) = self.lookup(addr) else {
+            return;
+        };
+        let triggers = {
+            let rad = self.rad.as_ref().expect("routed access without RADram");
+            let entry = rad.table.entry(PageId::new(pid));
+            rad.table.function_of(entry.group).map(|f| f.triggers(offset / 4, value))
+        };
+        if triggers == Some(true) {
+            self.activate_page(pid);
+        }
+    }
+
+    /// Loads a byte.
+    #[inline]
+    pub fn load_u8(&mut self, addr: VAddr) -> u8 {
+        if self.pre_access(addr) {
+            self.cpu.charge_uncached_access(false);
+            return self.cpu.ram.read_u8(addr);
+        }
+        self.cpu.load_u8(addr)
+    }
+
+    /// Loads a 16-bit word.
+    #[inline]
+    pub fn load_u16(&mut self, addr: VAddr) -> u16 {
+        if self.pre_access(addr) {
+            self.cpu.charge_uncached_access(false);
+            return self.cpu.ram.read_u16(addr);
+        }
+        self.cpu.load_u16(addr)
+    }
+
+    /// Loads a 32-bit word.
+    #[inline]
+    pub fn load_u32(&mut self, addr: VAddr) -> u32 {
+        if self.pre_access(addr) {
+            self.cpu.charge_uncached_access(false);
+            return self.cpu.ram.read_u32(addr);
+        }
+        self.cpu.load_u32(addr)
+    }
+
+    /// Loads a 64-bit word.
+    #[inline]
+    pub fn load_u64(&mut self, addr: VAddr) -> u64 {
+        if self.pre_access(addr) {
+            self.cpu.charge_uncached_access(false);
+            return self.cpu.ram.read_u64(addr);
+        }
+        self.cpu.load_u64(addr)
+    }
+
+    /// Loads a double.
+    #[inline]
+    pub fn load_f64(&mut self, addr: VAddr) -> f64 {
+        if self.pre_access(addr) {
+            self.cpu.charge_uncached_access(false);
+            return self.cpu.ram.read_f64(addr);
+        }
+        self.cpu.load_f64(addr)
+    }
+
+    /// Stores a byte.
+    #[inline]
+    pub fn store_u8(&mut self, addr: VAddr, v: u8) {
+        if self.pre_access(addr) {
+            self.cpu.charge_uncached_access(true);
+            self.cpu.ram.write_u8(addr, v);
+            return;
+        }
+        self.cpu.store_u8(addr, v);
+    }
+
+    /// Stores a 16-bit word.
+    #[inline]
+    pub fn store_u16(&mut self, addr: VAddr, v: u16) {
+        if self.pre_access(addr) {
+            self.cpu.charge_uncached_access(true);
+            self.cpu.ram.write_u16(addr, v);
+            return;
+        }
+        self.cpu.store_u16(addr, v);
+    }
+
+    /// Stores a 32-bit word. A store to a bound page's command word starts an
+    /// activation, exactly as in the paper ("the processor activates the
+    /// pages with an ordinary memory write").
+    #[inline]
+    pub fn store_u32(&mut self, addr: VAddr, v: u32) {
+        if self.pre_access(addr) {
+            self.cpu.charge_uncached_access(true);
+            self.cpu.ram.write_u32(addr, v);
+            self.maybe_trigger(addr, v);
+            return;
+        }
+        self.cpu.store_u32(addr, v);
+    }
+
+    /// Stores a 64-bit word (control-area stores of this width never
+    /// trigger activations; use 32-bit stores for command words).
+    #[inline]
+    pub fn store_u64(&mut self, addr: VAddr, v: u64) {
+        if self.pre_access(addr) {
+            self.cpu.charge_uncached_access(true);
+            self.cpu.ram.write_u64(addr, v);
+            return;
+        }
+        self.cpu.store_u64(addr, v);
+    }
+
+    /// Stores a double.
+    #[inline]
+    pub fn store_f64(&mut self, addr: VAddr, v: f64) {
+        if self.pre_access(addr) {
+            self.cpu.charge_uncached_access(true);
+            self.cpu.ram.write_f64(addr, v);
+            return;
+        }
+        self.cpu.store_f64(addr, v);
+    }
+
+    // ---- untimed RAM access (setup and verification only) -----------------
+
+    /// Reads simulated memory without consuming simulated time. For test
+    /// setup and result verification only — measured kernels must use the
+    /// timed loads.
+    pub fn ram_read_u8(&self, addr: VAddr) -> u8 {
+        self.cpu.ram.read_u8(addr)
+    }
+
+    /// Untimed 16-bit read (see [`System::ram_read_u8`]).
+    pub fn ram_read_u16(&self, addr: VAddr) -> u16 {
+        self.cpu.ram.read_u16(addr)
+    }
+
+    /// Untimed 32-bit read (see [`System::ram_read_u8`]).
+    pub fn ram_read_u32(&self, addr: VAddr) -> u32 {
+        self.cpu.ram.read_u32(addr)
+    }
+
+    /// Untimed 64-bit read (see [`System::ram_read_u8`]).
+    pub fn ram_read_u64(&self, addr: VAddr) -> u64 {
+        self.cpu.ram.read_u64(addr)
+    }
+
+    /// Untimed double read (see [`System::ram_read_u8`]).
+    pub fn ram_read_f64(&self, addr: VAddr) -> f64 {
+        self.cpu.ram.read_f64(addr)
+    }
+
+    /// Writes simulated memory without consuming simulated time. For
+    /// workload setup only — measured kernels must use the timed stores.
+    pub fn ram_write_u8(&mut self, addr: VAddr, v: u8) {
+        self.cpu.ram.write_u8(addr, v);
+    }
+
+    /// Untimed 16-bit write (see [`System::ram_write_u8`]).
+    pub fn ram_write_u16(&mut self, addr: VAddr, v: u16) {
+        self.cpu.ram.write_u16(addr, v);
+    }
+
+    /// Untimed 32-bit write (see [`System::ram_write_u8`]).
+    pub fn ram_write_u32(&mut self, addr: VAddr, v: u32) {
+        self.cpu.ram.write_u32(addr, v);
+    }
+
+    /// Untimed 64-bit write (see [`System::ram_write_u8`]).
+    pub fn ram_write_u64(&mut self, addr: VAddr, v: u64) {
+        self.cpu.ram.write_u64(addr, v);
+    }
+
+    /// Untimed double write (see [`System::ram_write_u8`]).
+    pub fn ram_write_f64(&mut self, addr: VAddr, v: f64) {
+        self.cpu.ram.write_f64(addr, v);
+    }
+
+    // ---- Active Pages interface ------------------------------------------
+
+    /// Allocates `pages` whole Active Pages into `group`; returns the base
+    /// address of the first page. Pages are contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a conventional-memory system.
+    pub fn ap_alloc_pages(&mut self, group: GroupId, pages: usize) -> VAddr {
+        assert!(pages > 0, "allocating zero pages");
+        assert!(self.rad.is_some(), "Active Pages are unavailable on a conventional memory system");
+        let base = self.cpu.ram.alloc(pages * PAGE_SIZE, PAGE_SIZE as u64);
+        let rad = self.rad.as_mut().unwrap();
+        for i in 0..pages {
+            let page_base = base + (i * PAGE_SIZE) as u64;
+            let pid = rad.table.register_page(group, page_base);
+            debug_assert_eq!(pid.index(), rad.pages.len());
+            rad.pages.push(PageState::default());
+            rad.frames[(page_base.get() >> PAGE_SHIFT) as usize] = Some(pid.index() as u32);
+        }
+        base
+    }
+
+    /// Base address of page `index` within `group`'s allocation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group has fewer pages or on a conventional system.
+    pub fn group_page_base(&self, group: GroupId, index: usize) -> VAddr {
+        let rad = self.rad.as_ref().expect("no Active Pages on a conventional memory system");
+        let pid = rad.table.pages_in(group)[index];
+        rad.table.entry(pid).base
+    }
+
+    /// Number of pages allocated into `group`.
+    pub fn group_len(&self, group: GroupId) -> usize {
+        self.rad.as_ref().map_or(0, |r| r.table.pages_in(group).len())
+    }
+
+    /// Reads control word `word` of the page at `page_base` (uncached).
+    pub fn read_ctrl(&mut self, page_base: VAddr, word: usize) -> u32 {
+        self.load_u32(page_base + sync::ctrl_offset(word) as u64)
+    }
+
+    /// Writes control word `word` of the page at `page_base` (uncached;
+    /// writing [`sync::CMD`] triggers the bound function).
+    pub fn write_ctrl(&mut self, page_base: VAddr, word: usize, v: u32) {
+        self.store_u32(page_base + sync::ctrl_offset(word) as u64, v);
+    }
+
+    /// Activates the page at `page_base` by storing `cmd` to its command
+    /// word.
+    pub fn activate(&mut self, page_base: VAddr, cmd: u32) {
+        self.write_ctrl(page_base, sync::CMD, cmd);
+    }
+
+    /// Non-blocking status poll: one uncached load of the status word;
+    /// returns [`sync::RUNNING`] while the page's logic is busy.
+    pub fn poll_status(&mut self, page_base: VAddr) -> u32 {
+        self.service_raised();
+        let (pid, _) = self.lookup(page_base).expect("poll of a non-Active address");
+        let busy = {
+            let rad = self.rad.as_ref().unwrap();
+            rad.pages[pid as usize].busy_at(self.cpu.now())
+        };
+        self.cpu.charge_uncached_access(false);
+        if busy {
+            sync::RUNNING
+        } else {
+            self.cpu.ram.read_u32(page_base + sync::ctrl_offset(sync::STATUS) as u64)
+        }
+    }
+
+    /// Blocks (fast-forwarding simulated time) until the page at `page_base`
+    /// is idle; stalled cycles are accounted as processor-memory
+    /// non-overlap. Services any raised inter-page interrupts on the way.
+    pub fn wait_done(&mut self, page_base: VAddr) {
+        let (pid, _) = self.lookup(page_base).expect("wait on a non-Active address");
+        self.wait_page_idle(pid);
+        // One final status read, as the application's poll loop would do.
+        self.cpu.charge_uncached_access(false);
+    }
+
+    /// Services every raised inter-page request (the paper's
+    /// processor-mediated communication). Returns the number of requests
+    /// serviced.
+    pub fn service_interrupts(&mut self) -> usize {
+        self.service_raised()
+    }
+
+    fn wait_page_idle(&mut self, pid: u32) {
+        loop {
+            let now = self.cpu.now();
+            let (blocked_raise, busy_until) = {
+                let rad = self.rad.as_ref().unwrap();
+                let st = &rad.pages[pid as usize];
+                (st.blocked.as_ref().map(|b| b.raised_at), st.busy_until)
+            };
+            if let Some(raised_at) = blocked_raise {
+                if raised_at > now {
+                    self.stall(raised_at - now);
+                }
+                self.service_raised();
+                continue;
+            }
+            if busy_until > now {
+                self.stall(busy_until - now);
+            }
+            return;
+        }
+    }
+
+    fn stall(&mut self, cycles: u64) {
+        self.cpu.advance(cycles);
+        if let Some(rad) = self.rad.as_mut() {
+            rad.counters.non_overlap += cycles;
+        }
+    }
+
+    /// Services all pending requests whose raise time has arrived.
+    fn service_raised(&mut self) -> usize {
+        let now = self.cpu.now();
+        let ready: Vec<u32> = {
+            let rad = self.rad.as_mut().unwrap();
+            let (ready, later): (Vec<u32>, Vec<u32>) = rad.pending.iter().partition(|&&p| {
+                rad.pages[p as usize].blocked.as_ref().map(|b| b.raised_at <= now).unwrap_or(false)
+            });
+            rad.pending = later;
+            ready
+        };
+        if ready.is_empty() {
+            return 0;
+        }
+        {
+            let rad = self.rad.as_mut().unwrap();
+            rad.counters.interrupt_batches += 1;
+        }
+        match self.cfg.service {
+            crate::ServiceMode::Interrupt => self.cpu.advance(self.cfg.interrupt_overhead),
+            // Polling: no trap; the processor probes a request register.
+            crate::ServiceMode::Polling => self.cpu.charge_uncached_access(false),
+        }
+        let mut serviced = 0;
+        for pid in ready {
+            let blocked: BlockedExec = {
+                let rad = self.rad.as_mut().unwrap();
+                rad.pages[pid as usize].blocked.take().expect("ready page must be blocked")
+            };
+            // A page exposes only `outstanding_refs` references at a time;
+            // a longer list needs extra service round trips.
+            let rounds = blocked.requests.len().div_ceil(self.cfg.outstanding_refs.max(1));
+            if rounds > 1 {
+                let extra = (rounds - 1) as u64;
+                match self.cfg.service {
+                    crate::ServiceMode::Interrupt => {
+                        self.cpu.advance(extra * self.cfg.interrupt_overhead);
+                    }
+                    crate::ServiceMode::Polling => {
+                        for _ in 0..extra {
+                            self.cpu.charge_uncached_access(false);
+                        }
+                    }
+                }
+                let rad = self.rad.as_mut().unwrap();
+                rad.counters.interrupt_batches += extra;
+            }
+            for req in &blocked.requests {
+                self.mediate_copy(req.dst, req.src, req.len);
+                let rad = self.rad.as_mut().unwrap();
+                rad.counters.interpage_copies += 1;
+                rad.counters.copied_bytes += req.len as u64;
+            }
+            serviced += blocked.requests.len();
+            if blocked.run_on_service {
+                // Pre-declared references: the function body runs now that
+                // its non-local data has arrived.
+                self.execute_and_schedule(pid);
+            } else {
+                let resume_at = self.cpu.now();
+                self.schedule(pid, resume_at, blocked.rest);
+            }
+        }
+        serviced
+    }
+
+    /// The processor performs an inter-page copy on behalf of a blocked page:
+    /// word loads and stores through the cache hierarchy.
+    fn mediate_copy(&mut self, dst: VAddr, src: VAddr, len: usize) {
+        let words = len / 4;
+        for w in 0..words {
+            let v = self.cpu.load_u32(src + (w * 4) as u64);
+            self.cpu.store_u32(dst + (w * 4) as u64, v);
+        }
+        for b in (words * 4)..len {
+            let v = self.cpu.load_u8(src + b as u64);
+            self.cpu.store_u8(dst + b as u64, v);
+        }
+    }
+
+    fn schedule(&mut self, pid: u32, start: u64, events: Vec<active_pages::ExecEvent>) {
+        let divisor = self.cfg.logic_divisor;
+        let hardware = self.cfg.comm == crate::CommMode::HardwareCopy;
+        let mut t = start;
+        for (i, ev) in events.iter().enumerate() {
+            match *ev {
+                active_pages::ExecEvent::Run(c) => {
+                    t += c * divisor;
+                    let rad = self.rad.as_mut().unwrap();
+                    rad.counters.logic_busy += c * divisor;
+                }
+                active_pages::ExecEvent::InterPage(request) => {
+                    if hardware {
+                        // The in-chip network satisfies the reference with
+                        // no processor involvement: one 32-bit word per
+                        // logic cycle plus a fixed setup.
+                        t += self.hardware_copy(&request);
+                        continue;
+                    }
+                    let rad = self.rad.as_mut().unwrap();
+                    rad.pages[pid as usize].blocked = Some(BlockedExec {
+                        raised_at: t,
+                        requests: vec![request],
+                        rest: events[i + 1..].to_vec(),
+                        run_on_service: false,
+                    });
+                    rad.pages[pid as usize].busy_until = t;
+                    rad.pending.push(pid);
+                    return;
+                }
+            }
+        }
+        let rad = self.rad.as_mut().unwrap();
+        rad.pages[pid as usize].busy_until = t;
+    }
+
+    /// Performs an inter-page copy on the in-chip network; returns its cost
+    /// in CPU cycles (the data moves immediately in functional terms).
+    fn hardware_copy(&mut self, req: &active_pages::CopyRequest) -> u64 {
+        self.cpu.ram.copy(req.dst, req.src, req.len);
+        // The destination may be cached by the processor.
+        self.cpu.invalidate_range(req.dst, req.len as u64);
+        {
+            let rad = self.rad.as_mut().unwrap();
+            rad.counters.interpage_copies += 1;
+            rad.counters.copied_bytes += req.len as u64;
+        }
+        (req.len as u64).div_ceil(4) * self.cfg.logic_divisor + 4 * self.cfg.logic_divisor
+    }
+
+    /// Runs the bound function on an idle page and schedules its timing from
+    /// the current instant.
+    fn execute_and_schedule(&mut self, pid: u32) {
+        let (base, group, index_in_group) = {
+            let rad = self.rad.as_ref().unwrap();
+            let e = rad.table.entry(PageId::new(pid));
+            (e.base, e.group, e.index_in_group)
+        };
+        let func: Rc<dyn PageFunction> = self
+            .rad
+            .as_ref()
+            .unwrap()
+            .table
+            .function_of(group)
+            .expect("activation of a page in an unbound group")
+            .clone();
+        // In-page logic is about to mutate DRAM behind the caches.
+        self.cpu.invalidate_range(base, PAGE_SIZE as u64);
+        let info = PageInfo { base, group, index_in_group };
+        let execution = {
+            let bytes = self.cpu.ram.slice_mut(base, PAGE_SIZE);
+            let mut slice = PageSlice::new(bytes, info);
+            func.execute(&mut slice)
+        };
+        let start = self.cpu.now();
+        self.schedule(pid, start, execution.events().to_vec());
+    }
+
+    fn activate_page(&mut self, pid: u32) {
+        let (base, group, index_in_group) = {
+            let rad = self.rad.as_ref().unwrap();
+            let e = rad.table.entry(PageId::new(pid));
+            (e.base, e.group, e.index_in_group)
+        };
+        let func: Rc<dyn PageFunction> = self
+            .rad
+            .as_ref()
+            .unwrap()
+            .table
+            .function_of(group)
+            .expect("activation of a page in an unbound group")
+            .clone();
+        // Driver-side dispatch overhead: the processor finishes
+        // communicating the request before the page's logic starts (this is
+        // the dominant component of the paper's activation time T_A).
+        self.cpu.advance(self.cfg.activation_overhead);
+        self.rad.as_mut().unwrap().counters.activations += 1;
+
+        // Pre-declared non-local references (paper Section 3): the function
+        // blocks before computing until they are satisfied.
+        let requests = {
+            let info = PageInfo { base, group, index_in_group };
+            let bytes = self.cpu.ram.slice_mut(base, PAGE_SIZE);
+            let slice = PageSlice::new(bytes, info);
+            func.inter_page_requests(&slice)
+        };
+        if !requests.is_empty() {
+            match self.cfg.comm {
+                crate::CommMode::HardwareCopy => {
+                    let mut cost = 0;
+                    for req in &requests {
+                        cost += self.hardware_copy(req);
+                    }
+                    // The logic idles while the network fills the staging
+                    // area, then computes.
+                    self.cpu.advance(0);
+                    let resume = self.cpu.now() + cost;
+                    self.execute_and_schedule_at(pid, resume);
+                    return;
+                }
+                crate::CommMode::ProcessorMediated => {
+                    let now = self.cpu.now();
+                    let rad = self.rad.as_mut().unwrap();
+                    rad.pages[pid as usize].blocked = Some(BlockedExec {
+                        raised_at: now,
+                        requests,
+                        rest: Vec::new(),
+                        run_on_service: true,
+                    });
+                    rad.pages[pid as usize].busy_until = now;
+                    rad.pending.push(pid);
+                    return;
+                }
+            }
+        }
+        self.execute_and_schedule(pid);
+    }
+
+    /// Like [`Self::execute_and_schedule`] but the logic starts at `start`
+    /// (used when an in-chip copy delays the computation).
+    fn execute_and_schedule_at(&mut self, pid: u32, start: u64) {
+        let (base, group, index_in_group) = {
+            let rad = self.rad.as_ref().unwrap();
+            let e = rad.table.entry(PageId::new(pid));
+            (e.base, e.group, e.index_in_group)
+        };
+        let func: Rc<dyn PageFunction> = self
+            .rad
+            .as_ref()
+            .unwrap()
+            .table
+            .function_of(group)
+            .expect("activation of a page in an unbound group")
+            .clone();
+        self.cpu.invalidate_range(base, PAGE_SIZE as u64);
+        let info = PageInfo { base, group, index_in_group };
+        let execution = {
+            let bytes = self.cpu.ram.slice_mut(base, PAGE_SIZE);
+            let mut slice = PageSlice::new(bytes, info);
+            func.execute(&mut slice)
+        };
+        self.schedule(pid, start, execution.events().to_vec());
+    }
+}
+
+impl ActivePageMemory for System {
+    fn ap_alloc(&mut self, group: GroupId, bytes: usize) -> VAddr {
+        let pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        self.ap_alloc_pages(group, pages)
+    }
+
+    fn ap_bind(&mut self, group: GroupId, functions: Rc<dyn PageFunction>) {
+        assert!(
+            functions.logic_elements() <= self.cfg.les_per_page,
+            "circuit '{}' needs {} LEs but a RADram page provides {}",
+            functions.name(),
+            functions.logic_elements(),
+            self.cfg.les_per_page
+        );
+        let rad = self.rad.as_mut().expect("AP_bind on a conventional memory system");
+        let pages = rad.table.pages_in(group).len() as u64;
+        let rebound = rad.table.bind(group, functions);
+        if rebound {
+            rad.counters.rebinds += 1;
+            let cost = self.cfg.rebind_cost * pages;
+            self.cpu.advance(cost);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use active_pages::Execution;
+
+    /// Sums `PARAM` body words into `RESULT`, one word per logic cycle.
+    #[derive(Debug)]
+    struct Summer;
+    impl PageFunction for Summer {
+        fn name(&self) -> &'static str {
+            "summer"
+        }
+        fn logic_elements(&self) -> u32 {
+            64
+        }
+        fn execute(&self, page: &mut PageSlice<'_>) -> Execution {
+            let n = page.ctrl(sync::PARAM) as usize;
+            let mut sum = 0u32;
+            for i in 0..n {
+                sum = sum.wrapping_add(page.read_u32(sync::BODY_OFFSET + 4 * i));
+            }
+            page.set_ctrl(sync::RESULT, sum);
+            page.set_ctrl(sync::STATUS, sync::DONE);
+            Execution::run(n as u64)
+        }
+    }
+
+    /// Blocks on a copy from the previous page's body before summing.
+    #[derive(Debug)]
+    struct NeighborSummer;
+    impl PageFunction for NeighborSummer {
+        fn name(&self) -> &'static str {
+            "neighbor-summer"
+        }
+        fn logic_elements(&self) -> u32 {
+            80
+        }
+        fn execute(&self, page: &mut PageSlice<'_>) -> Execution {
+            let base = page.info().base;
+            let prev = VAddr::new(base.get() - PAGE_SIZE as u64);
+            page.set_ctrl(sync::STATUS, sync::DONE);
+            Execution::run(10)
+                .then_copy(active_pages::CopyRequest {
+                    dst: base + sync::BODY_OFFSET as u64,
+                    src: prev + sync::BODY_OFFSET as u64,
+                    len: 8,
+                })
+                .then_run(5)
+        }
+    }
+
+    fn setup(pages: usize) -> (System, VAddr, GroupId) {
+        let cfg = RadramConfig::reference().with_ram_capacity(16 << 20);
+        let mut sys = System::radram(cfg);
+        let g = GroupId::new(0);
+        let base = sys.ap_alloc_pages(g, pages);
+        (sys, base, g)
+    }
+
+    #[test]
+    fn activation_computes_and_takes_logic_time() {
+        let (mut sys, base, g) = setup(1);
+        sys.ap_bind(g, Rc::new(Summer));
+        for i in 0..8u64 {
+            sys.store_u32(base + sync::BODY_OFFSET as u64 + 4 * i, 5);
+        }
+        sys.write_ctrl(base, sync::PARAM, 8);
+        let t0 = sys.now();
+        sys.activate(base, 1);
+        assert_eq!(sys.poll_status(base), sync::RUNNING);
+        sys.wait_done(base);
+        // 8 words at divisor 10 = 80 cycles of logic time beyond dispatch.
+        assert!(sys.now() - t0 >= 80);
+        assert_eq!(sys.read_ctrl(base, sync::RESULT), 40);
+        assert_eq!(sys.stats().activations, 1);
+        assert!(sys.stats().non_overlap_cycles > 0);
+    }
+
+    #[test]
+    fn poll_after_completion_sees_done() {
+        let (mut sys, base, g) = setup(1);
+        sys.ap_bind(g, Rc::new(Summer));
+        sys.write_ctrl(base, sync::PARAM, 1);
+        sys.activate(base, 1);
+        sys.wait_done(base);
+        assert_eq!(sys.poll_status(base), sync::DONE);
+    }
+
+    #[test]
+    fn data_access_to_busy_page_stalls() {
+        let (mut sys, base, g) = setup(1);
+        sys.ap_bind(g, Rc::new(Summer));
+        sys.write_ctrl(base, sync::PARAM, 1000);
+        sys.activate(base, 1);
+        let before = sys.stats().non_overlap_cycles;
+        // Touch the body while the logic runs: must wait it out.
+        let _ = sys.load_u32(base + sync::BODY_OFFSET as u64);
+        assert!(sys.stats().non_overlap_cycles > before);
+    }
+
+    #[test]
+    fn interpage_reference_is_processor_mediated() {
+        let (mut sys, base, g) = setup(2);
+        sys.ap_bind(g, Rc::new(NeighborSummer));
+        let page1 = base + PAGE_SIZE as u64;
+        // Seed page 0's body.
+        sys.store_u32(base + sync::BODY_OFFSET as u64, 0x11);
+        sys.store_u32(base + sync::BODY_OFFSET as u64 + 4, 0x22);
+        sys.activate(page1, 1);
+        sys.wait_done(page1);
+        let s = sys.stats();
+        assert_eq!(s.interrupt_batches, 1);
+        assert_eq!(s.interpage_copies, 1);
+        assert_eq!(s.copied_bytes, 8);
+        // The copy really happened.
+        assert_eq!(sys.load_u32(page1 + sync::BODY_OFFSET as u64), 0x11);
+    }
+
+    #[test]
+    fn rebind_charges_reconfiguration() {
+        let (mut sys, _base, g) = setup(4);
+        sys.ap_bind(g, Rc::new(Summer));
+        let t0 = sys.now();
+        sys.ap_bind(g, Rc::new(Summer));
+        assert_eq!(sys.stats().rebinds, 1);
+        assert_eq!(sys.now() - t0, 4 * RadramConfig::reference().rebind_cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "LEs")]
+    fn over_budget_circuit_rejected() {
+        #[derive(Debug)]
+        struct Huge;
+        impl PageFunction for Huge {
+            fn name(&self) -> &'static str {
+                "huge"
+            }
+            fn logic_elements(&self) -> u32 {
+                1000
+            }
+            fn execute(&self, _p: &mut PageSlice<'_>) -> Execution {
+                Execution::empty()
+            }
+        }
+        let (mut sys, _base, g) = setup(1);
+        sys.ap_bind(g, Rc::new(Huge));
+    }
+
+    #[test]
+    #[should_panic(expected = "conventional")]
+    fn conventional_rejects_ap_alloc() {
+        let mut sys = System::conventional_with(RadramConfig::reference().with_ram_capacity(4 << 20));
+        sys.ap_alloc_pages(GroupId::new(0), 1);
+    }
+
+    #[test]
+    fn conventional_loads_are_plain() {
+        let mut sys = System::conventional_with(RadramConfig::reference().with_ram_capacity(4 << 20));
+        let a = sys.ram_alloc(64, 64);
+        sys.store_u32(a, 9);
+        assert_eq!(sys.load_u32(a), 9);
+        let s = sys.stats();
+        assert_eq!(s.activations, 0);
+        assert_eq!(s.cpu.mem.uncached, 0);
+    }
+
+    #[test]
+    fn group_page_base_walks_allocation_order() {
+        let (sys, base, g) = setup(3);
+        assert_eq!(sys.group_page_base(g, 0), base);
+        assert_eq!(sys.group_page_base(g, 2) - base, 2 * PAGE_SIZE as u64);
+        assert_eq!(sys.group_len(g), 3);
+    }
+
+    /// Declares its boundary word as a pre-request, then sums two body
+    /// words (exercises blocked-before-compute activation).
+    #[derive(Debug)]
+    struct PreFetcher;
+    impl PageFunction for PreFetcher {
+        fn name(&self) -> &'static str {
+            "pre-fetcher"
+        }
+        fn logic_elements(&self) -> u32 {
+            90
+        }
+        fn inter_page_requests(&self, page: &PageSlice<'_>) -> Vec<active_pages::CopyRequest> {
+            let base = page.info().base;
+            if page.info().index_in_group == 0 {
+                return vec![];
+            }
+            let prev = VAddr::new(base.get() - PAGE_SIZE as u64);
+            vec![active_pages::CopyRequest {
+                dst: base + (sync::BODY_OFFSET + 4) as u64,
+                src: prev + sync::BODY_OFFSET as u64,
+                len: 4,
+            }]
+        }
+        fn execute(&self, page: &mut PageSlice<'_>) -> Execution {
+            let a = page.read_u32(sync::BODY_OFFSET);
+            let b = page.read_u32(sync::BODY_OFFSET + 4);
+            page.set_ctrl(sync::RESULT, a.wrapping_add(b));
+            page.set_ctrl(sync::STATUS, sync::DONE);
+            Execution::run(4)
+        }
+    }
+
+    #[test]
+    fn pre_declared_requests_block_then_compute() {
+        let (mut sys, base, g) = setup(2);
+        sys.ap_bind(g, Rc::new(PreFetcher));
+        let page1 = base + PAGE_SIZE as u64;
+        sys.store_u32(base + sync::BODY_OFFSET as u64, 30); // page 0 boundary word
+        sys.store_u32(page1 + sync::BODY_OFFSET as u64, 12);
+        sys.activate(page1, 1);
+        sys.wait_done(page1);
+        // The function must have computed with the *copied* value.
+        assert_eq!(sys.read_ctrl(page1, sync::RESULT), 42);
+        let st = sys.stats();
+        assert_eq!(st.interrupt_batches, 1);
+        assert_eq!(st.interpage_copies, 1);
+    }
+
+    #[test]
+    fn hardware_copy_mode_needs_no_processor() {
+        let cfg = RadramConfig::reference()
+            .with_ram_capacity(16 << 20)
+            .with_comm_mode(crate::CommMode::HardwareCopy);
+        let mut sys = System::radram(cfg);
+        let g = GroupId::new(0);
+        let base = sys.ap_alloc_pages(g, 2);
+        sys.ap_bind(g, Rc::new(PreFetcher));
+        let page1 = base + PAGE_SIZE as u64;
+        sys.store_u32(base + sync::BODY_OFFSET as u64, 30);
+        sys.store_u32(page1 + sync::BODY_OFFSET as u64, 12);
+        sys.activate(page1, 1);
+        sys.wait_done(page1);
+        assert_eq!(sys.read_ctrl(page1, sync::RESULT), 42);
+        let st = sys.stats();
+        assert_eq!(st.interrupt_batches, 0, "hardware mode must not interrupt");
+        assert_eq!(st.interpage_copies, 1);
+    }
+
+    #[test]
+    fn hardware_copy_also_covers_mid_execution_references() {
+        let cfg = RadramConfig::reference()
+            .with_ram_capacity(16 << 20)
+            .with_comm_mode(crate::CommMode::HardwareCopy);
+        let mut sys = System::radram(cfg);
+        let g = GroupId::new(0);
+        let base = sys.ap_alloc_pages(g, 2);
+        sys.ap_bind(g, Rc::new(NeighborSummer));
+        let page1 = base + PAGE_SIZE as u64;
+        sys.store_u32(base + sync::BODY_OFFSET as u64, 0x77);
+        sys.activate(page1, 1);
+        sys.wait_done(page1);
+        assert_eq!(sys.load_u32(page1 + sync::BODY_OFFSET as u64), 0x77);
+        assert_eq!(sys.stats().interrupt_batches, 0);
+    }
+
+    #[test]
+    fn polling_mode_skips_trap_overhead() {
+        let run = |service: crate::ServiceMode| {
+            let cfg = RadramConfig::reference()
+                .with_ram_capacity(16 << 20)
+                .with_service_mode(service);
+            let mut sys = System::radram(cfg);
+            let g = GroupId::new(0);
+            let base = sys.ap_alloc_pages(g, 2);
+            sys.ap_bind(g, Rc::new(PreFetcher));
+            let page1 = base + PAGE_SIZE as u64;
+            sys.store_u32(base + sync::BODY_OFFSET as u64, 1);
+            let t0 = sys.now();
+            sys.activate(page1, 1);
+            sys.wait_done(page1);
+            sys.now() - t0
+        };
+        assert!(run(crate::ServiceMode::Polling) < run(crate::ServiceMode::Interrupt));
+    }
+
+    #[test]
+    fn limited_outstanding_refs_need_more_round_trips() {
+        /// Declares three separate references.
+        #[derive(Debug)]
+        struct ThreeRefs;
+        impl PageFunction for ThreeRefs {
+            fn name(&self) -> &'static str {
+                "three-refs"
+            }
+            fn logic_elements(&self) -> u32 {
+                50
+            }
+            fn inter_page_requests(&self, page: &PageSlice<'_>) -> Vec<active_pages::CopyRequest> {
+                let base = page.info().base;
+                let prev = VAddr::new(base.get() - PAGE_SIZE as u64);
+                (0..3u64)
+                    .map(|k| active_pages::CopyRequest {
+                        dst: base + sync::BODY_OFFSET as u64 + 4 * k,
+                        src: prev + sync::BODY_OFFSET as u64 + 4 * k,
+                        len: 4,
+                    })
+                    .collect()
+            }
+            fn execute(&self, page: &mut PageSlice<'_>) -> Execution {
+                page.set_ctrl(sync::STATUS, sync::DONE);
+                Execution::run(1)
+            }
+        }
+        let run = |refs: usize| {
+            let cfg = RadramConfig::reference()
+                .with_ram_capacity(16 << 20)
+                .with_outstanding_refs(refs);
+            let mut sys = System::radram(cfg);
+            let g = GroupId::new(0);
+            let base = sys.ap_alloc_pages(g, 2);
+            sys.ap_bind(g, Rc::new(ThreeRefs));
+            let page1 = base + PAGE_SIZE as u64;
+            sys.activate(page1, 1);
+            sys.wait_done(page1);
+            sys.stats().interrupt_batches
+        };
+        assert_eq!(run(3), 1, "three outstanding refs fit one interrupt");
+        assert_eq!(run(1), 3, "one outstanding ref needs three round trips");
+    }
+
+    #[test]
+    fn slow_logic_takes_longer() {
+        let run = |divisor: u64| {
+            let cfg = RadramConfig::reference()
+                .with_ram_capacity(8 << 20)
+                .with_logic_divisor(divisor);
+            let mut sys = System::radram(cfg);
+            let g = GroupId::new(0);
+            let base = sys.ap_alloc_pages(g, 1);
+            sys.ap_bind(g, Rc::new(Summer));
+            sys.write_ctrl(base, sync::PARAM, 1000);
+            let t0 = sys.now();
+            sys.activate(base, 1);
+            sys.wait_done(base);
+            sys.now() - t0
+        };
+        assert!(run(100) > run(2));
+    }
+}

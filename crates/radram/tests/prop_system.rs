@@ -1,0 +1,162 @@
+//! Property tests of the RADram system engine: arbitrary interleavings of
+//! stores, activations, polls and waits must preserve the simulator's core
+//! invariants — time is monotone, results are exact, accounting balances.
+
+use active_pages::{sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice};
+use ap_mem::VAddr;
+use proptest::prelude::*;
+use radram::{CommMode, RadramConfig, System};
+use std::rc::Rc;
+
+/// Adds `PARAM` to every one of the first 64 body words and publishes their
+/// sum; cost is one word per logic cycle.
+#[derive(Debug)]
+struct AddAndSum;
+
+impl PageFunction for AddAndSum {
+    fn name(&self) -> &'static str {
+        "add-and-sum"
+    }
+    fn logic_elements(&self) -> u32 {
+        96
+    }
+    fn execute(&self, page: &mut PageSlice<'_>) -> Execution {
+        let delta = page.ctrl(sync::PARAM);
+        let mut sum = 0u32;
+        for w in 0..64 {
+            let off = sync::BODY_OFFSET + 4 * w;
+            let v = page.read_u32(off).wrapping_add(delta);
+            page.write_u32(off, v);
+            sum = sum.wrapping_add(v);
+        }
+        page.set_ctrl(sync::RESULT, sum);
+        page.set_ctrl(sync::STATUS, sync::DONE);
+        Execution::run(64)
+    }
+}
+
+/// One step of a random driver program.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Store { page: u8, word: u8, value: u32 },
+    Activate { page: u8, delta: u32 },
+    Poll { page: u8 },
+    Wait { page: u8 },
+    Compute { n: u16 },
+}
+
+fn arb_op(pages: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..pages, 0u8..64, any::<u32>())
+            .prop_map(|(page, word, value)| Op::Store { page, word, value }),
+        (0..pages, 0u32..100).prop_map(|(page, delta)| Op::Activate { page, delta }),
+        (0..pages).prop_map(|page| Op::Poll { page }),
+        (0..pages).prop_map(|page| Op::Wait { page }),
+        (1u16..500).prop_map(|n| Op::Compute { n }),
+    ]
+}
+
+/// A shadow model of the page contents (pure software).
+fn run_program(ops: &[Op], pages: u8, comm: CommMode) -> (System, Vec<[u32; 64]>) {
+    let cfg = RadramConfig::reference()
+        .with_ram_capacity(((pages as usize) + 4) << 19)
+        .with_comm_mode(comm);
+    let mut sys = System::radram(cfg);
+    let g = GroupId::new(0);
+    let base = sys.ap_alloc_pages(g, pages as usize);
+    sys.ap_bind(g, Rc::new(AddAndSum));
+    let mut shadow = vec![[0u32; 64]; pages as usize];
+    let page_base =
+        |p: u8| -> VAddr { base + (p as usize * active_pages::PAGE_SIZE) as u64 };
+    let mut last_now = sys.now();
+    for &op in ops {
+        match op {
+            Op::Store { page, word, value } => {
+                sys.store_u32(
+                    page_base(page) + (sync::BODY_OFFSET + 4 * word as usize) as u64,
+                    value,
+                );
+                shadow[page as usize][word as usize] = value;
+            }
+            Op::Activate { page, delta } => {
+                sys.write_ctrl(page_base(page), sync::PARAM, delta);
+                sys.activate(page_base(page), 1);
+                for w in shadow[page as usize].iter_mut() {
+                    *w = w.wrapping_add(delta);
+                }
+            }
+            Op::Poll { page } => {
+                let _ = sys.poll_status(page_base(page));
+            }
+            Op::Wait { page } => {
+                sys.wait_done(page_base(page));
+            }
+            Op::Compute { n } => sys.alu(n as u64),
+        }
+        assert!(sys.now() >= last_now, "time went backwards");
+        last_now = sys.now();
+    }
+    // Quiesce.
+    for p in 0..pages {
+        sys.wait_done(page_base(p));
+    }
+    (sys, shadow)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving terminates, keeps time monotone, and leaves page
+    /// contents exactly matching the software shadow model.
+    #[test]
+    fn interleavings_match_shadow_model(
+        ops in proptest::collection::vec(arb_op(3), 1..60),
+        hardware in proptest::bool::ANY,
+    ) {
+        let comm = if hardware { CommMode::HardwareCopy } else { CommMode::ProcessorMediated };
+        let (mut sys, shadow) = run_program(&ops, 3, comm);
+        for (p, page_shadow) in shadow.iter().enumerate() {
+            let base = sys.group_page_base(GroupId::new(0), p);
+            for (w, &want) in page_shadow.iter().enumerate() {
+                let got = sys.load_u32(base + (sync::BODY_OFFSET + 4 * w) as u64);
+                prop_assert_eq!(got, want, "page {} word {}", p, w);
+            }
+        }
+    }
+
+    /// Accounting balances: stalls never exceed elapsed time, logic-busy
+    /// time never exceeds activations x per-activation cost, and every
+    /// activation was counted.
+    #[test]
+    fn accounting_invariants(ops in proptest::collection::vec(arb_op(3), 1..60)) {
+        let activations = ops.iter().filter(|o| matches!(o, Op::Activate { .. })).count() as u64;
+        let (sys, _) = run_program(&ops, 3, CommMode::ProcessorMediated);
+        let st = sys.stats();
+        prop_assert_eq!(st.activations, activations);
+        prop_assert!(st.non_overlap_cycles <= st.cpu.cycles);
+        prop_assert_eq!(st.logic_busy_cycles, activations * 64 * 10);
+        prop_assert_eq!(st.rebinds, 0);
+    }
+
+    /// Results published in RESULT always equal the shadow sum at the time
+    /// of the last activation of that page.
+    #[test]
+    fn results_are_exact(deltas in proptest::collection::vec(1u32..50, 1..8)) {
+        let cfg = RadramConfig::reference().with_ram_capacity(8 << 20);
+        let mut sys = System::radram(cfg);
+        let g = GroupId::new(0);
+        let base = sys.ap_alloc_pages(g, 1);
+        sys.ap_bind(g, Rc::new(AddAndSum));
+        let mut shadow = [0u32; 64];
+        for delta in deltas {
+            sys.write_ctrl(base, sync::PARAM, delta);
+            sys.activate(base, 1);
+            sys.wait_done(base);
+            for w in shadow.iter_mut() {
+                *w = w.wrapping_add(delta);
+            }
+            let want: u32 = shadow.iter().fold(0u32, |a, &v| a.wrapping_add(v));
+            prop_assert_eq!(sys.read_ctrl(base, sync::RESULT), want);
+        }
+    }
+}

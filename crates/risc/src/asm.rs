@@ -1,0 +1,329 @@
+//! A two-pass assembler for SS-lite.
+//!
+//! Syntax: one instruction per line; `;` or `#` start comments; labels end
+//! with `:`; registers are `r0`..`r31` (alias `zero` for `r0`); immediates
+//! are decimal or `0x` hex; loads/stores use `imm(rs)` addressing; branches
+//! and jumps take label operands.
+
+use crate::isa::{AluOp, BranchCond, Inst, Reg, Width};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error with its source line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.trim();
+    if t == "zero" {
+        return Ok(Reg::new(0));
+    }
+    let n = t
+        .strip_prefix('r')
+        .and_then(|d| d.parse::<u8>().ok())
+        .filter(|&n| n < 32)
+        .ok_or_else(|| err(line, format!("bad register '{t}'")))?;
+    Ok(Reg::new(n))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i32, AsmError> {
+    let t = tok.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate '{tok}'")))?;
+    let v = if neg { -v } else { v };
+    i32::try_from(v).map_err(|_| err(line, format!("immediate '{tok}' out of range")))
+}
+
+fn imm16(v: i32, line: usize) -> Result<i16, AsmError> {
+    i16::try_from(v).map_err(|_| err(line, format!("immediate {v} does not fit 16 bits")))
+}
+
+/// `imm(rs)` addressing.
+fn parse_mem(tok: &str, line: usize) -> Result<(i16, Reg), AsmError> {
+    let t = tok.trim();
+    let open = t.find('(').ok_or_else(|| err(line, format!("expected imm(reg), got '{t}'")))?;
+    let close = t.strip_suffix(')').ok_or_else(|| err(line, "missing ')'"))?;
+    let imm = if open == 0 { 0 } else { parse_imm(&t[..open], line)? };
+    let reg = parse_reg(&close[open + 1..], line)?;
+    Ok((imm16(imm, line)?, reg))
+}
+
+fn alu_of(m: &str) -> Option<(AluOp, bool)> {
+    // (op, is-immediate-form)
+    let table = [
+        ("add", AluOp::Add),
+        ("sub", AluOp::Sub),
+        ("and", AluOp::And),
+        ("or", AluOp::Or),
+        ("xor", AluOp::Xor),
+        ("slt", AluOp::Slt),
+        ("sltu", AluOp::Sltu),
+        ("sll", AluOp::Sll),
+        ("srl", AluOp::Srl),
+        ("sra", AluOp::Sra),
+        ("mul", AluOp::Mul),
+        ("div", AluOp::Div),
+    ];
+    for (name, op) in table {
+        if m == name {
+            return Some((op, false));
+        }
+        if let Some(stripped) = m.strip_suffix('i') {
+            if stripped == name {
+                return Some((op, true));
+            }
+        }
+    }
+    None
+}
+
+fn width_of(m: &str) -> Option<(Width, bool)> {
+    // (width, is-load)
+    Some(match m {
+        "lb" => (Width::B, true),
+        "lbu" => (Width::Bu, true),
+        "lh" => (Width::H, true),
+        "lhu" => (Width::Hu, true),
+        "lw" => (Width::W, true),
+        "sb" => (Width::B, false),
+        "sh" => (Width::H, false),
+        "sw" => (Width::W, false),
+        _ => return None,
+    })
+}
+
+fn cond_of(m: &str) -> Option<BranchCond> {
+    Some(match m {
+        "beq" => BranchCond::Eq,
+        "bne" => BranchCond::Ne,
+        "blt" => BranchCond::Lt,
+        "bge" => BranchCond::Ge,
+        "bltu" => BranchCond::Ltu,
+        "bgeu" => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+/// Assembles SS-lite source into instructions.
+///
+/// # Errors
+///
+/// Returns the first syntax or range error with its line number.
+///
+/// # Examples
+///
+/// ```
+/// let insts = ap_risc::assemble(r#"
+/// loop:
+///     addi r1, r1, 1
+///     blt  r1, r2, loop
+///     halt
+/// "#).unwrap();
+/// assert_eq!(insts.len(), 3);
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<Inst>, AsmError> {
+    // Pass 1: strip comments, collect labels.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(p) = text.find([';', '#']) {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(err(line, format!("bad label '{label}'")));
+            }
+            if labels.insert(label.to_string(), lines.len() as u32).is_some() {
+                return Err(err(line, format!("duplicate label '{label}'")));
+            }
+            text = rest[1..].trim();
+        }
+        if !text.is_empty() {
+            lines.push((line, text.to_string()));
+        }
+    }
+
+    // Pass 2: parse instructions.
+    let mut insts = Vec::with_capacity(lines.len());
+    for (idx, (line, text)) in lines.iter().enumerate() {
+        let line = *line;
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r),
+            None => (text.as_str(), ""),
+        };
+        let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let need = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(line, format!("'{mnemonic}' expects {n} operands, got {}", ops.len())))
+            }
+        };
+        let label_target = |tok: &str| -> Result<u32, AsmError> {
+            labels
+                .get(tok)
+                .copied()
+                .ok_or_else(|| err(line, format!("unknown label '{tok}'")))
+        };
+
+        let inst = if let Some((op, is_imm)) = alu_of(mnemonic) {
+            need(3)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs = parse_reg(ops[1], line)?;
+            if is_imm {
+                Inst::AluImm { op, rd, rs, imm: imm16(parse_imm(ops[2], line)?, line)? }
+            } else {
+                Inst::Alu { op, rd, rs, rt: parse_reg(ops[2], line)? }
+            }
+        } else if let Some((width, is_load)) = width_of(mnemonic) {
+            need(2)?;
+            let reg = parse_reg(ops[0], line)?;
+            let (imm, rs) = parse_mem(ops[1], line)?;
+            if is_load {
+                Inst::Load { width, rd: reg, rs, imm }
+            } else {
+                Inst::Store { width, rt: reg, rs, imm }
+            }
+        } else if let Some(cond) = cond_of(mnemonic) {
+            need(3)?;
+            let rs = parse_reg(ops[0], line)?;
+            let rt = parse_reg(ops[1], line)?;
+            let target = label_target(ops[2])? as i64;
+            let offset = target - (idx as i64 + 1);
+            let offset = i16::try_from(offset)
+                .map_err(|_| err(line, format!("branch to '{}' out of range", ops[2])))?;
+            Inst::Branch { cond, rs, rt, offset }
+        } else {
+            match mnemonic {
+                "lui" => {
+                    need(2)?;
+                    let rd = parse_reg(ops[0], line)?;
+                    let v = parse_imm(ops[1], line)?;
+                    let imm = u16::try_from(v)
+                        .map_err(|_| err(line, format!("lui immediate {v} out of range")))?;
+                    Inst::Lui { rd, imm }
+                }
+                "j" => {
+                    need(1)?;
+                    Inst::Jal { rd: Reg::new(0), target: label_target(ops[0])? }
+                }
+                "jal" => {
+                    need(2)?;
+                    Inst::Jal { rd: parse_reg(ops[0], line)?, target: label_target(ops[1])? }
+                }
+                "jr" => {
+                    need(1)?;
+                    Inst::Jr { rs: parse_reg(ops[0], line)? }
+                }
+                "nop" => {
+                    need(0)?;
+                    Inst::AluImm { op: AluOp::Add, rd: Reg::new(0), rs: Reg::new(0), imm: 0 }
+                }
+                "halt" => {
+                    need(0)?;
+                    Inst::Halt
+                }
+                other => return Err(err(line, format!("unknown mnemonic '{other}'"))),
+            }
+        };
+        insts.push(inst);
+    }
+    Ok(insts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_every_form() {
+        let src = r#"
+        start:
+            lui  r1, 0x1234     ; upper
+            addi r1, r1, 0x88
+            add  r2, r1, r1
+            lw   r3, 4(r2)
+            sb   r3, (r2)
+            beq  r3, zero, done
+            j    start
+        done:
+            jal  r31, start
+            jr   r31
+            nop
+            halt
+        "#;
+        let insts = assemble(src).unwrap();
+        assert_eq!(insts.len(), 11);
+        assert!(matches!(insts[0], Inst::Lui { .. }));
+        assert!(matches!(insts[10], Inst::Halt));
+    }
+
+    #[test]
+    fn branch_offsets_are_relative_to_next() {
+        let src = "loop: addi r1, r1, 1\n bne r1, r2, loop\n halt";
+        let insts = assemble(src).unwrap();
+        match insts[1] {
+            Inst::Branch { offset, .. } => assert_eq!(offset, -2),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let src = "beq r0, r0, end\n addi r1, r1, 1\n end: halt";
+        let insts = assemble(src).unwrap();
+        match insts[0] {
+            Inst::Branch { offset, .. } => assert_eq!(offset, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("addi r1, r1, 1\n frob r1, r2").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frob"));
+        let e = assemble("addi r1, r99, 1").unwrap_err();
+        assert!(e.message.contains("r99"));
+        let e = assemble("addi r1, r2, 70000").unwrap_err();
+        assert!(e.message.contains("16 bits"));
+        let e = assemble("beq r0, r0, nowhere").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let e = assemble("a: nop\n a: nop").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+}

@@ -1,0 +1,410 @@
+//! The SS-lite instruction set and its binary encoding.
+
+use std::fmt;
+
+/// A register number in `0..32`; `r0` always reads zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> Self {
+        assert!(n < 32, "register r{n} out of range");
+        Reg(n)
+    }
+
+    /// The register index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Three-register ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Set if less than (signed).
+    Slt,
+    /// Set if less than (unsigned).
+    Sltu,
+    /// Shift left logical (by rt's low 5 bits).
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Low 32 bits of the product (multi-cycle).
+    Mul,
+    /// Signed quotient (multi-cycle; division by zero yields all-ones).
+    Div,
+}
+
+/// Branch comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less than.
+    Lt,
+    /// Signed greater or equal.
+    Ge,
+    /// Unsigned less than.
+    Ltu,
+    /// Unsigned greater or equal.
+    Geu,
+}
+
+/// Memory access widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// Signed byte.
+    B,
+    /// Unsigned byte.
+    Bu,
+    /// Signed halfword.
+    H,
+    /// Unsigned halfword.
+    Hu,
+    /// Word.
+    W,
+}
+
+/// One SS-lite instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `op rd, rs, rt`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rs: Reg,
+        /// Second operand.
+        rt: Reg,
+    },
+    /// `opi rd, rs, imm` (imm sign-extended; shifts use the low 5 bits).
+    AluImm {
+        /// Operation (shift-by-register variants use the immediate count).
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        rs: Reg,
+        /// 16-bit signed immediate.
+        imm: i16,
+    },
+    /// `lui rd, imm`: rd = imm << 16.
+    Lui {
+        /// Destination.
+        rd: Reg,
+        /// Upper immediate.
+        imm: u16,
+    },
+    /// `l<w> rd, imm(rs)`.
+    Load {
+        /// Access width.
+        width: Width,
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        rs: Reg,
+        /// Signed displacement.
+        imm: i16,
+    },
+    /// `s<w> rt, imm(rs)`.
+    Store {
+        /// Access width (Bu/Hu behave as B/H).
+        width: Width,
+        /// Value register.
+        rt: Reg,
+        /// Base register.
+        rs: Reg,
+        /// Signed displacement.
+        imm: i16,
+    },
+    /// `b<cond> rs, rt, offset` (offset in instructions, PC-relative).
+    Branch {
+        /// Comparison.
+        cond: BranchCond,
+        /// Left operand.
+        rs: Reg,
+        /// Right operand.
+        rt: Reg,
+        /// Signed instruction offset from the *next* instruction.
+        offset: i16,
+    },
+    /// `jal rd, target` (absolute instruction index; `rd` gets the return
+    /// instruction index; use r0 for a plain jump).
+    Jal {
+        /// Link register.
+        rd: Reg,
+        /// Absolute target instruction index.
+        target: u32,
+    },
+    /// `jr rs`: jump to the instruction index held in `rs`.
+    Jr {
+        /// Target register.
+        rs: Reg,
+    },
+    /// Stop the machine.
+    Halt,
+}
+
+/// A word that does not decode to any instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError(pub u32);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_ALU: u32 = 0x00;
+const OP_ALUI_BASE: u32 = 0x10; // 0x10 + alu-op index
+const OP_LUI: u32 = 0x08;
+const OP_LOAD_BASE: u32 = 0x20; // + width index
+const OP_STORE_BASE: u32 = 0x28; // + width index
+const OP_BRANCH_BASE: u32 = 0x30; // + cond index
+const OP_JAL: u32 = 0x3E;
+const OP_JR: u32 = 0x3D;
+const OP_HALT: u32 = 0x3F;
+
+fn alu_code(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Slt => 5,
+        AluOp::Sltu => 6,
+        AluOp::Sll => 7,
+        AluOp::Srl => 8,
+        AluOp::Sra => 9,
+        AluOp::Mul => 10,
+        AluOp::Div => 11,
+    }
+}
+
+fn alu_from(code: u32) -> Option<AluOp> {
+    Some(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Slt,
+        6 => AluOp::Sltu,
+        7 => AluOp::Sll,
+        8 => AluOp::Srl,
+        9 => AluOp::Sra,
+        10 => AluOp::Mul,
+        11 => AluOp::Div,
+        _ => return None,
+    })
+}
+
+fn width_code(w: Width) -> u32 {
+    match w {
+        Width::B => 0,
+        Width::Bu => 1,
+        Width::H => 2,
+        Width::Hu => 3,
+        Width::W => 4,
+    }
+}
+
+fn width_from(code: u32) -> Option<Width> {
+    Some(match code {
+        0 => Width::B,
+        1 => Width::Bu,
+        2 => Width::H,
+        3 => Width::Hu,
+        4 => Width::W,
+        _ => return None,
+    })
+}
+
+fn cond_code(c: BranchCond) -> u32 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+        BranchCond::Ltu => 4,
+        BranchCond::Geu => 5,
+    }
+}
+
+fn cond_from(code: u32) -> Option<BranchCond> {
+    Some(match code {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        4 => BranchCond::Ltu,
+        5 => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+impl Inst {
+    /// Encodes to a 32-bit word: `[31:26] opcode, [25:21] rd, [20:16] rs,
+    /// [15:11] rt / [15:0] imm16, [25:0] target`.
+    pub fn encode(self) -> u32 {
+        let r = |reg: Reg| reg.index() as u32;
+        match self {
+            Inst::Alu { op, rd, rs, rt } => {
+                (OP_ALU << 26) | (r(rd) << 21) | (r(rs) << 16) | (r(rt) << 11) | alu_code(op)
+            }
+            Inst::AluImm { op, rd, rs, imm } => {
+                ((OP_ALUI_BASE + alu_code(op)) << 26)
+                    | (r(rd) << 21)
+                    | (r(rs) << 16)
+                    | (imm as u16 as u32)
+            }
+            Inst::Lui { rd, imm } => (OP_LUI << 26) | (r(rd) << 21) | imm as u32,
+            Inst::Load { width, rd, rs, imm } => {
+                ((OP_LOAD_BASE + width_code(width)) << 26)
+                    | (r(rd) << 21)
+                    | (r(rs) << 16)
+                    | (imm as u16 as u32)
+            }
+            Inst::Store { width, rt, rs, imm } => {
+                ((OP_STORE_BASE + width_code(width)) << 26)
+                    | (r(rt) << 21)
+                    | (r(rs) << 16)
+                    | (imm as u16 as u32)
+            }
+            Inst::Branch { cond, rs, rt, offset } => {
+                ((OP_BRANCH_BASE + cond_code(cond)) << 26)
+                    | (r(rs) << 21)
+                    | (r(rt) << 16)
+                    | (offset as u16 as u32)
+            }
+            Inst::Jal { rd, target } => {
+                assert!(target < (1 << 21), "jump target {target} out of range");
+                (OP_JAL << 26) | (r(rd) << 21) | target
+            }
+            Inst::Jr { rs } => (OP_JR << 26) | (r(rs) << 21),
+            Inst::Halt => OP_HALT << 26,
+        }
+    }
+
+    /// Decodes a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the opcode or a sub-field is invalid.
+    pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+        let op = word >> 26;
+        let rd = Reg::new(((word >> 21) & 31) as u8);
+        let rs = Reg::new(((word >> 16) & 31) as u8);
+        let rt = Reg::new(((word >> 11) & 31) as u8);
+        let imm = (word & 0xFFFF) as u16 as i16;
+        let bad = || DecodeError(word);
+        Ok(match op {
+            OP_ALU => Inst::Alu { op: alu_from(word & 0x7FF).ok_or_else(bad)?, rd, rs, rt },
+            OP_LUI => Inst::Lui { rd, imm: imm as u16 },
+            o if (OP_ALUI_BASE..OP_ALUI_BASE + 12).contains(&o) => {
+                Inst::AluImm { op: alu_from(o - OP_ALUI_BASE).ok_or_else(bad)?, rd, rs, imm }
+            }
+            o if (OP_LOAD_BASE..OP_LOAD_BASE + 5).contains(&o) => {
+                Inst::Load { width: width_from(o - OP_LOAD_BASE).ok_or_else(bad)?, rd, rs, imm }
+            }
+            o if (OP_STORE_BASE..OP_STORE_BASE + 5).contains(&o) => Inst::Store {
+                width: width_from(o - OP_STORE_BASE).ok_or_else(bad)?,
+                rt: rd,
+                rs,
+                imm,
+            },
+            o if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&o) => Inst::Branch {
+                cond: cond_from(o - OP_BRANCH_BASE).ok_or_else(bad)?,
+                rs: rd,
+                rt: rs,
+                offset: imm,
+            },
+            OP_JAL => Inst::Jal { rd, target: word & 0x1F_FFFF },
+            OP_JR => Inst::Jr { rs: rd },
+            OP_HALT => Inst::Halt,
+            _ => return Err(DecodeError(word)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let cases = [
+            Inst::Alu { op: AluOp::Add, rd: r(1), rs: r(2), rt: r(3) },
+            Inst::Alu { op: AluOp::Div, rd: r(31), rs: r(30), rt: r(29) },
+            Inst::AluImm { op: AluOp::Xor, rd: r(4), rs: r(5), imm: -123 },
+            Inst::AluImm { op: AluOp::Sll, rd: r(4), rs: r(5), imm: 7 },
+            Inst::Lui { rd: r(9), imm: 0xBEEF },
+            Inst::Load { width: Width::Hu, rd: r(10), rs: r(11), imm: -2 },
+            Inst::Store { width: Width::W, rt: r(12), rs: r(13), imm: 32 },
+            Inst::Branch { cond: BranchCond::Ltu, rs: r(14), rt: r(15), offset: -6 },
+            Inst::Jal { rd: r(31), target: 12345 },
+            Inst::Jr { rs: r(31) },
+            Inst::Halt,
+        ];
+        for inst in cases {
+            let word = inst.encode();
+            assert_eq!(Inst::decode(word), Ok(inst), "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn invalid_words_are_rejected() {
+        // ALU with a bogus function code.
+        let bad = (OP_ALU << 26) | 0x3FF;
+        assert!(Inst::decode(bad).is_err());
+        // Unknown opcode.
+        assert!(Inst::decode(0x3A << 26).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_bounds() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", r(7)), "r7");
+        assert!(!format!("{}", DecodeError(0)).is_empty());
+    }
+}

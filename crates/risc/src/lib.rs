@@ -1,0 +1,50 @@
+//! SS-lite: an instruction-level RISC simulator substrate.
+//!
+//! The paper evaluates Active Pages with the SimpleScalar tool set, whose
+//! "RISC architecture is loosely based upon the MIPS R3000". The main
+//! reproduction drives the timing model with *instrumented kernels* (see
+//! `DESIGN.md`); this crate closes the loop on that substitution by
+//! providing a real instruction-level engine over the *same* processor and
+//! memory-hierarchy substrates:
+//!
+//! * [`Inst`] — the SS-lite instruction set: a MIPS-flavored 32-register
+//!   load/store ISA with a binary [encoding](Inst::encode) and
+//!   [decoder](Inst::decode).
+//! * [`assemble`] — a small two-pass assembler (labels, immediates,
+//!   comments) from text to encoded words.
+//! * [`Machine`] — fetch/decode/execute over [`ap_cpu::Cpu`]: every fetch
+//!   probes the L1 instruction cache, every load/store goes through the
+//!   data hierarchy, every branch trains the shared predictor.
+//!
+//! The integration tests run identical kernels both ways — handwritten
+//! assembly on [`Machine`] and instrumented calls on [`ap_cpu::Cpu`] — and
+//! check that the cycle counts agree closely, which is the evidence that
+//! the instrumented-kernel methodology measures what binary execution
+//! would.
+//!
+//! # Examples
+//!
+//! ```
+//! use ap_cpu::CpuConfig;
+//! use ap_risc::Machine;
+//!
+//! let program = r#"
+//!     addi r1, r0, 21     ; r1 = 21
+//!     add  r2, r1, r1     ; r2 = 42
+//!     halt
+//! "#;
+//! let mut m = Machine::load(CpuConfig::reference(), 1 << 20, program).unwrap();
+//! m.run(1000).unwrap();
+//! assert_eq!(m.reg(2), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod isa;
+mod machine;
+
+pub use asm::{assemble, AsmError};
+pub use isa::{AluOp, BranchCond, DecodeError, Inst, Reg, Width};
+pub use machine::{Machine, RunError, RunOutcome};

@@ -1,0 +1,393 @@
+//! Fetch/decode/execute over the shared processor substrate.
+
+use crate::asm::{assemble, AsmError};
+use crate::isa::{AluOp, BranchCond, DecodeError, Inst, Width};
+use ap_cpu::{Cpu, CpuConfig};
+use ap_mem::VAddr;
+use std::fmt;
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// A `halt` instruction retired.
+    Halted,
+    /// The step budget ran out first.
+    OutOfSteps,
+}
+
+/// An execution-time failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The PC left the program.
+    PcOutOfRange(u32),
+    /// An undecodable word was fetched (self-modifying code gone wrong).
+    Decode(DecodeError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::PcOutOfRange(pc) => write!(f, "PC {pc} outside the program"),
+            RunError::Decode(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// An SS-lite machine: registers, a PC, and the encoded program resident in
+/// simulated memory, executing over [`Cpu`]'s timing model.
+///
+/// Every instruction charges an L1I fetch; loads and stores run through the
+/// data hierarchy; branches train the 2-bit predictor; `mul`/`div` take
+/// their multi-cycle latencies. See the crate-level example.
+#[derive(Debug)]
+pub struct Machine {
+    cpu: Cpu,
+    regs: [u32; 32],
+    pc: u32,
+    code_base: VAddr,
+    code_len: u32,
+    retired: u64,
+}
+
+impl Machine {
+    /// Assembles `source` and loads it at the bottom of a fresh machine's
+    /// memory (binary-encoded; the fetch path reads these words back).
+    ///
+    /// # Errors
+    ///
+    /// Returns the assembler's error on bad source.
+    pub fn load(cfg: CpuConfig, ram_capacity: usize, source: &str) -> Result<Machine, AsmError> {
+        let insts = assemble(source)?;
+        let mut cpu = Cpu::new(cfg, ram_capacity);
+        let code_base = cpu.ram.alloc(insts.len() * 4 + 4, 64);
+        for (i, inst) in insts.iter().enumerate() {
+            cpu.ram.write_u32(code_base + (i * 4) as u64, inst.encode());
+        }
+        Ok(Machine {
+            cpu,
+            regs: [0; 32],
+            pc: 0,
+            code_base,
+            code_len: insts.len() as u32,
+            retired: 0,
+        })
+    }
+
+    /// Register value (`r0` is always zero).
+    pub fn reg(&self, n: usize) -> u32 {
+        if n == 0 {
+            0
+        } else {
+            self.regs[n]
+        }
+    }
+
+    /// Sets a register (writes to `r0` are ignored).
+    pub fn set_reg(&mut self, n: usize, v: u32) {
+        if n != 0 {
+            self.regs[n] = v;
+        }
+    }
+
+    /// The machine's processor (for data setup and statistics).
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable access to the processor (e.g. to allocate data regions).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// Elapsed simulated cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cpu.now()
+    }
+
+    /// Instructions retired.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Current program counter (instruction index).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Executes up to `max_steps` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the PC escapes the program or fetches an
+    /// undecodable word.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunOutcome, RunError> {
+        for _ in 0..max_steps {
+            if self.step()? {
+                return Ok(RunOutcome::Halted);
+            }
+        }
+        Ok(RunOutcome::OutOfSteps)
+    }
+
+    /// Executes one instruction; returns `true` on `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] on a wild PC or undecodable word.
+    pub fn step(&mut self) -> Result<bool, RunError> {
+        if self.pc >= self.code_len {
+            return Err(RunError::PcOutOfRange(self.pc));
+        }
+        let pc_addr = self.code_base + (self.pc as u64) * 4;
+        self.cpu.charge_fetch(pc_addr);
+        let word = self.cpu.ram.read_u32(pc_addr);
+        let inst = Inst::decode(word).map_err(RunError::Decode)?;
+        self.retired += 1;
+        let mut next = self.pc + 1;
+        match inst {
+            Inst::Alu { op, rd, rs, rt } => {
+                let v = self.alu(op, self.reg(rs.index()), self.reg(rt.index()));
+                self.set_reg(rd.index(), v);
+            }
+            Inst::AluImm { op, rd, rs, imm } => {
+                let v = self.alu(op, self.reg(rs.index()), imm as i32 as u32);
+                self.set_reg(rd.index(), v);
+            }
+            Inst::Lui { rd, imm } => {
+                self.cpu.alu(1);
+                self.set_reg(rd.index(), (imm as u32) << 16);
+            }
+            Inst::Load { width, rd, rs, imm } => {
+                let addr = VAddr::new(
+                    (self.reg(rs.index()) as i64 + imm as i64) as u64,
+                );
+                let v = match width {
+                    Width::B => self.cpu.load_u8(addr) as i8 as i32 as u32,
+                    Width::Bu => self.cpu.load_u8(addr) as u32,
+                    Width::H => self.cpu.load_u16(addr) as i16 as i32 as u32,
+                    Width::Hu => self.cpu.load_u16(addr) as u32,
+                    Width::W => self.cpu.load_u32(addr),
+                };
+                self.set_reg(rd.index(), v);
+            }
+            Inst::Store { width, rt, rs, imm } => {
+                let addr = VAddr::new(
+                    (self.reg(rs.index()) as i64 + imm as i64) as u64,
+                );
+                let v = self.reg(rt.index());
+                match width {
+                    Width::B | Width::Bu => self.cpu.store_u8(addr, v as u8),
+                    Width::H | Width::Hu => self.cpu.store_u16(addr, v as u16),
+                    Width::W => self.cpu.store_u32(addr, v),
+                }
+            }
+            Inst::Branch { cond, rs, rt, offset } => {
+                let a = self.reg(rs.index());
+                let b = self.reg(rt.index());
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => (a as i32) < (b as i32),
+                    BranchCond::Ge => (a as i32) >= (b as i32),
+                    BranchCond::Ltu => a < b,
+                    BranchCond::Geu => a >= b,
+                };
+                // The branch site is the PC, which is unique per instruction.
+                self.cpu.branch(self.pc, taken);
+                if taken {
+                    next = (self.pc as i64 + 1 + offset as i64) as u32;
+                }
+            }
+            Inst::Jal { rd, target } => {
+                self.cpu.alu(1);
+                self.set_reg(rd.index(), self.pc + 1);
+                next = target;
+            }
+            Inst::Jr { rs } => {
+                self.cpu.alu(1);
+                next = self.reg(rs.index());
+            }
+            Inst::Halt => {
+                self.cpu.alu(1);
+                return Ok(true);
+            }
+        }
+        self.pc = next;
+        Ok(false)
+    }
+
+    fn alu(&mut self, op: AluOp, a: u32, b: u32) -> u32 {
+        match op {
+            AluOp::Mul => self.cpu.mul(),
+            AluOp::Div => self.cpu.div(),
+            _ => self.cpu.alu(1),
+        }
+        match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+            AluOp::Sltu => (a < b) as u32,
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    u32::MAX
+                } else {
+                    ((a as i32).wrapping_div(b as i32)) as u32
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(src: &str) -> Machine {
+        Machine::load(CpuConfig::reference(), 1 << 22, src).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let mut m = machine(
+            r#"
+            addi r1, r0, 10
+            addi r2, r0, 32
+            add  r3, r1, r2
+            mul  r4, r3, r3     ; 42*42
+            halt
+            "#,
+        );
+        assert_eq!(m.run(100).unwrap(), RunOutcome::Halted);
+        assert_eq!(m.reg(3), 42);
+        assert_eq!(m.reg(4), 1764);
+        assert_eq!(m.retired(), 5);
+    }
+
+    #[test]
+    fn loop_sums_one_to_n() {
+        let mut m = machine(
+            r#"
+                addi r1, r0, 0      ; sum
+                addi r2, r0, 1      ; i
+                addi r3, r0, 101    ; bound
+            loop:
+                add  r1, r1, r2
+                addi r2, r2, 1
+                blt  r2, r3, loop
+                halt
+            "#,
+        );
+        assert_eq!(m.run(10_000).unwrap(), RunOutcome::Halted);
+        assert_eq!(m.reg(1), 5050);
+    }
+
+    #[test]
+    fn memory_round_trip_and_widths() {
+        let mut m = machine(
+            r#"
+            lui  r1, 2          ; base = 0x20000
+            addi r2, r0, -1
+            sw   r2, (r1)
+            lb   r3, (r1)       ; sign-extended byte
+            lbu  r4, (r1)
+            lhu  r5, 2(r1)
+            halt
+            "#,
+        );
+        m.run(100).unwrap();
+        assert_eq!(m.reg(3), u32::MAX); // -1 sign extended
+        assert_eq!(m.reg(4), 0xFF);
+        assert_eq!(m.reg(5), 0xFFFF);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut m = machine(
+            r#"
+                jal  r31, fn
+                addi r2, r0, 7
+                halt
+            fn:
+                addi r1, r0, 5
+                jr   r31
+            "#,
+        );
+        m.run(100).unwrap();
+        assert_eq!(m.reg(1), 5);
+        assert_eq!(m.reg(2), 7);
+    }
+
+    #[test]
+    fn r0_stays_zero() {
+        let mut m = machine("addi r0, r0, 99\n halt");
+        m.run(10).unwrap();
+        assert_eq!(m.reg(0), 0);
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        let mut m = machine(
+            "addi r1, r0, 5\n addi r2, r0, 0\n div r3, r1, r2\n halt",
+        );
+        m.run(10).unwrap();
+        assert_eq!(m.reg(3), u32::MAX);
+    }
+
+    #[test]
+    fn out_of_steps_reports() {
+        let mut m = machine("loop: j loop");
+        assert_eq!(m.run(50).unwrap(), RunOutcome::OutOfSteps);
+    }
+
+    #[test]
+    fn wild_jump_is_an_error() {
+        let mut m = machine("addi r1, r0, 999\n jr r1\n halt");
+        assert!(matches!(m.run(10), Err(RunError::PcOutOfRange(999))));
+    }
+
+    #[test]
+    fn cycles_accumulate_with_memory_behaviour() {
+        // A strided store loop must cost far more than a register loop of
+        // the same instruction count.
+        let reg_loop = r#"
+            addi r2, r0, 0
+            addi r3, r0, 1000
+        loop:
+            addi r2, r2, 1
+            addi r4, r4, 3
+            addi r5, r5, 5
+            blt  r2, r3, loop
+            halt
+        "#;
+        let mem_loop = r#"
+            addi r2, r0, 0
+            addi r3, r0, 1000
+            lui  r1, 4
+        loop:
+            sw   r2, (r1)
+            addi r1, r1, 2048   ; a fresh cache line every time
+            addi r2, r2, 1
+            blt  r2, r3, loop
+            halt
+        "#;
+        let mut a = machine(reg_loop);
+        a.run(100_000).unwrap();
+        let mut b = machine(mem_loop);
+        b.run(100_000).unwrap();
+        assert!(
+            b.cycles() > 5 * a.cycles(),
+            "memory-bound {} vs register-bound {}",
+            b.cycles(),
+            a.cycles()
+        );
+    }
+}

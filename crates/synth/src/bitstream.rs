@@ -1,0 +1,74 @@
+//! Configuration-bitstream size estimation.
+//!
+//! Table 3's "Code" column is the configuration data needed to program a
+//! page's logic — an indicator of the "code-bloat" of moving a kernel into
+//! the memory system and of Active-Page replacement cost. A FLEX-10K-class
+//! device spends roughly two hundred configuration bits per logic element
+//! (LUT mask, carry/cascade selects, FF modes and the programmable routing
+//! that belongs to it), plus a fixed header.
+
+use crate::mapper::Mapped;
+
+/// Configuration bits charged per logic element.
+pub const BITS_PER_LE: u32 = 192;
+
+/// Fixed per-design header/frame overhead in bits.
+pub const HEADER_BITS: u32 = 2048;
+
+/// Estimated configuration size in bytes for a mapped design.
+///
+/// # Examples
+///
+/// ```
+/// use ap_synth::{bitstream, blocks, mapper, Netlist};
+///
+/// let mut n = Netlist::new("t");
+/// let a = n.input_bus("a", 16);
+/// let b = n.input_bus("b", 16);
+/// let s = blocks::adder(&mut n, &a, &b);
+/// n.output_bus("s", &s);
+/// let m = mapper::map(&n);
+/// let bytes = bitstream::size_bytes(&m);
+/// assert!(bytes > 256);
+/// ```
+pub fn size_bytes(mapped: &Mapped) -> u32 {
+    (mapped.logic_elements * BITS_PER_LE + HEADER_BITS).div_ceil(8)
+}
+
+/// Formats a size as Table 3 does ("3.5 KB").
+pub fn format_kb(bytes: u32) -> String {
+    format!("{:.1} KB", bytes as f64 / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::Mapped;
+
+    fn mapped(les: u32) -> Mapped {
+        Mapped {
+            luts: les,
+            flip_flops: 0,
+            logic_elements: les,
+            lut_root: vec![],
+            cone_inputs: vec![],
+        }
+    }
+
+    #[test]
+    fn size_scales_with_les() {
+        assert!(size_bytes(&mapped(200)) > size_bytes(&mapped(100)));
+    }
+
+    #[test]
+    fn paper_scale_sanity() {
+        // ~140 LEs should land in the 2–6 KB range like Table 3.
+        let b = size_bytes(&mapped(142));
+        assert!((2048..6144).contains(&b), "got {b}");
+    }
+
+    #[test]
+    fn format_matches_table_style() {
+        assert_eq!(format_kb(3584), "3.5 KB");
+    }
+}

@@ -1,0 +1,54 @@
+//! Circuit-synthesis substrate for the Active Pages reproduction.
+//!
+//! The paper hand-coded each Active-Page function in VHDL, synthesized it
+//! with the Synopsys FPGA tools, and placed-and-routed it to an Altera
+//! FLEX-10K10-3 part, reporting logic-element usage, post-route clock period
+//! and configuration code size (Table 3). This crate rebuilds that flow from
+//! scratch:
+//!
+//! * [`Netlist`] — a gate-level intermediate representation with a structural
+//!   builder API (the stand-in for behavioural VHDL), including dedicated
+//!   carry-chain nodes like the FLEX-10K logic element provides.
+//! * [`blocks`] — reusable datapath generators (ripple/carry adders,
+//!   comparators, muxes, saturating adders, min units, counters) used to
+//!   compose the application circuits.
+//! * [`sim`] — a cycle-accurate netlist evaluator so every circuit can be
+//!   verified functionally against reference software.
+//! * [`mapper`] — greedy 4-LUT technology mapping with single-fanout cone
+//!   absorption and LUT/flip-flop packing into logic elements.
+//! * [`timing`] — a FLEX-10K-calibrated arrival-time model (LUT delay,
+//!   routing per level, dedicated carry per bit) yielding the supported
+//!   clock period.
+//! * [`bitstream`] — configuration-size estimation.
+//! * [`circuits`] — the seven application circuits of Table 3, built
+//!   structurally from [`blocks`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ap_synth::{blocks, mapper, timing, Netlist};
+//!
+//! let mut n = Netlist::new("adder8");
+//! let a = n.input_bus("a", 8);
+//! let b = n.input_bus("b", 8);
+//! let sum = blocks::adder(&mut n, &a, &b);
+//! n.output_bus("sum", &sum);
+//! let mapped = mapper::map(&n);
+//! assert!(mapped.logic_elements >= 8);
+//! let t = timing::analyze(&n, &mapped);
+//! assert!(t.period_ns > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitstream;
+pub mod blocks;
+pub mod circuits;
+pub mod mapper;
+mod netlist;
+pub mod report;
+pub mod sim;
+pub mod timing;
+
+pub use netlist::{Bus, Gate, Netlist, NodeId};

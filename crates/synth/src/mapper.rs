@@ -1,0 +1,221 @@
+//! Greedy 4-LUT technology mapping and logic-element packing.
+//!
+//! A FLEX-10K logic element holds one 4-input look-up table, a dedicated
+//! carry chain, and one flip-flop. Mapping proceeds in topological order,
+//! absorbing single-fanout combinational fanins into each gate's cone while
+//! the cone's support stays within four inputs (greedy tree covering). A
+//! flip-flop packs into the LE of the LUT that drives it when that LUT has no
+//! other fanout; otherwise it occupies an LE of its own.
+
+use crate::netlist::{fanins, Gate, Netlist, NodeId};
+
+/// Result of technology mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapped {
+    /// Number of 4-LUTs after covering.
+    pub luts: u32,
+    /// Number of flip-flops.
+    pub flip_flops: u32,
+    /// Logic elements after LUT+FF packing (the Table 3 "LEs" column).
+    pub logic_elements: u32,
+    /// Per-node: is this node the root of a LUT?
+    pub lut_root: Vec<bool>,
+    /// Per-node: the support (cone inputs) of the node's cover.
+    pub cone_inputs: Vec<Vec<NodeId>>,
+}
+
+fn is_leaf(g: &Gate) -> bool {
+    matches!(g, Gate::Input | Gate::Const(_) | Gate::Dff { .. } | Gate::CarryMaj(..))
+}
+
+/// Maps a netlist to 4-LUTs and packs logic elements.
+///
+/// # Examples
+///
+/// ```
+/// use ap_synth::{blocks, mapper, Netlist};
+///
+/// let mut n = Netlist::new("cmp");
+/// let a = n.input_bus("a", 8);
+/// let b = n.input_bus("b", 8);
+/// let eq = blocks::eq_comparator(&mut n, &a, &b);
+/// n.output("eq", eq);
+/// let m = mapper::map(&n);
+/// // An 8-bit equality fits in a handful of 4-LUTs.
+/// assert!(m.luts >= 3 && m.luts <= 8, "got {}", m.luts);
+/// ```
+pub fn map(netlist: &Netlist) -> Mapped {
+    let len = netlist.len();
+    let fanout = netlist.fanout_counts();
+    let mut cone_inputs: Vec<Vec<NodeId>> = vec![Vec::new(); len];
+    let mut absorbed = vec![false; len];
+
+    for (id, g) in netlist.iter() {
+        if is_leaf(&g) {
+            continue;
+        }
+        let direct = fanins(&g);
+        // Start with the direct fanins, then try to replace each absorbable
+        // fanin by its own cone while the support stays within four leaves.
+        let mut support: Vec<NodeId> = Vec::with_capacity(4);
+        for f in &direct {
+            if !support.contains(f) {
+                support.push(*f);
+            }
+        }
+        for f in &direct {
+            let fg = netlist.gate(*f);
+            let absorbable = !is_leaf(&fg) && fanout[f.index()] == 1 && !absorbed[f.index()];
+            if !absorbable || !support.contains(f) {
+                continue;
+            }
+            let mut candidate: Vec<NodeId> =
+                support.iter().copied().filter(|x| x != f).collect();
+            for &leaf in &cone_inputs[f.index()] {
+                if !candidate.contains(&leaf) {
+                    candidate.push(leaf);
+                }
+            }
+            if candidate.len() <= 4 {
+                support = candidate;
+                absorbed[f.index()] = true;
+            }
+        }
+        debug_assert!(support.len() <= 4, "cone support exceeds a 4-LUT");
+        cone_inputs[id.index()] = support;
+    }
+
+    let mut lut_root = vec![false; len];
+    let mut luts = 0u32;
+    for (id, g) in netlist.iter() {
+        if !is_leaf(&g) && !absorbed[id.index()] {
+            lut_root[id.index()] = true;
+            luts += 1;
+        }
+    }
+
+    // Pack flip-flops: a DFF shares an LE with its driving LUT when that LUT
+    // feeds only this DFF.
+    let mut flip_flops = 0u32;
+    let mut packed_ffs = 0u32;
+    for (_, g) in netlist.iter() {
+        if let Gate::Dff { d, .. } = g {
+            flip_flops += 1;
+            if lut_root[d.index()] && fanout[d.index()] == 1 {
+                packed_ffs += 1;
+            }
+        }
+    }
+
+    let logic_elements = luts + (flip_flops - packed_ffs);
+    Mapped { luts, flip_flops, logic_elements, lut_root, cone_inputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks;
+
+    #[test]
+    fn single_gate_is_one_lut() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.and(a, b);
+        n.output("y", y);
+        let m = map(&n);
+        assert_eq!(m.luts, 1);
+        assert_eq!(m.logic_elements, 1);
+    }
+
+    #[test]
+    fn chain_of_four_inputs_collapses_into_one_lut() {
+        // y = ((a & b) | c) ^ d — 3 gates, 4 distinct inputs -> 1 LUT.
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let d = n.input("d");
+        let x1 = n.and(a, b);
+        let x2 = n.or(x1, c);
+        let y = n.xor(x2, d);
+        n.output("y", y);
+        let m = map(&n);
+        assert_eq!(m.luts, 1);
+    }
+
+    #[test]
+    fn five_input_function_needs_two_luts() {
+        let mut n = Netlist::new("t");
+        let ins = n.input_bus("x", 5);
+        let t1 = n.and(ins[0], ins[1]);
+        let t2 = n.and(t1, ins[2]);
+        let t3 = n.and(t2, ins[3]);
+        let y = n.and(t3, ins[4]);
+        n.output("y", y);
+        let m = map(&n);
+        assert_eq!(m.luts, 2);
+    }
+
+    #[test]
+    fn shared_fanout_is_not_absorbed() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let shared = n.xor(a, b);
+        let y1 = n.not(shared);
+        let y2 = n.and(shared, a);
+        n.output("y1", y1);
+        n.output("y2", y2);
+        let m = map(&n);
+        assert_eq!(m.luts, 3); // shared can't fold into both consumers
+    }
+
+    #[test]
+    fn dff_packs_with_its_driving_lut() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let d = n.and(a, b);
+        let _q = n.dff(d, false);
+        let m = map(&n);
+        assert_eq!(m.luts, 1);
+        assert_eq!(m.flip_flops, 1);
+        assert_eq!(m.logic_elements, 1); // packed
+    }
+
+    #[test]
+    fn dff_with_shared_driver_costs_an_le() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let d = n.and(a, b);
+        let _q = n.dff(d, false);
+        n.output("d", d); // LUT output also observed
+        let m = map(&n);
+        assert_eq!(m.logic_elements, 2);
+    }
+
+    #[test]
+    fn carry_chain_adder_uses_one_le_per_bit() {
+        let mut n = Netlist::new("t");
+        let a = n.input_bus("a", 16);
+        let b = n.input_bus("b", 16);
+        let sum = blocks::adder(&mut n, &a, &b);
+        n.output_bus("s", &sum);
+        let m = map(&n);
+        // One sum LUT per bit; carries ride the dedicated chain.
+        assert!(m.luts <= 20, "adder mapped to {} LUTs", m.luts);
+        assert!(m.luts >= 16);
+    }
+
+    #[test]
+    fn registered_counter_les_scale_with_width() {
+        let mut n = Netlist::new("t");
+        let en = n.input("en");
+        let q = blocks::counter(&mut n, 8, en);
+        n.output_bus("q", &q);
+        let m = map(&n);
+        assert!(m.logic_elements >= 8 && m.logic_elements <= 24, "got {}", m.logic_elements);
+    }
+}

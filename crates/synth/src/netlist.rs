@@ -1,0 +1,336 @@
+//! Gate-level netlist IR with a structural builder API.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of one node in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Index into the netlist's node array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bundle of nets interpreted little-endian (bit 0 first).
+pub type Bus = Vec<NodeId>;
+
+/// One gate (or storage element) in the netlist.
+///
+/// `CarryMaj` is the dedicated carry of a FLEX-10K-style logic element: it is
+/// timed on the fast carry chain and consumes no LUT of its own (the sum XOR
+/// of the same bit does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Primary input.
+    Input,
+    /// Constant driver.
+    Const(bool),
+    /// Inverter.
+    Not(NodeId),
+    /// Two-input AND.
+    And(NodeId, NodeId),
+    /// Two-input OR.
+    Or(NodeId, NodeId),
+    /// Two-input XOR.
+    Xor(NodeId, NodeId),
+    /// Two-to-one multiplexer: `s ? a : b`.
+    Mux {
+        /// Select net.
+        s: NodeId,
+        /// Value when `s` is 1.
+        a: NodeId,
+        /// Value when `s` is 0.
+        b: NodeId,
+    },
+    /// Majority-of-three on the dedicated carry chain (`ab + ac + bc`).
+    CarryMaj(NodeId, NodeId, NodeId),
+    /// D flip-flop; `init` is the power-up state.
+    Dff {
+        /// Data input (sampled at each clock).
+        d: NodeId,
+        /// Power-up value.
+        init: bool,
+    },
+}
+
+/// A combinational + registered netlist.
+///
+/// Nodes are created in topological order by construction: every gate's
+/// operands must already exist (flip-flop data inputs may be connected later
+/// via [`Netlist::connect_dff`], which is how feedback loops are closed).
+///
+/// # Examples
+///
+/// ```
+/// use ap_synth::Netlist;
+///
+/// let mut n = Netlist::new("toy");
+/// let a = n.input("a");
+/// let b = n.input("b");
+/// let y = n.xor(a, b);
+/// n.output("y", y);
+/// assert_eq!(n.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Gate>,
+    input_names: HashMap<String, Bus>,
+    outputs: Vec<(String, Bus)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            nodes: Vec::new(),
+            input_names: HashMap::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Circuit name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the netlist has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The gate at `id`.
+    #[inline]
+    pub fn gate(&self, id: NodeId) -> Gate {
+        self.nodes[id.index()]
+    }
+
+    /// Iterates over `(id, gate)` in topological (creation) order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Gate)> + '_ {
+        self.nodes.iter().enumerate().map(|(i, g)| (NodeId(i as u32), *g))
+    }
+
+    /// Declared outputs in declaration order.
+    pub fn outputs(&self) -> &[(String, Bus)] {
+        &self.outputs
+    }
+
+    /// The input bus registered under `name`, if any.
+    pub fn input_bus_named(&self, name: &str) -> Option<&Bus> {
+        self.input_names.get(name)
+    }
+
+    fn push(&mut self, g: Gate) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        if let Gate::Dff { .. } = g {
+        } else {
+            // Operand sanity: all fanins must already exist.
+            for f in fanins(&g) {
+                assert!(f.index() < self.nodes.len(), "operand created after gate");
+            }
+        }
+        self.nodes.push(g);
+        id
+    }
+
+    /// Creates a named single-bit primary input.
+    pub fn input(&mut self, name: &str) -> NodeId {
+        let id = self.push(Gate::Input);
+        self.input_names.entry(name.to_string()).or_default().push(id);
+        id
+    }
+
+    /// Creates a named `width`-bit input bus (bit 0 first).
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Bus {
+        (0..width).map(|_| self.input(name)).collect()
+    }
+
+    /// Creates a constant net.
+    pub fn constant(&mut self, v: bool) -> NodeId {
+        self.push(Gate::Const(v))
+    }
+
+    /// Creates a constant bus holding `value` in `width` bits.
+    pub fn constant_bus(&mut self, value: u64, width: usize) -> Bus {
+        (0..width).map(|i| self.constant((value >> i) & 1 == 1)).collect()
+    }
+
+    /// NOT gate.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        self.push(Gate::Not(a))
+    }
+
+    /// AND gate.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::And(a, b))
+    }
+
+    /// OR gate.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Or(a, b))
+    }
+
+    /// XOR gate.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// 2:1 mux (`s ? a : b`).
+    pub fn mux(&mut self, s: NodeId, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Mux { s, a, b })
+    }
+
+    /// Dedicated-carry majority gate.
+    pub fn carry_maj(&mut self, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
+        self.push(Gate::CarryMaj(a, b, c))
+    }
+
+    /// D flip-flop with a data input that already exists.
+    pub fn dff(&mut self, d: NodeId, init: bool) -> NodeId {
+        self.push(Gate::Dff { d, init })
+    }
+
+    /// D flip-flop whose data input will be connected later (for feedback).
+    pub fn dff_floating(&mut self, init: bool) -> NodeId {
+        // Point at itself temporarily; `connect_dff` must be called.
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Gate::Dff { d: id, init });
+        id
+    }
+
+    /// Connects the data input of a floating flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff` is not a flip-flop.
+    pub fn connect_dff(&mut self, ff: NodeId, d: NodeId) {
+        match &mut self.nodes[ff.index()] {
+            Gate::Dff { d: slot, .. } => *slot = d,
+            other => panic!("connect_dff on non-flip-flop {other:?}"),
+        }
+    }
+
+    /// Declares a named single-bit output.
+    pub fn output(&mut self, name: &str, net: NodeId) {
+        self.outputs.push((name.to_string(), vec![net]));
+    }
+
+    /// Declares a named output bus.
+    pub fn output_bus(&mut self, name: &str, bus: &[NodeId]) {
+        self.outputs.push((name.to_string(), bus.to_vec()));
+    }
+
+    /// Per-node fanout counts (outputs and DFF feedback included).
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.nodes.len()];
+        for (_, g) in self.iter() {
+            for f in fanins(&g) {
+                counts[f.index()] += 1;
+            }
+        }
+        for (_, bus) in &self.outputs {
+            for f in bus {
+                counts[f.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Number of flip-flops.
+    pub fn dff_count(&self) -> usize {
+        self.nodes.iter().filter(|g| matches!(g, Gate::Dff { .. })).count()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist '{}': {} nodes, {} FFs, {} outputs", self.name, self.len(), self.dff_count(), self.outputs.len())
+    }
+}
+
+/// The fanin nets of a gate.
+pub(crate) fn fanins(g: &Gate) -> Vec<NodeId> {
+    match *g {
+        Gate::Input | Gate::Const(_) => vec![],
+        Gate::Not(a) => vec![a],
+        Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => vec![a, b],
+        Gate::Mux { s, a, b } => vec![s, a, b],
+        Gate::CarryMaj(a, b, c) => vec![a, b, c],
+        Gate::Dff { d, .. } => vec![d],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_creates_topological_order() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.and(a, b);
+        let y = n.not(x);
+        n.output("y", y);
+        assert_eq!(n.len(), 4);
+        assert!(matches!(n.gate(y), Gate::Not(_)));
+    }
+
+    #[test]
+    fn dff_feedback_loop() {
+        let mut n = Netlist::new("t");
+        let ff = n.dff_floating(false);
+        let inv = n.not(ff);
+        n.connect_dff(ff, inv);
+        assert!(matches!(n.gate(ff), Gate::Dff { d, .. } if d == inv));
+        assert_eq!(n.dff_count(), 1);
+    }
+
+    #[test]
+    fn fanout_counts_include_outputs() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let x = n.not(a);
+        let y = n.not(x);
+        n.output("x", x);
+        n.output("y", y);
+        let fo = n.fanout_counts();
+        assert_eq!(fo[a.index()], 1);
+        assert_eq!(fo[x.index()], 2); // feeds y and is an output
+    }
+
+    #[test]
+    fn constant_bus_encodes_value() {
+        let mut n = Netlist::new("t");
+        let bus = n.constant_bus(0b1010, 4);
+        let vals: Vec<bool> =
+            bus.iter().map(|&id| matches!(n.gate(id), Gate::Const(true))).collect();
+        assert_eq!(vals, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn input_bus_registers_name() {
+        let mut n = Netlist::new("t");
+        let b = n.input_bus("data", 8);
+        assert_eq!(n.input_bus_named("data").unwrap().len(), 8);
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-flip-flop")]
+    fn connect_dff_validates() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        n.connect_dff(a, a);
+    }
+}

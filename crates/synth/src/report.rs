@@ -1,0 +1,155 @@
+//! Table 3 regeneration.
+
+use crate::circuits;
+use crate::{bitstream, mapper, timing};
+use std::fmt;
+
+/// One row of the regenerated Table 3, paired with the paper's values.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Circuit name.
+    pub name: &'static str,
+    /// Logic elements after our mapping.
+    pub les: u32,
+    /// Supported clock period from our timing model (ns).
+    pub speed_ns: f64,
+    /// Estimated configuration size (bytes).
+    pub code_bytes: u32,
+    /// LEs reported in the paper.
+    pub paper_les: u32,
+    /// Clock period reported in the paper (ns).
+    pub paper_speed_ns: f64,
+    /// Code size reported in the paper (KB).
+    pub paper_code_kb: f64,
+}
+
+/// Synthesizes all seven circuits and returns the regenerated Table 3.
+///
+/// # Examples
+///
+/// ```
+/// let rows = ap_synth::report::table3();
+/// assert_eq!(rows.len(), 7);
+/// assert!(rows.iter().all(|r| r.les <= 256));
+/// ```
+pub fn table3() -> Vec<Table3Row> {
+    circuits::all()
+        .into_iter()
+        .map(|spec| {
+            let netlist = (spec.build)();
+            let mapped = mapper::map(&netlist);
+            let t = timing::analyze(&netlist, &mapped);
+            Table3Row {
+                name: spec.name,
+                les: mapped.logic_elements,
+                speed_ns: t.period_ns,
+                code_bytes: bitstream::size_bytes(&mapped),
+                paper_les: spec.paper_les,
+                paper_speed_ns: spec.paper_speed_ns,
+                paper_code_kb: spec.paper_code_kb,
+            }
+        })
+        .collect()
+}
+
+impl fmt::Display for Table3Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<13} {:>4} LEs ({:>4} paper)  {:>6.1} ns ({:>5.1} paper)  {:>7} ({:>4.1} KB paper)",
+            self.name,
+            self.les,
+            self.paper_les,
+            self.speed_ns,
+            self.paper_speed_ns,
+            bitstream::format_kb(self.code_bytes),
+            self.paper_code_kb,
+        )
+    }
+}
+
+/// One extension circuit's synthesis summary (not part of Table 3).
+#[derive(Debug, Clone)]
+pub struct ExtensionRow {
+    /// Circuit name.
+    pub name: &'static str,
+    /// Logic elements after mapping.
+    pub les: u32,
+    /// Supported clock period (ns).
+    pub speed_ns: f64,
+    /// Estimated configuration size (bytes).
+    pub code_bytes: u32,
+}
+
+/// Synthesizes the Section 10 extension circuits (the generic
+/// data-manipulation primitive engine and the MPEG entropy decoder).
+///
+/// # Examples
+///
+/// ```
+/// let rows = ap_synth::report::extensions();
+/// assert!(rows.iter().all(|r| r.les <= 256));
+/// ```
+pub fn extensions() -> Vec<ExtensionRow> {
+    type Builder = fn() -> crate::Netlist;
+    let specs: [(&'static str, Builder); 2] = [
+        ("data-primitives", circuits::data_primitives),
+        ("entropy-decode", circuits::entropy_decode),
+    ];
+    specs
+        .into_iter()
+        .map(|(name, build)| {
+            let n = build();
+            let m = mapper::map(&n);
+            let t = timing::analyze(&n, &m);
+            ExtensionRow {
+                name,
+                les: m.logic_elements,
+                speed_ns: t.period_ns,
+                code_bytes: bitstream::size_bytes(&m),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_all_circuits_within_page_budget() {
+        let rows = table3();
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(r.les <= 256, "{}: {} LEs", r.name, r.les);
+            assert!(r.code_bytes > 1024, "{}: code {}", r.name, r.code_bytes);
+        }
+    }
+
+    #[test]
+    fn area_ordering_roughly_matches_the_paper() {
+        // Matrix is the paper's largest circuit; the shifters are smallest.
+        let rows = table3();
+        let get = |name: &str| rows.iter().find(|r| r.name == name).unwrap().les;
+        assert!(get("Matrix") > get("Array-delete"));
+        assert!(get("Dynamic Prog") > get("Array-insert"));
+    }
+
+    #[test]
+    fn display_mentions_both_measured_and_paper_values() {
+        let row = &table3()[0];
+        let s = format!("{row}");
+        assert!(s.contains("paper"));
+    }
+
+    #[test]
+    fn extension_circuits_fit_the_page() {
+        let rows = extensions();
+        assert_eq!(rows.len(), 2);
+        for r in rows {
+            assert!(r.les <= 256, "{}: {} LEs", r.name, r.les);
+            assert!(r.speed_ns < 60.0);
+            assert!(r.code_bytes > 1024);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Cycle-accurate netlist evaluation.
+//!
+//! Used to verify that every structurally-built circuit computes the same
+//! function as reference software before its cost model is trusted.
+
+use crate::netlist::{Gate, Netlist, NodeId};
+use std::collections::HashMap;
+
+/// Evaluates a [`Netlist`] cycle by cycle.
+///
+/// # Examples
+///
+/// ```
+/// use ap_synth::{sim::Simulator, Netlist};
+///
+/// let mut n = Netlist::new("xor");
+/// let a = n.input("a");
+/// let b = n.input("b");
+/// let y = n.xor(a, b);
+/// n.output("y", y);
+///
+/// let mut s = Simulator::new(&n);
+/// s.set(a, true);
+/// s.set(b, false);
+/// s.settle();
+/// assert!(s.get(y));
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    values: Vec<bool>,
+    state: HashMap<usize, bool>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with flip-flops at their power-up values.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let mut state = HashMap::new();
+        for (id, g) in netlist.iter() {
+            if let Gate::Dff { init, .. } = g {
+                state.insert(id.index(), init);
+            }
+        }
+        Simulator { netlist, values: vec![false; netlist.len()], state }
+    }
+
+    /// Drives a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an input node.
+    pub fn set(&mut self, id: NodeId, v: bool) {
+        assert!(matches!(self.netlist.gate(id), Gate::Input), "set() on a non-input node");
+        self.values[id.index()] = v;
+    }
+
+    /// Drives an input bus with the low bits of `value`.
+    pub fn set_bus(&mut self, bus: &[NodeId], value: u64) {
+        for (i, &id) in bus.iter().enumerate() {
+            self.set(id, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Propagates combinational logic (one pass in topological order).
+    pub fn settle(&mut self) {
+        for (id, g) in self.netlist.iter() {
+            let v = match g {
+                Gate::Input => self.values[id.index()],
+                Gate::Const(c) => c,
+                Gate::Not(a) => !self.values[a.index()],
+                Gate::And(a, b) => self.values[a.index()] && self.values[b.index()],
+                Gate::Or(a, b) => self.values[a.index()] || self.values[b.index()],
+                Gate::Xor(a, b) => self.values[a.index()] ^ self.values[b.index()],
+                Gate::Mux { s, a, b } => {
+                    if self.values[s.index()] {
+                        self.values[a.index()]
+                    } else {
+                        self.values[b.index()]
+                    }
+                }
+                #[allow(clippy::nonminimal_bool)] // written as the majority form
+                Gate::CarryMaj(a, b, c) => {
+                    let (x, y, z) =
+                        (self.values[a.index()], self.values[b.index()], self.values[c.index()]);
+                    (x && y) || (x && z) || (y && z)
+                }
+                Gate::Dff { .. } => self.state[&id.index()],
+            };
+            self.values[id.index()] = v;
+        }
+    }
+
+    /// Clock edge: every flip-flop captures its data input. Call after
+    /// [`Simulator::settle`].
+    pub fn clock(&mut self) {
+        let mut next = Vec::new();
+        for (id, g) in self.netlist.iter() {
+            if let Gate::Dff { d, .. } = g {
+                next.push((id.index(), self.values[d.index()]));
+            }
+        }
+        for (i, v) in next {
+            self.state.insert(i, v);
+        }
+    }
+
+    /// Convenience: settle then clock (one full cycle).
+    pub fn step(&mut self) {
+        self.settle();
+        self.clock();
+    }
+
+    /// Current value of a net (valid after [`Simulator::settle`]).
+    pub fn get(&self, id: NodeId) -> bool {
+        self.values[id.index()]
+    }
+
+    /// Reads a bus as an integer (bit 0 is the LSB).
+    pub fn get_bus(&self, bus: &[NodeId]) -> u64 {
+        bus.iter().enumerate().fold(0, |acc, (i, &id)| acc | ((self.get(id) as u64) << i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::nonminimal_bool)] // the reference is the majority form
+    fn combinational_gates() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let and = n.and(a, b);
+        let or = n.or(a, b);
+        let xor = n.xor(a, b);
+        let not = n.not(a);
+        let mux = n.mux(c, a, b);
+        let maj = n.carry_maj(a, b, c);
+        let mut s = Simulator::new(&n);
+        for bits in 0..8u64 {
+            s.set(a, bits & 1 == 1);
+            s.set(b, bits & 2 == 2);
+            s.set(c, bits & 4 == 4);
+            s.settle();
+            let (av, bv, cv) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            assert_eq!(s.get(and), av && bv);
+            assert_eq!(s.get(or), av || bv);
+            assert_eq!(s.get(xor), av ^ bv);
+            assert_eq!(s.get(not), !av);
+            assert_eq!(s.get(mux), if cv { av } else { bv });
+            assert_eq!(s.get(maj), (av && bv) || (av && cv) || (bv && cv));
+        }
+    }
+
+    #[test]
+    fn toggle_flip_flop() {
+        let mut n = Netlist::new("t");
+        let ff = n.dff_floating(false);
+        let inv = n.not(ff);
+        n.connect_dff(ff, inv);
+        n.output("q", ff);
+        let mut s = Simulator::new(&n);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            s.settle();
+            seen.push(s.get(ff));
+            s.clock();
+        }
+        assert_eq!(seen, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn bus_helpers() {
+        let mut n = Netlist::new("t");
+        let bus = n.input_bus("x", 8);
+        let mut s = Simulator::new(&n);
+        s.set_bus(&bus, 0xA5);
+        s.settle();
+        assert_eq!(s.get_bus(&bus), 0xA5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-input")]
+    fn set_checks_inputs() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let x = n.not(a);
+        let mut s = Simulator::new(&n);
+        s.set(x, true);
+    }
+}

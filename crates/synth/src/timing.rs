@@ -1,0 +1,227 @@
+//! FLEX-10K-style static timing analysis.
+//!
+//! The model charges one LUT delay plus local routing per mapped LUT level,
+//! a fast dedicated-carry delay per carry bit, and flip-flop clock-to-out /
+//! setup at the registered boundaries. Constants are calibrated so that the
+//! seven Table 3 circuits land in the paper's 25–46 ns post-route range on a
+//! FLEX-10K10-3.
+
+use crate::mapper::Mapped;
+use crate::netlist::{Gate, Netlist};
+
+/// Delay parameters of the target technology (ns).
+///
+/// # Examples
+///
+/// ```
+/// use ap_synth::timing::Tech;
+///
+/// let t = Tech::flex10k3();
+/// assert!(t.lut_ns > 0.0 && t.carry_ns < t.lut_ns);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tech {
+    /// LUT propagation delay.
+    pub lut_ns: f64,
+    /// Local interconnect delay charged per LUT level.
+    pub route_ns: f64,
+    /// Dedicated carry-chain delay per bit.
+    pub carry_ns: f64,
+    /// Flip-flop clock-to-out plus setup (charged once per register path).
+    pub reg_ns: f64,
+    /// Fixed I/O and clock distribution overhead.
+    pub io_ns: f64,
+}
+
+impl Tech {
+    /// An Altera FLEX-10K10 speed grade -3 style device (the paper's part).
+    pub fn flex10k3() -> Self {
+        Tech { lut_ns: 1.6, route_ns: 2.9, carry_ns: 0.45, reg_ns: 3.2, io_ns: 2.8 }
+    }
+}
+
+impl Default for Tech {
+    fn default() -> Self {
+        Self::flex10k3()
+    }
+}
+
+/// Result of timing analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Worst-case register-to-register (or I/O) period in ns.
+    pub period_ns: f64,
+    /// Maximum LUT levels on the critical path.
+    pub lut_levels: u32,
+    /// Maximum consecutive carry bits on the critical path.
+    pub carry_bits: u32,
+}
+
+impl TimingReport {
+    /// Maximum clock frequency implied by the period, in MHz.
+    pub fn fmax_mhz(&self) -> f64 {
+        1000.0 / self.period_ns
+    }
+}
+
+/// Computes arrival times over the mapped netlist and returns the worst
+/// register/output path.
+///
+/// # Examples
+///
+/// ```
+/// use ap_synth::{blocks, mapper, timing, Netlist};
+///
+/// let mut n = Netlist::new("inc");
+/// let a = n.input_bus("a", 17);
+/// let q = blocks::incrementer(&mut n, &a);
+/// n.output_bus("q", &q);
+/// let t = timing::analyze(&n, &mapper::map(&n));
+/// // 17 carry bits ride the fast chain, so the period stays well under
+/// // 17 LUT levels' worth of delay.
+/// assert!(t.period_ns < 30.0, "period {}", t.period_ns);
+/// ```
+pub fn analyze(netlist: &Netlist, mapped: &Mapped) -> TimingReport {
+    analyze_with(netlist, mapped, Tech::default())
+}
+
+/// [`analyze`] with explicit technology parameters.
+pub fn analyze_with(netlist: &Netlist, mapped: &Mapped, tech: Tech) -> TimingReport {
+    let len = netlist.len();
+    // Per-node arrival time, LUT level count and carry run length.
+    let mut arrive = vec![0.0f64; len];
+    let mut levels = vec![0u32; len];
+    let mut carries = vec![0u32; len];
+
+    let mut worst = (0.0f64, 0u32, 0u32);
+    let consider = |a: f64, l: u32, c: u32, worst: &mut (f64, u32, u32)| {
+        if a > worst.0 {
+            *worst = (a, l, c);
+        }
+    };
+
+    // Pass 1: combinational arrival times. Flip-flop outputs launch fresh
+    // paths; their (possibly forward-referencing) data inputs are examined in
+    // pass 2 once every arrival is known.
+    for (id, g) in netlist.iter() {
+        let i = id.index();
+        match g {
+            Gate::Input | Gate::Const(_) => {}
+            Gate::Dff { .. } => {
+                arrive[i] = 0.0;
+            }
+            Gate::CarryMaj(a, b, c) => {
+                let (mut t, mut l, mut cr) = (0.0, 0, 0);
+                for f in [a, b, c] {
+                    let fi = f.index();
+                    if arrive[fi] > t {
+                        t = arrive[fi];
+                        l = levels[fi];
+                        cr = carries[fi];
+                    }
+                }
+                arrive[i] = t + tech.carry_ns;
+                levels[i] = l;
+                carries[i] = cr + 1;
+            }
+            _ => {
+                if mapped.lut_root[i] {
+                    let (mut t, mut l, mut cr) = (0.0, 0, 0);
+                    for f in &mapped.cone_inputs[i] {
+                        let fi = f.index();
+                        if arrive[fi] > t {
+                            t = arrive[fi];
+                            l = levels[fi];
+                            cr = carries[fi];
+                        }
+                    }
+                    arrive[i] = t + tech.lut_ns + tech.route_ns;
+                    levels[i] = l + 1;
+                    carries[i] = cr;
+                }
+                // Absorbed nodes inherit nothing: their timing is folded into
+                // the covering LUT, which reads the cone inputs directly.
+            }
+        }
+    }
+
+    // Pass 2: register capture paths.
+    for (_, g) in netlist.iter() {
+        if let Gate::Dff { d, .. } = g {
+            consider(
+                arrive[d.index()] + tech.reg_ns,
+                levels[d.index()],
+                carries[d.index()],
+                &mut worst,
+            );
+        }
+    }
+
+    for (_, bus) in netlist.outputs() {
+        for f in bus {
+            let fi = f.index();
+            consider(arrive[fi] + tech.io_ns, levels[fi], carries[fi], &mut worst);
+        }
+    }
+
+    // An all-register circuit still needs one register period.
+    let period = (worst.0 + tech.io_ns * 0.0).max(tech.reg_ns + tech.lut_ns);
+    TimingReport { period_ns: period, lut_levels: worst.1, carry_bits: worst.2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{blocks, mapper};
+
+    #[test]
+    fn deeper_logic_is_slower() {
+        let period_of = |depth: usize| {
+            let mut n = Netlist::new("chain");
+            let mut x = n.input("x");
+            let inputs: Vec<_> = (0..depth).map(|_| n.input("k")).collect();
+            // Alternate xor/and so nothing collapses beyond 4-input cones.
+            for (i, k) in inputs.iter().enumerate() {
+                x = if i % 2 == 0 { n.xor(x, *k) } else { n.and(x, *k) };
+                // Force a fanout so the mapper cannot absorb chains.
+                n.output("tap", x);
+            }
+            let m = mapper::map(&n);
+            analyze(&n, &m).period_ns
+        };
+        assert!(period_of(12) > period_of(3));
+    }
+
+    #[test]
+    fn carry_chain_is_cheaper_than_lut_levels() {
+        let mut n = Netlist::new("add32");
+        let a = n.input_bus("a", 32);
+        let b = n.input_bus("b", 32);
+        let s = blocks::adder(&mut n, &a, &b);
+        n.output_bus("s", &s);
+        let m = mapper::map(&n);
+        let t = analyze(&n, &m);
+        assert!(t.carry_bits >= 30, "carry bits {}", t.carry_bits);
+        // 32 LUT levels would cost > 140 ns; the chain keeps it far lower.
+        assert!(t.period_ns < 40.0, "period {}", t.period_ns);
+    }
+
+    #[test]
+    fn fmax_inverts_period() {
+        let r = TimingReport { period_ns: 40.0, lut_levels: 5, carry_bits: 0 };
+        assert!((r.fmax_mhz() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn register_paths_count() {
+        let mut n = Netlist::new("reg");
+        let a = n.input_bus("a", 8);
+        let b = n.input_bus("b", 8);
+        let s = blocks::adder(&mut n, &a, &b);
+        let q = blocks::register(&mut n, &s, 0);
+        n.output_bus("q", &q);
+        let m = mapper::map(&n);
+        let t = analyze(&n, &m);
+        assert!(t.period_ns > Tech::flex10k3().reg_ns);
+    }
+}

@@ -1,0 +1,159 @@
+//! Synthetic address book for the unindexed database query.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Fixed record size in bytes (32 words — matches the database circuit).
+pub const RECORD_BYTES: usize = 128;
+
+/// Byte offset and length of the last-name field within a record.
+pub const LAST_NAME_OFFSET: usize = 0;
+/// Length of the last-name field.
+pub const LAST_NAME_LEN: usize = 16;
+
+const SYLLABLES: [&str; 20] = [
+    "an", "ber", "chen", "dor", "el", "far", "gra", "hol", "ing", "jor", "kal", "lu", "mar", "nor",
+    "ock", "per", "quin", "rossi", "sten", "tam",
+];
+
+/// One synthetic address record.
+///
+/// # Examples
+///
+/// ```
+/// use ap_workloads::database::AddressBook;
+///
+/// let book = AddressBook::generate(42, 100);
+/// assert_eq!(book.records(), 100);
+/// assert!(book.expected_matches(book.query()) >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressBook {
+    bytes: Vec<u8>,
+    records: usize,
+    query: String,
+}
+
+impl AddressBook {
+    /// Generates `records` fixed-size address records from `seed`, plus a
+    /// query last name guaranteed to appear at least once.
+    pub fn generate(seed: u64, records: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = vec![0u8; records * RECORD_BYTES];
+        let mut names: Vec<String> = Vec::with_capacity(records);
+        for r in 0..records {
+            let base = r * RECORD_BYTES;
+            let extra = rng.random_range(0..2);
+            let last = Self::name(&mut rng, 2 + extra);
+            Self::put(&mut bytes[base + LAST_NAME_OFFSET..], &last, LAST_NAME_LEN);
+            let first = Self::name(&mut rng, 2);
+            Self::put(&mut bytes[base + 16..], &first, 12);
+            let street = format!("{} {} st", rng.random_range(1..9999), Self::name(&mut rng, 2));
+            Self::put(&mut bytes[base + 28..], &street, 24);
+            let city = Self::name(&mut rng, 3);
+            Self::put(&mut bytes[base + 52..], &city, 16);
+            let zip = format!("{:05}", rng.random_range(10000..99999));
+            Self::put(&mut bytes[base + 68..], &zip, 8);
+            let phone = format!("{:03}-{:04}", rng.random_range(200..999), rng.random_range(0..9999));
+            Self::put(&mut bytes[base + 76..], &phone, 12);
+            // Remaining bytes stay as deterministic filler.
+            for i in 88..RECORD_BYTES {
+                bytes[base + i] = (r as u8).wrapping_mul(31).wrapping_add(i as u8);
+            }
+            names.push(last);
+        }
+        let query = names[rng.random_range(0..names.len())].clone();
+        AddressBook { bytes, records, query }
+    }
+
+    fn name(rng: &mut StdRng, syllables: usize) -> String {
+        let mut s = String::new();
+        for _ in 0..syllables {
+            s.push_str(SYLLABLES[rng.random_range(0..SYLLABLES.len())]);
+        }
+        s
+    }
+
+    fn put(dst: &mut [u8], s: &str, field: usize) {
+        let b = s.as_bytes();
+        let n = b.len().min(field);
+        dst[..n].copy_from_slice(&b[..n]);
+        for slot in dst[n..field].iter_mut() {
+            *slot = 0;
+        }
+    }
+
+    /// The raw serialized records.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Number of records.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// The benchmark's query last name (guaranteed at least one match).
+    pub fn query(&self) -> &str {
+        &self.query
+    }
+
+    /// The last-name field of record `r` as stored (NUL padded).
+    pub fn last_name_field(&self, r: usize) -> [u8; LAST_NAME_LEN] {
+        let base = r * RECORD_BYTES + LAST_NAME_OFFSET;
+        self.bytes[base..base + LAST_NAME_LEN].try_into().unwrap()
+    }
+
+    /// Reference answer: exact matches of `name` against the last-name field.
+    pub fn expected_matches(&self, name: &str) -> usize {
+        let mut field = [0u8; LAST_NAME_LEN];
+        let b = name.as_bytes();
+        let n = b.len().min(LAST_NAME_LEN);
+        field[..n].copy_from_slice(&b[..n]);
+        (0..self.records).filter(|&r| self.last_name_field(r) == field).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = AddressBook::generate(7, 50);
+        let b = AddressBook::generate(7, 50);
+        assert_eq!(a.bytes(), b.bytes());
+        assert_eq!(a.query(), b.query());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = AddressBook::generate(1, 50);
+        let b = AddressBook::generate(2, 50);
+        assert_ne!(a.bytes(), b.bytes());
+    }
+
+    #[test]
+    fn query_always_matches_at_least_once() {
+        for seed in 0..20 {
+            let book = AddressBook::generate(seed, 64);
+            assert!(book.expected_matches(book.query()) >= 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn records_are_fixed_size_and_nul_padded() {
+        let book = AddressBook::generate(3, 10);
+        assert_eq!(book.bytes().len(), 10 * RECORD_BYTES);
+        let f = book.last_name_field(0);
+        // Name syllables are ASCII; padding is NUL.
+        assert!(f.iter().any(|&c| c != 0));
+        assert!(f.iter().all(|&c| c == 0 || c.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn nonexistent_name_matches_zero() {
+        let book = AddressBook::generate(3, 10);
+        assert_eq!(book.expected_matches("zzzzzzzz"), 0);
+    }
+}

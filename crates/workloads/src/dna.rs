@@ -1,0 +1,154 @@
+//! DNA sequence pairs for the largest-common-subsequence benchmark.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const ALPHABET: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// A pair of related sequences to align.
+///
+/// The second sequence is a mutated copy of the first (substitutions,
+/// insertions, deletions) so the LCS is long and biologically plausible —
+/// matching the paper's sequence-reconstruction motivation.
+///
+/// # Examples
+///
+/// ```
+/// use ap_workloads::dna::SequencePair;
+///
+/// let p = SequencePair::generate(5, 100, 0.1);
+/// assert_eq!(p.a.len(), 100);
+/// assert!(p.b.len() > 50);
+/// let lcs = p.lcs_length();
+/// assert!(lcs > 50 && lcs <= 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequencePair {
+    /// First sequence.
+    pub a: Vec<u8>,
+    /// Second sequence (mutated copy of the first).
+    pub b: Vec<u8>,
+}
+
+impl SequencePair {
+    /// Generates a pair where `b` differs from `a` by roughly
+    /// `mutation_rate` edits per base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mutation_rate` is not within `[0, 1]`.
+    pub fn generate(seed: u64, len: usize, mutation_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&mutation_rate), "mutation rate must be in [0,1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<u8> = (0..len).map(|_| ALPHABET[rng.random_range(0..4)]).collect();
+        let mut b = Vec::with_capacity(len + 8);
+        for &c in &a {
+            if rng.random::<f64>() < mutation_rate {
+                match rng.random_range(0..3) {
+                    0 => b.push(ALPHABET[rng.random_range(0..4)]), // substitution
+                    1 => {
+                        // insertion
+                        b.push(c);
+                        b.push(ALPHABET[rng.random_range(0..4)]);
+                    }
+                    _ => {} // deletion
+                }
+            } else {
+                b.push(c);
+            }
+        }
+        if b.is_empty() {
+            b.push(a[0]);
+        }
+        SequencePair { a, b }
+    }
+
+    /// Reference LCS length by the classic O(n·m) dynamic program.
+    pub fn lcs_length(&self) -> usize {
+        let (n, m) = (self.a.len(), self.b.len());
+        let mut prev = vec![0usize; m + 1];
+        let mut cur = vec![0usize; m + 1];
+        for i in 1..=n {
+            for j in 1..=m {
+                cur[j] = if self.a[i - 1] == self.b[j - 1] {
+                    prev[j - 1] + 1
+                } else {
+                    prev[j].max(cur[j - 1])
+                };
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[m]
+    }
+
+    /// Reference LCS string (one canonical backtrack).
+    pub fn lcs(&self) -> Vec<u8> {
+        let (n, m) = (self.a.len(), self.b.len());
+        let mut dp = vec![vec![0u32; m + 1]; n + 1];
+        for i in 1..=n {
+            for j in 1..=m {
+                dp[i][j] = if self.a[i - 1] == self.b[j - 1] {
+                    dp[i - 1][j - 1] + 1
+                } else {
+                    dp[i - 1][j].max(dp[i][j - 1])
+                };
+            }
+        }
+        let mut out = Vec::new();
+        let (mut i, mut j) = (n, m);
+        while i > 0 && j > 0 {
+            if self.a[i - 1] == self.b[j - 1] {
+                out.push(self.a[i - 1]);
+                i -= 1;
+                j -= 1;
+            } else if dp[i - 1][j] >= dp[i][j - 1] {
+                i -= 1;
+            } else {
+                j -= 1;
+            }
+        }
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(SequencePair::generate(1, 64, 0.2), SequencePair::generate(1, 64, 0.2));
+    }
+
+    #[test]
+    fn zero_mutation_gives_identical_sequences() {
+        let p = SequencePair::generate(2, 40, 0.0);
+        assert_eq!(p.a, p.b);
+        assert_eq!(p.lcs_length(), 40);
+    }
+
+    #[test]
+    fn lcs_string_length_matches_dp_length() {
+        let p = SequencePair::generate(3, 80, 0.25);
+        assert_eq!(p.lcs().len(), p.lcs_length());
+    }
+
+    #[test]
+    fn lcs_is_a_subsequence_of_both() {
+        fn is_subseq(needle: &[u8], hay: &[u8]) -> bool {
+            let mut it = hay.iter();
+            needle.iter().all(|c| it.any(|h| h == c))
+        }
+        let p = SequencePair::generate(4, 120, 0.3);
+        let l = p.lcs();
+        assert!(is_subseq(&l, &p.a));
+        assert!(is_subseq(&l, &p.b));
+    }
+
+    #[test]
+    fn alphabet_is_acgt() {
+        let p = SequencePair::generate(5, 200, 0.15);
+        assert!(p.a.iter().chain(&p.b).all(|c| ALPHABET.contains(c)));
+    }
+}

@@ -1,0 +1,343 @@
+//! Entropy coding for DCT coefficient blocks: zigzag scan, run-length
+//! coding, and a static MPEG-style variable-length prefix code.
+//!
+//! The paper's future MPEG partition puts "run length encoding and decoding
+//! (RLE), and Huffman encoding and decoding" inside the memory system
+//! (Section 5.2/10). This module provides the shared codec both the
+//! conventional and the Active-Page decoders use.
+//!
+//! Code table (prefix-free):
+//!
+//! | bits | meaning |
+//! |---|---|
+//! | `10` | end of block |
+//! | `11 s` | run 0, level ±1 |
+//! | `010 s` | run 1, level ±1 |
+//! | `011 lll s` | run 0, level ±(2..9) |
+//! | `001 rrrr s` | run 0–15, level ±1 |
+//! | `000 rrrr llllllllll s` | escape: run 0–15, level ±(1..1023) |
+
+/// Coefficients per 8×8 block.
+pub const BLOCK: usize = 64;
+
+/// The zigzag scan order of an 8×8 block.
+pub const ZIGZAG: [usize; BLOCK] = build_zigzag();
+
+const fn build_zigzag() -> [usize; BLOCK] {
+    let mut order = [0usize; BLOCK];
+    let mut idx = 0;
+    let mut d = 0;
+    while d < 15 {
+        let mut i = if d < 8 { d } else { 7 };
+        loop {
+            let j = d - i;
+            if j > 7 {
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+                continue;
+            }
+            // Even diagonals run up-right, odd run down-left.
+            let (r, c) = if d % 2 == 0 { (i, j) } else { (j, i) };
+            order[idx] = r * 8 + c;
+            idx += 1;
+            if i == 0 {
+                break;
+            }
+            i -= 1;
+        }
+        d += 1;
+    }
+    order
+}
+
+/// An MSB-first bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn put(&mut self, value: u32, count: u8) {
+        assert!(count <= 32, "at most 32 bits at a time");
+        for k in (0..count).rev() {
+            let b = (value >> k) & 1;
+            if self.bit == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().unwrap();
+            *last |= (b as u8) << (7 - self.bit);
+            self.bit = (self.bit + 1) % 8;
+        }
+    }
+
+    /// Total bits written.
+    pub fn bits(&self) -> usize {
+        if self.bit == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit as usize
+        }
+    }
+
+    /// Finishes and returns the byte buffer (zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// An MSB-first bit reader.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reads from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Bits consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one bit; `None` at end of input.
+    pub fn bit(&mut self) -> Option<u32> {
+        let byte = self.bytes.get(self.pos / 8)?;
+        let b = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Some(b as u32)
+    }
+
+    /// Reads `count` bits MSB-first; `None` if input runs out.
+    pub fn take(&mut self, count: u8) -> Option<u32> {
+        let mut v = 0;
+        for _ in 0..count {
+            v = (v << 1) | self.bit()?;
+        }
+        Some(v)
+    }
+}
+
+fn put_sign(w: &mut BitWriter, level: i16) {
+    w.put(u32::from(level < 0), 1);
+}
+
+/// Encodes one block of raster-order coefficients; returns the symbol count
+/// (useful for cost models). Coefficient magnitudes are clamped to 1023
+/// (the escape code's range), matching the generator's value range.
+pub fn encode_block(w: &mut BitWriter, coeffs: &[i16; BLOCK]) -> usize {
+    let mut symbols = 0;
+    let mut run = 0u32;
+    for &zz in ZIGZAG.iter() {
+        let level = coeffs[zz];
+        if level == 0 {
+            run += 1;
+            continue;
+        }
+        // Zero runs longer than 15 are split with hop escapes (escape with
+        // magnitude 0 advances the scan by run + 1 positions).
+        while run > 15 {
+            w.put(0b000, 3);
+            w.put(15, 4);
+            w.put(0, 10);
+            w.put(0, 1);
+            symbols += 1;
+            run -= 16;
+        }
+        let mag = u32::from(level.unsigned_abs().min(1023));
+        if run == 0 && mag == 1 {
+            w.put(0b11, 2);
+        } else if run == 1 && mag == 1 {
+            w.put(0b010, 3);
+        } else if run == 0 && (2..=9).contains(&mag) {
+            w.put(0b011, 3);
+            w.put(mag - 2, 3);
+        } else if mag == 1 {
+            w.put(0b001, 3);
+            w.put(run, 4);
+        } else {
+            w.put(0b000, 3);
+            w.put(run, 4);
+            w.put(mag, 10);
+        }
+        put_sign(w, level);
+        symbols += 1;
+        run = 0;
+    }
+    w.put(0b10, 2); // EOB
+    symbols + 1
+}
+
+/// Decodes one block into raster order; returns `None` on malformed input.
+pub fn decode_block(r: &mut BitReader<'_>) -> Option<[i16; BLOCK]> {
+    let mut out = [0i16; BLOCK];
+    let mut idx = 0usize; // zigzag position
+    loop {
+        let b0 = r.bit()?;
+        if b0 == 1 {
+            let b1 = r.bit()?;
+            if b1 == 0 {
+                return Some(out); // EOB
+            }
+            // 11: (0, ±1)
+            let sign = r.bit()?;
+            set(&mut out, &mut idx, 0, if sign == 1 { -1 } else { 1 })?;
+            continue;
+        }
+        let b1 = r.bit()?;
+        let b2 = r.bit()?;
+        match (b1, b2) {
+            (1, 0) => {
+                // 010: (1, ±1)
+                let sign = r.bit()?;
+                set(&mut out, &mut idx, 1, if sign == 1 { -1 } else { 1 })?;
+            }
+            (1, 1) => {
+                // 011: (0, ±(2..9))
+                let mag = r.take(3)? as i16 + 2;
+                let sign = r.bit()?;
+                set(&mut out, &mut idx, 0, if sign == 1 { -mag } else { mag })?;
+            }
+            (0, 1) => {
+                // 001: (run, ±1)
+                let run = r.take(4)?;
+                let sign = r.bit()?;
+                set(&mut out, &mut idx, run, if sign == 1 { -1 } else { 1 })?;
+            }
+            (0, 0) => {
+                // escape
+                let run = r.take(4)?;
+                let mag = r.take(10)? as i16;
+                let sign = r.bit()?;
+                if mag == 0 {
+                    // run-extension hop
+                    idx = idx.checked_add(run as usize + 1)?;
+                    if idx > BLOCK {
+                        return None;
+                    }
+                    continue;
+                }
+                set(&mut out, &mut idx, run, if sign == 1 { -mag } else { mag })?;
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn set(out: &mut [i16; BLOCK], idx: &mut usize, run: u32, level: i16) -> Option<()> {
+    let pos = *idx + run as usize;
+    if pos >= BLOCK {
+        return None;
+    }
+    out[ZIGZAG[pos]] = level;
+    *idx = pos + 1;
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; BLOCK];
+        for &p in &ZIGZAG {
+            assert!(!seen[p], "duplicate {p}");
+            seen[p] = true;
+        }
+        // Canonical prefix of the JPEG/MPEG zigzag.
+        assert_eq!(&ZIGZAG[..10], &[0, 1, 8, 16, 9, 2, 3, 10, 17, 24]);
+    }
+
+    fn round_trip(coeffs: [i16; BLOCK]) {
+        let mut w = BitWriter::new();
+        encode_block(&mut w, &coeffs);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let got = decode_block(&mut r).expect("decodes");
+        assert_eq!(got, coeffs);
+    }
+
+    #[test]
+    fn empty_block_round_trips() {
+        round_trip([0; BLOCK]);
+    }
+
+    #[test]
+    fn dc_only_and_dense_blocks_round_trip() {
+        let mut dc = [0i16; BLOCK];
+        dc[0] = -300;
+        round_trip(dc);
+        let mut dense = [0i16; BLOCK];
+        for (i, c) in dense.iter_mut().enumerate() {
+            *c = ((i as i16) - 32) * 3;
+        }
+        dense[0] = 900;
+        round_trip(dense);
+    }
+
+    #[test]
+    fn long_zero_runs_round_trip() {
+        let mut sparse = [0i16; BLOCK];
+        sparse[ZIGZAG[63]] = 5; // forces a >15 zigzag run
+        round_trip(sparse);
+        sparse[ZIGZAG[20]] = -1;
+        round_trip(sparse);
+    }
+
+    #[test]
+    fn random_sparse_blocks_round_trip() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let mut b = [0i16; BLOCK];
+            for _ in 0..rng.random_range(0..12) {
+                b[rng.random_range(0..BLOCK)] = rng.random_range(-1000..1000);
+            }
+            round_trip(b);
+        }
+    }
+
+    #[test]
+    fn bit_io_round_trips() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0xBEEF, 16);
+        w.put(1, 1);
+        assert_eq!(w.bits(), 20);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.take(3), Some(0b101));
+        assert_eq!(r.take(16), Some(0xBEEF));
+        assert_eq!(r.bit(), Some(1));
+        assert_eq!(r.consumed(), 20);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let mut w = BitWriter::new();
+        let mut blk = [0i16; BLOCK];
+        blk[0] = 500;
+        encode_block(&mut w, &blk);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes[..1]);
+        assert!(decode_block(&mut r).is_none());
+    }
+}

@@ -1,0 +1,132 @@
+//! Noisy 16-bit images for the median filter.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A 16-bit grayscale image in row-major order.
+///
+/// # Examples
+///
+/// ```
+/// use ap_workloads::image::Image;
+///
+/// let img = Image::generate(1, 64, 48, 0.05);
+/// assert_eq!(img.width, 64);
+/// assert_eq!(img.pixels.len(), 64 * 48);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major pixel data.
+    pub pixels: Vec<u16>,
+}
+
+impl Image {
+    /// Generates a synthetic scene (smooth gradient plus rectangles) with
+    /// salt-and-pepper noise at the given density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is not within `[0, 1]`.
+    pub fn generate(seed: u64, width: usize, height: usize, noise: f64) -> Self {
+        assert!((0.0..=1.0).contains(&noise), "noise density must be in [0,1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pixels = vec![0u16; width * height];
+        // Smooth background gradient.
+        for y in 0..height {
+            for x in 0..width {
+                pixels[y * width + x] = ((x * 37 + y * 53) % 4096) as u16;
+            }
+        }
+        // A few solid rectangles (high-frequency edges the filter must keep).
+        for _ in 0..8 {
+            let rx = rng.random_range(0..width.max(2) - 1);
+            let ry = rng.random_range(0..height.max(2) - 1);
+            let rw = rng.random_range(1..(width - rx).max(2));
+            let rh = rng.random_range(1..(height - ry).max(2));
+            let v = rng.random_range(0..u16::MAX as u32) as u16;
+            for y in ry..(ry + rh).min(height) {
+                for x in rx..(rx + rw).min(width) {
+                    pixels[y * width + x] = v;
+                }
+            }
+        }
+        // Salt-and-pepper noise.
+        let flips = ((width * height) as f64 * noise) as usize;
+        for _ in 0..flips {
+            let i = rng.random_range(0..pixels.len());
+            pixels[i] = if rng.random_range(0..2) == 0 { 0 } else { u16::MAX };
+        }
+        Image { width, height, pixels }
+    }
+
+    /// Pixel at `(x, y)`.
+    #[inline]
+    pub fn at(&self, x: usize, y: usize) -> u16 {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Reference 3×3 median filter (borders copied unchanged); the ground
+    /// truth both memory systems must reproduce.
+    pub fn median_filtered(&self) -> Image {
+        let mut out = self.clone();
+        for y in 1..self.height.saturating_sub(1) {
+            for x in 1..self.width.saturating_sub(1) {
+                let mut v = [0u16; 9];
+                let mut k = 0;
+                for dy in 0..3 {
+                    for dx in 0..3 {
+                        v[k] = self.at(x + dx - 1, y + dy - 1);
+                        k += 1;
+                    }
+                }
+                v.sort_unstable();
+                out.pixels[y * self.width + x] = v[4];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(Image::generate(9, 32, 32, 0.1), Image::generate(9, 32, 32, 0.1));
+    }
+
+    #[test]
+    fn median_removes_isolated_noise() {
+        let mut img = Image::generate(0, 16, 16, 0.0);
+        // Plant one hot pixel in a smooth area and check the filter kills it.
+        let x = 8;
+        let y = 8;
+        let neighborhood_before: Vec<u16> =
+            (0..3).flat_map(|dy| (0..3).map(move |dx| (dx, dy))).map(|(dx, dy)| img.at(x + dx - 1, y + dy - 1)).collect();
+        img.pixels[y * 16 + x] = u16::MAX;
+        let filtered = img.median_filtered();
+        assert!(filtered.at(x, y) < u16::MAX);
+        assert!(neighborhood_before.contains(&filtered.at(x, y)));
+    }
+
+    #[test]
+    fn borders_pass_through() {
+        let img = Image::generate(4, 20, 10, 0.3);
+        let f = img.median_filtered();
+        for x in 0..20 {
+            assert_eq!(f.at(x, 0), img.at(x, 0));
+            assert_eq!(f.at(x, 9), img.at(x, 9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "noise density")]
+    fn rejects_bad_noise() {
+        Image::generate(0, 8, 8, 1.5);
+    }
+}

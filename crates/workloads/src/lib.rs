@@ -1,0 +1,33 @@
+//! Deterministic workload generators for the Active Pages evaluation.
+//!
+//! The paper evaluates six applications (Table 2). Their inputs are rebuilt
+//! here as seeded synthetic generators:
+//!
+//! * [`database`] — the synthetic address book searched by the unindexed
+//!   query benchmark (the paper's database was synthetic too).
+//! * [`image`] — noisy 16-bit images for the median filter.
+//! * [`dna`] — DNA-alphabet sequence pairs for the largest-common-subsequence
+//!   dynamic program.
+//! * [`sparse`] — sparse matrices: banded finite-element style (the
+//!   Harwell-Boeing stand-in, with deliberately high per-row fill variance)
+//!   and Simplex register-allocation tableaus (irregular column structure).
+//! * [`mpeg`] — frames and motion-correction matrices for the MPEG-MMX
+//!   kernel, plus entropy-coded coefficient streams for the full decode
+//!   pipeline extension.
+//! * [`entropy`] — the zigzag/RLE/VLC codec shared by the conventional and
+//!   Active-Page MPEG decoders.
+//! * [`array_ops`] — operation scripts for the STL array template class.
+//!
+//! Everything is generated from explicit `u64` seeds so conventional and
+//! RADram runs of the same experiment see byte-identical inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array_ops;
+pub mod database;
+pub mod dna;
+pub mod entropy;
+pub mod image;
+pub mod mpeg;
+pub mod sparse;

@@ -1,0 +1,284 @@
+//! Frames and motion-correction matrices for the MPEG-MMX kernel.
+//!
+//! The paper's kernel applies correction (error) matrices to predicted P/B
+//! frames: expand predicted 8-bit pixels to 16 bits, add the signed 16-bit
+//! correction with saturation, repack to 8 bits. The generator produces the
+//! predicted frame and a correction plane with block-sparse structure
+//! (most macroblocks have small corrections, moving-edge blocks are dense).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Macroblock edge length in pixels.
+pub const MACROBLOCK: usize = 16;
+
+/// A predicted frame plus its correction plane.
+///
+/// # Examples
+///
+/// ```
+/// use ap_workloads::mpeg::FrameWorkload;
+///
+/// let w = FrameWorkload::generate(3, 64, 32, 0.5);
+/// assert_eq!(w.predicted.len(), 64 * 32);
+/// assert_eq!(w.correction.len(), 64 * 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameWorkload {
+    /// Frame width in pixels (multiple of 16).
+    pub width: usize,
+    /// Frame height in pixels (multiple of 16).
+    pub height: usize,
+    /// Predicted (motion-compensated) 8-bit pixels, row-major.
+    pub predicted: Vec<u8>,
+    /// Signed 16-bit corrections, row-major.
+    pub correction: Vec<i16>,
+}
+
+impl FrameWorkload {
+    /// Generates a frame; `active_blocks` is the fraction of macroblocks
+    /// with dense (moving-edge) corrections.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless width and height are positive multiples of 16 and
+    /// `active_blocks` is in `[0, 1]`.
+    pub fn generate(seed: u64, width: usize, height: usize, active_blocks: f64) -> Self {
+        assert!(width > 0 && width.is_multiple_of(MACROBLOCK), "width must be a multiple of 16");
+        assert!(height > 0 && height.is_multiple_of(MACROBLOCK), "height must be a multiple of 16");
+        assert!((0.0..=1.0).contains(&active_blocks), "active fraction must be in [0,1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let predicted: Vec<u8> =
+            (0..width * height).map(|i| ((i * 31) % 251) as u8).collect();
+        let mut correction = vec![0i16; width * height];
+        for by in (0..height).step_by(MACROBLOCK) {
+            for bx in (0..width).step_by(MACROBLOCK) {
+                let dense = rng.random::<f64>() < active_blocks;
+                for y in by..by + MACROBLOCK {
+                    for x in bx..bx + MACROBLOCK {
+                        correction[y * width + x] = if dense {
+                            rng.random_range(-300..300)
+                        } else {
+                            rng.random_range(-4..4)
+                        };
+                    }
+                }
+            }
+        }
+        FrameWorkload { width, height, predicted, correction }
+    }
+
+    /// Reference result: saturating application of the correction plane
+    /// (expand → `PADDSW` → `PACKUSWB` semantics).
+    pub fn corrected(&self) -> Vec<u8> {
+        self.predicted
+            .iter()
+            .zip(&self.correction)
+            .map(|(&p, &c)| (p as i16).saturating_add(c).clamp(0, 255) as u8)
+            .collect()
+    }
+}
+
+
+/// An 8×8 inverse discrete cosine transform (floating point, separable
+/// definition, round-half-away-from-zero). Both decoder implementations
+/// call this exact function so their outputs are bit-identical.
+pub fn idct8x8(coeffs: &[i16; 64]) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0f64;
+            for v in 0..8 {
+                for u in 0..8 {
+                    let cu = if u == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
+                    let cv = if v == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
+                    acc += cu
+                        * cv
+                        * coeffs[v * 8 + u] as f64
+                        * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos()
+                        * ((2.0 * y as f64 + 1.0) * v as f64 * std::f64::consts::PI / 16.0).cos();
+                }
+            }
+            let v = acc / 4.0;
+            out[y * 8 + x] = (v.abs().round() * v.signum()) as i16;
+        }
+    }
+    out
+}
+
+/// A frame whose corrections arrive as entropy-coded DCT coefficient
+/// blocks — the input of the full decode pipeline (paper Sections 5.2/10:
+/// the processor owns the DCT, the memory system owns RLE/Huffman decode
+/// and correction application).
+///
+/// # Examples
+///
+/// ```
+/// use ap_workloads::mpeg::CodedFrame;
+///
+/// let f = CodedFrame::generate(1, 64, 32, 0.4);
+/// assert_eq!(f.blocks.len(), (64 / 8) * (32 / 8));
+/// assert_eq!(f.corrected().len(), 64 * 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodedFrame {
+    /// Frame width in pixels (multiple of 16).
+    pub width: usize,
+    /// Frame height in pixels (multiple of 16).
+    pub height: usize,
+    /// Predicted (motion-compensated) pixels, row-major.
+    pub predicted: Vec<u8>,
+    /// Quantized DCT coefficient blocks, in raster block order (the
+    /// compressed input before entropy coding).
+    pub blocks: Vec<[i16; 64]>,
+}
+
+impl CodedFrame {
+    /// Generates a frame whose macroblocks are active (carry dense
+    /// coefficients) with probability `active_blocks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless dimensions are positive multiples of 16 and the
+    /// fraction is in `[0, 1]`.
+    pub fn generate(seed: u64, width: usize, height: usize, active_blocks: f64) -> Self {
+        assert!(width > 0 && width.is_multiple_of(MACROBLOCK), "width must be a multiple of 16");
+        assert!(height > 0 && height.is_multiple_of(MACROBLOCK), "height must be a multiple of 16");
+        assert!((0.0..=1.0).contains(&active_blocks), "active fraction must be in [0,1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let predicted: Vec<u8> = (0..width * height).map(|i| ((i * 29) % 247) as u8).collect();
+        let bw = width / 8;
+        let bh = height / 8;
+        let mut blocks = Vec::with_capacity(bw * bh);
+        for _ in 0..bw * bh {
+            let mut b = [0i16; 64];
+            if rng.random::<f64>() < active_blocks {
+                b[0] = rng.random_range(-800..800); // DC
+                for _ in 0..rng.random_range(2..10) {
+                    // low-frequency ACs
+                    let u = rng.random_range(0..4);
+                    let v = rng.random_range(0..4);
+                    b[v * 8 + u] = rng.random_range(-200..200);
+                }
+            } else if rng.random_range(0..4) == 0 {
+                b[0] = rng.random_range(-30..30);
+            }
+            blocks.push(b);
+        }
+        CodedFrame { width, height, predicted, blocks }
+    }
+
+    /// The correction plane implied by the coefficient blocks (per-pixel
+    /// IDCT outputs in row-major pixel order).
+    pub fn correction_plane(&self) -> Vec<i16> {
+        let bw = self.width / 8;
+        let mut plane = vec![0i16; self.width * self.height];
+        for (b, coeffs) in self.blocks.iter().enumerate() {
+            let bx = (b % bw) * 8;
+            let by = (b / bw) * 8;
+            let px = idct8x8(coeffs);
+            for y in 0..8 {
+                for x in 0..8 {
+                    plane[(by + y) * self.width + bx + x] = px[y * 8 + x];
+                }
+            }
+        }
+        plane
+    }
+
+    /// Ground truth: the fully decoded frame (prediction + saturating
+    /// correction, clamped to 8 bits).
+    pub fn corrected(&self) -> Vec<u8> {
+        self.predicted
+            .iter()
+            .zip(self.correction_plane())
+            .map(|(&p, c)| (p as i16).saturating_add(c).clamp(0, 255) as u8)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(FrameWorkload::generate(1, 32, 32, 0.3), FrameWorkload::generate(1, 32, 32, 0.3));
+    }
+
+    #[test]
+    fn corrected_clamps_to_u8() {
+        let w = FrameWorkload::generate(2, 32, 32, 1.0);
+        let out = w.corrected();
+        assert_eq!(out.len(), w.predicted.len());
+        // With dense ±300 corrections some pixels must clamp at both rails.
+        assert!(out.contains(&0));
+        assert!(out.contains(&255));
+    }
+
+    #[test]
+    fn inactive_frame_is_nearly_unchanged() {
+        let w = FrameWorkload::generate(3, 32, 32, 0.0);
+        let out = w.corrected();
+        let moved = out
+            .iter()
+            .zip(&w.predicted)
+            .filter(|(a, b)| (**a as i32 - **b as i32).abs() > 4)
+            .count();
+        assert_eq!(moved, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn rejects_unaligned_dimensions() {
+        FrameWorkload::generate(0, 30, 32, 0.1);
+    }
+
+    #[test]
+    fn idct_of_dc_only_block_is_flat() {
+        let mut b = [0i16; 64];
+        b[0] = 80;
+        let px = idct8x8(&b);
+        // DC term spreads evenly: 80/8 = 10 everywhere.
+        assert!(px.iter().all(|&v| v == 10), "{px:?}");
+    }
+
+    #[test]
+    fn idct_is_linear_in_the_input() {
+        let mut a = [0i16; 64];
+        a[9] = 64;
+        let pa = idct8x8(&a);
+        let mut b = a;
+        b[9] = 128;
+        let pb = idct8x8(&b);
+        for i in 0..64 {
+            assert!((pb[i] as i32 - 2 * pa[i] as i32).abs() <= 1, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn coded_frame_round_trips_through_the_codec() {
+        use crate::entropy::{decode_block, encode_block, BitReader, BitWriter};
+        let f = CodedFrame::generate(3, 64, 32, 0.5);
+        for blk in &f.blocks {
+            let mut w = BitWriter::new();
+            encode_block(&mut w, blk);
+            let bytes = w.into_bytes();
+            let got = decode_block(&mut BitReader::new(&bytes)).unwrap();
+            assert_eq!(&got, blk);
+        }
+    }
+
+    #[test]
+    fn corrected_frame_changes_only_active_regions() {
+        let f = CodedFrame::generate(4, 32, 32, 0.0);
+        // Density zero: most blocks are empty, a quarter carry small DC.
+        let out = f.corrected();
+        let moved = out
+            .iter()
+            .zip(&f.predicted)
+            .filter(|(a, b)| (**a as i32 - **b as i32).abs() > 6)
+            .count();
+        assert_eq!(moved, 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Methodology validation: the same scan kernel as SS-lite assembly
+//! (instruction-level execution, SimpleScalar-style) and as an instrumented
+//! kernel, on the same 1 GHz reference machine. The cycle counts should be
+//! close — that agreement is what justifies driving the paper's evaluation
+//! with instrumented kernels.
+//!
+//! Run with: `cargo run --release --example assembly_kernel`
+
+use ap_cpu::{Cpu, CpuConfig};
+use ap_mem::VAddr;
+use ap_risc::Machine;
+
+const WORDS: u32 = 65_536; // 256 KB: misses in L1, streams from L2/DRAM
+
+fn main() {
+    let asm = format!(
+        r#"
+            lui  r1, 0x10           ; base
+            addi r3, r0, 0          ; i
+            lui  r4, {hi}
+            addi r4, r4, {lo}
+            addi r6, r0, 42         ; key
+            addi r7, r0, 0          ; count
+        loop:
+            lw   r5, (r1)
+            bne  r5, r6, skip
+            addi r7, r7, 1
+        skip:
+            addi r1, r1, 4
+            addi r3, r3, 1
+            blt  r3, r4, loop
+            halt
+        "#,
+        hi = WORDS >> 16,
+        lo = WORDS & 0xFFFF
+    );
+    let mut m = Machine::load(CpuConfig::reference(), 16 << 20, &asm).expect("assembles");
+    for i in 0..WORDS {
+        m.cpu_mut().ram.write_u32(VAddr::new(0x10_0000 + 4 * i as u64), i % 97);
+    }
+    m.run(10_000_000).expect("halts");
+
+    let mut cpu = Cpu::new(CpuConfig::reference(), 16 << 20);
+    for i in 0..WORDS {
+        cpu.ram.write_u32(VAddr::new(0x10_0000 + 4 * i as u64), i % 97);
+    }
+    let mut count = 0u32;
+    for i in 0..WORDS as u64 {
+        let v = cpu.load_u32(VAddr::new(0x10_0000 + 4 * i));
+        if cpu.branch(1, v == 42) {
+            count += 1;
+            cpu.alu(1);
+        }
+        cpu.alu(2);
+        cpu.branch(0, i + 1 < WORDS as u64);
+    }
+
+    println!("scan of {WORDS} words for key 42");
+    println!("  assembly (SS-lite)   : {:>10} cycles, count {}", m.cycles(), m.reg(7));
+    println!("  instrumented kernel  : {:>10} cycles, count {}", cpu.now(), count);
+    println!(
+        "  ratio                : {:.3} (instruction-level vs instrumented)",
+        m.cycles() as f64 / cpu.now() as f64
+    );
+    assert_eq!(m.reg(7), count);
+}

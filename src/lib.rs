@@ -1,0 +1,37 @@
+//! Umbrella crate for the Active Pages reproduction.
+//!
+//! Re-exports every subsystem so examples, integration tests and downstream
+//! users need a single dependency. See the individual crates for detail:
+//!
+//! * [`active_pages`] — the Active Pages computation model (the paper's
+//!   primary contribution).
+//! * [`radram`] — the RADram (Reconfigurable Architecture DRAM)
+//!   implementation of Active Pages, including the full-system simulator.
+//! * [`ap_mem`] / [`ap_cpu`] — memory-hierarchy and processor substrates.
+//! * [`ap_synth`] — the circuit-synthesis substrate behind Table 3.
+//! * [`ap_workloads`] — deterministic workload generators.
+//! * [`ap_apps`] — the six evaluation applications (conventional and
+//!   Active-Page partitions).
+//! * [`ap_analytic`] — the Section 7.4 analytic performance model.
+//!
+//! # Examples
+//!
+//! ```
+//! use active_pages_repro::radram::{RadramConfig, System};
+//!
+//! let sys = System::radram(RadramConfig::reference());
+//! assert_eq!(sys.config().logic_divisor, 10); // 100 MHz logic at 1 GHz CPU
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use active_pages;
+pub use ap_analytic;
+pub use ap_apps;
+pub use ap_cpu;
+pub use ap_mem;
+pub use ap_risc;
+pub use ap_synth;
+pub use ap_workloads;
+pub use radram;

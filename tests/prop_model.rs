@@ -1,0 +1,106 @@
+//! Property-based tests of the Section 7.4 analytic model.
+
+use ap_analytic::{non_overlap, ConstModel, PageTimes};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = ConstModel> {
+    (1.0f64..10_000.0, 0.0f64..10_000.0, 1.0f64..1.0e7)
+        .prop_map(|(t_a, t_p, t_c)| ConstModel { t_a, t_p, t_c })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Non-overlap is never negative and never exceeds T_C.
+    #[test]
+    fn no_is_bounded(m in arb_model(), k in 1usize..64) {
+        let no = non_overlap(&m.times(k));
+        for (i, v) in no.iter().enumerate() {
+            prop_assert!(*v >= 0.0, "NO({i}) negative");
+            prop_assert!(*v <= m.t_c + 1e-9, "NO({i}) exceeds T_C");
+        }
+    }
+
+    /// The first page's wait has a closed form: only the K-1 subsequent
+    /// activations can hide its compute time.
+    #[test]
+    fn first_page_wait_closed_form(m in arb_model(), k in 1usize..64) {
+        let no = non_overlap(&m.times(k));
+        let want = (m.t_c - (k as f64 - 1.0) * m.t_a).max(0.0);
+        prop_assert!((no[0] - want).abs() <= 1e-6 * m.t_c.max(1.0));
+    }
+
+    /// Total non-overlap is non-increasing in problem size: more pages give
+    /// the processor more to do while waiting.
+    #[test]
+    fn total_no_monotone_in_k(m in arb_model(), k in 1usize..48) {
+        let a: f64 = m.total_non_overlap(k);
+        let b: f64 = m.total_non_overlap(k + 1);
+        prop_assert!(b <= a + 1e-6, "NO grew from {a} to {b} as K went {k} -> {}", k + 1);
+    }
+
+    /// Predicted kernel time is strictly increasing in problem size.
+    #[test]
+    fn kernel_time_monotone(m in arb_model(), k in 1usize..48) {
+        prop_assert!(m.predicted_kernel_time(k + 1) > m.predicted_kernel_time(k));
+    }
+
+    /// Kernel time is at least the serial dispatch floor and at least one
+    /// page's compute time.
+    #[test]
+    fn kernel_time_lower_bounds(m in arb_model(), k in 1usize..64) {
+        let t = m.predicted_kernel_time(k);
+        prop_assert!(t + 1e-9 >= k as f64 * (m.t_a + m.t_p));
+        prop_assert!(t + 1e-9 >= m.t_a + m.t_c, "cannot beat activate + compute of page 1");
+    }
+
+    /// Variable per-page times with the same totals never *reduce* the first
+    /// page's wait below the constant-time equivalent when the variance is
+    /// concentrated in T_C of page 1.
+    #[test]
+    fn front_loaded_compute_waits_longer(m in arb_model(), k in 2usize..32) {
+        let base = m.times(k);
+        let mut skew = base.clone();
+        skew.t_c[0] *= 2.0;
+        let no_base = non_overlap(&base);
+        let no_skew = non_overlap(&skew);
+        prop_assert!(no_skew[0] >= no_base[0]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The overlap threshold is consistent: below it NO > 0, at it NO = 0.
+    #[test]
+    fn overlap_threshold_is_a_boundary(m in arb_model()) {
+        let limit = 1 << 22;
+        let k = m.pages_for_overlap(limit);
+        if k < limit {
+            prop_assert!(m.total_non_overlap(k) <= 1e-9);
+            if k > 1 {
+                prop_assert!(m.total_non_overlap(k - 1) > 0.0);
+            }
+        }
+    }
+
+    /// Pearson correlation is symmetric and bounded.
+    #[test]
+    fn pearson_properties(xs in proptest::collection::vec(-1000.0f64..1000.0, 3..40)) {
+        let ys: Vec<f64> = xs.iter().map(|v| 3.0 * v + 7.0).collect();
+        let r = ap_analytic::pearson(&xs, &ys);
+        // Perfect affine relation (unless degenerate).
+        if xs.iter().any(|v| (v - xs[0]).abs() > 1e-9) {
+            prop_assert!((r - 1.0).abs() < 1e-6);
+        }
+        let r2 = ap_analytic::pearson(&ys, &xs);
+        prop_assert!((r - r2).abs() < 1e-9);
+        prop_assert!(r.abs() <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn explicit_times_reject_mismatched_lengths() {
+    let t = PageTimes { t_a: vec![1.0], t_p: vec![1.0, 2.0], t_c: vec![1.0] };
+    assert!(std::panic::catch_unwind(|| non_overlap(&t)).is_err());
+}
