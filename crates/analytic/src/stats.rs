@@ -62,7 +62,10 @@ mod tests {
     #[test]
     fn noise_reduces_correlation() {
         let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
-        let noisy: Vec<f64> = x.iter().map(|v| v + if (*v as u64).is_multiple_of(2) { 20.0 } else { -20.0 }).collect();
+        let noisy: Vec<f64> = x
+            .iter()
+            .map(|v| v + if (*v as u64).is_multiple_of(2) { 20.0 } else { -20.0 })
+            .collect();
         let clean = pearson(&x, &x);
         let r = pearson(&x, &noisy);
         assert!(r < clean);

@@ -13,7 +13,9 @@
 //! favors the conventional delete at small sizes.
 
 use crate::common::{fnv_mix, RunReport, SystemKind};
-use active_pages::{sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE};
+use active_pages::{
+    sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE,
+};
 use ap_mem::VAddr;
 use radram::{RadramConfig, System};
 use std::rc::Rc;
@@ -534,7 +536,16 @@ pub fn run_script(
             }
             let kernel = sys.now() - t0;
             checksum = digest_array(&sys, base, n, checksum);
-            finish("array-script", SystemKind::Conventional, pages, kernel, kernel, 0, checksum, &sys)
+            finish(
+                "array-script",
+                SystemKind::Conventional,
+                pages,
+                kernel,
+                kernel,
+                0,
+                checksum,
+                &sys,
+            )
         }
         SystemKind::Radram => {
             let mut sys = System::radram(cfg);
@@ -547,7 +558,12 @@ pub fn run_script(
             }
             // One circuit is bound at a time; changing operation class
             // re-binds (and re-configures) the group.
-            fn ensure(sys: &mut System, group: GroupId, want: ArrayPrimitive, bound: &mut Option<ArrayPrimitive>) {
+            fn ensure(
+                sys: &mut System,
+                group: GroupId,
+                want: ArrayPrimitive,
+                bound: &mut Option<ArrayPrimitive>,
+            ) {
                 if *bound != Some(want) {
                     let func: Rc<dyn PageFunction> = match want {
                         ArrayPrimitive::Insert => Rc::new(ArrayInsertFn),
@@ -590,7 +606,16 @@ pub fn run_script(
                 let a = arr.elem_addr(i);
                 checksum = fnv_mix(checksum, sys.ram_read_u32(a) as u64);
             }
-            finish("array-script", SystemKind::Radram, pages, kernel, kernel, dispatch, checksum, &sys)
+            finish(
+                "array-script",
+                SystemKind::Radram,
+                pages,
+                kernel,
+                kernel,
+                dispatch,
+                checksum,
+                &sys,
+            )
         }
     }
 }

@@ -25,7 +25,7 @@ impl std::fmt::Display for SystemKind {
 /// `checksum` digests the functional result; a conventional run and a RADram
 /// run of the same workload must produce identical checksums — the paper's
 /// partitions compute the same answers, only faster.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Application name ("array-insert", "database", ...).
     pub app: &'static str,

@@ -7,7 +7,9 @@
 //! query and sums the per-page counts (Table 2).
 
 use crate::common::{fnv_mix, RunReport, SystemKind};
-use active_pages::{sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE};
+use active_pages::{
+    sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE,
+};
 use ap_workloads::database::{AddressBook, LAST_NAME_LEN, RECORD_BYTES};
 use radram::{RadramConfig, System};
 use std::rc::Rc;
@@ -153,7 +155,15 @@ fn run_conventional(
         }
     }
     let kernel = sys.now() - t0;
-    report(SystemKind::Conventional, pages, kernel, 0, count, book.expected_matches(book.query()), &sys)
+    report(
+        SystemKind::Conventional,
+        pages,
+        kernel,
+        0,
+        count,
+        book.expected_matches(book.query()),
+        &sys,
+    )
 }
 
 fn run_radram(
@@ -200,7 +210,15 @@ fn run_radram(
         sys.alu(2);
     }
     let kernel = sys.now() - t0;
-    report(SystemKind::Radram, pages, kernel, dispatch, count, book.expected_matches(book.query()), &sys)
+    report(
+        SystemKind::Radram,
+        pages,
+        kernel,
+        dispatch,
+        count,
+        book.expected_matches(book.query()),
+        &sys,
+    )
 }
 
 #[cfg(test)]

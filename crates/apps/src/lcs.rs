@@ -7,7 +7,9 @@
 //! backtracking (Table 2).
 
 use crate::common::{fnv_mix, RunReport, SystemKind};
-use active_pages::{sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE};
+use active_pages::{
+    sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE,
+};
 use ap_mem::VAddr;
 use ap_workloads::dna::SequencePair;
 use radram::{RadramConfig, System};
@@ -250,11 +252,8 @@ fn run_conventional(pages: f64, pair: &SequencePair, n: usize, cfg: RadramConfig
         let mut diag = 0u16;
         for j in 0..COLS {
             let b = sys.load_u8(b_buf + j as u64);
-            let up = if i > 0 {
-                sys.load_u16(table + (((i - 1) * COLS + j) * 2) as u64)
-            } else {
-                0
-            };
+            let up =
+                if i > 0 { sys.load_u16(table + (((i - 1) * COLS + j) * 2) as u64) } else { 0 };
             sys.alu(2);
             let v = if sys.branch(21, a == b) { diag + 1 } else { up.max(left) };
             sys.store_u16(table + ((i * COLS + j) * 2) as u64, v);

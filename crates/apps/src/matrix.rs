@@ -14,7 +14,9 @@
 //! `Simplex` (register-allocation tableaus with regular fill).
 
 use crate::common::{fnv_mix, RunReport, SystemKind};
-use active_pages::{sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE};
+use active_pages::{
+    sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE,
+};
 use ap_mem::VAddr;
 use ap_workloads::sparse::SparseMatrix;
 use radram::{RadramConfig, System};

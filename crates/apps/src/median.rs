@@ -12,7 +12,9 @@
 //! is the filter kernel itself.
 
 use crate::common::{fnv_mix, RunReport, SystemKind};
-use active_pages::{sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE};
+use active_pages::{
+    sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE,
+};
 use ap_workloads::image::Image;
 use radram::{RadramConfig, System};
 use std::rc::Rc;
@@ -60,8 +62,7 @@ impl PageFunction for MedianFn {
             page.read_u16(sync::BODY_OFFSET + (row * WIDTH + x) * 2)
         }
         for k in 0..rows_out {
-            let is_border_row =
-                (k == 0 && top_border) || (k == rows_out - 1 && bottom_border);
+            let is_border_row = (k == 0 && top_border) || (k == rows_out - 1 && bottom_border);
             let in_row = k + halo_top;
             for x in 0..WIDTH {
                 let v = if is_border_row || x == 0 || x == WIDTH - 1 {
@@ -189,8 +190,7 @@ fn run_conventional(pages: f64, img: &Image, cfg: RadramConfig) -> RunReport {
     let t2 = sys.now();
 
     let reference = img.median_filtered();
-    let checksum =
-        digest_pixels((0..w * h).map(|i| sys.ram_read_u16(out + (i * 2) as u64)));
+    let checksum = digest_pixels((0..w * h).map(|i| sys.ram_read_u16(out + (i * 2) as u64)));
     debug_assert_eq!(checksum, digest_pixels(reference.pixels.iter().copied()));
     RunReport {
         app: "median",

@@ -9,7 +9,9 @@
 //! per instruction").
 
 use crate::common::{fnv_mix, RunReport, SystemKind};
-use active_pages::{sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE};
+use active_pages::{
+    sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE,
+};
 use ap_cpu::mmx::{self, MmxOp};
 use ap_workloads::mpeg::FrameWorkload;
 use radram::{RadramConfig, System};

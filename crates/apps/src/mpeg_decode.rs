@@ -25,7 +25,9 @@
 
 use crate::common::{fnv_mix, RunReport, SystemKind};
 use crate::mpeg::{apply_corrections, MmxPageFn, CORR_OFF, OUT_OFF, PX_PER_PAGE, SRC_OFF};
-use active_pages::{sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE};
+use active_pages::{
+    sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE,
+};
 use ap_cpu::mmx::{self, MmxOp};
 use ap_mem::VAddr;
 use ap_workloads::entropy::{decode_block, encode_block, BitReader, BitWriter, BLOCK};
@@ -268,8 +270,7 @@ fn run_radram(pages: f64, frame: &CodedFrame, npages: usize, cfg: RadramConfig) 
         let local = b % BLOCKS_PER_DPAGE;
         let mut block = [0i16; BLOCK];
         for (k, slot) in block.iter_mut().enumerate() {
-            *slot =
-                sys.load_u16(db + (COEF_OFF + local * BLOCK * 2 + k * 2) as u64) as i16;
+            *slot = sys.load_u16(db + (COEF_OFF + local * BLOCK * 2 + k * 2) as u64) as i16;
         }
         sys.flop(464);
         sys.alu(64);
@@ -350,8 +351,7 @@ mod tests {
         for (b, blk) in frame.blocks.iter().enumerate() {
             for (k, &c) in blk.iter().enumerate() {
                 let off = COEF_OFF + b * BLOCK * 2 + k * 2;
-                let got =
-                    u16::from_le_bytes(exec.page(0)[off..off + 2].try_into().unwrap()) as i16;
+                let got = u16::from_le_bytes(exec.page(0)[off..off + 2].try_into().unwrap()) as i16;
                 assert_eq!(got, c, "block {b} coeff {k}");
             }
         }

@@ -16,7 +16,9 @@
 
 use crate::array::ELEMS_PER_PAGE;
 use crate::common::{fnv_mix, RunReport, SystemKind};
-use active_pages::{sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE};
+use active_pages::{
+    sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE,
+};
 use ap_mem::VAddr;
 use ap_workloads::array_ops::{ArrayOp, Script};
 use radram::{RadramConfig, System};
@@ -312,8 +314,7 @@ mod tests {
         assert!(DataPrimitivesFn.logic_elements() <= 256);
         // And it is meaningfully bigger than any single specialized circuit.
         assert!(
-            DataPrimitivesFn.logic_elements()
-                > ap_synth::circuits::logic_elements("Array-insert")
+            DataPrimitivesFn.logic_elements() > ap_synth::circuits::logic_elements("Array-insert")
         );
     }
 

@@ -61,12 +61,7 @@ fn main() {
         cfg.interrupt_overhead = ov;
         let c = App::DynProg.run(SystemKind::Conventional, 2.0, &cfg);
         let r = App::DynProg.run(SystemKind::Radram, 2.0, &cfg);
-        println!(
-            "{:>16} {:>14} {:>9.2}x",
-            ov,
-            r.kernel_cycles,
-            ap_apps::speedup(&c, &r)
-        );
+        println!("{:>16} {:>14} {:>9.2}x", ov, r.kernel_cycles, ap_apps::speedup(&c, &r));
     }
 
     println!();
@@ -78,19 +73,18 @@ fn main() {
         cfg.activation_overhead = ov;
         let c = App::Database.run(SystemKind::Conventional, 4.0, &cfg);
         let r = App::Database.run(SystemKind::Radram, 4.0, &cfg);
-        println!(
-            "{:>16} {:>14} {:>9.2}x",
-            ov,
-            r.kernel_cycles,
-            ap_apps::speedup(&c, &r)
-        );
+        println!("{:>16} {:>14} {:>9.2}x", ov, r.kernel_cycles, ap_apps::speedup(&c, &r));
     }
     println!();
     println!("Ablation 4: wavefront boundary communication (dynamic-prog, 4 pages)");
     println!("{:<44} {:>14} {:>12}", "mechanism", "rad cycles", "interrupts");
     let conv4 = App::DynProg.run(SystemKind::Conventional, 4.0, &RadramConfig::reference());
     let mechs: Vec<(&str, RadramConfig, BoundaryMode)> = vec![
-        ("app-driven staging (paper partition)", RadramConfig::reference(), BoundaryMode::AppDriven),
+        (
+            "app-driven staging (paper partition)",
+            RadramConfig::reference(),
+            BoundaryMode::AppDriven,
+        ),
         (
             "circuit-raised, processor-mediated intr",
             RadramConfig::reference(),
@@ -151,11 +145,6 @@ fn main() {
     let prim = run_script_primitives(&script, &RadramConfig::reference());
     println!(
         "{:<26} {:>14} {:>9} {:>12}",
-        "data primitives",
-        prim.kernel_cycles,
-        prim.stats.rebinds,
-        prim.stats.logic_busy_cycles
+        "data primitives", prim.kernel_cycles, prim.stats.rebinds, prim.stats.logic_busy_cycles
     );
-
 }
-

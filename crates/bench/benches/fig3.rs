@@ -1,9 +1,14 @@
 //! Regenerates Figure 3 (RADram speedup as problem size varies).
 fn main() {
-    let data = ap_bench::experiments::fig3_fig4(ap_bench::quick_mode());
+    let runner = ap_bench::runner::Runner::from_env();
+    let data = ap_bench::experiments::fig3_fig4(&runner, ap_bench::quick_mode());
     println!("Figure 3: RADram speedup as problem size varies");
     for (app, points) in &data {
         ap_bench::render::print_sweep(*app, points);
     }
-    ap_bench::write_result_file("fig3_fig4.csv", &ap_bench::render::sweep_csv(&data));
+    if let Some(path) =
+        ap_bench::write_result_file("fig3_fig4.csv", &ap_bench::render::sweep_csv(&data))
+    {
+        println!("wrote {}", path.display());
+    }
 }

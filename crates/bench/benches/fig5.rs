@@ -1,10 +1,18 @@
 //! Regenerates Figure 5 (execution time vs. L1 data-cache size).
 fn main() {
-    let rows = ap_bench::experiments::fig5(ap_bench::quick_mode());
+    let runner = ap_bench::runner::Runner::from_env();
+    let quick = ap_bench::quick_mode();
+    let rows = ap_bench::experiments::fig5(&runner, quick);
     ap_bench::render::print_fig5(&rows);
-    ap_bench::write_result_file("fig5.csv", &ap_bench::render::fig5_csv(&rows));
-    let l2 = ap_bench::experiments::fig5_l2(ap_bench::quick_mode());
+    if let Some(path) = ap_bench::write_result_file("fig5.csv", &ap_bench::render::fig5_csv(&rows))
+    {
+        println!("wrote {}", path.display());
+    }
+    let l2 = ap_bench::experiments::fig5_l2(&runner, quick);
     println!("Companion sweep: execution time vs. L2 size (KB)");
     ap_bench::render::print_fig5(&l2);
-    ap_bench::write_result_file("fig5_l2.csv", &ap_bench::render::fig5_csv(&l2));
+    if let Some(path) = ap_bench::write_result_file("fig5_l2.csv", &ap_bench::render::fig5_csv(&l2))
+    {
+        println!("wrote {}", path.display());
+    }
 }

@@ -1,10 +1,16 @@
 //! Regenerates Figure 8 (speedup vs. cache-miss latency).
 fn main() {
-    let rows = ap_bench::experiments::fig8(ap_bench::quick_mode());
+    let runner = ap_bench::runner::Runner::from_env();
+    let rows = ap_bench::experiments::fig8(&runner, ap_bench::quick_mode());
     ap_bench::render::print_sensitivity(
         "Figure 8: RADram speedup as cache-to-memory latency varies",
         "ns",
         &rows,
     );
-    ap_bench::write_result_file("fig8.csv", &ap_bench::render::sensitivity_csv("latency_ns", &rows));
+    if let Some(path) = ap_bench::write_result_file(
+        "fig8.csv",
+        &ap_bench::render::sensitivity_csv("latency_ns", &rows),
+    ) {
+        println!("wrote {}", path.display());
+    }
 }

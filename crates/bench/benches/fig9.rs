@@ -1,10 +1,16 @@
 //! Regenerates Figure 9 (speedup vs. reconfigurable-logic speed).
 fn main() {
-    let rows = ap_bench::experiments::fig9(ap_bench::quick_mode());
+    let runner = ap_bench::runner::Runner::from_env();
+    let rows = ap_bench::experiments::fig9(&runner, ap_bench::quick_mode());
     ap_bench::render::print_sensitivity(
         "Figure 9: RADram speedup as logic speed varies (divisor of 1 GHz)",
         "div",
         &rows,
     );
-    ap_bench::write_result_file("fig9.csv", &ap_bench::render::sensitivity_csv("divisor", &rows));
+    if let Some(path) = ap_bench::write_result_file(
+        "fig9.csv",
+        &ap_bench::render::sensitivity_csv("divisor", &rows),
+    ) {
+        println!("wrote {}", path.display());
+    }
 }

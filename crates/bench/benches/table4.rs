@@ -1,8 +1,13 @@
 //! Regenerates Table 4 (analytic-model calibration and correlation).
 fn main() {
-    let rows = ap_bench::experiments::table4(ap_bench::quick_mode());
+    let runner = ap_bench::runner::Runner::from_env();
+    let rows = ap_bench::experiments::table4(&runner, ap_bench::quick_mode());
     ap_bench::render::print_table4(&rows);
-    ap_bench::write_result_file("table4.csv", &ap_bench::render::table4_csv(&rows));
+    if let Some(path) =
+        ap_bench::write_result_file("table4.csv", &ap_bench::render::table4_csv(&rows))
+    {
+        println!("wrote {}", path.display());
+    }
     println!();
     let c = ap_bench::experiments::amdahl_check(8.0);
     println!("Amdahl whole-application check (median, 8 pages):");

@@ -1,33 +1,52 @@
 //! Runs every experiment and writes CSV results.
 //!
-//! Usage: `experiments [table1|table2|table3|table4|fig1|fig3|fig4|fig5|fig8|fig9|all]`
-//! (default `all`). Set `AP_QUICK=1` for reduced sweeps.
+//! Usage: `experiments [TARGET] [--jobs N] [--no-cache] [--manifest PATH]`
+//! (default target `all`). Simulation points run in parallel on the
+//! `ap-engine` worker pool with disk-cached results; set `AP_QUICK=1` for
+//! reduced sweeps. Unknown targets or options print the usage and exit
+//! non-zero.
 
-use ap_bench::{experiments, quick_mode, render, write_result_file};
+use ap_bench::{cli, experiments, quick_mode, render, write_result_file};
+use std::path::Path;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let cli = match cli::parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{}", cli::usage());
+            std::process::exit(if msg == "help" { 0 } else { 2 });
+        }
+    };
     let quick = quick_mode();
-    let want = |name: &str| which == "all" || which == name;
+    // Fresh manifest per invocation: the file describes this run only.
+    let manifest_path = cli.manifest_path();
+    if let Some(parent) = manifest_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let _ = std::fs::write(&manifest_path, "");
+    let runner = cli.runner();
 
-    if want("table1") {
+    if cli.wants("table1") {
         render::print_table1(&experiments::table1());
         println!();
     }
-    if want("table2") {
+    if cli.wants("table2") {
         render::print_table2();
         println!();
     }
-    if want("table3") {
+    if cli.wants("table3") {
         render::print_table3(&experiments::table3());
         println!();
     }
-    if want("fig1") {
+    if cli.wants("fig1") {
         render::print_fig1(&experiments::fig1());
         println!();
     }
-    if want("fig3") || want("fig4") {
-        let data = experiments::fig3_fig4(quick);
+    if cli.wants("fig3") || cli.wants("fig4") {
+        let data = experiments::fig3_fig4(&runner, quick);
         println!("Figure 3: RADram speedup as problem size varies");
         for (app, points) in &data {
             render::print_sweep(*app, points);
@@ -41,34 +60,67 @@ fn main() {
             }
             println!();
         }
-        write_result_file("fig3_fig4.csv", &render::sweep_csv(&data));
+        report_written(write_result_file("fig3_fig4.csv", &render::sweep_csv(&data)));
         println!();
     }
-    if want("fig5") {
-        let rows = experiments::fig5(quick);
+    if cli.wants("fig5") {
+        let rows = experiments::fig5(&runner, quick);
         render::print_fig5(&rows);
-        write_result_file("fig5.csv", &render::fig5_csv(&rows));
-        let l2 = experiments::fig5_l2(quick);
+        report_written(write_result_file("fig5.csv", &render::fig5_csv(&rows)));
+        let l2 = experiments::fig5_l2(&runner, quick);
         println!("Companion sweep: execution time vs. L2 size (KB)");
         render::print_fig5(&l2);
-        write_result_file("fig5_l2.csv", &render::fig5_csv(&l2));
+        report_written(write_result_file("fig5_l2.csv", &render::fig5_csv(&l2)));
         println!();
     }
-    if want("fig8") {
-        let rows = experiments::fig8(quick);
+    if cli.wants("fig8") {
+        let rows = experiments::fig8(&runner, quick);
         render::print_sensitivity("Figure 8: speedup vs. cache-miss latency", "ns", &rows);
-        write_result_file("fig8.csv", &render::sensitivity_csv("latency_ns", &rows));
+        report_written(write_result_file(
+            "fig8.csv",
+            &render::sensitivity_csv("latency_ns", &rows),
+        ));
         println!();
     }
-    if want("fig9") {
-        let rows = experiments::fig9(quick);
+    if cli.wants("fig9") {
+        let rows = experiments::fig9(&runner, quick);
         render::print_sensitivity("Figure 9: speedup vs. logic-clock divisor", "div", &rows);
-        write_result_file("fig9.csv", &render::sensitivity_csv("divisor", &rows));
+        report_written(write_result_file("fig9.csv", &render::sensitivity_csv("divisor", &rows)));
         println!();
     }
-    if want("table4") {
-        let rows = experiments::table4(quick);
+    if cli.wants("table4") {
+        let rows = experiments::table4(&runner, quick);
         render::print_table4(&rows);
-        write_result_file("table4.csv", &render::table4_csv(&rows));
+        report_written(write_result_file("table4.csv", &render::table4_csv(&rows)));
+        println!();
+    }
+
+    if let Ok(summary) = ap_engine::manifest::summarize(&manifest_path) {
+        if summary.total > 0 {
+            println!(
+                "engine: {} jobs ({} cached, {} computed, {} failed) on {} workers; \
+                 manifest: {}",
+                summary.total,
+                summary.cache_hits,
+                summary.cache_misses - summary.panicked - summary.timed_out,
+                summary.panicked + summary.timed_out,
+                runner.engine().workers(),
+                manifest_path.display()
+            );
+        }
+    }
+}
+
+fn report_written(path: Option<std::path::PathBuf>) {
+    if let Some(path) = path {
+        println!("wrote {}", display_compact(&path));
+    }
+}
+
+/// Shortens `.../crates/bench/../../results/x.csv` style paths for display.
+fn display_compact(path: &Path) -> String {
+    match path.canonicalize() {
+        Ok(p) => p.display().to_string(),
+        Err(_) => path.display().to_string(),
     }
 }

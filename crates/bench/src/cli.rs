@@ -1,0 +1,172 @@
+//! Command-line parsing for the `experiments` binary.
+//!
+//! Kept in the library so the parser is unit-testable; the binary only
+//! renders errors and exits non-zero.
+
+use crate::runner::Runner;
+use ap_engine::Engine;
+use std::path::PathBuf;
+
+/// Every experiment target the binary accepts.
+pub const TARGETS: &[&str] = &[
+    "all", "table1", "table2", "table3", "table4", "fig1", "fig3", "fig4", "fig5", "fig8", "fig9",
+];
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// Which experiment to run (one of [`TARGETS`], default `all`).
+    pub target: String,
+    /// Worker-count override (`--jobs N`).
+    pub jobs: Option<usize>,
+    /// Disable the disk cache (`--no-cache`).
+    pub no_cache: bool,
+    /// Manifest path override (`--manifest PATH`).
+    pub manifest: Option<PathBuf>,
+}
+
+/// The usage text, listing flags and valid targets.
+pub fn usage() -> String {
+    format!(
+        "usage: experiments [TARGET] [--jobs N] [--no-cache] [--manifest PATH]\n\
+         \n\
+         Runs the paper's experiments through the ap-engine worker pool and\n\
+         writes CSV files under the results directory.\n\
+         \n\
+         targets: {}\n\
+         \n\
+         options:\n\
+         \x20 --jobs N         worker threads (default: AP_JOBS or all cores)\n\
+         \x20 --no-cache       recompute every point, ignore the disk cache\n\
+         \x20 --manifest PATH  write the JSONL run manifest to PATH\n\
+         \n\
+         environment: AP_QUICK=1 shrinks sweeps, AP_JOBS sets workers,\n\
+         AP_RESULTS_DIR relocates outputs, AP_NO_CACHE=1 disables the cache.",
+        TARGETS.join("|")
+    )
+}
+
+/// Parses the arguments after the program name.
+pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli { target: "all".to_string(), jobs: None, no_cache: false, manifest: None };
+    let mut target_seen = false;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg.clone(), None),
+        };
+        let mut value = |name: &str| {
+            inline
+                .clone()
+                .or_else(|| args.next())
+                .filter(|v| !v.is_empty())
+                .ok_or(format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--jobs" => {
+                let v = value("--jobs")?;
+                let n: usize = v.parse().map_err(|_| format!("invalid --jobs value {v:?}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                cli.jobs = Some(n);
+            }
+            "--no-cache" => cli.no_cache = true,
+            "--manifest" => cli.manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--help" | "-h" => return Err("help".to_string()),
+            f if f.starts_with('-') => return Err(format!("unknown option {f:?}")),
+            target if !target_seen => {
+                if !TARGETS.contains(&target) {
+                    return Err(format!(
+                        "unknown target {target:?} (valid: {})",
+                        TARGETS.join(", ")
+                    ));
+                }
+                cli.target = target.to_string();
+                target_seen = true;
+            }
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+    }
+    Ok(cli)
+}
+
+impl Cli {
+    /// True when `name` (or `all`) was requested.
+    pub fn wants(&self, name: &str) -> bool {
+        self.target == "all" || self.target == name
+    }
+
+    /// Builds the engine-backed runner this invocation asked for: environment
+    /// defaults, then the command-line overrides.
+    pub fn runner(&self) -> Runner {
+        let mut engine = Engine::from_env();
+        if engine.cache_dir().is_none() {
+            engine = engine.with_cache_dir(crate::results_dir().join(".ap-cache"));
+        }
+        if let Some(jobs) = self.jobs {
+            engine = engine.with_workers(jobs);
+        }
+        if self.no_cache || crate::env_flag("AP_NO_CACHE") {
+            engine = engine.without_cache();
+        }
+        engine = engine.with_manifest(self.manifest_path());
+        Runner::with_engine(engine)
+    }
+
+    /// Where this invocation writes its manifest: `--manifest` if given,
+    /// else `manifest.jsonl` in the results directory.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.manifest.clone().unwrap_or_else(|| crate::results_dir().join("manifest.jsonl"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_to_all() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.target, "all");
+        assert_eq!(cli.jobs, None);
+        assert!(!cli.no_cache);
+        assert!(cli.wants("fig3") && cli.wants("table4"));
+    }
+
+    #[test]
+    fn parses_target_and_flags_in_any_order() {
+        let cli = parse(&["fig5", "--jobs", "4", "--no-cache"]).unwrap();
+        assert_eq!(cli.target, "fig5");
+        assert_eq!(cli.jobs, Some(4));
+        assert!(cli.no_cache);
+        assert!(cli.wants("fig5") && !cli.wants("fig8"));
+
+        let cli = parse(&["--jobs=2", "--manifest=/tmp/m.jsonl", "table4"]).unwrap();
+        assert_eq!(cli.jobs, Some(2));
+        assert_eq!(cli.manifest, Some(PathBuf::from("/tmp/m.jsonl")));
+        assert_eq!(cli.target, "table4");
+    }
+
+    #[test]
+    fn rejects_unknown_targets_with_the_valid_list() {
+        let err = parse(&["fig6"]).unwrap_err();
+        assert!(err.contains("fig6"), "{err}");
+        assert!(err.contains("fig5"), "must list valid targets: {err}");
+    }
+
+    #[test]
+    fn rejects_bad_flags_and_values() {
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--manifest="]).is_err());
+        assert!(parse(&["--jobs", "zero"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["fig3", "fig5"]).is_err());
+    }
+}

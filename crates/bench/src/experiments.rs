@@ -1,8 +1,9 @@
 //! Generators for every table and figure of the evaluation.
 
-use crate::sweep::{run_point, run_sweep, SweepPoint};
+use crate::runner::{RunSpec, Runner};
+use crate::sweep::{run_sweeps, SweepPoint};
 use ap_analytic::{calibrate, pearson, Calibration, Fig1Point};
-use ap_apps::{App, SystemKind};
+use ap_apps::{speedup, App, SystemKind};
 use ap_synth::report::Table3Row;
 use radram::RadramConfig;
 
@@ -40,10 +41,10 @@ pub fn table3() -> Vec<Table3Row> {
     ap_synth::report::table3()
 }
 
-/// Figures 3 and 4: the speedup and non-overlap sweeps for every kernel.
-pub fn fig3_fig4(quick: bool) -> Vec<(App, Vec<SweepPoint>)> {
-    let cfg = RadramConfig::reference();
-    App::ALL.into_iter().map(|app| (app, run_sweep(app, &cfg, quick))).collect()
+/// Figures 3 and 4: the speedup and non-overlap sweeps for every kernel,
+/// submitted to the engine as one batch.
+pub fn fig3_fig4(runner: &Runner, quick: bool) -> Vec<(App, Vec<SweepPoint>)> {
+    run_sweeps(runner, &App::ALL, &RadramConfig::reference(), quick)
 }
 
 /// One Figure 5 series: execution time vs. L1 data-cache size.
@@ -57,36 +58,53 @@ pub struct Fig5Row {
 
 /// Figure 5: conventional and RADram execution time as the L1 data cache
 /// varies from 32 KB to 256 KB (plus the paper's `median-total` series).
-pub fn fig5(quick: bool) -> Vec<Fig5Row> {
+pub fn fig5(runner: &Runner, quick: bool) -> Vec<Fig5Row> {
     let sizes = if quick { vec![32, 256] } else { vec![32, 64, 128, 256] };
-    cache_sweep(quick, &sizes, "", |kb| RadramConfig::reference().with_l1d_size(kb * 1024))
+    cache_sweep(runner, quick, &sizes, "", |kb| RadramConfig::reference().with_l1d_size(kb * 1024))
 }
 
 /// The companion L2 sweep (256 KB–4 MB) the paper reports alongside
 /// Figure 5 ("throughout this range no significant performance differences
 /// occurred").
-pub fn fig5_l2(quick: bool) -> Vec<Fig5Row> {
+pub fn fig5_l2(runner: &Runner, quick: bool) -> Vec<Fig5Row> {
     let sizes = if quick { vec![256, 4096] } else { vec![256, 512, 1024, 2048, 4096] };
-    cache_sweep(quick, &sizes, "-l2", |kb| RadramConfig::reference().with_l2_size(kb * 1024))
+    cache_sweep(runner, quick, &sizes, "-l2", |kb| {
+        RadramConfig::reference().with_l2_size(kb * 1024)
+    })
 }
 
 fn cache_sweep(
+    runner: &Runner,
     quick: bool,
     sizes_kb: &[usize],
     label_suffix: &str,
     cfg_of: impl Fn(usize) -> RadramConfig,
 ) -> Vec<Fig5Row> {
     let apps = if quick { vec![App::Database, App::Median] } else { App::ALL.to_vec() };
+    let mut specs = Vec::new();
+    for kind in [SystemKind::Conventional, SystemKind::Radram] {
+        for &app in &apps {
+            for &kb in sizes_kb {
+                specs.push(RunSpec::new(app, kind, SENSITIVITY_PAGES, cfg_of(kb)));
+            }
+        }
+    }
+    let mut results = runner.run(specs).into_iter();
+
     let mut rows = Vec::new();
     for kind in [SystemKind::Conventional, SystemKind::Radram] {
         for &app in &apps {
             let mut points = Vec::new();
             let mut total_points = Vec::new();
             for &kb in sizes_kb {
-                let r = app.run(kind, SENSITIVITY_PAGES, &cfg_of(kb));
-                points.push((kb, r.kernel_cycles));
-                if app == App::Median {
-                    total_points.push((kb, r.total_cycles));
+                match results.next().expect("result per spec") {
+                    Ok(r) => {
+                        points.push((kb, r.kernel_cycles));
+                        if app == App::Median {
+                            total_points.push((kb, r.total_cycles));
+                        }
+                    }
+                    Err(e) => eprintln!("warning: dropping {} {kind} at {kb} KB: {e}", app.name()),
                 }
             }
             let suffix = match kind {
@@ -118,35 +136,60 @@ pub struct SensitivityRow {
 }
 
 /// Figure 8: speedup as the cache-miss (DRAM) latency varies 0–600 ns.
-pub fn fig8(quick: bool) -> Vec<SensitivityRow> {
+pub fn fig8(runner: &Runner, quick: bool) -> Vec<SensitivityRow> {
     let latencies: Vec<u64> = if quick { vec![0, 600] } else { vec![0, 50, 100, 200, 400, 600] };
-    let apps = if quick { vec![App::Database, App::MatrixSimplex] } else { App::ALL.to_vec() };
-    apps.into_iter()
-        .map(|app| {
-            let points = latencies
-                .iter()
-                .map(|&ns| {
-                    let cfg = RadramConfig::reference().with_miss_latency(ns);
-                    (ns, run_point(app, SENSITIVITY_PAGES, &cfg).speedup())
-                })
-                .collect();
-            SensitivityRow { app, points }
-        })
-        .collect()
+    sensitivity_sweep(runner, quick, &latencies, |ns| {
+        RadramConfig::reference().with_miss_latency(ns)
+    })
 }
 
 /// Figure 9: speedup as the reconfigurable-logic clock divisor varies
 /// (2 = 500 MHz ... 100 = 10 MHz).
-pub fn fig9(quick: bool) -> Vec<SensitivityRow> {
+pub fn fig9(runner: &Runner, quick: bool) -> Vec<SensitivityRow> {
     let divisors: Vec<u64> = if quick { vec![2, 100] } else { vec![2, 5, 10, 20, 50, 100] };
+    sensitivity_sweep(runner, quick, &divisors, |d| RadramConfig::reference().with_logic_divisor(d))
+}
+
+/// Shared Figure 8/9 machinery: for each app and parameter value, run both
+/// systems through the engine and report the speedup. Points with a failed
+/// half are dropped with a warning.
+fn sensitivity_sweep(
+    runner: &Runner,
+    quick: bool,
+    values: &[u64],
+    cfg_of: impl Fn(u64) -> RadramConfig,
+) -> Vec<SensitivityRow> {
     let apps = if quick { vec![App::Database, App::MatrixSimplex] } else { App::ALL.to_vec() };
+    let mut specs = Vec::new();
+    for &app in &apps {
+        for &v in values {
+            let cfg = cfg_of(v);
+            specs.push(RunSpec::new(app, SystemKind::Conventional, SENSITIVITY_PAGES, cfg.clone()));
+            specs.push(RunSpec::new(app, SystemKind::Radram, SENSITIVITY_PAGES, cfg));
+        }
+    }
+    let mut results = runner.run(specs).into_iter();
     apps.into_iter()
         .map(|app| {
-            let points = divisors
+            let points = values
                 .iter()
-                .map(|&d| {
-                    let cfg = RadramConfig::reference().with_logic_divisor(d);
-                    (d, run_point(app, SENSITIVITY_PAGES, &cfg).speedup())
+                .filter_map(|&v| {
+                    let conv = results.next().expect("result per spec");
+                    let rad = results.next().expect("result per spec");
+                    match (conv, rad) {
+                        (Ok(c), Ok(r)) => Some((v, speedup(&c, &r))),
+                        (c, r) => {
+                            for half in [c, r] {
+                                if let Err(e) = half {
+                                    eprintln!(
+                                        "warning: dropping {} at parameter {v}: {e}",
+                                        app.name()
+                                    );
+                                }
+                            }
+                            None
+                        }
+                    }
                 })
                 .collect();
             SensitivityRow { app, points }
@@ -174,19 +217,36 @@ pub const CALIBRATION_PAGES: f64 = 8.0;
 
 /// Table 4: activation/post/compute times, overlap threshold and analytic
 /// model correlation for every kernel.
-pub fn table4(quick: bool) -> Vec<Table4Row> {
+pub fn table4(runner: &Runner, quick: bool) -> Vec<Table4Row> {
     let cfg = RadramConfig::reference();
     // Table 4 lists the same eight kernels as the paper (dynamic-prog is
     // absent there too: its activation times are inherently data-dependent
     // through the wavefront, violating the constant-parameter assumption).
-    App::ALL
-        .into_iter()
-        .filter(|app| *app != App::DynProg)
-        .map(|app| {
-            let rad = app.run(SystemKind::Radram, CALIBRATION_PAGES, &cfg);
+    let apps: Vec<App> = App::ALL.into_iter().filter(|app| *app != App::DynProg).collect();
+
+    // First engine batch: one RADram calibration run per kernel. Running it
+    // before the sweeps also warms the cache for the sweeps' 8-page points.
+    let cal_specs = apps
+        .iter()
+        .map(|&app| RunSpec::new(app, SystemKind::Radram, CALIBRATION_PAGES, cfg.clone()))
+        .collect();
+    let calibrations = runner.run(cal_specs);
+    // Second batch: the full Figure 3 sweeps the correlation is scored on.
+    let sweeps = run_sweeps(runner, &apps, &cfg, quick);
+
+    apps.into_iter()
+        .zip(calibrations)
+        .zip(sweeps)
+        .filter_map(|((app, rad), (_, sweep))| {
+            let rad = match rad {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("warning: dropping Table 4 row {}: {e}", app.name());
+                    return None;
+                }
+            };
             let cal = calibrate(&rad);
             let model = cal.model();
-            let sweep = run_sweep(app, &cfg, quick);
             let mut measured = Vec::new();
             let mut predicted = Vec::new();
             for pt in &sweep {
@@ -195,15 +255,14 @@ pub fn table4(quick: bool) -> Vec<Table4Row> {
                 let acts_per_page = cal.activations as f64 / CALIBRATION_PAGES;
                 let k = ((pt.pages * acts_per_page).round() as usize).max(1);
                 measured.push(pt.speedup());
-                predicted
-                    .push(model.predicted_speedup(k, pt.conventional.kernel_cycles as f64));
+                predicted.push(model.predicted_speedup(k, pt.conventional.kernel_cycles as f64));
             }
-            Table4Row {
+            Some(Table4Row {
                 app,
                 cal,
                 pages_for_overlap: model.pages_for_overlap(1 << 26),
                 correlation: pearson(&measured, &predicted),
-            }
+            })
         })
         .collect()
 }

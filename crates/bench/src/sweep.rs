@@ -1,5 +1,6 @@
 //! Problem-size sweeps shared by the figures.
 
+use crate::runner::{RunSpec, Runner};
 use ap_apps::{speedup, App, RunReport, SystemKind};
 use radram::RadramConfig;
 
@@ -52,16 +53,69 @@ pub fn size_grid(app: App, quick: bool) -> Vec<f64> {
     sizes
 }
 
-/// Runs `app` on both systems at one size.
+/// Runs `app` on both systems at one size, directly on this thread (tests
+/// and one-off probes; the figures go through [`run_sweep`]).
 pub fn run_point(app: App, pages: f64, cfg: &RadramConfig) -> SweepPoint {
     let conventional = app.run(SystemKind::Conventional, pages, cfg);
     let radram = app.run(SystemKind::Radram, pages, cfg);
     SweepPoint { pages, conventional, radram }
 }
 
-/// Runs the full size sweep for `app`.
-pub fn run_sweep(app: App, cfg: &RadramConfig, quick: bool) -> Vec<SweepPoint> {
-    size_grid(app, quick).into_iter().map(|pages| run_point(app, pages, cfg)).collect()
+/// Runs the full size sweep for `app` through the engine.
+pub fn run_sweep(runner: &Runner, app: App, cfg: &RadramConfig, quick: bool) -> Vec<SweepPoint> {
+    run_sweeps(runner, &[app], cfg, quick).pop().map(|(_, points)| points).unwrap_or_default()
+}
+
+/// Runs the size sweeps for several applications as **one** engine batch, so
+/// every point of every app shares the worker pool. A point whose job failed
+/// (panic, deadline) is dropped with a warning; the surviving points keep
+/// the figure usable.
+pub fn run_sweeps(
+    runner: &Runner,
+    apps: &[App],
+    cfg: &RadramConfig,
+    quick: bool,
+) -> Vec<(App, Vec<SweepPoint>)> {
+    let grids: Vec<(App, Vec<f64>)> =
+        apps.iter().map(|&app| (app, size_grid(app, quick))).collect();
+    let mut specs = Vec::new();
+    for (app, sizes) in &grids {
+        for &pages in sizes {
+            for kind in [SystemKind::Conventional, SystemKind::Radram] {
+                specs.push(RunSpec::new(*app, kind, pages, cfg.clone()));
+            }
+        }
+    }
+    let mut results = runner.run(specs).into_iter();
+    grids
+        .into_iter()
+        .map(|(app, sizes)| {
+            let points = sizes
+                .into_iter()
+                .filter_map(|pages| {
+                    let conv = results.next().expect("result per spec");
+                    let rad = results.next().expect("result per spec");
+                    match (conv, rad) {
+                        (Ok(conventional), Ok(radram)) => {
+                            Some(SweepPoint { pages, conventional, radram })
+                        }
+                        (conv, rad) => {
+                            for (kind, r) in [("conventional", conv), ("radram", rad)] {
+                                if let Err(e) = r {
+                                    eprintln!(
+                                        "warning: dropping {} {kind} at {pages} pages: {e}",
+                                        app.name()
+                                    );
+                                }
+                            }
+                            None
+                        }
+                    }
+                })
+                .collect();
+            (app, points)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -256,9 +256,7 @@ mod tests {
     use super::*;
 
     fn pack_w(w: [i16; 4]) -> u64 {
-        w.iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, &v)| acc | ((v as u16 as u64) << (i * 16)))
+        w.iter().enumerate().fold(0u64, |acc, (i, &v)| acc | ((v as u16 as u64) << (i * 16)))
     }
 
     fn unpack_w(v: u64) -> [i16; 4] {

@@ -1,0 +1,132 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Each completed job is persisted as one file whose name is the FNV-1a
+//! digest of `salt + key` — the salt folds in everything that invalidates
+//! results wholesale (crate version, configuration fingerprint format), the
+//! key identifies the job. The file stores the full key on its first line so
+//! a digest collision degrades to a miss, never to a wrong result. Writes go
+//! through a temporary file plus rename, so concurrent workers and crashed
+//! runs can never leave a torn entry behind.
+
+use crate::job::Codec;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// FNV-1a digest, the crate's content-addressing hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The on-disk cache directory. All operations are best effort: I/O failures
+/// degrade to cache misses (reported on stderr for writes), never to errors.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl DiskCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DiskCache { dir: dir.into() }
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &str, salt: &str) -> PathBuf {
+        let digest = fnv1a(format!("{salt}\u{1f}{key}").as_bytes());
+        self.dir.join(format!("{digest:016x}.entry"))
+    }
+
+    /// Loads the cached result for `key`, if present and decodable.
+    pub fn load<T>(&self, key: &str, salt: &str, codec: &Codec<T>) -> Option<T> {
+        let text = std::fs::read_to_string(self.entry_path(key, salt)).ok()?;
+        let (stored_key, payload) = text.split_once('\n')?;
+        if stored_key != key {
+            return None; // digest collision: treat as a miss
+        }
+        (codec.decode)(payload)
+    }
+
+    /// Persists `value` for `key`. Best effort; failures leave a warning on
+    /// stderr and the next run simply recomputes.
+    pub fn store<T>(&self, key: &str, salt: &str, value: &T, codec: &Codec<T>) {
+        if let Err(e) = self.try_store(key, salt, value, codec) {
+            eprintln!("ap-engine: cannot cache {key}: {e}");
+        }
+    }
+
+    fn try_store<T>(
+        &self,
+        key: &str,
+        salt: &str,
+        value: &T,
+        codec: &Codec<T>,
+    ) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, format!("{key}\n{}", (codec.encode)(value)))?;
+        std::fs::rename(&tmp, self.entry_path(key, salt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> Codec<u64> {
+        Codec { encode: |v| v.to_string(), decode: |s| s.trim().parse().ok() }
+    }
+
+    fn temp_cache(tag: &str) -> DiskCache {
+        let dir =
+            std::env::temp_dir().join(format!("ap-engine-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DiskCache::new(dir)
+    }
+
+    #[test]
+    fn roundtrips_and_misses() {
+        let cache = temp_cache("roundtrip");
+        let c = codec();
+        assert_eq!(cache.load("a", "v1", &c), None);
+        cache.store("a", "v1", &42, &c);
+        assert_eq!(cache.load("a", "v1", &c), Some(42));
+        // Different key or salt: separate entries.
+        assert_eq!(cache.load("b", "v1", &c), None);
+        assert_eq!(cache.load("a", "v2", &c), None);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entries_degrade_to_misses() {
+        let cache = temp_cache("corrupt");
+        let c = codec();
+        cache.store("a", "v1", &7, &c);
+        let path = cache.entry_path("a", "v1");
+        std::fs::write(&path, "a\nnot-a-number").unwrap();
+        assert_eq!(cache.load("a", "v1", &c), None);
+        // A wrong stored key (simulated collision) is also a miss.
+        std::fs::write(&path, "other-key\n7").unwrap();
+        assert_eq!(cache.load("a", "v1", &c), None);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn fnv_distinguishes_keys() {
+        assert_ne!(fnv1a(b"fig3/database/1"), fnv1a(b"fig3/database/2"));
+    }
+}

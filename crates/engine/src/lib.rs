@@ -1,0 +1,405 @@
+//! `ap-engine` — the experiment-execution engine of the Active Pages
+//! reproduction.
+//!
+//! The paper's evaluation is a large grid of *independent* simulations:
+//! every Figure 3/4/5/8/9 point and Table 4 row runs an application on a
+//! fresh simulated `System`. This crate is the substrate that executes such
+//! grids fast and safely:
+//!
+//! * **Parallel** — jobs run on a scoped worker pool ([`std::thread::scope`]
+//!   plus channels; worker count from `AP_JOBS`, default the machine's
+//!   available parallelism). Results come back in deterministic *submission*
+//!   order regardless of completion order, so output files are byte-identical
+//!   at any worker count.
+//! * **Fault-isolated** — each job runs under [`std::panic::catch_unwind`]
+//!   with a wall-clock watchdog; a panicking or runaway job degrades to a
+//!   [`JobError`] entry while sibling jobs complete.
+//! * **Cached** — completed results persist to a content-addressed disk
+//!   cache ([`DiskCache`]) keyed by job key + caller salt (configuration
+//!   fingerprint, crate version), so re-running an evaluation only simulates
+//!   points whose inputs changed.
+//! * **Observable** — every job appends a JSONL manifest line (outcome,
+//!   cache hit/miss, wall time, worker) and a live progress line tracks
+//!   completed/total and jobs/sec.
+//!
+//! Jobs are `Send` *specs*, not `Send` systems: the simulated machine holds
+//! `Rc` internals and cannot cross threads, so each closure constructs its
+//! own `System` inside the worker. That constraint is why this engine exists
+//! as its own layer instead of a parallel-iterator sprinkle.
+//!
+//! # Examples
+//!
+//! ```
+//! use ap_engine::{Engine, Job};
+//!
+//! let engine = Engine::new().with_workers(4).without_cache();
+//! let jobs = (0..8).map(|i| Job::new(format!("square/{i}"), move || i * i)).collect();
+//! let results = engine.run(jobs, None);
+//! assert_eq!(results[3].result.as_ref().unwrap(), &9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod job;
+pub mod manifest;
+
+pub use cache::{fnv1a, DiskCache};
+pub use job::{Codec, Job, JobError, JobOutcome};
+
+use std::io::IsTerminal as _;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The default per-job wall-clock deadline.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(600);
+
+/// The job-execution engine. Configure with the builder methods, then call
+/// [`Engine::run`] with a batch of jobs.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    workers: usize,
+    cache: Option<DiskCache>,
+    manifest: Option<PathBuf>,
+    deadline: Option<Duration>,
+    progress: bool,
+    salt: String,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with default settings: one worker per available core, no
+    /// cache, no manifest, the [`DEFAULT_DEADLINE`] watchdog, no progress.
+    pub fn new() -> Self {
+        Engine {
+            workers: available_workers(),
+            cache: None,
+            manifest: None,
+            deadline: Some(DEFAULT_DEADLINE),
+            progress: false,
+            salt: String::new(),
+        }
+    }
+
+    /// An engine configured from the environment:
+    ///
+    /// * `AP_JOBS` — worker count (default: available parallelism).
+    /// * `AP_CACHE_DIR` — disk cache directory (default: no cache; callers
+    ///   usually supply their own default via [`with_cache_dir`](Self::with_cache_dir)).
+    /// * `AP_JOB_TIMEOUT_SECS` — per-job deadline in seconds, `0` disables
+    ///   (default: 600).
+    ///
+    /// Progress is enabled when stderr is a terminal.
+    pub fn from_env() -> Self {
+        let mut e = Engine::new();
+        if let Some(n) = env_usize("AP_JOBS") {
+            e.workers = n.max(1);
+        }
+        if let Ok(dir) = std::env::var("AP_CACHE_DIR") {
+            if !dir.is_empty() {
+                e.cache = Some(DiskCache::new(dir));
+            }
+        }
+        if let Some(secs) = env_usize("AP_JOB_TIMEOUT_SECS") {
+            e.deadline = (secs > 0).then(|| Duration::from_secs(secs as u64));
+        }
+        e.progress = std::io::stderr().is_terminal();
+        e
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables the disk cache rooted at `dir`.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache = Some(DiskCache::new(dir));
+        self
+    }
+
+    /// Disables the disk cache.
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Appends manifest lines to the JSONL file at `path`.
+    pub fn with_manifest(mut self, path: impl Into<PathBuf>) -> Self {
+        self.manifest = Some(path.into());
+        self
+    }
+
+    /// Sets (`Some`) or disables (`None`) the per-job wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Enables or disables the live progress line on stderr.
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Folds `salt` into every cache key. Callers put everything that
+    /// invalidates results wholesale here: crate version, configuration
+    /// fingerprint scheme, quick-mode flags.
+    pub fn with_salt(mut self, salt: impl Into<String>) -> Self {
+        self.salt = salt.into();
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The cache directory, if caching is enabled.
+    pub fn cache_dir(&self) -> Option<&std::path::Path> {
+        self.cache.as_ref().map(|c| c.dir())
+    }
+
+    /// Executes `jobs` on the worker pool and returns one outcome per job,
+    /// **in submission order** regardless of completion order.
+    ///
+    /// With a `codec` and an enabled cache, each job first probes the disk
+    /// cache and each fresh result is persisted; without either, every job
+    /// computes. Panics and deadline overruns surface as [`JobError`]s in
+    /// the affected outcome only.
+    pub fn run<T: Send + 'static>(
+        &self,
+        jobs: Vec<Job<T>>,
+        codec: Option<Codec<T>>,
+    ) -> Vec<JobOutcome<T>> {
+        let total = jobs.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let slots: Vec<JobSlot<T>> = jobs
+            .into_iter()
+            .map(|j| JobSlot { key: j.key, run: Mutex::new(Some(j.run)) })
+            .collect();
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, JobOutcome<T>)>();
+        let mut manifest =
+            self.manifest.as_deref().and_then(|p| match manifest::Writer::append(p) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    eprintln!("ap-engine: cannot open manifest {}: {e}", p.display());
+                    None
+                }
+            });
+        let mut results: Vec<Option<JobOutcome<T>>> = (0..total).map(|_| None).collect();
+        let started = Instant::now();
+
+        std::thread::scope(|scope| {
+            for worker in 0..self.workers.min(total) {
+                let tx = tx.clone();
+                let slots = &slots;
+                let next = &next;
+                scope.spawn(move || self.worker_loop(worker, slots, next, tx, codec));
+            }
+            drop(tx);
+
+            let mut done = 0usize;
+            while done < total {
+                let Ok((index, outcome)) = rx.recv() else {
+                    break; // all workers gone; missing slots filled below
+                };
+                if let Some(w) = manifest.as_mut() {
+                    w.record(&manifest::Entry::of(&outcome));
+                }
+                results[index] = Some(outcome);
+                done += 1;
+                if self.progress {
+                    let rate = done as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                    eprint!("\r[{done}/{total}] {rate:.1} jobs/s ");
+                }
+            }
+        });
+        if self.progress {
+            eprintln!();
+        }
+
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or_else(|| JobOutcome {
+                    key: slots[i].key.clone(),
+                    result: Err(JobError::Panicked("worker thread died".into())),
+                    wall: Duration::ZERO,
+                    cache_hit: false,
+                    worker: 0,
+                })
+            })
+            .collect()
+    }
+
+    fn worker_loop<T: Send + 'static>(
+        &self,
+        worker: usize,
+        slots: &[JobSlot<T>],
+        next: &AtomicUsize,
+        tx: Sender<(usize, JobOutcome<T>)>,
+        codec: Option<Codec<T>>,
+    ) {
+        loop {
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            if index >= slots.len() {
+                return;
+            }
+            let key = slots[index].key.clone();
+            let started = Instant::now();
+
+            if let (Some(cache), Some(codec)) = (&self.cache, &codec) {
+                if let Some(value) = cache.load(&key, &self.salt, codec) {
+                    let outcome = JobOutcome {
+                        key,
+                        result: Ok(value),
+                        wall: started.elapsed(),
+                        cache_hit: true,
+                        worker,
+                    };
+                    let _ = tx.send((index, outcome));
+                    continue;
+                }
+            }
+
+            let run = slots[index]
+                .run
+                .lock()
+                .expect("job slot lock poisoned")
+                .take()
+                .expect("job dispatched twice");
+            let result = self.execute_isolated(run);
+
+            if let (Ok(value), Some(cache), Some(codec)) = (&result, &self.cache, &codec) {
+                cache.store(&key, &self.salt, value, codec);
+            }
+            let outcome =
+                JobOutcome { key, result, wall: started.elapsed(), cache_hit: false, worker };
+            let _ = tx.send((index, outcome));
+        }
+    }
+
+    /// Runs one job on a dedicated watchdog-supervised thread. The thread is
+    /// detached: on deadline overrun we abandon it (it cannot be killed) and
+    /// report [`JobError::TimedOut`]; its eventual result is discarded.
+    fn execute_isolated<T: Send + 'static>(
+        &self,
+        run: Box<dyn FnOnce() -> T + Send>,
+    ) -> Result<T, JobError> {
+        let (tx, rx) = mpsc::channel();
+        let spawned = std::thread::Builder::new()
+            .name("ap-engine-job".into())
+            .stack_size(16 << 20) // deep simulations; don't inherit small default stacks
+            .spawn(move || {
+                let result = std::panic::catch_unwind(AssertUnwindSafe(run));
+                let _ = tx.send(result);
+            });
+        if let Err(e) = spawned {
+            return Err(JobError::Panicked(format!("cannot spawn job thread: {e}")));
+        }
+        let received = match self.deadline {
+            Some(deadline) => match rx.recv_timeout(deadline) {
+                Ok(r) => r,
+                Err(RecvTimeoutError::Timeout) => return Err(JobError::TimedOut(deadline)),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(JobError::Panicked("job thread vanished".into()))
+                }
+            },
+            None => match rx.recv() {
+                Ok(r) => r,
+                Err(_) => return Err(JobError::Panicked("job thread vanished".into())),
+            },
+        };
+        received.map_err(|payload| JobError::Panicked(panic_message(&*payload)))
+    }
+}
+
+struct JobSlot<T> {
+    key: String,
+    run: Mutex<Option<Box<dyn FnOnce() -> T + Send>>>,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn available_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("ap-engine: ignoring unparsable {name}={raw:?}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        // Later jobs finish first (earlier ones sleep); order must not change.
+        let engine = Engine::new().with_workers(4).with_deadline(None);
+        let jobs = (0..12usize)
+            .map(|i| {
+                Job::new(format!("order/{i}"), move || {
+                    std::thread::sleep(Duration::from_millis((12 - i as u64) * 3));
+                    i * 10
+                })
+            })
+            .collect();
+        let results = engine.run(jobs, None);
+        assert_eq!(results.len(), 12);
+        for (i, outcome) in results.iter().enumerate() {
+            assert_eq!(outcome.key, format!("order/{i}"));
+            assert_eq!(outcome.result.as_ref().unwrap(), &(i * 10));
+            assert!(!outcome.cache_hit);
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let engine = Engine::new();
+        assert!(engine.run(Vec::<Job<u32>>::new(), None).is_empty());
+    }
+
+    #[test]
+    fn single_worker_serializes_jobs() {
+        let engine = Engine::new().with_workers(1);
+        let jobs = (0..5u64).map(|i| Job::new(format!("serial/{i}"), move || i + 1)).collect();
+        let results = engine.run(jobs, None);
+        assert!(results.iter().all(|o| o.worker == 0));
+        assert_eq!(
+            results.iter().map(|o| *o.result.as_ref().unwrap()).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+    }
+}

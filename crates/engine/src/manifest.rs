@@ -1,0 +1,180 @@
+//! The JSONL run manifest.
+//!
+//! Each completed job appends one JSON object per line recording its key,
+//! outcome, cache disposition, wall time and worker. The manifest is the
+//! run's audit trail: tests and tooling use [`summarize`] to assert cache
+//! behaviour without re-simulating anything.
+
+use crate::job::{JobError, JobOutcome};
+use std::io::Write as _;
+use std::path::Path;
+
+/// One manifest line, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Job key.
+    pub key: String,
+    /// `"ok"`, `"panicked"` or `"timed_out"`.
+    pub outcome: &'static str,
+    /// Error message for failed jobs.
+    pub error: Option<String>,
+    /// `true` if served from the disk cache.
+    pub cache_hit: bool,
+    /// Wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Worker index.
+    pub worker: usize,
+}
+
+impl Entry {
+    /// Builds the manifest entry for `outcome`.
+    pub fn of<T>(outcome: &JobOutcome<T>) -> Entry {
+        let (kind, error) = match &outcome.result {
+            Ok(_) => ("ok", None),
+            Err(e @ JobError::Panicked(_)) => ("panicked", Some(e.to_string())),
+            Err(e @ JobError::TimedOut(_)) => ("timed_out", Some(e.to_string())),
+        };
+        Entry {
+            key: outcome.key.clone(),
+            outcome: kind,
+            error,
+            cache_hit: outcome.cache_hit,
+            wall_ms: outcome.wall.as_secs_f64() * 1e3,
+            worker: outcome.worker,
+        }
+    }
+
+    /// Serializes the entry as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"key\":\"{}\",\"outcome\":\"{}\",\"cache\":\"{}\",\"wall_ms\":{:.3},\"worker\":{}",
+            escape(&self.key),
+            self.outcome,
+            if self.cache_hit { "hit" } else { "miss" },
+            self.wall_ms,
+            self.worker
+        );
+        if let Some(e) = &self.error {
+            s.push_str(&format!(",\"error\":\"{}\"", escape(e)));
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends one line per outcome to the manifest at `path`.
+pub(crate) struct Writer {
+    file: std::fs::File,
+}
+
+impl Writer {
+    /// Opens `path` for appending (creating parent directories).
+    pub fn append(path: &Path) -> std::io::Result<Writer> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Writer { file })
+    }
+
+    pub fn record(&mut self, entry: &Entry) {
+        if let Err(e) = writeln!(self.file, "{}", entry.to_json()) {
+            eprintln!("ap-engine: cannot write manifest line: {e}");
+        }
+    }
+}
+
+/// Aggregate counts over a manifest file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Lines parsed.
+    pub total: usize,
+    /// Jobs that produced a value.
+    pub ok: usize,
+    /// Jobs that panicked.
+    pub panicked: usize,
+    /// Jobs that exceeded the deadline.
+    pub timed_out: usize,
+    /// Values served from the disk cache.
+    pub cache_hits: usize,
+    /// Values computed fresh.
+    pub cache_misses: usize,
+}
+
+/// Reads a manifest written by the engine and tallies outcomes.
+pub fn summarize(path: &Path) -> std::io::Result<Summary> {
+    let text = std::fs::read_to_string(path)?;
+    let mut s = Summary::default();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        s.total += 1;
+        if line.contains("\"outcome\":\"ok\"") {
+            s.ok += 1;
+        } else if line.contains("\"outcome\":\"panicked\"") {
+            s.panicked += 1;
+        } else if line.contains("\"outcome\":\"timed_out\"") {
+            s.timed_out += 1;
+        }
+        if line.contains("\"cache\":\"hit\"") {
+            s.cache_hits += 1;
+        } else if line.contains("\"cache\":\"miss\"") {
+            s.cache_misses += 1;
+        }
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_serialize_and_summarize() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ap-engine-manifest-test-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut w = Writer::append(&path).unwrap();
+        w.record(&Entry {
+            key: "a \"quoted\"\nkey".into(),
+            outcome: "ok",
+            error: None,
+            cache_hit: true,
+            wall_ms: 1.5,
+            worker: 0,
+        });
+        w.record(&Entry {
+            key: "b".into(),
+            outcome: "panicked",
+            error: Some("boom".into()),
+            cache_hit: false,
+            wall_ms: 2.0,
+            worker: 1,
+        });
+        drop(w);
+        let s = summarize(&path).unwrap();
+        assert_eq!(
+            s,
+            Summary { total: 2, ok: 1, panicked: 1, timed_out: 0, cache_hits: 1, cache_misses: 1 }
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("a \\\"quoted\\\"\\nkey"), "escaping broken: {text}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,115 @@
+//! Fault isolation and cache behaviour of the engine: one panicking job and
+//! one runaway job must degrade to `JobError` entries while sibling jobs
+//! complete, and warm cache runs must serve hits without recomputation.
+
+use ap_engine::{manifest, Codec, Engine, Job, JobError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ap-engine-test-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn panics_and_timeouts_surface_as_errors_while_siblings_complete() {
+    let manifest_path = temp_path("fault-manifest.jsonl");
+    let _ = std::fs::remove_file(&manifest_path);
+    let engine = Engine::new()
+        .with_workers(2)
+        .with_deadline(Some(Duration::from_millis(250)))
+        .with_manifest(&manifest_path);
+
+    let jobs = vec![
+        Job::new("good/0", || 10u64),
+        Job::new("bad/panic", || -> u64 { panic!("injected failure") }),
+        Job::new("bad/runaway", || -> u64 {
+            std::thread::sleep(Duration::from_secs(30));
+            0
+        }),
+        Job::new("good/1", || 11u64),
+        Job::new("good/2", || 12u64),
+    ];
+    let results = engine.run(jobs, None);
+
+    assert_eq!(results.len(), 5);
+    assert_eq!(results[0].result.as_ref().unwrap(), &10);
+    assert_eq!(results[3].result.as_ref().unwrap(), &11);
+    assert_eq!(results[4].result.as_ref().unwrap(), &12);
+    match &results[1].result {
+        Err(JobError::Panicked(msg)) => assert!(msg.contains("injected failure"), "msg: {msg}"),
+        other => panic!("expected panic error, got {other:?}"),
+    }
+    match &results[2].result {
+        Err(JobError::TimedOut(d)) => assert_eq!(*d, Duration::from_millis(250)),
+        other => panic!("expected timeout error, got {other:?}"),
+    }
+
+    let summary = manifest::summarize(&manifest_path).unwrap();
+    assert_eq!(summary.total, 5);
+    assert_eq!(summary.ok, 3);
+    assert_eq!(summary.panicked, 1);
+    assert_eq!(summary.timed_out, 1);
+    assert_eq!(summary.cache_misses, 5);
+    let _ = std::fs::remove_file(&manifest_path);
+}
+
+#[test]
+fn warm_cache_serves_hits_without_recomputation() {
+    let cache_dir = temp_path("warm-cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let codec: Codec<u64> = Codec { encode: |v| v.to_string(), decode: |s| s.trim().parse().ok() };
+    let engine = Engine::new().with_workers(2).with_cache_dir(&cache_dir).with_salt("test-v1");
+
+    let executions = Arc::new(AtomicUsize::new(0));
+    let make_jobs = |executions: &Arc<AtomicUsize>| -> Vec<Job<u64>> {
+        (0..6u64)
+            .map(|i| {
+                let executions = Arc::clone(executions);
+                Job::new(format!("cached/{i}"), move || {
+                    executions.fetch_add(1, Ordering::Relaxed);
+                    i * i
+                })
+            })
+            .collect()
+    };
+
+    let cold = engine.run(make_jobs(&executions), Some(codec));
+    assert_eq!(executions.load(Ordering::Relaxed), 6);
+    assert!(cold.iter().all(|o| !o.cache_hit));
+
+    let warm = engine.run(make_jobs(&executions), Some(codec));
+    assert_eq!(executions.load(Ordering::Relaxed), 6, "warm run must not recompute");
+    assert!(warm.iter().all(|o| o.cache_hit));
+    for (i, outcome) in warm.iter().enumerate() {
+        assert_eq!(outcome.result.as_ref().unwrap(), &((i * i) as u64));
+    }
+
+    // A different salt (new crate version, changed config fingerprint)
+    // invalidates everything.
+    let engine2 = engine.clone().with_salt("test-v2");
+    let fresh = engine2.run(make_jobs(&executions), Some(codec));
+    assert_eq!(executions.load(Ordering::Relaxed), 12);
+    assert!(fresh.iter().all(|o| !o.cache_hit));
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn failed_jobs_are_not_cached() {
+    let cache_dir = temp_path("no-cache-on-error");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let codec: Codec<u64> = Codec { encode: |v| v.to_string(), decode: |s| s.trim().parse().ok() };
+    let engine = Engine::new().with_workers(1).with_cache_dir(&cache_dir);
+
+    let first = engine.run(vec![Job::new("flaky", || -> u64 { panic!("transient") })], Some(codec));
+    assert!(matches!(first[0].result, Err(JobError::Panicked(_))));
+
+    // The retry actually executes (no poisoned cache entry) and succeeds.
+    let second = engine.run(vec![Job::new("flaky", || 7u64)], Some(codec));
+    assert!(!second[0].cache_hit);
+    assert_eq!(second[0].result.as_ref().unwrap(), &7);
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

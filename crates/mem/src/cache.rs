@@ -38,7 +38,13 @@ impl CacheConfig {
     ///
     /// Panics if `size` or `line` is not a power of two, if `assoc` is zero,
     /// or if the geometry does not yield at least one set.
-    pub fn new(name: &'static str, size: usize, assoc: usize, line: usize, hit_latency: u64) -> Self {
+    pub fn new(
+        name: &'static str,
+        size: usize,
+        assoc: usize,
+        line: usize,
+        hit_latency: u64,
+    ) -> Self {
         assert!(size.is_power_of_two(), "cache size must be a power of two");
         assert!(line.is_power_of_two(), "line size must be a power of two");
         assert!(assoc > 0, "associativity must be positive");
@@ -203,9 +209,7 @@ impl Cache {
     pub fn contains(&self, addr: VAddr) -> bool {
         let (set, tag) = self.index(addr.get());
         let base = set * self.cfg.assoc;
-        self.lines[base..base + self.cfg.assoc]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.lines[base..base + self.cfg.assoc].iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates every resident line whose base address falls in

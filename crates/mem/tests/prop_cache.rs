@@ -15,12 +15,7 @@ struct RefCache {
 impl RefCache {
     fn new(size: usize, assoc: usize, line: usize) -> Self {
         let set_count = (size / (assoc * line)) as u64;
-        RefCache {
-            sets: vec![Vec::new(); set_count as usize],
-            assoc,
-            line: line as u64,
-            set_count,
-        }
+        RefCache { sets: vec![Vec::new(); set_count as usize], assoc, line: line as u64, set_count }
     }
 
     /// Returns (hit, writeback_addr).

@@ -161,7 +161,12 @@ impl LruFrames {
     /// Replays a reference trace, accumulating fault costs under `model`.
     /// `uses_functions` marks whether the faulting pages carry bound
     /// Active-Page functions (pages that do not "do not incur this cost").
-    pub fn replay(mut self, trace: &[u32], model: &SwapModel, uses_functions: bool) -> PagingReport {
+    pub fn replay(
+        mut self,
+        trace: &[u32],
+        model: &SwapModel,
+        uses_functions: bool,
+    ) -> PagingReport {
         let mut report = PagingReport {
             references: trace.len() as u64,
             faults: 0,

@@ -910,13 +910,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "conventional")]
     fn conventional_rejects_ap_alloc() {
-        let mut sys = System::conventional_with(RadramConfig::reference().with_ram_capacity(4 << 20));
+        let mut sys =
+            System::conventional_with(RadramConfig::reference().with_ram_capacity(4 << 20));
         sys.ap_alloc_pages(GroupId::new(0), 1);
     }
 
     #[test]
     fn conventional_loads_are_plain() {
-        let mut sys = System::conventional_with(RadramConfig::reference().with_ram_capacity(4 << 20));
+        let mut sys =
+            System::conventional_with(RadramConfig::reference().with_ram_capacity(4 << 20));
         let a = sys.ram_alloc(64, 64);
         sys.store_u32(a, 9);
         assert_eq!(sys.load_u32(a), 9);
@@ -1021,9 +1023,8 @@ mod tests {
     #[test]
     fn polling_mode_skips_trap_overhead() {
         let run = |service: crate::ServiceMode| {
-            let cfg = RadramConfig::reference()
-                .with_ram_capacity(16 << 20)
-                .with_service_mode(service);
+            let cfg =
+                RadramConfig::reference().with_ram_capacity(16 << 20).with_service_mode(service);
             let mut sys = System::radram(cfg);
             let g = GroupId::new(0);
             let base = sys.ap_alloc_pages(g, 2);
@@ -1067,9 +1068,8 @@ mod tests {
             }
         }
         let run = |refs: usize| {
-            let cfg = RadramConfig::reference()
-                .with_ram_capacity(16 << 20)
-                .with_outstanding_refs(refs);
+            let cfg =
+                RadramConfig::reference().with_ram_capacity(16 << 20).with_outstanding_refs(refs);
             let mut sys = System::radram(cfg);
             let g = GroupId::new(0);
             let base = sys.ap_alloc_pages(g, 2);
@@ -1086,9 +1086,8 @@ mod tests {
     #[test]
     fn slow_logic_takes_longer() {
         let run = |divisor: u64| {
-            let cfg = RadramConfig::reference()
-                .with_ram_capacity(8 << 20)
-                .with_logic_divisor(divisor);
+            let cfg =
+                RadramConfig::reference().with_ram_capacity(8 << 20).with_logic_divisor(divisor);
             let mut sys = System::radram(cfg);
             let g = GroupId::new(0);
             let base = sys.ap_alloc_pages(g, 1);

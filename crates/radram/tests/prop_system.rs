@@ -47,8 +47,11 @@ enum Op {
 
 fn arb_op(pages: u8) -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..pages, 0u8..64, any::<u32>())
-            .prop_map(|(page, word, value)| Op::Store { page, word, value }),
+        (0..pages, 0u8..64, any::<u32>()).prop_map(|(page, word, value)| Op::Store {
+            page,
+            word,
+            value
+        }),
         (0..pages, 0u32..100).prop_map(|(page, delta)| Op::Activate { page, delta }),
         (0..pages).prop_map(|page| Op::Poll { page }),
         (0..pages).prop_map(|page| Op::Wait { page }),
@@ -66,8 +69,7 @@ fn run_program(ops: &[Op], pages: u8, comm: CommMode) -> (System, Vec<[u32; 64]>
     let base = sys.ap_alloc_pages(g, pages as usize);
     sys.ap_bind(g, Rc::new(AddAndSum));
     let mut shadow = vec![[0u32; 64]; pages as usize];
-    let page_base =
-        |p: u8| -> VAddr { base + (p as usize * active_pages::PAGE_SIZE) as u64 };
+    let page_base = |p: u8| -> VAddr { base + (p as usize * active_pages::PAGE_SIZE) as u64 };
     let mut last_now = sys.now();
     for &op in ops {
         match op {

@@ -190,10 +190,7 @@ pub fn assemble(source: &str) -> Result<Vec<Inst>, AsmError> {
             }
         };
         let label_target = |tok: &str| -> Result<u32, AsmError> {
-            labels
-                .get(tok)
-                .copied()
-                .ok_or_else(|| err(line, format!("unknown label '{tok}'")))
+            labels.get(tok).copied().ok_or_else(|| err(line, format!("unknown label '{tok}'")))
         };
 
         let inst = if let Some((op, is_imm)) = alu_of(mnemonic) {

@@ -160,9 +160,7 @@ impl Machine {
                 self.set_reg(rd.index(), (imm as u32) << 16);
             }
             Inst::Load { width, rd, rs, imm } => {
-                let addr = VAddr::new(
-                    (self.reg(rs.index()) as i64 + imm as i64) as u64,
-                );
+                let addr = VAddr::new((self.reg(rs.index()) as i64 + imm as i64) as u64);
                 let v = match width {
                     Width::B => self.cpu.load_u8(addr) as i8 as i32 as u32,
                     Width::Bu => self.cpu.load_u8(addr) as u32,
@@ -173,9 +171,7 @@ impl Machine {
                 self.set_reg(rd.index(), v);
             }
             Inst::Store { width, rt, rs, imm } => {
-                let addr = VAddr::new(
-                    (self.reg(rs.index()) as i64 + imm as i64) as u64,
-                );
+                let addr = VAddr::new((self.reg(rs.index()) as i64 + imm as i64) as u64);
                 let v = self.reg(rt.index());
                 match width {
                     Width::B | Width::Bu => self.cpu.store_u8(addr, v as u8),
@@ -335,9 +331,7 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_defined() {
-        let mut m = machine(
-            "addi r1, r0, 5\n addi r2, r0, 0\n div r3, r1, r2\n halt",
-        );
+        let mut m = machine("addi r1, r0, 5\n addi r2, r0, 0\n div r3, r1, r2\n halt");
         m.run(10).unwrap();
         assert_eq!(m.reg(3), u32::MAX);
     }

@@ -12,9 +12,18 @@ fn arb_reg() -> impl Strategy<Value = Reg> {
 fn arb_inst() -> impl Strategy<Value = Inst> {
     use ap_risc::Inst as I;
     let alu_ops = prop_oneof![
-        Just("add"), Just("sub"), Just("and"), Just("or"), Just("xor"),
-        Just("slt"), Just("sltu"), Just("sll"), Just("srl"), Just("sra"),
-        Just("mul"), Just("div"),
+        Just("add"),
+        Just("sub"),
+        Just("and"),
+        Just("or"),
+        Just("xor"),
+        Just("slt"),
+        Just("sltu"),
+        Just("sll"),
+        Just("srl"),
+        Just("sra"),
+        Just("mul"),
+        Just("div"),
     ];
     prop_oneof![
         (alu_ops.clone(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(m, rd, rs, rt)| {

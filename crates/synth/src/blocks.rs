@@ -61,10 +61,14 @@ pub fn incrementer(n: &mut Netlist, a: &[NodeId]) -> Bus {
 /// Equality comparator: returns a single net that is 1 iff `a == b`.
 pub fn eq_comparator(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> NodeId {
     assert_eq!(a.len(), b.len(), "comparator requires equal widths");
-    let bits: Bus = a.iter().zip(b).map(|(&x, &y)| {
-        let d = n.xor(x, y);
-        n.not(d)
-    }).collect();
+    let bits: Bus = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = n.xor(x, y);
+            n.not(d)
+        })
+        .collect();
     and_tree(n, &bits)
 }
 
@@ -92,7 +96,11 @@ pub fn or_tree(n: &mut Netlist, bits: &[NodeId]) -> NodeId {
     reduce(n, bits, Netlist::or)
 }
 
-fn reduce(n: &mut Netlist, bits: &[NodeId], op: fn(&mut Netlist, NodeId, NodeId) -> NodeId) -> NodeId {
+fn reduce(
+    n: &mut Netlist,
+    bits: &[NodeId],
+    op: fn(&mut Netlist, NodeId, NodeId) -> NodeId,
+) -> NodeId {
     assert!(!bits.is_empty(), "reduction of an empty bus");
     let mut level: Vec<NodeId> = bits.to_vec();
     while level.len() > 1 {

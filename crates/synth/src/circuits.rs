@@ -511,7 +511,12 @@ mod tests {
                 spec.name,
                 m.logic_elements
             );
-            assert!(m.logic_elements >= 40, "{} suspiciously small: {}", spec.name, m.logic_elements);
+            assert!(
+                m.logic_elements >= 40,
+                "{} suspiciously small: {}",
+                spec.name,
+                m.logic_elements
+            );
         }
     }
 
@@ -523,13 +528,13 @@ mod tests {
             let netlist = (spec.build)();
             let m = mapper::map(&netlist);
             let t = timing::analyze(&netlist, &m);
+            assert!(t.period_ns < 60.0, "{}: period {:.1} ns too slow", spec.name, t.period_ns);
             assert!(
-                t.period_ns < 60.0,
-                "{}: period {:.1} ns too slow",
+                t.period_ns > 5.0,
+                "{}: period {:.1} ns implausibly fast",
                 spec.name,
                 t.period_ns
             );
-            assert!(t.period_ns > 5.0, "{}: period {:.1} ns implausibly fast", spec.name, t.period_ns);
         }
     }
 

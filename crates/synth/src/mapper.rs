@@ -69,8 +69,7 @@ pub fn map(netlist: &Netlist) -> Mapped {
             if !absorbable || !support.contains(f) {
                 continue;
             }
-            let mut candidate: Vec<NodeId> =
-                support.iter().copied().filter(|x| x != f).collect();
+            let mut candidate: Vec<NodeId> = support.iter().copied().filter(|x| x != f).collect();
             for &leaf in &cone_inputs[f.index()] {
                 if !candidate.contains(&leaf) {
                     candidate.push(leaf);

@@ -254,7 +254,14 @@ impl Netlist {
 
 impl fmt::Display for Netlist {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "netlist '{}': {} nodes, {} FFs, {} outputs", self.name, self.len(), self.dff_count(), self.outputs.len())
+        write!(
+            f,
+            "netlist '{}': {} nodes, {} FFs, {} outputs",
+            self.name,
+            self.len(),
+            self.dff_count(),
+            self.outputs.len()
+        )
     }
 }
 

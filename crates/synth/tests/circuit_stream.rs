@@ -61,8 +61,8 @@ fn matrix_merge_advances_cursors_correctly() {
     s.set_bus(&limit, 1 << 16); // don't terminate during the test
     s.set(start, true);
     s.step(); // FSM leaves idle
-    // The registered run enable lags the FSM by one cycle: warm up with a
-    // non-advancing pair.
+              // The registered run enable lags the FSM by one cycle: warm up with a
+              // non-advancing pair.
     s.set_bus(&idx_a, 0);
     s.set_bus(&idx_b, 0);
     s.step();

@@ -54,7 +54,8 @@ impl AddressBook {
             Self::put(&mut bytes[base + 52..], &city, 16);
             let zip = format!("{:05}", rng.random_range(10000..99999));
             Self::put(&mut bytes[base + 68..], &zip, 8);
-            let phone = format!("{:03}-{:04}", rng.random_range(200..999), rng.random_range(0..9999));
+            let phone =
+                format!("{:03}-{:04}", rng.random_range(200..999), rng.random_range(0..9999));
             Self::put(&mut bytes[base + 76..], &phone, 12);
             // Remaining bytes stay as deterministic filler.
             for i in 88..RECORD_BYTES {

@@ -106,8 +106,10 @@ mod tests {
         // Plant one hot pixel in a smooth area and check the filter kills it.
         let x = 8;
         let y = 8;
-        let neighborhood_before: Vec<u16> =
-            (0..3).flat_map(|dy| (0..3).map(move |dx| (dx, dy))).map(|(dx, dy)| img.at(x + dx - 1, y + dy - 1)).collect();
+        let neighborhood_before: Vec<u16> = (0..3)
+            .flat_map(|dy| (0..3).map(move |dx| (dx, dy)))
+            .map(|(dx, dy)| img.at(x + dx - 1, y + dy - 1))
+            .collect();
         img.pixels[y * 16 + x] = u16::MAX;
         let filtered = img.median_filtered();
         assert!(filtered.at(x, y) < u16::MAX);

@@ -48,8 +48,7 @@ impl FrameWorkload {
         assert!(height > 0 && height.is_multiple_of(MACROBLOCK), "height must be a multiple of 16");
         assert!((0.0..=1.0).contains(&active_blocks), "active fraction must be in [0,1]");
         let mut rng = StdRng::seed_from_u64(seed);
-        let predicted: Vec<u8> =
-            (0..width * height).map(|i| ((i * 31) % 251) as u8).collect();
+        let predicted: Vec<u8> = (0..width * height).map(|i| ((i * 31) % 251) as u8).collect();
         let mut correction = vec![0i16; width * height];
         for by in (0..height).step_by(MACROBLOCK) {
             for bx in (0..width).step_by(MACROBLOCK) {
@@ -78,7 +77,6 @@ impl FrameWorkload {
             .collect()
     }
 }
-
 
 /// An 8×8 inverse discrete cosine transform (floating point, separable
 /// definition, round-half-away-from-zero). Both decoder implementations
@@ -203,7 +201,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(FrameWorkload::generate(1, 32, 32, 0.3), FrameWorkload::generate(1, 32, 32, 0.3));
+        assert_eq!(
+            FrameWorkload::generate(1, 32, 32, 0.3),
+            FrameWorkload::generate(1, 32, 32, 0.3)
+        );
     }
 
     #[test]

@@ -65,11 +65,8 @@ impl SparseMatrix {
         for r in 0..n {
             // Heavy-tailed fill: 1/8 of rows are "element boundary" rows with
             // dense band coupling, the rest are sparse.
-            let fill = if rng.random_range(0..8) == 0 {
-                band.max(4)
-            } else {
-                2 + rng.random_range(0..4)
-            };
+            let fill =
+                if rng.random_range(0..8) == 0 { band.max(4) } else { 2 + rng.random_range(0..4) };
             let lo = r.saturating_sub(band / 2);
             let hi = (r + band / 2 + 1).min(n);
             let mut cols: Vec<u32> = Vec::with_capacity(fill + 1);
@@ -99,13 +96,17 @@ impl SparseMatrix {
         row_ptr.push(0);
         for r in 0..n {
             let fill = 6 + rng.random_range(0..4); // regular fill
-            let mut cols_r: Vec<u32> = (0..fill).map(|_| rng.random_range(0..cols as u32)).collect();
+            let mut cols_r: Vec<u32> =
+                (0..fill).map(|_| rng.random_range(0..cols as u32)).collect();
             cols_r.push((r % cols) as u32); // slack-ish structural column
             cols_r.sort_unstable();
             cols_r.dedup();
             for c in cols_r {
                 col_idx.push(c);
-                values.push(if rng.random_range(0..2) == 0 { 1.0 } else { -1.0 } * rng.random_range(1..16) as f64);
+                values.push(
+                    if rng.random_range(0..2) == 0 { 1.0 } else { -1.0 }
+                        * rng.random_range(1..16) as f64,
+                );
             }
             row_ptr.push(col_idx.len() as u32);
         }
@@ -160,8 +161,7 @@ impl SparseVector {
 /// Coefficient of variation (σ/μ) of per-row nonzero counts — the fill
 /// irregularity measure distinguishing boeing from simplex workloads.
 pub fn row_fill_cv(m: &SparseMatrix) -> f64 {
-    let counts: Vec<f64> =
-        (0..m.rows).map(|r| (m.row_ptr[r + 1] - m.row_ptr[r]) as f64).collect();
+    let counts: Vec<f64> = (0..m.rows).map(|r| (m.row_ptr[r + 1] - m.row_ptr[r]) as f64).collect();
     let mean = counts.iter().sum::<f64>() / counts.len() as f64;
     let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
     var.sqrt() / mean
@@ -173,7 +173,9 @@ mod tests {
 
     #[test]
     fn csr_invariants_hold() {
-        for m in [SparseMatrix::finite_element(1, 200, 32), SparseMatrix::simplex_tableau(1, 200, 64)] {
+        for m in
+            [SparseMatrix::finite_element(1, 200, 32), SparseMatrix::simplex_tableau(1, 200, 64)]
+        {
             assert_eq!(m.row_ptr.len(), m.rows + 1);
             assert_eq!(*m.row_ptr.last().unwrap() as usize, m.nnz());
             assert_eq!(m.col_idx.len(), m.values.len());

@@ -11,8 +11,7 @@ use radram::RadramConfig;
 fn main() {
     // Show what the compressed input looks like.
     let f = CodedFrame::generate(9, 64, 32, 0.5);
-    let nonzero: usize =
-        f.blocks.iter().map(|b| b.iter().filter(|&&c| c != 0).count()).sum();
+    let nonzero: usize = f.blocks.iter().map(|b| b.iter().filter(|&&c| c != 0).count()).sum();
     println!(
         "sample frame: {} 8x8 blocks, {} nonzero coefficients ({:.1} per block)",
         f.blocks.len(),

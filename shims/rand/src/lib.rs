@@ -1,0 +1,216 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace is fully offline, so the real
+//! `rand` cannot be fetched from crates.io. This shim implements exactly the
+//! API surface the workspace uses — `rngs::StdRng`, [`SeedableRng`] and the
+//! [`RngExt`] sampling methods — on top of a deterministic SplitMix64
+//! generator. Streams are reproducible across platforms and releases of this
+//! shim, which is what the workloads care about; they do **not** match the
+//! byte streams of the real `rand` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators.
+pub mod rngs {
+    /// A deterministic, seedable generator (SplitMix64).
+    ///
+    /// Drop-in for `rand::rngs::StdRng` within this workspace: seeded through
+    /// [`SeedableRng::seed_from_u64`](crate::SeedableRng::seed_from_u64) and
+    /// sampled through [`RngExt`](crate::RngExt).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+/// The low-level word source every sampling method builds on.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (public domain, Sebastiano Vigna).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// High-level sampling methods (`rand`'s `Rng`/`RngExt` surface).
+pub trait RngExt: RngCore + Sized {
+    /// Samples a value of `T` from its full "standard" distribution
+    /// (uniform bits for integers, `[0, 1)` for floats).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`. Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + Sized> RngExt for R {}
+
+/// Types samplable from uniform bits.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types with a uniform-over-a-range sampler. The blanket [`SampleRange`]
+/// impls below delegate here; keeping them blanket (one impl per range
+/// shape, like the real `rand`) is what lets untyped integer literals in
+/// `random_range(0..4)` unify with the surrounding expression type.
+pub trait SampleUniform: Sized {
+    /// Uniform value in `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_between<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore>(rng: &mut R, lo: $t, hi: $t, inclusive: bool) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi.wrapping_sub(lo) as $u as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width range: every bit pattern is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                    let span = hi.wrapping_sub(lo) as $u as u64;
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        }
+    )*};
+}
+sample_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore>(rng: &mut R, lo: f64, hi: f64, inclusive: bool) -> f64 {
+        assert!(if inclusive { lo <= hi } else { lo < hi }, "cannot sample empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// Ranges a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value in the range from `rng`.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_between(rng, *self.start(), *self.end(), true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+            let g = rng.random_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn values_spread_across_the_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

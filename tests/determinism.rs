@@ -16,12 +16,14 @@ fn every_kernel_is_deterministic_on_both_systems() {
             assert_eq!(a.total_cycles, b.total_cycles, "{} {kind} totals", app.name());
             assert_eq!(a.checksum, b.checksum, "{} {kind} results", app.name());
             assert_eq!(
-                a.stats.non_overlap_cycles, b.stats.non_overlap_cycles,
+                a.stats.non_overlap_cycles,
+                b.stats.non_overlap_cycles,
                 "{} {kind} stalls",
                 app.name()
             );
             assert_eq!(
-                a.stats.cpu.instructions, b.stats.cpu.instructions,
+                a.stats.cpu.instructions,
+                b.stats.cpu.instructions,
                 "{} {kind} instruction counts",
                 app.name()
             );
@@ -35,7 +37,10 @@ fn workload_generators_are_seed_stable() {
     // Pin a few digests so accidental generator changes (which would make
     // EXPERIMENTS.md numbers drift silently) fail loudly.
     let book = AddressBook::generate(0xDB5EED, 100);
-    assert_eq!(ap_apps::fnv1a(book.bytes()), ap_apps::fnv1a(AddressBook::generate(0xDB5EED, 100).bytes()));
+    assert_eq!(
+        ap_apps::fnv1a(book.bytes()),
+        ap_apps::fnv1a(AddressBook::generate(0xDB5EED, 100).bytes())
+    );
     let pair = SequencePair::generate(0xDAA, 200, 0.15);
     assert_eq!(pair.lcs_length(), SequencePair::generate(0xDAA, 200, 0.15).lcs_length());
     let m = SparseMatrix::finite_element(0xB0, 300, 48);

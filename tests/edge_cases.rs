@@ -110,7 +110,7 @@ fn empty_and_all_matching_database_queries() {
     // page full of identical names via the raw circuit path.
     use active_pages::IdealExecutor;
     use ap_apps::database::DatabaseSearchFn;
-    use ap_workloads::database::{RECORD_BYTES};
+    use ap_workloads::database::RECORD_BYTES;
 
     let mut exec = IdealExecutor::new(1);
     // 50 records, all with the same 16-byte name field.

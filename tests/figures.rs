@@ -47,7 +47,10 @@ fn figure8_zero_latency_helps_the_conventional_system() {
     let slow = RadramConfig::reference().with_miss_latency(600);
     let s_fast = run_point(App::Database, 4.0, &fast).speedup();
     let s_slow = run_point(App::Database, 4.0, &slow).speedup();
-    assert!(s_slow > s_fast, "database speedup vs latency: {s_fast:.2} at 0ns, {s_slow:.2} at 600ns");
+    assert!(
+        s_slow > s_fast,
+        "database speedup vs latency: {s_fast:.2} at 0ns, {s_slow:.2} at 600ns"
+    );
 }
 
 #[test]
@@ -82,8 +85,10 @@ fn figure5_radram_kernels_are_insensitive_to_l1_size() {
     // "all but one application was unaffected by the size of the level one
     // cache" for RADram kernels.
     for app in [App::Database, App::Median] {
-        let small = app.run(SystemKind::Radram, 4.0, &RadramConfig::reference().with_l1d_size(32 * 1024));
-        let large = app.run(SystemKind::Radram, 4.0, &RadramConfig::reference().with_l1d_size(256 * 1024));
+        let small =
+            app.run(SystemKind::Radram, 4.0, &RadramConfig::reference().with_l1d_size(32 * 1024));
+        let large =
+            app.run(SystemKind::Radram, 4.0, &RadramConfig::reference().with_l1d_size(256 * 1024));
         let ratio = small.kernel_cycles as f64 / large.kernel_cycles as f64;
         assert!(
             (0.95..=1.05).contains(&ratio),
@@ -106,7 +111,10 @@ fn table3_circuits_fit_and_clock_like_the_paper() {
 
 #[test]
 fn table4_correlations_echo_the_paper() {
-    let rows = experiments::table4(true);
+    // Through the engine but cache-less: the test must measure, not replay.
+    let runner =
+        ap_bench::runner::Runner::with_engine(ap_engine::Engine::from_env().without_cache());
+    let rows = experiments::table4(&runner, true);
     assert_eq!(rows.len(), 8, "the paper's Table 4 has eight kernels");
     for r in &rows {
         assert!(

@@ -4,8 +4,11 @@ use ap_analytic::{non_overlap, ConstModel, PageTimes};
 use proptest::prelude::*;
 
 fn arb_model() -> impl Strategy<Value = ConstModel> {
-    (1.0f64..10_000.0, 0.0f64..10_000.0, 1.0f64..1.0e7)
-        .prop_map(|(t_a, t_p, t_c)| ConstModel { t_a, t_p, t_c })
+    (1.0f64..10_000.0, 0.0f64..10_000.0, 1.0f64..1.0e7).prop_map(|(t_a, t_p, t_c)| ConstModel {
+        t_a,
+        t_p,
+        t_c,
+    })
 }
 
 proptest! {
