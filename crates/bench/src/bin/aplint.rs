@@ -1,0 +1,68 @@
+//! `aplint`: static verification of the Active Pages artifact corpus.
+//!
+//! Lints the Table 3 circuits, the Section 10 extension circuits and the
+//! six SS-lite workload kernels, printing one report per subject. Exits
+//! nonzero when any subject carries an Error-severity diagnostic, so CI
+//! can gate on a clean corpus.
+//!
+//! ```text
+//! aplint [--all | NAME...] [--format text|json]
+//! ```
+//!
+//! With no names (or `--all`) the whole corpus is linted; otherwise only
+//! subjects whose name matches one of the given names.
+
+use ap_bench::lint_corpus;
+
+fn usage() -> ! {
+    eprintln!("usage: aplint [--all | NAME...] [--format text|json]");
+    eprintln!("subjects:");
+    for r in lint_corpus::all_reports() {
+        eprintln!("  {}", r.subject());
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut names: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--all" => {}
+            "--format" => match args.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            name if !name.starts_with('-') => names.push(name.to_string()),
+            _ => usage(),
+        }
+    }
+
+    let reports: Vec<_> = lint_corpus::all_reports()
+        .into_iter()
+        .filter(|r| names.is_empty() || names.iter().any(|n| n == r.subject()))
+        .collect();
+    if reports.is_empty() {
+        eprintln!("aplint: no subject matches {names:?}");
+        usage();
+    }
+
+    let mut errors = 0u32;
+    let mut warnings = 0u32;
+    for r in &reports {
+        errors += r.errors();
+        warnings += r.warnings();
+        if json {
+            println!("{}", r.render_json());
+        } else {
+            println!("{}", r.render_text());
+        }
+    }
+    if !json {
+        println!("aplint: {} subjects, {errors} errors, {warnings} warnings", reports.len());
+    }
+    std::process::exit(if errors > 0 { 1 } else { 0 });
+}

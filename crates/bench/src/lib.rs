@@ -32,6 +32,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod lint_corpus;
 pub mod render;
 pub mod runner;
 pub mod sweep;

@@ -1,0 +1,107 @@
+//! The lint corpus: every paper circuit and kernel, statically verified.
+//!
+//! Two views of the same artifact set. [`all_reports`] lints the whole
+//! corpus — seven Table 3 circuits, two Section 10 extension circuits, six
+//! SS-lite kernels — for the `aplint` binary and the clean-corpus tests.
+//! [`counts_for_app`] maps one application name (as carried by
+//! `RunReport::app`) onto the diagnostic totals of the artifacts that
+//! implement it, which is what the engine manifest records per job.
+
+use ap_engine::manifest::DiagCounts;
+use ap_lint::Report;
+use ap_synth::circuits;
+
+/// Lints every synthesizable circuit: the seven Table 3 designs plus the
+/// two Section 10 extension circuits, in that order.
+pub fn circuit_reports() -> Vec<Report> {
+    let mut reports: Vec<Report> =
+        circuits::all().into_iter().map(|spec| ap_synth::lint::check(&(spec.build)())).collect();
+    reports.push(ap_synth::lint::check(&circuits::data_primitives()));
+    reports.push(ap_synth::lint::check(&circuits::entropy_decode()));
+    reports
+}
+
+/// Lints the six paper workloads' SS-lite kernels.
+pub fn kernel_reports() -> Vec<Report> {
+    ap_risc::kernels::all()
+        .into_iter()
+        .map(|(name, _)| ap_risc::lint::check(name, &ap_risc::kernels::assemble_kernel(name)))
+        .collect()
+}
+
+/// The full corpus: circuits first, then kernels.
+pub fn all_reports() -> Vec<Report> {
+    let mut reports = circuit_reports();
+    reports.extend(kernel_reports());
+    reports
+}
+
+/// The Table 3 circuit implementing `app`, if it has one (`median` is
+/// processor-side only in Table 3).
+fn circuit_for_app(app: &str) -> Option<fn() -> ap_synth::Netlist> {
+    Some(match app {
+        "array-insert" => circuits::array_insert,
+        "array-delete" => circuits::array_delete,
+        "array-find" => circuits::array_find,
+        "database" => circuits::database,
+        "dynamic-prog" => circuits::dynprog,
+        "matrix-simplex" | "matrix-boeing" => circuits::matrix,
+        "mpeg-mmx" => circuits::mpeg_mmx,
+        _ => return None,
+    })
+}
+
+/// The SS-lite kernel implementing `app`'s inner loop, if known.
+fn kernel_for_app(app: &str) -> Option<&'static str> {
+    Some(match app {
+        "array-insert" | "array-delete" | "array-find" => "array",
+        "database" => "database",
+        "median" => "median",
+        "dynamic-prog" => "dynamic-prog",
+        "matrix-simplex" | "matrix-boeing" => "matrix",
+        "mpeg-mmx" => "mpeg-mmx",
+        _ => return None,
+    })
+}
+
+/// Diagnostic totals for the artifacts behind application `app`: its
+/// Table 3 circuit (when it has one) plus its SS-lite kernel. Unknown
+/// names have no artifacts and report zero.
+pub fn counts_for_app(app: &str) -> DiagCounts {
+    let mut counts = DiagCounts::default();
+    let mut add = |r: &Report| {
+        counts.errors += r.errors();
+        counts.warnings += r.warnings();
+    };
+    if let Some(build) = circuit_for_app(app) {
+        add(&ap_synth::lint::check(&build()));
+    }
+    if let Some(kernel) = kernel_for_app(app) {
+        add(&ap_risc::lint::check(kernel, &ap_risc::kernels::assemble_kernel(kernel)));
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_apps::App;
+
+    #[test]
+    fn corpus_covers_circuits_and_kernels() {
+        let reports = all_reports();
+        assert_eq!(reports.len(), 7 + 2 + 6);
+    }
+
+    #[test]
+    fn every_app_has_at_least_a_kernel() {
+        for app in App::ALL {
+            assert!(kernel_for_app(app.name()).is_some(), "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn unknown_apps_count_nothing() {
+        assert_eq!(counts_for_app("nonesuch"), DiagCounts::default());
+    }
+}

@@ -108,8 +108,18 @@ impl Runner {
 
 /// The cache codec for [`RunReport`]: a line-based `key=value` format that
 /// round-trips every counter exactly (`u64`s in decimal, `f64`s as raw bits).
+/// The diag hook records the report's application's static-analysis totals
+/// (see [`crate::lint_corpus`]) in the run manifest.
 pub fn report_codec() -> Codec<RunReport> {
-    Codec { encode: encode_report, decode: decode_report }
+    Codec { encode: encode_report, decode: decode_report, diag: Some(report_diag) }
+}
+
+/// Diagnostic totals for a report: the lint findings of the circuit and
+/// kernel implementing its application. Computed fresh on every job (cache
+/// hits included), so lint-pass changes surface without invalidating the
+/// simulation cache.
+fn report_diag(r: &RunReport) -> ap_engine::manifest::DiagCounts {
+    crate::lint_corpus::counts_for_app(r.app)
 }
 
 fn encode_report(r: &RunReport) -> String {

@@ -88,7 +88,7 @@ mod tests {
     use super::*;
 
     fn codec() -> Codec<u64> {
-        Codec { encode: |v| v.to_string(), decode: |s| s.trim().parse().ok() }
+        Codec { encode: |v| v.to_string(), decode: |s| s.trim().parse().ok(), diag: None }
     }
 
     fn temp_cache(tag: &str) -> DiskCache {

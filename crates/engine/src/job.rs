@@ -62,6 +62,9 @@ pub struct JobOutcome<T> {
     pub cache_hit: bool,
     /// Index of the worker that processed the job.
     pub worker: usize,
+    /// Static-analysis totals for the value, when the batch's
+    /// [`Codec::diag`] hook provides them (errored jobs carry `None`).
+    pub diag: Option<crate::manifest::DiagCounts>,
 }
 
 /// How to persist job results of type `T` in the disk cache.
@@ -75,6 +78,11 @@ pub struct Codec<T> {
     pub encode: fn(&T) -> String,
     /// Deserializes a cached result; `None` forces a re-run.
     pub decode: fn(&str) -> Option<T>,
+    /// Optional static-analysis hook: derives diagnostic totals from a
+    /// value for the manifest. Runs on fresh values *and* cache hits (the
+    /// counts are recomputed, not cached, so lint-pass changes show up
+    /// without invalidating cached simulation results).
+    pub diag: Option<fn(&T) -> crate::manifest::DiagCounts>,
 }
 
 // Derived impls would bound `T`, which is unnecessary for fn pointers.

@@ -243,6 +243,7 @@ impl Engine {
                     wall: Duration::ZERO,
                     cache_hit: false,
                     worker: 0,
+                    diag: None,
                 })
             })
             .collect()
@@ -266,12 +267,14 @@ impl Engine {
 
             if let (Some(cache), Some(codec)) = (&self.cache, &codec) {
                 if let Some(value) = cache.load(&key, &self.salt, codec) {
+                    let diag = codec.diag.map(|f| f(&value));
                     let outcome = JobOutcome {
                         key,
                         result: Ok(value),
                         wall: started.elapsed(),
                         cache_hit: true,
                         worker,
+                        diag,
                     };
                     let _ = tx.send((index, outcome));
                     continue;
@@ -289,8 +292,12 @@ impl Engine {
             if let (Ok(value), Some(cache), Some(codec)) = (&result, &self.cache, &codec) {
                 cache.store(&key, &self.salt, value, codec);
             }
+            let diag = match (&result, &codec) {
+                (Ok(value), Some(codec)) => codec.diag.map(|f| f(value)),
+                _ => None,
+            };
             let outcome =
-                JobOutcome { key, result, wall: started.elapsed(), cache_hit: false, worker };
+                JobOutcome { key, result, wall: started.elapsed(), cache_hit: false, worker, diag };
             let _ = tx.send((index, outcome));
         }
     }

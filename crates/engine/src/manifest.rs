@@ -9,6 +9,16 @@ use crate::job::{JobError, JobOutcome};
 use std::io::Write as _;
 use std::path::Path;
 
+/// Per-job static-analysis totals, recorded in the manifest when the
+/// batch's [`crate::Codec::diag`] hook is set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiagCounts {
+    /// Error-severity diagnostics.
+    pub errors: u32,
+    /// Warning-severity diagnostics.
+    pub warnings: u32,
+}
+
 /// One manifest line, ready to serialize.
 #[derive(Debug, Clone)]
 pub struct Entry {
@@ -24,6 +34,8 @@ pub struct Entry {
     pub wall_ms: f64,
     /// Worker index.
     pub worker: usize,
+    /// Static-analysis totals, when the batch provided a diag hook.
+    pub diag: Option<DiagCounts>,
 }
 
 impl Entry {
@@ -41,6 +53,7 @@ impl Entry {
             cache_hit: outcome.cache_hit,
             wall_ms: outcome.wall.as_secs_f64() * 1e3,
             worker: outcome.worker,
+            diag: outcome.diag,
         }
     }
 
@@ -56,6 +69,9 @@ impl Entry {
         );
         if let Some(e) = &self.error {
             s.push_str(&format!(",\"error\":\"{}\"", escape(e)));
+        }
+        if let Some(d) = self.diag {
+            s.push_str(&format!(",\"diag_errors\":{},\"diag_warnings\":{}", d.errors, d.warnings));
         }
         s.push('}');
         s
@@ -117,6 +133,10 @@ pub struct Summary {
     pub cache_hits: usize,
     /// Values computed fresh.
     pub cache_misses: usize,
+    /// Sum of per-job Error-severity diagnostic counts.
+    pub diag_errors: usize,
+    /// Sum of per-job Warning-severity diagnostic counts.
+    pub diag_warnings: usize,
 }
 
 /// Reads a manifest written by the engine and tallies outcomes.
@@ -137,8 +157,18 @@ pub fn summarize(path: &Path) -> std::io::Result<Summary> {
         } else if line.contains("\"cache\":\"miss\"") {
             s.cache_misses += 1;
         }
+        s.diag_errors += field_u64(line, "\"diag_errors\":") as usize;
+        s.diag_warnings += field_u64(line, "\"diag_warnings\":") as usize;
     }
     Ok(s)
+}
+
+/// Extracts the integer after `key` in a JSON line (0 when absent).
+fn field_u64(line: &str, key: &str) -> u64 {
+    line.find(key)
+        .map(|p| line[p + key.len()..].chars().take_while(char::is_ascii_digit).collect::<String>())
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -158,6 +188,7 @@ mod tests {
             cache_hit: true,
             wall_ms: 1.5,
             worker: 0,
+            diag: Some(DiagCounts { errors: 0, warnings: 3 }),
         });
         w.record(&Entry {
             key: "b".into(),
@@ -166,15 +197,26 @@ mod tests {
             cache_hit: false,
             wall_ms: 2.0,
             worker: 1,
+            diag: None,
         });
         drop(w);
         let s = summarize(&path).unwrap();
         assert_eq!(
             s,
-            Summary { total: 2, ok: 1, panicked: 1, timed_out: 0, cache_hits: 1, cache_misses: 1 }
+            Summary {
+                total: 2,
+                ok: 1,
+                panicked: 1,
+                timed_out: 0,
+                cache_hits: 1,
+                cache_misses: 1,
+                diag_errors: 0,
+                diag_warnings: 3,
+            }
         );
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("a \\\"quoted\\\"\\nkey"), "escaping broken: {text}");
+        assert!(text.contains("\"diag_warnings\":3"), "diag missing: {text}");
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -59,7 +59,8 @@ fn panics_and_timeouts_surface_as_errors_while_siblings_complete() {
 fn warm_cache_serves_hits_without_recomputation() {
     let cache_dir = temp_path("warm-cache");
     let _ = std::fs::remove_dir_all(&cache_dir);
-    let codec: Codec<u64> = Codec { encode: |v| v.to_string(), decode: |s| s.trim().parse().ok() };
+    let codec: Codec<u64> =
+        Codec { encode: |v| v.to_string(), decode: |s| s.trim().parse().ok(), diag: None };
     let engine = Engine::new().with_workers(2).with_cache_dir(&cache_dir).with_salt("test-v1");
 
     let executions = Arc::new(AtomicUsize::new(0));
@@ -100,7 +101,8 @@ fn warm_cache_serves_hits_without_recomputation() {
 fn failed_jobs_are_not_cached() {
     let cache_dir = temp_path("no-cache-on-error");
     let _ = std::fs::remove_dir_all(&cache_dir);
-    let codec: Codec<u64> = Codec { encode: |v| v.to_string(), decode: |s| s.trim().parse().ok() };
+    let codec: Codec<u64> =
+        Codec { encode: |v| v.to_string(), decode: |s| s.trim().parse().ok(), diag: None };
     let engine = Engine::new().with_workers(1).with_cache_dir(&cache_dir);
 
     let first = engine.run(vec![Job::new("flaky", || -> u64 { panic!("transient") })], Some(codec));

@@ -1,0 +1,143 @@
+//! Graph analyses the passes share: Tarjan strongly-connected components
+//! and seeded reachability, both iterative so deep netlists cannot blow the
+//! stack.
+
+/// Strongly-connected components of a directed graph given as adjacency
+/// lists (`adj[v]` = successors of `v`), in reverse topological order of
+/// the condensation. Every vertex appears in exactly one component.
+pub fn sccs(adj: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let n = adj.len();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut out: Vec<Vec<u32>> = Vec::new();
+
+    // Explicit DFS frames: (vertex, next child position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != u32::MAX {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            let vi = v as usize;
+            if *child < adj[vi].len() {
+                let w = adj[vi][*child];
+                *child += 1;
+                let wi = w as usize;
+                if index[wi] == u32::MAX {
+                    index[wi] = next_index;
+                    low[wi] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wi] = true;
+                    frames.push((w, 0));
+                } else if on_stack[wi] {
+                    low[vi] = low[vi].min(index[wi]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let pi = parent as usize;
+                    low[pi] = low[pi].min(low[vi]);
+                }
+                if low[vi] == index[vi] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The components of [`sccs`] that actually contain a cycle: more than one
+/// vertex, or a single vertex with a self-edge.
+pub fn cyclic_sccs(adj: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    sccs(adj)
+        .into_iter()
+        .filter(|comp| comp.len() > 1 || adj[comp[0] as usize].contains(&comp[0]))
+        .collect()
+}
+
+/// Vertices reachable from `seeds` by following `adj` edges (seeds
+/// included).
+pub fn reachable(adj: &[Vec<u32>], seeds: impl IntoIterator<Item = u32>) -> Vec<bool> {
+    let mut seen = vec![false; adj.len()];
+    let mut work: Vec<u32> = Vec::new();
+    for s in seeds {
+        if !seen[s as usize] {
+            seen[s as usize] = true;
+            work.push(s);
+        }
+    }
+    while let Some(v) = work.pop() {
+        for &w in &adj[v as usize] {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                work.push(w);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_has_no_cyclic_sccs() {
+        // 0 -> 1 -> 2, 0 -> 2
+        let adj = vec![vec![1, 2], vec![2], vec![]];
+        assert_eq!(sccs(&adj).len(), 3);
+        assert!(cyclic_sccs(&adj).is_empty());
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        // 0 -> 1 -> 2 -> 0, 3 alone with a self-loop, 4 alone clean.
+        let adj = vec![vec![1], vec![2], vec![0], vec![3], vec![]];
+        let cyc = cyclic_sccs(&adj);
+        assert_eq!(cyc.len(), 2);
+        assert!(cyc.contains(&vec![0, 1, 2]));
+        assert!(cyc.contains(&vec![3]));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        // 100k-vertex chain: the recursive formulation would crash.
+        let n = 100_000;
+        let adj: Vec<Vec<u32>> =
+            (0..n).map(|v| if v + 1 < n { vec![v as u32 + 1] } else { vec![] }).collect();
+        assert_eq!(sccs(&adj).len(), n);
+        let r = reachable(&adj, [0]);
+        assert!(r.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn reachability_respects_direction() {
+        let adj = vec![vec![1], vec![], vec![1]];
+        let r = reachable(&adj, [0]);
+        assert_eq!(r, vec![true, true, false]);
+        let none = reachable(&adj, []);
+        assert!(none.iter().all(|&x| !x));
+    }
+}

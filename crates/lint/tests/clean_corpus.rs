@@ -1,0 +1,28 @@
+//! The clean corpus: every shipped circuit and kernel lints with zero
+//! diagnostics — the counterpart of the seeded-defect fixtures, guarding
+//! against false positives on real artifacts.
+
+#[test]
+fn every_paper_circuit_is_diagnostic_free() {
+    for spec in ap_synth::circuits::all() {
+        let r = ap_synth::lint::check(&(spec.build)());
+        assert!(r.is_empty(), "{}:\n{}", spec.name, r.render_text());
+    }
+}
+
+#[test]
+fn extension_circuits_are_diagnostic_free() {
+    for n in [ap_synth::circuits::data_primitives(), ap_synth::circuits::entropy_decode()] {
+        let r = ap_synth::lint::check(&n);
+        assert!(r.is_empty(), "{}:\n{}", n.name(), r.render_text());
+    }
+}
+
+#[test]
+fn every_workload_kernel_is_diagnostic_free() {
+    for (name, _) in ap_risc::kernels::all() {
+        let prog = ap_risc::kernels::assemble_kernel(name);
+        let r = ap_risc::lint::check(name, &prog);
+        assert!(r.is_empty(), "{name}:\n{}", r.render_text());
+    }
+}

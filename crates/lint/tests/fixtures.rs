@@ -1,0 +1,110 @@
+//! The seeded-defect corpus: one deliberately broken artifact per
+//! diagnostic code. Every fixture must trigger exactly its own code, once —
+//! no false negatives, no cross-fire from a sibling pass.
+
+use ap_lint::Code;
+use ap_synth::{Gate, Netlist};
+
+/// All codes a netlist report contains, in emission order.
+fn nl_codes(n: &Netlist) -> Vec<Code> {
+    ap_synth::lint::check(n).diagnostics().iter().map(|d| d.code).collect()
+}
+
+/// All codes a kernel report contains, in emission order.
+fn rk_codes(src: &str) -> Vec<Code> {
+    let prog = ap_risc::assemble(src).expect("fixture assembles");
+    ap_risc::lint::check("fixture", &prog).diagnostics().iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn nl001_comb_loop_fires_exactly_once() {
+    // x <-> y cycle with no flip-flop; kept fed by the input and wired to
+    // the output so neither NL003 nor NL004 can cross-fire.
+    let mut n = Netlist::new("nl001");
+    let a = n.input("a");
+    let y = n.not(a);
+    let x = n.and(a, y);
+    n.replace_gate(y, Gate::Not(x));
+    n.output("q", x);
+    assert_eq!(nl_codes(&n), vec![Code::CombLoop]);
+}
+
+#[test]
+fn nl002_floating_dff_fires_exactly_once() {
+    let mut n = Netlist::new("nl002");
+    let q = n.dff_floating(false);
+    n.output("q", q);
+    assert_eq!(nl_codes(&n), vec![Code::FloatingDff]);
+}
+
+#[test]
+fn nl003_const_output_fires_exactly_once() {
+    // A live input->output path keeps the rest of the pass set quiet; the
+    // second port sees only a constant.
+    let mut n = Netlist::new("nl003");
+    let a = n.input("a");
+    n.output("q", a);
+    let c = n.constant(true);
+    let k = n.not(c);
+    n.output("k", k);
+    assert_eq!(nl_codes(&n), vec![Code::ConstOutput]);
+}
+
+#[test]
+fn nl004_dead_logic_fires_exactly_once() {
+    let mut n = Netlist::new("nl004");
+    let a = n.input("a");
+    let b = n.input("b");
+    let live = n.xor(a, b);
+    n.output("y", live);
+    let _dead = n.and(a, b);
+    assert_eq!(nl_codes(&n), vec![Code::DeadLogic]);
+}
+
+#[test]
+fn nl005_width_mismatch_fires_exactly_once() {
+    let mut n = Netlist::new("nl005");
+    let bus = n.input_bus("d", 4);
+    n.output_bus("q", &bus);
+    n.output_bus("q", &bus[..2]);
+    assert_eq!(nl_codes(&n), vec![Code::WidthMismatch]);
+}
+
+#[test]
+fn nl006_fanout_exceeded_fires_exactly_once() {
+    // One net driving 65 live loads; every load reaches an output so the
+    // dead-logic pass stays quiet.
+    let mut n = Netlist::new("nl006");
+    let a = n.input("a");
+    let hot = n.not(a);
+    for i in 0..65 {
+        let g = n.not(hot);
+        n.output(&format!("o{i}"), g);
+    }
+    assert_eq!(nl_codes(&n), vec![Code::FanoutExceeded]);
+}
+
+#[test]
+fn rk101_read_before_write_fires_exactly_once() {
+    assert_eq!(rk_codes(include_str!("fixtures/rk101.asm")), vec![Code::ReadBeforeWrite]);
+}
+
+#[test]
+fn rk102_unreachable_block_fires_exactly_once() {
+    assert_eq!(rk_codes(include_str!("fixtures/rk102.asm")), vec![Code::UnreachableBlock]);
+}
+
+#[test]
+fn rk103_jump_out_of_range_fires_exactly_once() {
+    assert_eq!(rk_codes(include_str!("fixtures/rk103.asm")), vec![Code::JumpOutOfRange]);
+}
+
+#[test]
+fn rk104_misaligned_access_fires_exactly_once() {
+    assert_eq!(rk_codes(include_str!("fixtures/rk104.asm")), vec![Code::MisalignedAccess]);
+}
+
+#[test]
+fn rk105_fallthrough_exit_fires_exactly_once() {
+    assert_eq!(rk_codes(include_str!("fixtures/rk105.asm")), vec![Code::FallthroughExit]);
+}

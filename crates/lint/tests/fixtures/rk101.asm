@@ -1,0 +1,3 @@
+; RK101: r2 is read before any instruction defines it.
+add r1, r2, r0
+halt

@@ -1,0 +1,3 @@
+; RK102: the instruction after halt can never execute.
+halt
+addi r1, r0, 1

@@ -1,0 +1,2 @@
+; RK103: jump target 99 is outside this one-instruction program.
+j 99

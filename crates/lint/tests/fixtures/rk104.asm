@@ -1,0 +1,4 @@
+; RK104: word load at offset 2 off a 0 base cannot be 4-byte aligned.
+addi r2, r0, 0
+lw r1, 2(r2)
+halt

@@ -1,0 +1,2 @@
+; RK105: no halt/jr terminator; execution runs off the end.
+addi r1, r0, 1

@@ -192,6 +192,22 @@ pub fn assemble(source: &str) -> Result<Vec<Inst>, AsmError> {
         let label_target = |tok: &str| -> Result<u32, AsmError> {
             labels.get(tok).copied().ok_or_else(|| err(line, format!("unknown label '{tok}'")))
         };
+        // j/jal also take a numeric absolute instruction index; the target is
+        // range-checked by the lint pass, not here, so deliberately
+        // out-of-program jumps can still be assembled.
+        let jump_target = |tok: &str| -> Result<u32, AsmError> {
+            if let Some(&t) = labels.get(tok) {
+                return Ok(t);
+            }
+            if tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                let v = parse_imm(tok, line)?;
+                return u32::try_from(v)
+                    .ok()
+                    .filter(|&t| t < (1 << 21))
+                    .ok_or_else(|| err(line, format!("jump target '{tok}' out of range")));
+            }
+            Err(err(line, format!("unknown label '{tok}'")))
+        };
 
         let inst = if let Some((op, is_imm)) = alu_of(mnemonic) {
             need(3)?;
@@ -232,11 +248,11 @@ pub fn assemble(source: &str) -> Result<Vec<Inst>, AsmError> {
                 }
                 "j" => {
                     need(1)?;
-                    Inst::Jal { rd: Reg::new(0), target: label_target(ops[0])? }
+                    Inst::Jal { rd: Reg::new(0), target: jump_target(ops[0])? }
                 }
                 "jal" => {
                     need(2)?;
-                    Inst::Jal { rd: parse_reg(ops[0], line)?, target: label_target(ops[1])? }
+                    Inst::Jal { rd: parse_reg(ops[0], line)?, target: jump_target(ops[1])? }
                 }
                 "jr" => {
                     need(1)?;
@@ -316,6 +332,16 @@ mod tests {
         assert!(e.message.contains("16 bits"));
         let e = assemble("beq r0, r0, nowhere").unwrap_err();
         assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn numeric_jump_targets_assemble() {
+        let insts = assemble("j 2\n nop\n halt").unwrap();
+        assert!(matches!(insts[0], Inst::Jal { target: 2, .. }));
+        // Branches stay label-only: a number is not a label.
+        assert!(assemble("beq r0, r0, 2\n halt").is_err());
+        // Labels win over numbers for jumps, and bad targets are rejected.
+        assert!(assemble("j 9999999999").is_err());
     }
 
     #[test]

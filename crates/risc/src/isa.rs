@@ -331,7 +331,14 @@ impl Inst {
         let bad = || DecodeError(word);
         Ok(match op {
             OP_ALU => Inst::Alu { op: alu_from(word & 0x7FF).ok_or_else(bad)?, rd, rs, rt },
-            OP_LUI => Inst::Lui { rd, imm: imm as u16 },
+            OP_LUI => {
+                // The rs field is unused by lui; a nonzero value is garbage,
+                // and accepting it would break decode/encode round-tripping.
+                if (word >> 16) & 31 != 0 {
+                    return Err(bad());
+                }
+                Inst::Lui { rd, imm: imm as u16 }
+            }
             o if (OP_ALUI_BASE..OP_ALUI_BASE + 12).contains(&o) => {
                 Inst::AluImm { op: alu_from(o - OP_ALUI_BASE).ok_or_else(bad)?, rd, rs, imm }
             }
@@ -351,8 +358,18 @@ impl Inst {
                 offset: imm,
             },
             OP_JAL => Inst::Jal { rd, target: word & 0x1F_FFFF },
-            OP_JR => Inst::Jr { rs: rd },
-            OP_HALT => Inst::Halt,
+            OP_JR => {
+                if word & 0x1F_FFFF != 0 {
+                    return Err(bad());
+                }
+                Inst::Jr { rs: rd }
+            }
+            OP_HALT => {
+                if word & 0x03FF_FFFF != 0 {
+                    return Err(bad());
+                }
+                Inst::Halt
+            }
             _ => return Err(DecodeError(word)),
         })
     }
@@ -394,6 +411,10 @@ mod tests {
         assert!(Inst::decode(bad).is_err());
         // Unknown opcode.
         assert!(Inst::decode(0x3A << 26).is_err());
+        // Garbage in fields the instruction does not use.
+        assert!(Inst::decode((OP_LUI << 26) | (3 << 16)).is_err());
+        assert!(Inst::decode((OP_JR << 26) | 0x55).is_err());
+        assert!(Inst::decode((OP_HALT << 26) | 1).is_err());
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Clean SS-lite kernels for the six paper workloads.
+//!
+//! These are the assembly-level counterparts of the instrumented kernels in
+//! `ap-apps`: one inner-loop body per workload, written to pass the
+//! [`crate::lint`] passes with zero diagnostics. The lint corpus tests and
+//! the `aplint` binary treat them as the known-clean kernel set.
+
+use crate::asm::assemble;
+use crate::isa::Inst;
+
+/// `array`: shift `count` words (at `r1`, count in `r2`) one element toward
+/// higher addresses, from the tail down — the array-insert inner loop.
+pub const ARRAY: &str = r#"
+    ; r1 = base byte address, r2 = word count
+    lui  r1, 2              ; base = 0x20000 (above the code region)
+    addi r2, r0, 64         ; elements to move
+    addi r3, r0, 0          ; i = 0
+    slli r4, r2, 2
+    add  r4, r1, r4         ; r4 = &base[count] (one past the tail)
+loop:
+    addi r4, r4, -4         ; walk down one element
+    lw   r5, (r4)
+    sw   r5, 4(r4)          ; element moves up one slot
+    addi r3, r3, 1
+    blt  r3, r2, loop
+    halt
+"#;
+
+/// `database`: scan fixed-size records comparing the key field, counting
+/// exact matches — the address-database select loop.
+pub const DATABASE: &str = r#"
+    lui  r1, 2              ; record base
+    addi r2, r0, 32         ; record count
+    addi r3, r0, 7          ; key
+    addi r4, r0, 0          ; matches
+    addi r5, r0, 0          ; i
+loop:
+    lw   r6, (r1)           ; record's key field
+    bne  r6, r3, skip
+    addi r4, r4, 1
+skip:
+    addi r1, r1, 128        ; next 128-byte record
+    addi r5, r5, 1
+    blt  r5, r2, loop
+    halt
+"#;
+
+/// `median`: median-of-3 over three halfword pixels, stored to the output
+/// row — the 3x3 median filter's reduction step.
+pub const MEDIAN: &str = r#"
+    lui  r1, 2              ; pixel row base
+    lhu  r2, (r1)
+    lhu  r3, 2(r1)
+    lhu  r4, 4(r1)
+    ; median = max(min(a,b), min(max(a,b), c))
+    sltu r5, r2, r3
+    bne  r5, r0, ab_sorted
+    add  r6, r2, r0         ; swap so r2 <= r3
+    add  r2, r3, r0
+    add  r3, r6, r0
+ab_sorted:
+    sltu r5, r4, r3         ; c < max(a,b)?
+    bne  r5, r0, use_min
+    sh   r3, 0x200(r1)      ; median = max(a,b)'s partner: r3
+    halt
+use_min:
+    sltu r5, r4, r2
+    bne  r5, r0, use_a
+    sh   r4, 0x200(r1)      ; a <= c < b: median = c
+    halt
+use_a:
+    sh   r2, 0x200(r1)      ; c < a: median = a
+    halt
+"#;
+
+/// `dynamic-prog`: one largest-common-subsequence cell — the character
+/// compare and three-way max of the wavefront recurrence.
+pub const DYNAMIC_PROG: &str = r#"
+    lui  r1, 2              ; row base
+    lbu  r2, (r1)           ; a[i]
+    lbu  r3, 1(r1)          ; b[j]
+    lw   r4, 4(r1)          ; up
+    lw   r5, 8(r1)          ; left
+    lw   r6, 12(r1)         ; diag
+    bne  r2, r3, mismatch
+    addi r6, r6, 1          ; diag + 1 on a character match
+mismatch:
+    slt  r7, r4, r5
+    beq  r7, r0, up_max
+    add  r4, r5, r0         ; r4 = max(up, left)
+up_max:
+    slt  r7, r4, r6
+    beq  r7, r0, store
+    add  r4, r6, r0         ; r4 = max(r4, cand)
+store:
+    sw   r4, 16(r1)         ; cell value
+    halt
+"#;
+
+/// `matrix`: sorted index-stream merge — the sparse compare-gather inner
+/// loop of the simplex/Boeing matrix multiply.
+pub const MATRIX: &str = r#"
+    lui  r1, 2              ; stream A cursor
+    lui  r2, 3              ; stream B cursor
+    addi r3, r0, 16         ; elements left in A
+    addi r4, r0, 0          ; matches gathered
+loop:
+    beq  r3, r0, done
+    lw   r5, (r1)
+    lw   r6, (r2)
+    bne  r5, r6, advance
+    addi r4, r4, 1          ; gather the match
+    addi r1, r1, 4
+    addi r2, r2, 4
+    addi r3, r3, -1
+    j    loop
+advance:
+    bltu r5, r6, adv_a
+    addi r2, r2, 4          ; B behind: advance B
+    j    loop
+adv_a:
+    addi r1, r1, 4          ; A behind: advance A
+    addi r3, r3, -1
+    j    loop
+done:
+    halt
+"#;
+
+/// `mpeg-mmx`: one PADDSW lane in scalar code — signed 16-bit saturating
+/// add of a sample and its correction term.
+pub const MPEG_MMX: &str = r#"
+    lui  r1, 2              ; sample base
+    lh   r2, (r1)           ; sample (sign-extended)
+    lh   r3, 2(r1)          ; correction
+    add  r4, r2, r3         ; 32-bit sum cannot wrap for 16-bit inputs
+    lui  r6, 0
+    addi r6, r6, 0x7FFF     ; r6 = 32767
+    slt  r5, r6, r4         ; sum > 32767?
+    beq  r5, r0, no_hi
+    add  r4, r6, r0         ; clamp high
+no_hi:
+    sub  r7, r0, r6
+    addi r7, r7, -1         ; r7 = -32768
+    slt  r5, r4, r7         ; sum < -32768?
+    beq  r5, r0, no_lo
+    add  r4, r7, r0         ; clamp low
+no_lo:
+    sh   r4, 4(r1)
+    halt
+"#;
+
+/// `(name, source)` for all six paper workloads' kernels.
+pub fn all() -> [(&'static str, &'static str); 6] {
+    [
+        ("array", ARRAY),
+        ("database", DATABASE),
+        ("median", MEDIAN),
+        ("dynamic-prog", DYNAMIC_PROG),
+        ("matrix", MATRIX),
+        ("mpeg-mmx", MPEG_MMX),
+    ]
+}
+
+/// Assembles the named kernel.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the six kernels (they are constants, so
+/// assembly itself cannot fail).
+pub fn assemble_kernel(name: &str) -> Vec<Inst> {
+    let (_, src) = all()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown kernel '{name}'"));
+    assemble(src).expect("kernel constants always assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint;
+    use crate::machine::Machine;
+    use ap_cpu::CpuConfig;
+
+    #[test]
+    fn all_kernels_assemble_and_lint_clean() {
+        for (name, src) in all() {
+            let prog = assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let r = lint::check(name, &prog);
+            assert!(r.is_empty(), "{name}:\n{}", r.render_text());
+        }
+    }
+
+    #[test]
+    fn all_kernels_run_to_halt() {
+        for (name, src) in all() {
+            let mut m = Machine::load(CpuConfig::reference(), 1 << 22, src)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let outcome = m.run(100_000).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(outcome, crate::RunOutcome::Halted, "{name}");
+        }
+    }
+
+    #[test]
+    fn mmx_kernel_saturates() {
+        let mut m = Machine::load(CpuConfig::reference(), 1 << 22, MPEG_MMX).unwrap();
+        let base = 0x20000u64;
+        m.cpu_mut().ram.write_u16(ap_mem::VAddr::new(base), 30000u16);
+        m.cpu_mut().ram.write_u16(ap_mem::VAddr::new(base + 2), 10000u16);
+        m.run(1000).unwrap();
+        assert_eq!(m.cpu().ram.read_u16(ap_mem::VAddr::new(base + 4)) as i16, i16::MAX);
+    }
+}

@@ -15,6 +15,12 @@
 //! * [`Machine`] — fetch/decode/execute over [`ap_cpu::Cpu`]: every fetch
 //!   probes the L1 instruction cache, every load/store goes through the
 //!   data hierarchy, every branch trains the shared predictor.
+//! * [`lint`] — static verification over assembled programs (control-flow
+//!   reachability, register definedness, jump ranges, access alignment)
+//!   producing `RK***` diagnostics; [`Machine::load`] refuses programs with
+//!   Error-severity findings.
+//! * [`kernels`] — the six paper workloads' inner loops as clean assembly,
+//!   used by the lint corpus tests and the `aplint` tool.
 //!
 //! The integration tests run identical kernels both ways — handwritten
 //! assembly on [`Machine`] and instrumented calls on [`ap_cpu::Cpu`] — and
@@ -43,8 +49,10 @@
 
 mod asm;
 mod isa;
+pub mod kernels;
+pub mod lint;
 mod machine;
 
 pub use asm::{assemble, AsmError};
 pub use isa::{AluOp, BranchCond, DecodeError, Inst, Reg, Width};
-pub use machine::{Machine, RunError, RunOutcome};
+pub use machine::{LoadError, Machine, RunError, RunOutcome};

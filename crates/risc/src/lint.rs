@@ -1,0 +1,401 @@
+//! Static verification of assembled SS-lite kernels (the `RK***`
+//! diagnostics).
+//!
+//! [`check`] splits the program into basic blocks, builds the control-flow
+//! graph, and runs reachability plus a forward dataflow over register
+//! definedness. [`crate::Machine::load`] runs it on every program: Error
+//! findings refuse the load, warnings ride along on the machine.
+//!
+//! | Code  | Severity | Finds |
+//! |-------|----------|-------|
+//! | RK101 | Warning  | a register read before any write (registers power up zero) |
+//! | RK102 | Warning  | basic blocks no control path reaches |
+//! | RK103 | Error    | static jump/branch targets outside the program |
+//! | RK104 | Warning  | load/store displacement misaligned for its width |
+//! | RK105 | Error    | a reachable path that runs off the end of the program |
+
+use crate::isa::{Inst, Width};
+use ap_lint::{Code, Diagnostic, Location, Report};
+
+/// Runs all kernel passes over an assembled program.
+///
+/// # Examples
+///
+/// ```
+/// use ap_risc::{assemble, lint};
+///
+/// let prog = assemble("addi r1, r0, 1\n halt").unwrap();
+/// assert!(lint::check("toy", &prog).is_empty());
+/// ```
+pub fn check(subject: &str, prog: &[Inst]) -> Report {
+    let mut report = Report::new(subject);
+    if prog.is_empty() {
+        report.push(Diagnostic::new(
+            Code::FallthroughExit,
+            Location::Design,
+            "empty program: execution immediately runs off the end",
+        ));
+        return report;
+    }
+    jump_ranges(prog, &mut report);
+    let blocks = basic_blocks(prog);
+    let reachable = reachability(prog, &blocks);
+    unreachable_blocks(prog, &blocks, &reachable, &mut report);
+    fallthrough_exits(prog, &blocks, &reachable, &mut report);
+    read_before_write(prog, &blocks, &reachable, &mut report);
+    alignment(prog, &mut report);
+    report
+}
+
+/// Half-open basic blocks `[start, end)` in program order. Leaders are the
+/// entry, every static branch/jump target, and every instruction after a
+/// terminator.
+fn basic_blocks(prog: &[Inst]) -> Vec<(u32, u32)> {
+    let len = prog.len() as u32;
+    let mut leader = vec![false; prog.len()];
+    leader[0] = true;
+    for (pc, inst) in prog.iter().enumerate() {
+        let pc = pc as u32;
+        match *inst {
+            Inst::Branch { offset, .. } => {
+                let t = pc as i64 + 1 + i64::from(offset);
+                if (0..i64::from(len)).contains(&t) {
+                    leader[t as usize] = true;
+                }
+                if pc + 1 < len {
+                    leader[(pc + 1) as usize] = true;
+                }
+            }
+            Inst::Jal { target, .. } => {
+                if target < len {
+                    leader[target as usize] = true;
+                }
+                if pc + 1 < len {
+                    leader[(pc + 1) as usize] = true;
+                }
+            }
+            Inst::Jr { .. } | Inst::Halt if pc + 1 < len => {
+                leader[(pc + 1) as usize] = true;
+            }
+            _ => {}
+        }
+    }
+    let starts: Vec<u32> =
+        leader.iter().enumerate().filter(|(_, &l)| l).map(|(i, _)| i as u32).collect();
+    starts
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, starts.get(i + 1).copied().unwrap_or(len)))
+        .collect()
+}
+
+/// Static successor block-start PCs of the block ending at `last_pc`.
+///
+/// A linking `jal` (rd != r0) is a call: the callee returns via `jr`, so the
+/// instruction after the call site is also a successor. `jr` has no static
+/// successors.
+fn successors(prog: &[Inst], last_pc: u32, end: u32) -> Vec<u32> {
+    let len = prog.len() as u32;
+    let in_range = |t: i64| -> Option<u32> { (0..i64::from(len)).contains(&t).then_some(t as u32) };
+    match prog[last_pc as usize] {
+        Inst::Branch { offset, .. } => {
+            let mut s = Vec::new();
+            if let Some(t) = in_range(i64::from(last_pc) + 1 + i64::from(offset)) {
+                s.push(t);
+            }
+            if let Some(t) = in_range(i64::from(last_pc) + 1) {
+                s.push(t);
+            }
+            s
+        }
+        Inst::Jal { rd, target } => {
+            let mut s = Vec::new();
+            if let Some(t) = in_range(i64::from(target)) {
+                s.push(t);
+            }
+            if rd.index() != 0 {
+                if let Some(t) = in_range(i64::from(last_pc) + 1) {
+                    s.push(t);
+                }
+            }
+            s
+        }
+        Inst::Jr { .. } | Inst::Halt => Vec::new(),
+        // Plain instruction at a block boundary: fall through.
+        _ => in_range(i64::from(end)).into_iter().collect(),
+    }
+}
+
+/// Which blocks the entry reaches, as a per-block bitmap parallel to
+/// `blocks`.
+fn reachability(prog: &[Inst], blocks: &[(u32, u32)]) -> Vec<bool> {
+    let index_of = |start: u32| blocks.binary_search_by_key(&start, |&(s, _)| s).unwrap();
+    let mut seen = vec![false; blocks.len()];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(b) = stack.pop() {
+        let (_, end) = blocks[b];
+        for t in successors(prog, end - 1, end) {
+            let bi = index_of(t);
+            if !seen[bi] {
+                seen[bi] = true;
+                stack.push(bi);
+            }
+        }
+    }
+    seen
+}
+
+/// RK103: branch and jump targets that land outside the program.
+fn jump_ranges(prog: &[Inst], report: &mut Report) {
+    let len = prog.len() as i64;
+    for (pc, inst) in prog.iter().enumerate() {
+        let target = match *inst {
+            Inst::Branch { offset, .. } => Some(pc as i64 + 1 + i64::from(offset)),
+            Inst::Jal { target, .. } => Some(i64::from(target)),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if !(0..len).contains(&t) {
+                report.push(Diagnostic::new(
+                    Code::JumpOutOfRange,
+                    Location::Inst(pc as u32),
+                    format!("target {t} is outside the {len}-instruction program"),
+                ));
+            }
+        }
+    }
+}
+
+/// RK102: one diagnostic per unreachable block (at its leader).
+fn unreachable_blocks(
+    prog: &[Inst],
+    blocks: &[(u32, u32)],
+    reachable: &[bool],
+    report: &mut Report,
+) {
+    for (bi, &(start, end)) in blocks.iter().enumerate() {
+        if !reachable[bi] {
+            report.push(Diagnostic::new(
+                Code::UnreachableBlock,
+                Location::Inst(start),
+                format!(
+                    "{}-instruction block starting at {start} is unreachable ({:?} ... )",
+                    end - start,
+                    prog[start as usize]
+                ),
+            ));
+        }
+    }
+}
+
+/// RK105: a *reachable* block whose last instruction can fall through past
+/// the end of the program. Unreachable blocks are RK102's business — flagging
+/// them here too would double-report.
+fn fallthrough_exits(
+    prog: &[Inst],
+    blocks: &[(u32, u32)],
+    reachable: &[bool],
+    report: &mut Report,
+) {
+    let len = prog.len() as u32;
+    for (bi, &(_, end)) in blocks.iter().enumerate() {
+        if !reachable[bi] || end != len {
+            continue;
+        }
+        let falls_off = match prog[(end - 1) as usize] {
+            Inst::Jr { .. } | Inst::Halt => false,
+            // An unconditional jump never falls through; a linking jal
+            // expects control to come back to the (nonexistent) next pc.
+            Inst::Jal { rd, .. } => rd.index() != 0,
+            // A final branch falls through when not taken.
+            Inst::Branch { .. } => true,
+            _ => true,
+        };
+        if falls_off {
+            report.push(Diagnostic::new(
+                Code::FallthroughExit,
+                Location::Inst(end - 1),
+                "execution can run past the last instruction (no halt/jump terminator)",
+            ));
+        }
+    }
+}
+
+/// Registers an instruction reads / writes, as 32-bit masks.
+fn uses_defs(inst: &Inst) -> (u32, u32) {
+    let bit = |r: crate::isa::Reg| 1u32 << r.index();
+    match *inst {
+        Inst::Alu { rd, rs, rt, .. } => (bit(rs) | bit(rt), bit(rd)),
+        Inst::AluImm { rd, rs, .. } => (bit(rs), bit(rd)),
+        Inst::Lui { rd, .. } => (0, bit(rd)),
+        Inst::Load { rd, rs, .. } => (bit(rs), bit(rd)),
+        Inst::Store { rt, rs, .. } => (bit(rt) | bit(rs), 0),
+        Inst::Branch { rs, rt, .. } => (bit(rs) | bit(rt), 0),
+        Inst::Jal { rd, .. } => (0, bit(rd)),
+        Inst::Jr { rs } => (bit(rs), 0),
+        Inst::Halt => (0, 0),
+    }
+}
+
+/// RK101: forward must-define dataflow. `IN[b]` is the intersection of the
+/// predecessors' `OUT` masks (`r0` is always defined); a read of a register
+/// not in `IN` on some path is reported once per (pc, register).
+fn read_before_write(
+    prog: &[Inst],
+    blocks: &[(u32, u32)],
+    reachable: &[bool],
+    report: &mut Report,
+) {
+    let index_of = |start: u32| blocks.binary_search_by_key(&start, |&(s, _)| s).unwrap();
+    // Predecessor lists over reachable blocks only.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); blocks.len()];
+    for (bi, &(_, end)) in blocks.iter().enumerate() {
+        if !reachable[bi] {
+            continue;
+        }
+        for t in successors(prog, end - 1, end) {
+            preds[index_of(t)].push(bi);
+        }
+    }
+
+    const R0: u32 = 1;
+    let mut out: Vec<u32> = vec![u32::MAX; blocks.len()];
+    let block_defs = |&(start, end): &(u32, u32)| -> u32 {
+        prog[start as usize..end as usize].iter().fold(0, |acc, i| acc | uses_defs(i).1)
+    };
+    // Iterate to fixpoint; the lattice (bitmask intersection) has height 32.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (bi, b) in blocks.iter().enumerate() {
+            if !reachable[bi] {
+                continue;
+            }
+            let inflow = if bi == 0 {
+                R0
+            } else {
+                preds[bi].iter().fold(u32::MAX, |acc, &p| acc & out[p]) | R0
+            };
+            let new_out = inflow | block_defs(b);
+            if new_out != out[bi] {
+                out[bi] = new_out;
+                changed = true;
+            }
+        }
+    }
+
+    for (bi, &(start, end)) in blocks.iter().enumerate() {
+        if !reachable[bi] {
+            continue;
+        }
+        let mut defined =
+            if bi == 0 { R0 } else { preds[bi].iter().fold(u32::MAX, |acc, &p| acc & out[p]) | R0 };
+        for pc in start..end {
+            let (uses, defs) = uses_defs(&prog[pc as usize]);
+            let undefined = uses & !defined;
+            for r in 0..32 {
+                if undefined & (1 << r) != 0 {
+                    report.push(Diagnostic::new(
+                        Code::ReadBeforeWrite,
+                        Location::Inst(pc),
+                        format!("r{r} is read before any instruction writes it"),
+                    ));
+                }
+            }
+            defined |= defs;
+        }
+    }
+}
+
+/// RK104: displacement vs. access width (`H`/`Hu` need 2-byte, `W` 4-byte
+/// alignment; the base register is assumed aligned, as every allocator in
+/// this workspace hands out word-aligned bases).
+fn alignment(prog: &[Inst], report: &mut Report) {
+    for (pc, inst) in prog.iter().enumerate() {
+        let (width, imm) = match *inst {
+            Inst::Load { width, imm, .. } | Inst::Store { width, imm, .. } => (width, imm),
+            _ => continue,
+        };
+        let need = match width {
+            Width::B | Width::Bu => 1i16,
+            Width::H | Width::Hu => 2,
+            Width::W => 4,
+        };
+        if imm.rem_euclid(need) != 0 {
+            report.push(Diagnostic::new(
+                Code::MisalignedAccess,
+                Location::Inst(pc as u32),
+                format!("displacement {imm} is not a multiple of the {need}-byte access width"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn codes(src: &str) -> Vec<Code> {
+        let prog = assemble(src).unwrap();
+        check("t", &prog).diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_kernel_is_clean() {
+        assert!(codes("addi r1, r0, 4\n lw r2, (r1)\n halt").is_empty());
+    }
+
+    #[test]
+    fn call_and_return_is_not_unreachable() {
+        let src = "jal r31, fn\n halt\n fn: addi r1, r0, 1\n jr r31";
+        assert!(codes(src).is_empty(), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn loop_terminated_by_jump_is_clean() {
+        assert!(codes("loop: j loop").is_empty());
+    }
+
+    #[test]
+    fn each_defect_fires() {
+        assert_eq!(codes("add r1, r2, r0\n halt"), vec![Code::ReadBeforeWrite]);
+        assert_eq!(codes("halt\n addi r1, r0, 1"), vec![Code::UnreachableBlock]);
+        assert_eq!(codes("j 99"), vec![Code::JumpOutOfRange]);
+        assert_eq!(codes("addi r2, r0, 0\n lw r1, 2(r2)\n halt"), vec![Code::MisalignedAccess]);
+        assert_eq!(codes("addi r1, r0, 1"), vec![Code::FallthroughExit]);
+        assert_eq!(check("t", &[]).diagnostics()[0].code, Code::FallthroughExit);
+    }
+
+    #[test]
+    fn branch_defined_on_both_paths_is_clean() {
+        // r1 written on both sides of the diamond before the join reads it.
+        let src = r#"
+            addi r2, r0, 1
+            beq  r2, r0, other
+            addi r1, r0, 10
+            j    join
+        other:
+            addi r1, r0, 20
+        join:
+            add  r3, r1, r2
+            halt
+        "#;
+        assert!(codes(src).is_empty(), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn one_undefined_path_is_flagged() {
+        // r1 only written on the taken side; the join may read it undefined.
+        let src = r#"
+            addi r2, r0, 1
+            beq  r2, r0, join
+            addi r1, r0, 10
+        join:
+            add  r3, r1, r2
+            halt
+        "#;
+        assert_eq!(codes(src), vec![Code::ReadBeforeWrite]);
+    }
+}

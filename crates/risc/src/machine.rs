@@ -2,9 +2,38 @@
 
 use crate::asm::{assemble, AsmError};
 use crate::isa::{AluOp, BranchCond, DecodeError, Inst, Width};
+use crate::lint;
 use ap_cpu::{Cpu, CpuConfig};
 use ap_mem::VAddr;
 use std::fmt;
+
+/// Why [`Machine::load`] refused a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The source did not assemble.
+    Asm(AsmError),
+    /// It assembled, but static verification found Error-severity defects
+    /// (out-of-range jumps, paths off the end of the program). The full
+    /// report, warnings included, is carried here.
+    Lint(ap_lint::Report),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Asm(e) => write!(f, "{e}"),
+            LoadError::Lint(r) => write!(f, "{}", r.render_text()),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<AsmError> for LoadError {
+    fn from(e: AsmError) -> Self {
+        LoadError::Asm(e)
+    }
+}
 
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,17 +78,26 @@ pub struct Machine {
     code_base: VAddr,
     code_len: u32,
     retired: u64,
+    lint: ap_lint::Report,
 }
 
 impl Machine {
-    /// Assembles `source` and loads it at the bottom of a fresh machine's
-    /// memory (binary-encoded; the fetch path reads these words back).
+    /// Assembles `source`, statically verifies it, and loads it at the
+    /// bottom of a fresh machine's memory (binary-encoded; the fetch path
+    /// reads these words back).
     ///
     /// # Errors
     ///
-    /// Returns the assembler's error on bad source.
-    pub fn load(cfg: CpuConfig, ram_capacity: usize, source: &str) -> Result<Machine, AsmError> {
+    /// Returns the assembler's error on bad source, or the lint report when
+    /// verification finds an Error-severity defect. Warnings (uninitialized
+    /// register reads, unreachable code, misaligned displacements) do not
+    /// refuse the load; they stay available via [`Machine::lint_report`].
+    pub fn load(cfg: CpuConfig, ram_capacity: usize, source: &str) -> Result<Machine, LoadError> {
         let insts = assemble(source)?;
+        let report = lint::check("program", &insts);
+        if report.has_errors() {
+            return Err(LoadError::Lint(report));
+        }
         let mut cpu = Cpu::new(cfg, ram_capacity);
         let code_base = cpu.ram.alloc(insts.len() * 4 + 4, 64);
         for (i, inst) in insts.iter().enumerate() {
@@ -72,7 +110,14 @@ impl Machine {
             code_base,
             code_len: insts.len() as u32,
             retired: 0,
+            lint: report,
         })
+    }
+
+    /// The static-verification report of the loaded program. Never contains
+    /// errors (those refuse [`Machine::load`]); warnings survive here.
+    pub fn lint_report(&self) -> &ap_lint::Report {
+        &self.lint
     }
 
     /// Register value (`r0` is always zero).
@@ -346,6 +391,19 @@ mod tests {
     fn wild_jump_is_an_error() {
         let mut m = machine("addi r1, r0, 999\n jr r1\n halt");
         assert!(matches!(m.run(10), Err(RunError::PcOutOfRange(999))));
+    }
+
+    #[test]
+    fn load_refuses_statically_broken_programs() {
+        // No terminator: execution would run off the end.
+        let e = Machine::load(CpuConfig::reference(), 1 << 20, "addi r1, r0, 1").unwrap_err();
+        assert!(matches!(e, LoadError::Lint(ref r) if r.has_errors()), "{e}");
+        // Static jump outside the program.
+        let e = Machine::load(CpuConfig::reference(), 1 << 20, "j 99").unwrap_err();
+        assert!(matches!(e, LoadError::Lint(_)));
+        // Warnings (here: an uninitialized read) still load, but are kept.
+        let m = machine("add r1, r2, r0\n halt");
+        assert_eq!(m.lint_report().warnings(), 1);
     }
 
     #[test]

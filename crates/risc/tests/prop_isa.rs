@@ -62,6 +62,29 @@ proptest! {
         prop_assert_eq!(Inst::decode(word), Ok(inst));
     }
 
+    /// Decoding is a partial inverse of encoding over the whole u32 space:
+    /// any word that decodes re-encodes to the very same bits (no two words
+    /// alias one instruction), and a rejected word is reported verbatim in
+    /// the error. Either way, decode never panics.
+    #[test]
+    fn decode_reencode_is_identity(word in any::<u32>()) {
+        match Inst::decode(word) {
+            Ok(inst) => prop_assert_eq!(inst.encode(), word),
+            Err(e) => prop_assert_eq!(e.0, word),
+        }
+    }
+
+    /// The same, concentrated on valid-opcode space so decode success paths
+    /// (where aliasing bugs would hide) are actually exercised.
+    #[test]
+    fn decode_reencode_holds_near_valid_opcodes(op in 0u32..64, rest in any::<u32>()) {
+        let word = (op << 26) | (rest & 0x03FF_FFFF);
+        match Inst::decode(word) {
+            Ok(inst) => prop_assert_eq!(inst.encode(), word),
+            Err(e) => prop_assert_eq!(e.0, word),
+        }
+    }
+
     /// ALU programs compute exactly what Rust's wrapping arithmetic says.
     #[test]
     fn alu_semantics_match_reference(a in any::<i16>(), b in any::<i16>()) {

@@ -14,7 +14,8 @@ use crate::netlist::{Bus, Netlist, NodeId};
 ///
 /// Panics if the buses differ in width.
 pub fn adder(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Bus {
-    adder_with_carry(n, a, b, None).0
+    // The top bit's carry-out would be dead logic; don't create it.
+    add_core(n, a, b, None, false).0
 }
 
 /// Ripple adder returning `(sum, carry_out)`; `cin` defaults to 0.
@@ -28,6 +29,17 @@ pub fn adder_with_carry(
     b: &[NodeId],
     cin: Option<NodeId>,
 ) -> (Bus, NodeId) {
+    let (sum, carry) = add_core(n, a, b, cin, true);
+    (sum, carry.expect("add_core returns a carry when asked"))
+}
+
+fn add_core(
+    n: &mut Netlist,
+    a: &[NodeId],
+    b: &[NodeId],
+    cin: Option<NodeId>,
+    want_carry_out: bool,
+) -> (Bus, Option<NodeId>) {
     assert_eq!(a.len(), b.len(), "adder requires equal widths");
     assert!(!a.is_empty(), "adder requires at least one bit");
     let mut carry = match cin {
@@ -39,9 +51,11 @@ pub fn adder_with_carry(
         let axb = n.xor(a[i], b[i]);
         let s = n.xor(axb, carry);
         sum.push(s);
-        carry = n.carry_maj(a[i], b[i], carry);
+        if want_carry_out || i + 1 < a.len() {
+            carry = n.carry_maj(a[i], b[i], carry);
+        }
     }
-    (sum, carry)
+    (sum, want_carry_out.then_some(carry))
 }
 
 /// Two's-complement subtractor; returns `(a - b, not_borrow)` where
@@ -73,9 +87,18 @@ pub fn eq_comparator(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> NodeId {
 }
 
 /// Unsigned magnitude comparator: 1 iff `a < b`.
+///
+/// Only the borrow chain of `a - b` is built — the difference bits would be
+/// dead logic, so unlike [`subtractor`] no sum XORs are emitted.
 pub fn lt_comparator(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> NodeId {
-    let (_, not_borrow) = subtractor(n, a, b);
-    n.not(not_borrow)
+    assert_eq!(a.len(), b.len(), "comparator requires equal widths");
+    assert!(!a.is_empty(), "comparator requires at least one bit");
+    let mut carry = n.constant(true);
+    for (&x, &y) in a.iter().zip(b) {
+        let ny = n.not(y);
+        carry = n.carry_maj(x, ny, carry);
+    }
+    n.not(carry)
 }
 
 /// Balanced AND reduction of a bus.

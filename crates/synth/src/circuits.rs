@@ -31,10 +31,8 @@ pub fn fsm_start_run_done(n: &mut Netlist, start: NodeId, last: NodeId) -> (Node
     let keep = n.and(s_run, not_last);
     let next_run = n.or(launch, keep);
     let finish = n.and(s_run, last);
-    let not_start = n.not(start);
     let hold_done = n.and(s_done, start);
     let next_done = n.or(finish, hold_done);
-    let _ = not_start;
     n.connect_dff(s_run, next_run);
     n.connect_dff(s_done, next_done);
     (s_run, s_done)
@@ -401,6 +399,8 @@ pub fn entropy_decode() -> Netlist {
 
     n.output_bus("mem_addr", &blk);
     n.output_bus("level", &level_q);
+    // The reorder EAB consumes the zigzag position as its table address.
+    n.output_bus("zigzag_pos", &pos_q);
     n.output("sym_eob", eob);
     n.output("sym_esc", escape);
     n.output("sym_run1", run_one);

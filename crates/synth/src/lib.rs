@@ -22,6 +22,11 @@
 //! * [`bitstream`] — configuration-size estimation.
 //! * [`circuits`] — the seven application circuits of Table 3, built
 //!   structurally from [`blocks`].
+//! * [`lint`] — static verification passes (combinational loops, floating
+//!   flip-flops, dead logic, const outputs, width conflicts, fanout limits)
+//!   producing `NL***` diagnostics.
+//! * [`pipeline`] — the gated synthesis entry: lint first, then map, time
+//!   and size; Error-severity diagnostics refuse synthesis.
 //!
 //! # Examples
 //!
@@ -45,8 +50,10 @@
 pub mod bitstream;
 pub mod blocks;
 pub mod circuits;
+pub mod lint;
 pub mod mapper;
 mod netlist;
+pub mod pipeline;
 pub mod report;
 pub mod sim;
 pub mod timing;

@@ -1,0 +1,231 @@
+//! Static verification of gate-level netlists (the `NL***` diagnostics).
+//!
+//! [`check`] runs every pass and returns an [`ap_lint::Report`]; the
+//! synthesis entry point ([`crate::pipeline::synthesize`]) refuses to map a
+//! netlist whose report contains an Error-severity diagnostic.
+//!
+//! | Code  | Severity | Finds |
+//! |-------|----------|-------|
+//! | NL001 | Error    | combinational loops (cycles not broken by a flip-flop) |
+//! | NL002 | Error    | floating flip-flops (`dff_floating` never connected) |
+//! | NL003 | Warning  | outputs that depend on no input or state |
+//! | NL004 | Warning  | logic unreachable from any declared output |
+//! | NL005 | Error    | one output name declared with conflicting widths |
+//! | NL006 | Warning  | nets whose fanout exceeds [`MAX_ROUTABLE_FANOUT`] |
+
+use crate::netlist::{fanins, Gate, Netlist, NodeId};
+use crate::timing::MAX_ROUTABLE_FANOUT;
+use ap_lint::{graph, Code, Diagnostic, Location, Report};
+use std::collections::HashMap;
+
+/// Runs all netlist passes and returns the combined report.
+///
+/// # Examples
+///
+/// ```
+/// use ap_synth::{lint, Netlist};
+///
+/// let mut n = Netlist::new("clean");
+/// let a = n.input("a");
+/// let b = n.input("b");
+/// let y = n.xor(a, b);
+/// n.output("y", y);
+/// assert!(lint::check(&n).is_empty());
+/// ```
+pub fn check(n: &Netlist) -> Report {
+    let mut report = Report::new(n.name());
+    comb_loops(n, &mut report);
+    floating_dffs(n, &mut report);
+    const_outputs(n, &mut report);
+    dead_logic(n, &mut report);
+    width_mismatches(n, &mut report);
+    fanout_limits(n, &mut report);
+    report
+}
+
+/// NL001: strongly connected components over the combinational edges.
+///
+/// Flip-flops legitimately close feedback loops, so their data edges are
+/// excluded; any remaining cycle can never settle in simulation or hardware.
+fn comb_loops(n: &Netlist, report: &mut Report) {
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n.len()];
+    for (id, g) in n.iter() {
+        if matches!(g, Gate::Dff { .. }) {
+            continue;
+        }
+        for f in fanins(&g) {
+            adj[f.index()].push(id.index() as u32);
+        }
+    }
+    for scc in graph::cyclic_sccs(&adj) {
+        let members: Vec<String> = scc.iter().map(|v| format!("n{v}")).collect();
+        report.push(Diagnostic::new(
+            Code::CombLoop,
+            Location::Node(scc[0]),
+            format!("combinational cycle through {} gate(s): {}", scc.len(), members.join(" -> ")),
+        ));
+    }
+}
+
+/// NL002: `dff_floating` leaves the data input pointing at the flip-flop
+/// itself until `connect_dff` is called; a self-edge left behind means the
+/// feedback path was never wired.
+fn floating_dffs(n: &Netlist, report: &mut Report) {
+    for (id, g) in n.iter() {
+        if let Gate::Dff { d, .. } = g {
+            if d == id {
+                report.push(Diagnostic::new(
+                    Code::FloatingDff,
+                    Location::Node(id.index() as u32),
+                    "flip-flop data input was never connected (dff_floating without connect_dff)"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// NL003: outputs whose cone contains no primary input and no flip-flop —
+/// the port can only ever present a constant.
+fn const_outputs(n: &Netlist, report: &mut Report) {
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n.len()];
+    for (id, g) in n.iter() {
+        for f in fanins(&g) {
+            adj[f.index()].push(id.index() as u32);
+        }
+    }
+    let seeds = n
+        .iter()
+        .filter(|(_, g)| matches!(g, Gate::Input | Gate::Dff { .. }))
+        .map(|(id, _)| id.index() as u32);
+    let driven = graph::reachable(&adj, seeds);
+    for (name, bus) in n.outputs() {
+        if bus.iter().all(|f| !driven[f.index()]) {
+            report.push(Diagnostic::new(
+                Code::ConstOutput,
+                Location::Port(name.clone()),
+                format!("output '{name}' depends on no input or flip-flop; it is constant"),
+            ));
+        }
+    }
+}
+
+/// NL004: gates that no declared output transitively reads. Primary inputs
+/// and constants are exempt (unused input-bus bits are a port-width choice,
+/// not dead logic).
+fn dead_logic(n: &Netlist, report: &mut Report) {
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n.len()];
+    for (id, g) in n.iter() {
+        for f in fanins(&g) {
+            rev[id.index()].push(f.index() as u32);
+        }
+    }
+    let seeds = n.outputs().iter().flat_map(|(_, bus)| bus.iter().map(|f| f.index() as u32));
+    let live = graph::reachable(&rev, seeds.collect::<Vec<_>>());
+    for (id, g) in n.iter() {
+        if matches!(g, Gate::Input | Gate::Const(_)) {
+            continue;
+        }
+        if !live[id.index()] {
+            report.push(Diagnostic::new(
+                Code::DeadLogic,
+                Location::Node(id.index() as u32),
+                format!("{} is unreachable from every declared output", gate_name(&g)),
+            ));
+        }
+    }
+}
+
+/// NL005: the same output port name declared twice with different widths.
+fn width_mismatches(n: &Netlist, report: &mut Report) {
+    let mut widths: HashMap<&str, usize> = HashMap::new();
+    for (name, bus) in n.outputs() {
+        match widths.get(name.as_str()) {
+            None => {
+                widths.insert(name, bus.len());
+            }
+            Some(&w) if w != bus.len() => {
+                report.push(Diagnostic::new(
+                    Code::WidthMismatch,
+                    Location::Port(name.clone()),
+                    format!(
+                        "output '{name}' declared with conflicting widths {w} and {}",
+                        bus.len()
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// NL006: nets driving more loads than the routing fabric handles at nominal
+/// delay (see [`MAX_ROUTABLE_FANOUT`]); the timing model charges such nets
+/// extra hops, so they deserve a warning at lint time.
+fn fanout_limits(n: &Netlist, report: &mut Report) {
+    for (i, &count) in n.fanout_counts().iter().enumerate() {
+        if count > MAX_ROUTABLE_FANOUT {
+            let g = n.gate(NodeId(i as u32));
+            report.push(Diagnostic::new(
+                Code::FanoutExceeded,
+                Location::Node(i as u32),
+                format!(
+                    "{} drives {count} loads (routable limit {MAX_ROUTABLE_FANOUT})",
+                    gate_name(&g)
+                ),
+            ));
+        }
+    }
+}
+
+fn gate_name(g: &Gate) -> &'static str {
+    match g {
+        Gate::Input => "input",
+        Gate::Const(_) => "constant",
+        Gate::Not(_) => "NOT gate",
+        Gate::And(..) => "AND gate",
+        Gate::Or(..) => "OR gate",
+        Gate::Xor(..) => "XOR gate",
+        Gate::Mux { .. } => "mux",
+        Gate::CarryMaj(..) => "carry gate",
+        Gate::Dff { .. } => "flip-flop",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_two_gate_design_passes() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.and(a, b);
+        n.output("y", y);
+        assert!(check(&n).is_empty());
+    }
+
+    #[test]
+    fn dff_feedback_is_not_a_comb_loop() {
+        let mut n = Netlist::new("t");
+        let ff = n.dff_floating(false);
+        let inv = n.not(ff);
+        n.connect_dff(ff, inv);
+        n.output("q", ff);
+        let r = check(&n);
+        assert_eq!(r.with_code(Code::CombLoop).count(), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn deliberate_loop_is_caught() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let y0 = n.not(a);
+        let x = n.and(a, y0);
+        n.replace_gate(y0, Gate::Not(x)); // close the cycle x <-> y0
+        n.output("q", x);
+        let r = check(&n);
+        assert_eq!(r.with_code(Code::CombLoop).count(), 1, "{}", r.render_text());
+    }
+}

@@ -220,6 +220,23 @@ impl Netlist {
         }
     }
 
+    /// Replaces the gate at `id` — netlist surgery for optimization passes
+    /// and fault injection. Unlike the builder methods, the new gate's
+    /// operands may reference *any* existing node, including later ones, so
+    /// a deliberate combinational loop can be constructed (the lint pass's
+    /// NL001 fixtures rely on this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or any operand of `g` does not exist.
+    pub fn replace_gate(&mut self, id: NodeId, g: Gate) {
+        assert!(id.index() < self.nodes.len(), "replace_gate on missing node");
+        for f in fanins(&g) {
+            assert!(f.index() < self.nodes.len(), "replacement operand does not exist");
+        }
+        self.nodes[id.index()] = g;
+    }
+
     /// Declares a named single-bit output.
     pub fn output(&mut self, name: &str, net: NodeId) {
         self.outputs.push((name.to_string(), vec![net]));

@@ -1,0 +1,94 @@
+//! The gated synthesis entry point: lint, then map, time and size.
+//!
+//! [`synthesize`] is the one door into the mapping flow. It refuses netlists
+//! whose lint report carries an Error-severity diagnostic (combinational
+//! loops, floating flip-flops, width conflicts) and carries any surviving
+//! warnings along in the result so callers can surface them in reports.
+
+use crate::mapper::{self, Mapped};
+use crate::timing::{self, TimingReport};
+use crate::{bitstream, lint, Netlist};
+
+/// Everything the flow produces for one netlist.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// Technology-mapping result (LUTs, flip-flops, logic elements).
+    pub mapped: Mapped,
+    /// Static timing over the mapped design.
+    pub timing: TimingReport,
+    /// Estimated configuration size in bytes.
+    pub code_bytes: u32,
+    /// The lint report; never contains errors (those abort synthesis), but
+    /// warnings survive here for the caller's statistics.
+    pub lint: ap_lint::Report,
+}
+
+impl Synthesis {
+    /// Number of Warning-severity lint diagnostics carried by this result.
+    pub fn lint_warnings(&self) -> u32 {
+        self.lint.warnings()
+    }
+}
+
+/// Lints `n`, then maps it, analyzes timing and sizes the bitstream.
+///
+/// # Errors
+///
+/// Returns the full lint report when it contains at least one
+/// Error-severity diagnostic; the netlist is not mapped in that case.
+///
+/// # Examples
+///
+/// ```
+/// use ap_synth::{blocks, pipeline, Netlist};
+///
+/// let mut n = Netlist::new("inc");
+/// let a = n.input_bus("a", 8);
+/// let q = blocks::incrementer(&mut n, &a);
+/// n.output_bus("q", &q);
+/// let s = pipeline::synthesize(&n).expect("clean netlist");
+/// assert!(s.mapped.logic_elements >= 8);
+/// assert_eq!(s.lint_warnings(), 0);
+/// ```
+pub fn synthesize(n: &Netlist) -> Result<Synthesis, ap_lint::Report> {
+    let report = lint::check(n);
+    if report.has_errors() {
+        return Err(report);
+    }
+    let mapped = mapper::map(n);
+    let timing = timing::analyze(n, &mapped);
+    let code_bytes = bitstream::size_bytes(&mapped);
+    Ok(Synthesis { mapped, timing, code_bytes, lint: report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gate;
+
+    #[test]
+    fn clean_netlist_synthesizes() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.xor(a, b);
+        n.output("y", y);
+        let s = synthesize(&n).expect("clean");
+        assert!(s.mapped.logic_elements >= 1);
+        assert!(s.timing.period_ns > 0.0);
+        assert!(s.code_bytes > 0);
+        assert_eq!(s.lint_warnings(), 0);
+    }
+
+    #[test]
+    fn erroring_netlist_is_refused() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let y0 = n.not(a);
+        let x = n.and(a, y0);
+        n.replace_gate(y0, Gate::Not(x));
+        n.output("q", x);
+        let report = synthesize(&n).expect_err("comb loop must refuse synthesis");
+        assert!(report.has_errors());
+    }
+}

@@ -1,7 +1,11 @@
 //! Table 3 regeneration.
+//!
+//! Both [`table3`] and [`extensions`] go through the gated
+//! [`crate::pipeline::synthesize`] entry, so a circuit that fails static
+//! verification panics here rather than producing a silently-broken row.
 
 use crate::circuits;
-use crate::{bitstream, mapper, timing};
+use crate::{bitstream, pipeline};
 use std::fmt;
 
 /// One row of the regenerated Table 3, paired with the paper's values.
@@ -21,6 +25,8 @@ pub struct Table3Row {
     pub paper_speed_ns: f64,
     /// Code size reported in the paper (KB).
     pub paper_code_kb: f64,
+    /// Warning-severity lint diagnostics the circuit synthesized with.
+    pub lint_warnings: u32,
 }
 
 /// Synthesizes all seven circuits and returns the regenerated Table 3.
@@ -37,16 +43,17 @@ pub fn table3() -> Vec<Table3Row> {
         .into_iter()
         .map(|spec| {
             let netlist = (spec.build)();
-            let mapped = mapper::map(&netlist);
-            let t = timing::analyze(&netlist, &mapped);
+            let s = pipeline::synthesize(&netlist)
+                .unwrap_or_else(|r| panic!("{} fails lint:\n{}", spec.name, r.render_text()));
             Table3Row {
                 name: spec.name,
-                les: mapped.logic_elements,
-                speed_ns: t.period_ns,
-                code_bytes: bitstream::size_bytes(&mapped),
+                les: s.mapped.logic_elements,
+                speed_ns: s.timing.period_ns,
+                code_bytes: s.code_bytes,
                 paper_les: spec.paper_les,
                 paper_speed_ns: spec.paper_speed_ns,
                 paper_code_kb: spec.paper_code_kb,
+                lint_warnings: s.lint_warnings(),
             }
         })
         .collect()
@@ -79,6 +86,8 @@ pub struct ExtensionRow {
     pub speed_ns: f64,
     /// Estimated configuration size (bytes).
     pub code_bytes: u32,
+    /// Warning-severity lint diagnostics the circuit synthesized with.
+    pub lint_warnings: u32,
 }
 
 /// Synthesizes the Section 10 extension circuits (the generic
@@ -100,13 +109,14 @@ pub fn extensions() -> Vec<ExtensionRow> {
         .into_iter()
         .map(|(name, build)| {
             let n = build();
-            let m = mapper::map(&n);
-            let t = timing::analyze(&n, &m);
+            let s = pipeline::synthesize(&n)
+                .unwrap_or_else(|r| panic!("{name} fails lint:\n{}", r.render_text()));
             ExtensionRow {
                 name,
-                les: m.logic_elements,
-                speed_ns: t.period_ns,
-                code_bytes: bitstream::size_bytes(&m),
+                les: s.mapped.logic_elements,
+                speed_ns: s.timing.period_ns,
+                code_bytes: s.code_bytes,
+                lint_warnings: s.lint_warnings(),
             }
         })
         .collect()
@@ -123,6 +133,7 @@ mod tests {
         for r in &rows {
             assert!(r.les <= 256, "{}: {} LEs", r.name, r.les);
             assert!(r.code_bytes > 1024, "{}: code {}", r.name, r.code_bytes);
+            assert_eq!(r.lint_warnings, 0, "{}: lint warnings", r.name);
         }
     }
 

@@ -9,6 +9,13 @@
 use crate::mapper::Mapped;
 use crate::netlist::{Gate, Netlist};
 
+/// Highest fanout the FLEX-10K row/column interconnect drives at the nominal
+/// [`Tech::route_ns`] delay. Nets above this need the routing fabric to
+/// re-buffer, which [`analyze_with`] charges as one extra routing hop per
+/// doubling. The Table 3 corpus peaks at fanout 38, comfortably inside the
+/// limit; the netlist lint pass flags designs that exceed it (NL006).
+pub const MAX_ROUTABLE_FANOUT: u32 = 64;
+
 /// Delay parameters of the target technology (ns).
 ///
 /// # Examples
@@ -93,6 +100,19 @@ pub fn analyze_with(netlist: &Netlist, mapped: &Mapped, tech: Tech) -> TimingRep
     let mut levels = vec![0u32; len];
     let mut carries = vec![0u32; len];
 
+    // High-fanout nets pay one extra routing hop per doubling beyond what a
+    // single row/column line can drive.
+    let fanout = netlist.fanout_counts();
+    let fanout_penalty = |i: usize| -> f64 {
+        let mut extra = 0.0;
+        let mut f = fanout[i];
+        while f > MAX_ROUTABLE_FANOUT {
+            extra += tech.route_ns;
+            f /= 2;
+        }
+        extra
+    };
+
     let mut worst = (0.0f64, 0u32, 0u32);
     let consider = |a: f64, l: u32, c: u32, worst: &mut (f64, u32, u32)| {
         if a > worst.0 {
@@ -135,7 +155,7 @@ pub fn analyze_with(netlist: &Netlist, mapped: &Mapped, tech: Tech) -> TimingRep
                             cr = carries[fi];
                         }
                     }
-                    arrive[i] = t + tech.lut_ns + tech.route_ns;
+                    arrive[i] = t + tech.lut_ns + tech.route_ns + fanout_penalty(i);
                     levels[i] = l + 1;
                     carries[i] = cr;
                 }
@@ -204,6 +224,26 @@ mod tests {
         assert!(t.carry_bits >= 30, "carry bits {}", t.carry_bits);
         // 32 LUT levels would cost > 140 ns; the chain keeps it far lower.
         assert!(t.period_ns < 40.0, "period {}", t.period_ns);
+    }
+
+    #[test]
+    fn extreme_fanout_slows_the_net() {
+        // `y = not(x)` feeding `leaves` AND gates; above MAX_ROUTABLE_FANOUT
+        // the driver pays re-buffering hops and the period grows.
+        let period_of = |leaves: u32| {
+            let mut n = Netlist::new("fan");
+            let x = n.input("x");
+            let y = n.not(x);
+            for _ in 0..leaves {
+                let k = n.input("k");
+                let z = n.and(y, k);
+                n.output("z", z);
+            }
+            let m = mapper::map(&n);
+            analyze(&n, &m).period_ns
+        };
+        assert_eq!(period_of(8), period_of(MAX_ROUTABLE_FANOUT));
+        assert!(period_of(MAX_ROUTABLE_FANOUT * 4) > period_of(MAX_ROUTABLE_FANOUT));
     }
 
     #[test]
