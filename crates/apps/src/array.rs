@@ -260,7 +260,7 @@ fn run_conventional(prim: ArrayPrimitive, pages: f64, n0: usize, cfg: RadramConf
             }
         }
     }
-    let kernel = sys.now() - t0;
+    let kernel = sys.kernel_region(t0);
     checksum = digest_array(&sys, base, n, checksum);
     finish(prim.app_name(), SystemKind::Conventional, pages, kernel, kernel, 0, checksum, &sys)
 }
@@ -455,7 +455,7 @@ fn run_radram(
             }
         }
     }
-    let kernel = sys.now() - t0;
+    let kernel = sys.kernel_region(t0);
     // Digest the distributed contents in logical order (host-side).
     checksum = fnv_mix(checksum, arr.n as u64);
     for i in 0..arr.n {
@@ -534,7 +534,7 @@ pub fn run_script(
                     }
                 }
             }
-            let kernel = sys.now() - t0;
+            let kernel = sys.kernel_region(t0);
             checksum = digest_array(&sys, base, n, checksum);
             finish(
                 "array-script",
@@ -600,7 +600,7 @@ pub fn run_script(
                     }
                 }
             }
-            let kernel = sys.now() - t0;
+            let kernel = sys.kernel_region(t0);
             checksum = fnv_mix(checksum, arr.n as u64);
             for i in 0..arr.n {
                 let a = arr.elem_addr(i);

@@ -154,7 +154,7 @@ fn run_conventional(
             sys.alu(1);
         }
     }
-    let kernel = sys.now() - t0;
+    let kernel = sys.kernel_region(t0);
     report(
         SystemKind::Conventional,
         pages,
@@ -209,7 +209,7 @@ fn run_radram(
         count += sys.read_ctrl(pb, sync::RESULT);
         sys.alu(2);
     }
-    let kernel = sys.now() - t0;
+    let kernel = sys.kernel_region(t0);
     report(
         SystemKind::Radram,
         pages,

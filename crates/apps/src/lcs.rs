@@ -264,7 +264,7 @@ fn run_conventional(pages: f64, pair: &SequencePair, n: usize, cfg: RadramConfig
     }
     let addr = |i: usize, j: usize| table + ((i * COLS + j) * 2) as u64;
     let checksum = backtrack(&mut sys, pair, n, &addr, a_buf, b_buf);
-    let kernel = sys.now() - t0;
+    let kernel = sys.kernel_region(t0);
     // Cross-check the DP against the reference implementation.
     debug_assert_eq!(
         sys.ram_read_u16(addr(n - 1, COLS - 1)) as usize,
@@ -376,7 +376,7 @@ fn run_radram(
         base + (p * PAGE_SIZE) as u64 + (TABLE_OFF + (k * COLS + j) * 2) as u64
     };
     let checksum = backtrack(&mut sys, pair, n, &addr, a_buf, b_buf);
-    let kernel = sys.now() - t0;
+    let kernel = sys.kernel_region(t0);
     debug_assert_eq!(
         sys.ram_read_u16(addr(n - 1, COLS - 1)) as usize,
         pair.lcs_length(),

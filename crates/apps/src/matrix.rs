@@ -243,7 +243,7 @@ fn run_conventional(
         sys.store_f64(results + (r * 8) as u64, acc);
         sys.alu(3);
     }
-    let kernel = sys.now() - t0;
+    let kernel = sys.kernel_region(t0);
     let checksum = digest_results(&sys, results, pairs);
     RunReport {
         app: variant.app_name(),
@@ -332,7 +332,7 @@ fn run_radram(
             sys.alu(3);
         }
     }
-    let kernel = sys.now() - t0;
+    let kernel = sys.kernel_region(t0);
     let checksum = digest_results(&sys, results, a.rows);
     RunReport {
         app: variant.app_name(),

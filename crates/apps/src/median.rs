@@ -188,6 +188,7 @@ fn run_conventional(pages: f64, img: &Image, cfg: RadramConfig) -> RunReport {
         }
     }
     let t2 = sys.now();
+    let kernel = sys.kernel_region(t1);
 
     let reference = img.median_filtered();
     let checksum = digest_pixels((0..w * h).map(|i| sys.ram_read_u16(out + (i * 2) as u64)));
@@ -196,7 +197,7 @@ fn run_conventional(pages: f64, img: &Image, cfg: RadramConfig) -> RunReport {
         app: "median",
         system: SystemKind::Conventional,
         pages,
-        kernel_cycles: t2 - t1,
+        kernel_cycles: kernel,
         total_cycles: t2 - t0,
         dispatch_cycles: 0,
         checksum,
@@ -246,6 +247,7 @@ fn run_radram(pages: f64, img: &Image, part: &Partition, cfg: RadramConfig) -> R
         sys.wait_done(base + (p * PAGE_SIZE) as u64);
     }
     let t2 = sys.now();
+    let kernel = sys.kernel_region(t1);
 
     // Functional digest in global row order (host-side).
     let mut checksum = 0u64;
@@ -262,7 +264,7 @@ fn run_radram(pages: f64, img: &Image, part: &Partition, cfg: RadramConfig) -> R
         app: "median",
         system: SystemKind::Radram,
         pages,
-        kernel_cycles: t2 - t1,
+        kernel_cycles: kernel,
         total_cycles: t2 - t0,
         dispatch_cycles: dispatch,
         checksum,

@@ -193,7 +193,7 @@ fn run_conventional(pages: f64, frame: &FrameWorkload, cfg: RadramConfig) -> Run
         sys.store_u32(out + k as u64, packed);
         sys.alu(2);
     }
-    let kernel = sys.now() - t0;
+    let kernel = sys.kernel_region(t0);
     let checksum = digest((0..npx).map(|i| sys.ram_read_u8(out + i as u64)));
     debug_assert_eq!(checksum, digest(frame.corrected().into_iter()));
     RunReport {
@@ -232,7 +232,7 @@ fn run_radram(pages: f64, frame: &FrameWorkload, npages: usize, cfg: RadramConfi
     // macro-instructions. Ops within one page's chunk stay ordered
     // (unpack -> add -> pack).
     let dispatch = apply_corrections(&mut sys, base, npages, npx);
-    let kernel = sys.now() - t0;
+    let kernel = sys.kernel_region(t0);
 
     let mut checksum = 0u64;
     for p in 0..npages {

@@ -200,7 +200,7 @@ fn run_conventional(pages: f64, frame: &CodedFrame, cfg: RadramConfig) -> RunRep
         sys.store_u32(out + k as u64, packed);
         sys.alu(2);
     }
-    let kernel = sys.now() - t0;
+    let kernel = sys.kernel_region(t0);
     let checksum = digest((0..npx).map(|i| sys.ram_read_u8(out + i as u64)));
     debug_assert_eq!(checksum, digest(frame.corrected().into_iter()));
     RunReport {
@@ -288,7 +288,7 @@ fn run_radram(pages: f64, frame: &CodedFrame, npages: usize, cfg: RadramConfig) 
     }
     // Stage 3: in-page correction application.
     dispatch += apply_corrections(&mut sys, m_base, npages, npx);
-    let kernel = sys.now() - t0;
+    let kernel = sys.kernel_region(t0);
 
     let mut checksum = 0u64;
     for p in 0..npages {

@@ -262,7 +262,7 @@ pub fn run_script_primitives(script: &Script, cfg: &RadramConfig) -> RunReport {
             }
         }
     }
-    let kernel = sys.now() - t0;
+    let kernel = sys.kernel_region(t0);
     checksum = fnv_mix(checksum, arr.n as u64);
     for i in 0..arr.n {
         let a = arr.elem_addr(i);

@@ -1,0 +1,135 @@
+//! Summarizes Chrome trace files exported by the `experiments --trace` run.
+//!
+//! Usage: `aptrace [--check[=SUBSYSTEMS]] FILE...`
+//!
+//! Default mode renders, per file, a text flame summary (which event kinds
+//! own the cycles) and the traced `T_A`/`T_P`/`T_C` phase totals. With
+//! `--check`, each file is instead validated: it must parse as trace-event
+//! JSON and — when a subsystem list is given — contain at least one span or
+//! instant from every listed subsystem. `--check` is the CI smoke gate:
+//! exit status is non-zero as soon as any file fails.
+
+use ap_trace::chrome::{self, ParsedEvent};
+use ap_trace::phases::PhaseTotals;
+use ap_trace::{flame, Subsystem};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: aptrace [--check[=SUBSYSTEMS]] FILE...\n\
+     \n\
+     Summarizes Chrome trace-event JSON files written by `experiments --trace`\n\
+     (flame summary plus traced T_A/T_P/T_C phase totals).\n\
+     \n\
+     options:\n\
+     \x20 --check[=SUBS]  validate instead of summarize: each FILE must parse\n\
+     \x20                 and contain >=1 event from every listed subsystem\n\
+     \x20                 (comma-separated: cpu,mem,radram,risc,engine)"
+}
+
+fn main() -> ExitCode {
+    let mut check: Option<Vec<Subsystem>> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--help" || arg == "-h" {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        } else if arg == "--check" {
+            check = Some(Vec::new());
+        } else if let Some(list) = arg.strip_prefix("--check=") {
+            let mut subs = Vec::new();
+            for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                match Subsystem::by_name(name) {
+                    Some(s) => subs.push(s),
+                    None => {
+                        eprintln!("error: unknown subsystem {name:?} in --check");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            check = Some(subs);
+        } else if arg.starts_with('-') {
+            eprintln!("error: unknown option {arg:?}\n\n{}", usage());
+            return ExitCode::from(2);
+        } else {
+            files.push(PathBuf::from(arg));
+        }
+    }
+    if files.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for file in &files {
+        let outcome = match &check {
+            Some(required) => check_file(file, required),
+            None => summarize_file(file),
+        };
+        if let Err(msg) = outcome {
+            eprintln!("aptrace: {}: {msg}", file.display());
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn load(file: &PathBuf) -> Result<Vec<ParsedEvent>, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read: {e}"))?;
+    chrome::parse(&text)
+}
+
+/// True for events that represent work (spans and instants), as opposed to
+/// metadata and counter records.
+fn is_work(e: &ParsedEvent) -> bool {
+    e.ph == 'X' || e.ph == 'i'
+}
+
+fn summarize_file(file: &PathBuf) -> Result<(), String> {
+    let events = load(file)?;
+    let rows = flame::aggregate(
+        events.iter().filter(|e| is_work(e)).map(|e| (e.cat.as_str(), e.name.as_str(), e.dur)),
+    );
+    print!("{}", flame::render(&file.display().to_string(), &rows));
+
+    let p = PhaseTotals::of_chrome(&events);
+    println!(
+        "  phases: kernel={} dispatch={} page_run={} stall={} activations={}",
+        p.kernel_cycles, p.dispatch_cycles, p.page_run_cycles, p.stall_cycles, p.activations
+    );
+    if p.activations > 0 {
+        println!(
+            "  per-activation: T_A={:.1} T_P={:.1} T_C={:.1} cycles",
+            p.t_a(),
+            p.t_p(),
+            p.t_c()
+        );
+    }
+    println!();
+    Ok(())
+}
+
+fn check_file(file: &PathBuf, required: &[Subsystem]) -> Result<(), String> {
+    let events = load(file)?;
+    let work: Vec<&ParsedEvent> = events.iter().filter(|e| is_work(e)).collect();
+    if work.is_empty() {
+        return Err("no span or instant events".into());
+    }
+    for sub in required {
+        if !work.iter().any(|e| e.cat == sub.name()) {
+            let seen: std::collections::BTreeSet<&str> =
+                work.iter().map(|e| e.cat.as_str()).collect();
+            return Err(format!(
+                "no events from subsystem {:?} (subsystems present: {})",
+                sub.name(),
+                seen.into_iter().collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
+    println!("ok: {} ({} events)", file.display(), work.len());
+    Ok(())
+}

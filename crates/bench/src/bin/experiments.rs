@@ -1,9 +1,11 @@
 //! Runs every experiment and writes CSV results.
 //!
-//! Usage: `experiments [TARGET] [--jobs N] [--no-cache] [--manifest PATH]`
-//! (default target `all`). Simulation points run in parallel on the
-//! `ap-engine` worker pool with disk-cached results; set `AP_QUICK=1` for
-//! reduced sweeps. Unknown targets or options print the usage and exit
+//! Usage: `experiments [TARGET] [--jobs N] [--no-cache] [--manifest PATH]
+//! [--trace[=DIR]] [--trace-filter LIST]` (default target `all`).
+//! Simulation points run in parallel on the `ap-engine` worker pool with
+//! disk-cached results; set `AP_QUICK=1` for reduced sweeps. `--trace`
+//! exports a Chrome-trace timeline per fresh job (summarize with
+//! `aptrace`). Unknown targets or options print the usage and exit
 //! non-zero.
 
 use ap_bench::{cli, experiments, quick_mode, render, write_result_file};
@@ -107,6 +109,13 @@ fn main() {
                 runner.engine().workers(),
                 manifest_path.display()
             );
+            if let Some(dir) = cli.trace_dir() {
+                println!(
+                    "traces: {} job timeline(s) under {} (summarize with `aptrace <file>`)",
+                    summary.traced,
+                    dir.display()
+                );
+            }
         }
     }
 }

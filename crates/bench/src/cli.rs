@@ -23,12 +23,18 @@ pub struct Cli {
     pub no_cache: bool,
     /// Manifest path override (`--manifest PATH`).
     pub manifest: Option<PathBuf>,
+    /// Per-job Chrome tracing (`--trace[=DIR]`): `Some(None)` uses the
+    /// default `<results dir>/traces` directory.
+    pub trace: Option<Option<PathBuf>>,
+    /// Subsystems recorded when tracing (`--trace-filter LIST`, default all).
+    pub trace_filter: ap_trace::Filter,
 }
 
 /// The usage text, listing flags and valid targets.
 pub fn usage() -> String {
     format!(
         "usage: experiments [TARGET] [--jobs N] [--no-cache] [--manifest PATH]\n\
+         \x20                  [--trace[=DIR]] [--trace-filter LIST]\n\
          \n\
          Runs the paper's experiments through the ap-engine worker pool and\n\
          writes CSV files under the results directory.\n\
@@ -36,9 +42,14 @@ pub fn usage() -> String {
          targets: {}\n\
          \n\
          options:\n\
-         \x20 --jobs N         worker threads (default: AP_JOBS or all cores)\n\
-         \x20 --no-cache       recompute every point, ignore the disk cache\n\
-         \x20 --manifest PATH  write the JSONL run manifest to PATH\n\
+         \x20 --jobs N            worker threads (default: AP_JOBS or all cores)\n\
+         \x20 --no-cache          recompute every point, ignore the disk cache\n\
+         \x20 --manifest PATH     write the JSONL run manifest to PATH\n\
+         \x20 --trace[=DIR]       export one Chrome trace per computed point\n\
+         \x20                     (default DIR: <results dir>/traces; view in\n\
+         \x20                     chrome://tracing or summarize with aptrace)\n\
+         \x20 --trace-filter LIST comma-separated subsystems to trace\n\
+         \x20                     (cpu,mem,radram,risc,engine or all; default all)\n\
          \n\
          environment: AP_QUICK=1 shrinks sweeps, AP_JOBS sets workers,\n\
          AP_RESULTS_DIR relocates outputs, AP_NO_CACHE=1 disables the cache.",
@@ -48,7 +59,14 @@ pub fn usage() -> String {
 
 /// Parses the arguments after the program name.
 pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
-    let mut cli = Cli { target: "all".to_string(), jobs: None, no_cache: false, manifest: None };
+    let mut cli = Cli {
+        target: "all".to_string(),
+        jobs: None,
+        no_cache: false,
+        manifest: None,
+        trace: None,
+        trace_filter: ap_trace::Filter::ALL,
+    };
     let mut target_seen = false;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -74,6 +92,18 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
             }
             "--no-cache" => cli.no_cache = true,
             "--manifest" => cli.manifest = Some(PathBuf::from(value("--manifest")?)),
+            // `--trace` takes its directory inline only (`--trace=DIR`): a
+            // separate token would be ambiguous with the TARGET argument.
+            "--trace" => {
+                cli.trace = Some(match &inline {
+                    Some(v) if v.is_empty() => return Err("--trace= requires a directory".into()),
+                    Some(v) => Some(PathBuf::from(v)),
+                    None => None,
+                })
+            }
+            "--trace-filter" => {
+                cli.trace_filter = ap_trace::Filter::parse(&value("--trace-filter")?)?;
+            }
             "--help" | "-h" => return Err("help".to_string()),
             f if f.starts_with('-') => return Err(format!("unknown option {f:?}")),
             target if !target_seen => {
@@ -112,7 +142,19 @@ impl Cli {
             engine = engine.without_cache();
         }
         engine = engine.with_manifest(self.manifest_path());
+        if let Some(dir) = self.trace_dir() {
+            engine = engine.with_trace_dir(dir, self.trace_filter);
+        }
         Runner::with_engine(engine)
+    }
+
+    /// Where this invocation writes per-job traces: `None` when `--trace`
+    /// was not given, the explicit directory or `<results dir>/traces`
+    /// otherwise.
+    pub fn trace_dir(&self) -> Option<PathBuf> {
+        self.trace
+            .as_ref()
+            .map(|dir| dir.clone().unwrap_or_else(|| crate::results_dir().join("traces")))
     }
 
     /// Where this invocation writes its manifest: `--manifest` if given,
@@ -151,6 +193,30 @@ mod tests {
         assert_eq!(cli.jobs, Some(2));
         assert_eq!(cli.manifest, Some(PathBuf::from("/tmp/m.jsonl")));
         assert_eq!(cli.target, "table4");
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.trace, None);
+        assert_eq!(cli.trace_dir(), None);
+        assert_eq!(cli.trace_filter, ap_trace::Filter::ALL);
+
+        let cli = parse(&["fig3", "--trace"]).unwrap();
+        assert_eq!(cli.trace, Some(None));
+        assert!(cli.trace_dir().is_some(), "default trace dir when --trace is bare");
+
+        let cli = parse(&["--trace=/tmp/t", "--trace-filter", "mem,radram"]).unwrap();
+        assert_eq!(cli.trace, Some(Some(PathBuf::from("/tmp/t"))));
+        assert_eq!(cli.trace_dir(), Some(PathBuf::from("/tmp/t")));
+        assert_eq!(
+            cli.trace_filter,
+            ap_trace::Filter::of(&[ap_trace::Subsystem::Mem, ap_trace::Subsystem::Radram])
+        );
+
+        assert!(parse(&["--trace="]).is_err());
+        let err = parse(&["--trace-filter=bogus"]).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
     }
 
     #[test]

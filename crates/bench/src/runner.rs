@@ -59,8 +59,35 @@ impl RunSpec {
 
     /// Runs the simulation (constructing the `System` on this thread).
     pub fn execute(&self) -> RunReport {
-        self.app.run(self.kind, self.pages, &self.cfg)
+        let report = self.app.run(self.kind, self.pages, &self.cfg);
+        record_session_metrics(&report);
+        report
     }
+}
+
+/// Publishes a run's aggregate counters into the active trace session (a
+/// no-op on untraced threads), so exported timelines carry end-of-run
+/// totals next to the event stream they decompose.
+fn record_session_metrics(r: &RunReport) {
+    use ap_trace::session;
+    if !session::active() {
+        return;
+    }
+    let s = &r.stats;
+    let c = &s.cpu;
+    session::count("cpu.instructions", c.instructions);
+    session::count("cpu.loads", c.loads);
+    session::count("cpu.stores", c.stores);
+    session::count("cpu.branches", c.branches);
+    session::count("cpu.mispredicts", c.mispredicts);
+    session::count("mem.l1d_misses", c.mem.l1d.misses);
+    session::count("mem.l2_misses", c.mem.l2.misses);
+    session::count("mem.dram_fills", c.mem.dram_fills);
+    session::count("radram.activations", s.activations);
+    session::count("radram.logic_busy_cycles", s.logic_busy_cycles);
+    session::count("radram.non_overlap_cycles", s.non_overlap_cycles);
+    session::count("kernel.cycles", r.kernel_cycles);
+    session::count("dispatch.cycles", r.dispatch_cycles);
 }
 
 /// Executes batches of [`RunSpec`]s on an [`Engine`].

@@ -4,6 +4,12 @@ use crate::bpred::BranchPredictor;
 use crate::mmx::MmxOp;
 use crate::stats::CpuStats;
 use ap_mem::{Hierarchy, HierarchyConfig, SimRam, VAddr};
+use ap_trace::Subsystem::Cpu as TRACE_CPU;
+
+/// Subsystems whose events need the simulated clock published before a
+/// memory access: the core's own spans plus the (clock-less) hierarchy.
+const TRACE_CLOCK_USERS: ap_trace::Filter =
+    ap_trace::Filter(TRACE_CPU.bit() | ap_trace::Subsystem::Mem.bit());
 
 /// Processor configuration (Table 1: 1 GHz reference clock).
 ///
@@ -164,6 +170,7 @@ impl Cpu {
         self.now += self.cfg.alu_latency;
         if !self.bpred.predict_and_train(site, taken) {
             self.stats.mispredicts += 1;
+            ap_trace::instant(TRACE_CPU, "bpred.mispredict", self.now, site as u64, taken as u64);
             self.now += self.cfg.mispredict_penalty;
         }
         taken
@@ -178,18 +185,47 @@ impl Cpu {
         op.apply(a, b)
     }
 
+    /// Publishes [`Self::now`] as the thread's trace clock when any
+    /// clock-consuming subsystem is traced: the hierarchy returns costs but
+    /// owns no clock, so the core stamps time on its behalf. One relaxed
+    /// atomic load when tracing is off.
+    #[inline]
+    fn publish_trace_clock(&self) {
+        if ap_trace::enabled_any(TRACE_CLOCK_USERS) {
+            ap_trace::set_cycle(self.now);
+        }
+    }
+
+    /// Emits a `stall.mem` span covering the cycles a data access cost
+    /// beyond the L1 hit latency the pipeline hides.
+    #[inline]
+    fn trace_mem_stall(&self, addr: VAddr, cost: u64) {
+        if ap_trace::enabled(TRACE_CPU) {
+            let hidden = self.cfg.hierarchy.l1d.hit_latency;
+            if cost > hidden {
+                ap_trace::complete(TRACE_CPU, "stall.mem", self.now, cost - hidden, addr.get(), 0);
+            }
+        }
+    }
+
     #[inline]
     fn charge_load(&mut self, addr: VAddr) {
         self.stats.instructions += 1;
         self.stats.loads += 1;
-        self.now += self.hier.read(addr);
+        self.publish_trace_clock();
+        let cost = self.hier.read(addr);
+        self.trace_mem_stall(addr, cost);
+        self.now += cost;
     }
 
     #[inline]
     fn charge_store(&mut self, addr: VAddr) {
         self.stats.instructions += 1;
         self.stats.stores += 1;
-        self.now += self.hier.write(addr);
+        self.publish_trace_clock();
+        let cost = self.hier.write(addr);
+        self.trace_mem_stall(addr, cost);
+        self.now += cost;
     }
 
     /// Loads a byte through the data cache.
@@ -268,6 +304,7 @@ impl Cpu {
     /// accounts for the executed operation itself.
     #[inline]
     pub fn charge_fetch(&mut self, pc: VAddr) {
+        self.publish_trace_clock();
         let cycles = self.hier.fetch(pc);
         let hidden = self.cfg.hierarchy.l1i.hit_latency;
         self.now += cycles.saturating_sub(hidden);
@@ -284,6 +321,7 @@ impl Cpu {
         } else {
             self.stats.loads += 1;
         }
+        self.publish_trace_clock();
         self.now += self.hier.uncached();
     }
 
@@ -292,6 +330,7 @@ impl Cpu {
     pub fn uncached_load_u32(&mut self, addr: VAddr) -> u32 {
         self.stats.instructions += 1;
         self.stats.loads += 1;
+        self.publish_trace_clock();
         self.now += self.hier.uncached();
         self.ram.read_u32(addr)
     }
@@ -301,6 +340,7 @@ impl Cpu {
     pub fn uncached_store_u32(&mut self, addr: VAddr, v: u32) {
         self.stats.instructions += 1;
         self.stats.stores += 1;
+        self.publish_trace_clock();
         self.now += self.hier.uncached();
         self.ram.write_u32(addr, v);
     }

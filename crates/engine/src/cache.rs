@@ -57,11 +57,12 @@ impl DiskCache {
         (codec.decode)(payload)
     }
 
-    /// Persists `value` for `key`. Best effort; failures leave a warning on
-    /// stderr and the next run simply recomputes.
+    /// Persists `value` for `key`. Best effort; failures surface as a
+    /// counted [`ap_trace::warn`] (which also reaches stderr) and the next
+    /// run simply recomputes.
     pub fn store<T>(&self, key: &str, salt: &str, value: &T, codec: &Codec<T>) {
         if let Err(e) = self.try_store(key, salt, value, codec) {
-            eprintln!("ap-engine: cannot cache {key}: {e}");
+            ap_trace::warn("cache.write_failed", format!("cannot cache {key}: {e}"));
         }
     }
 

@@ -65,6 +65,10 @@ pub struct JobOutcome<T> {
     /// Static-analysis totals for the value, when the batch's
     /// [`Codec::diag`] hook provides them (errored jobs carry `None`).
     pub diag: Option<crate::manifest::DiagCounts>,
+    /// Path of the exported Chrome trace for this job, when the engine ran
+    /// with tracing enabled and the job executed fresh (cache hits simulate
+    /// nothing, so they carry no trace).
+    pub trace: Option<std::path::PathBuf>,
 }
 
 /// How to persist job results of type `T` in the disk cache.

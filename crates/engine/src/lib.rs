@@ -59,6 +59,19 @@ use std::time::{Duration, Instant};
 /// The default per-job wall-clock deadline.
 pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(600);
 
+/// Where the engine writes per-job Chrome traces, and which subsystems to
+/// record. Each fresh job execution gets its own session (the job thread is
+/// dedicated, so collection is lock-free) exported as one
+/// `<fnv1a(key)>.trace.json` file under `dir`. Cache hits simulate nothing
+/// and produce no trace.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    /// Directory receiving one `.trace.json` per freshly executed job.
+    pub dir: PathBuf,
+    /// Subsystems to record while jobs run.
+    pub filter: ap_trace::Filter,
+}
+
 /// The job-execution engine. Configure with the builder methods, then call
 /// [`Engine::run`] with a batch of jobs.
 #[derive(Debug, Clone)]
@@ -69,6 +82,7 @@ pub struct Engine {
     deadline: Option<Duration>,
     progress: bool,
     salt: String,
+    trace: Option<TraceSink>,
 }
 
 impl Default for Engine {
@@ -88,6 +102,7 @@ impl Engine {
             deadline: Some(DEFAULT_DEADLINE),
             progress: false,
             salt: String::new(),
+            trace: None,
         }
     }
 
@@ -161,6 +176,20 @@ impl Engine {
         self
     }
 
+    /// Records a Chrome trace for every freshly executed job, filtered to
+    /// `filter`, one `.trace.json` file per job under `dir`. The global
+    /// subsystem filter is installed when [`Engine::run`] starts. Tracing
+    /// never changes simulated cycle counts or cache keys — it only observes.
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>, filter: ap_trace::Filter) -> Self {
+        self.trace = Some(TraceSink { dir: dir.into(), filter });
+        self
+    }
+
+    /// The trace sink, if per-job tracing is enabled.
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
@@ -193,11 +222,23 @@ impl Engine {
             .collect();
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, JobOutcome<T>)>();
+        if let Some(sink) = &self.trace {
+            ap_trace::set_filter(sink.filter);
+            if let Err(e) = std::fs::create_dir_all(&sink.dir) {
+                ap_trace::warn(
+                    "trace.dir_failed",
+                    format!("cannot create trace dir {}: {e}", sink.dir.display()),
+                );
+            }
+        }
         let mut manifest =
             self.manifest.as_deref().and_then(|p| match manifest::Writer::append(p) {
                 Ok(w) => Some(w),
                 Err(e) => {
-                    eprintln!("ap-engine: cannot open manifest {}: {e}", p.display());
+                    ap_trace::warn(
+                        "manifest.open_failed",
+                        format!("cannot open manifest {}: {e}", p.display()),
+                    );
                     None
                 }
             });
@@ -244,6 +285,7 @@ impl Engine {
                     cache_hit: false,
                     worker: 0,
                     diag: None,
+                    trace: None,
                 })
             })
             .collect()
@@ -275,6 +317,7 @@ impl Engine {
                         cache_hit: true,
                         worker,
                         diag,
+                        trace: None,
                     };
                     let _ = tx.send((index, outcome));
                     continue;
@@ -287,7 +330,7 @@ impl Engine {
                 .expect("job slot lock poisoned")
                 .take()
                 .expect("job dispatched twice");
-            let result = self.execute_isolated(run);
+            let (result, trace) = self.execute_isolated(&key, run);
 
             if let (Ok(value), Some(cache), Some(codec)) = (&result, &self.cache, &codec) {
                 cache.store(&key, &self.salt, value, codec);
@@ -296,8 +339,15 @@ impl Engine {
                 (Ok(value), Some(codec)) => codec.diag.map(|f| f(value)),
                 _ => None,
             };
-            let outcome =
-                JobOutcome { key, result, wall: started.elapsed(), cache_hit: false, worker, diag };
+            let outcome = JobOutcome {
+                key,
+                result,
+                wall: started.elapsed(),
+                cache_hit: false,
+                worker,
+                diag,
+                trace,
+            };
             let _ = tx.send((index, outcome));
         }
     }
@@ -305,35 +355,85 @@ impl Engine {
     /// Runs one job on a dedicated watchdog-supervised thread. The thread is
     /// detached: on deadline overrun we abandon it (it cannot be killed) and
     /// report [`JobError::TimedOut`]; its eventual result is discarded.
+    ///
+    /// When a [`TraceSink`] is configured, the job thread opens a
+    /// thread-local trace session around the job body — simulation events
+    /// accumulate lock-free in this thread's session — and exports it as
+    /// Chrome trace JSON afterwards (even when the job panicked, so crashes
+    /// keep their timeline). The returned path is `None` on timeout (the
+    /// abandoned thread's trace is discarded) or export failure.
     fn execute_isolated<T: Send + 'static>(
         &self,
+        key: &str,
         run: Box<dyn FnOnce() -> T + Send>,
-    ) -> Result<T, JobError> {
+    ) -> (Result<T, JobError>, Option<PathBuf>) {
         let (tx, rx) = mpsc::channel();
+        let sink = self.trace.clone();
+        let label = key.to_string();
         let spawned = std::thread::Builder::new()
             .name("ap-engine-job".into())
             .stack_size(16 << 20) // deep simulations; don't inherit small default stacks
             .spawn(move || {
+                let tracing = sink.is_some();
+                if tracing {
+                    ap_trace::session::begin(ap_trace::session::SessionConfig::default());
+                }
+                let started = Instant::now();
                 let result = std::panic::catch_unwind(AssertUnwindSafe(run));
-                let _ = tx.send(result);
+                let path = if let Some(sink) = sink {
+                    ap_trace::complete(
+                        ap_trace::Subsystem::Engine,
+                        "job.run",
+                        0,
+                        started.elapsed().as_micros() as u64,
+                        result.is_ok() as u64,
+                        0,
+                    );
+                    ap_trace::session::finish()
+                        .and_then(|trace| write_trace(&sink.dir, &label, &trace))
+                } else {
+                    None
+                };
+                let _ = tx.send((result, path));
             });
         if let Err(e) = spawned {
-            return Err(JobError::Panicked(format!("cannot spawn job thread: {e}")));
+            return (Err(JobError::Panicked(format!("cannot spawn job thread: {e}"))), None);
         }
-        let received = match self.deadline {
+        let (received, path) = match self.deadline {
             Some(deadline) => match rx.recv_timeout(deadline) {
                 Ok(r) => r,
-                Err(RecvTimeoutError::Timeout) => return Err(JobError::TimedOut(deadline)),
+                Err(RecvTimeoutError::Timeout) => return (Err(JobError::TimedOut(deadline)), None),
                 Err(RecvTimeoutError::Disconnected) => {
-                    return Err(JobError::Panicked("job thread vanished".into()))
+                    return (Err(JobError::Panicked("job thread vanished".into())), None)
                 }
             },
             None => match rx.recv() {
                 Ok(r) => r,
-                Err(_) => return Err(JobError::Panicked("job thread vanished".into())),
+                Err(_) => return (Err(JobError::Panicked("job thread vanished".into())), None),
             },
         };
-        received.map_err(|payload| JobError::Panicked(panic_message(&*payload)))
+        (received.map_err(|payload| JobError::Panicked(panic_message(&*payload))), path)
+    }
+}
+
+/// Exports `trace` as `<fnv1a(key)>.trace.json` under `dir`. Failures are
+/// counted warnings, not errors: a lost trace never fails the job.
+fn write_trace(
+    dir: &std::path::Path,
+    key: &str,
+    trace: &ap_trace::session::Trace,
+) -> Option<PathBuf> {
+    let path = dir.join(format!("{:016x}.trace.json", fnv1a(key.as_bytes())));
+    let json = ap_trace::chrome::export(trace, key);
+    match std::fs::write(&path, json) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            ap_trace::warn(
+                "trace.write_failed",
+                format!("cannot write trace for {key} to {}: {e}", path.display()),
+            );
+            None
+        }
     }
 }
 
@@ -361,7 +461,7 @@ fn env_usize(name: &str) -> Option<usize> {
     match raw.trim().parse() {
         Ok(n) => Some(n),
         Err(_) => {
-            eprintln!("ap-engine: ignoring unparsable {name}={raw:?}");
+            ap_trace::warn("env.unparsable", format!("ignoring unparsable {name}={raw:?}"));
             None
         }
     }

@@ -36,6 +36,9 @@ pub struct Entry {
     pub worker: usize,
     /// Static-analysis totals, when the batch provided a diag hook.
     pub diag: Option<DiagCounts>,
+    /// Path of the job's exported Chrome trace, when tracing was enabled
+    /// and the job executed fresh.
+    pub trace: Option<String>,
 }
 
 impl Entry {
@@ -54,6 +57,7 @@ impl Entry {
             wall_ms: outcome.wall.as_secs_f64() * 1e3,
             worker: outcome.worker,
             diag: outcome.diag,
+            trace: outcome.trace.as_ref().map(|p| p.display().to_string()),
         }
     }
 
@@ -72,6 +76,9 @@ impl Entry {
         }
         if let Some(d) = self.diag {
             s.push_str(&format!(",\"diag_errors\":{},\"diag_warnings\":{}", d.errors, d.warnings));
+        }
+        if let Some(t) = &self.trace {
+            s.push_str(&format!(",\"trace\":\"{}\"", escape(t)));
         }
         s.push('}');
         s
@@ -113,7 +120,7 @@ impl Writer {
 
     pub fn record(&mut self, entry: &Entry) {
         if let Err(e) = writeln!(self.file, "{}", entry.to_json()) {
-            eprintln!("ap-engine: cannot write manifest line: {e}");
+            ap_trace::warn("manifest.write_failed", format!("cannot write manifest line: {e}"));
         }
     }
 }
@@ -137,6 +144,8 @@ pub struct Summary {
     pub diag_errors: usize,
     /// Sum of per-job Warning-severity diagnostic counts.
     pub diag_warnings: usize,
+    /// Jobs that exported a Chrome trace.
+    pub traced: usize,
 }
 
 /// Reads a manifest written by the engine and tallies outcomes.
@@ -159,6 +168,9 @@ pub fn summarize(path: &Path) -> std::io::Result<Summary> {
         }
         s.diag_errors += field_u64(line, "\"diag_errors\":") as usize;
         s.diag_warnings += field_u64(line, "\"diag_warnings\":") as usize;
+        if line.contains("\"trace\":\"") {
+            s.traced += 1;
+        }
     }
     Ok(s)
 }
@@ -189,6 +201,7 @@ mod tests {
             wall_ms: 1.5,
             worker: 0,
             diag: Some(DiagCounts { errors: 0, warnings: 3 }),
+            trace: Some("traces/abc.trace.json".into()),
         });
         w.record(&Entry {
             key: "b".into(),
@@ -198,6 +211,7 @@ mod tests {
             wall_ms: 2.0,
             worker: 1,
             diag: None,
+            trace: None,
         });
         drop(w);
         let s = summarize(&path).unwrap();
@@ -212,11 +226,13 @@ mod tests {
                 cache_misses: 1,
                 diag_errors: 0,
                 diag_warnings: 3,
+                traced: 1,
             }
         );
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("a \\\"quoted\\\"\\nkey"), "escaping broken: {text}");
         assert!(text.contains("\"diag_warnings\":3"), "diag missing: {text}");
+        assert!(text.contains("\"trace\":\"traces/abc.trace.json\""), "trace missing: {text}");
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -4,6 +4,15 @@ use crate::cache::{Cache, CacheConfig};
 use crate::dram::{Dram, DramConfig};
 use crate::stats::MemStats;
 use crate::VAddr;
+use ap_trace::Subsystem::Mem as TRACE_MEM;
+
+/// Emits one memory event stamped with the published simulated cycle
+/// ([`ap_trace::cycle`], maintained by the clock owner). Self-gated: a
+/// single relaxed atomic load when the `mem` subsystem is not traced.
+#[inline]
+fn trace_mem(kind: &'static str, a: u64, b: u64) {
+    ap_trace::instant(TRACE_MEM, kind, ap_trace::cycle(), a, b);
+}
 
 /// Configuration for a full hierarchy.
 ///
@@ -121,13 +130,15 @@ impl Hierarchy {
     #[inline]
     fn l2_access(&mut self, addr: VAddr, write: bool) -> u64 {
         let out = self.l2.access(addr, write);
+        trace_mem(if out.hit { "l2.hit" } else { "l2.miss" }, addr.get(), write as u64);
         let mut cycles = self.cfg.l2.hit_latency;
         if !out.hit {
             cycles += self.dram.fill(self.cfg.l2.line);
+            trace_mem("dram.fill", addr.get(), self.cfg.l2.line as u64);
         }
         if let Some(victim) = out.writeback {
-            let _ = victim;
             cycles += self.dram.writeback(self.cfg.l2.line);
+            trace_mem("dram.writeback", victim.get(), self.cfg.l2.line as u64);
         }
         cycles
     }
@@ -143,8 +154,13 @@ impl Hierarchy {
         if let Some(victim) = out.writeback {
             // Dirty L1 victim drains into L2 (write-allocate there too).
             cycles += self.l2_write_back(victim);
+            trace_mem("l1d.writeback", victim.get(), 0);
         }
         self.stall_cycles += cycles.saturating_sub(self.cfg.l1d.hit_latency);
+        if ap_trace::enabled(TRACE_MEM) {
+            trace_mem(if out.hit { "l1d.hit" } else { "l1d.miss" }, addr.get(), write as u64);
+            ap_trace::session::observe("mem.access_latency", cycles);
+        }
         cycles
     }
 
@@ -156,10 +172,11 @@ impl Hierarchy {
         if !out.hit {
             // Allocate-on-writeback: fetch the rest of the L2 line.
             cycles += self.dram.fill(self.cfg.l2.line);
+            trace_mem("dram.fill", victim.get(), self.cfg.l2.line as u64);
         }
         if let Some(v2) = out.writeback {
-            let _ = v2;
             cycles += self.dram.writeback(self.cfg.l2.line);
+            trace_mem("dram.writeback", v2.get(), self.cfg.l2.line as u64);
         }
         cycles
     }
@@ -183,6 +200,7 @@ impl Hierarchy {
         let mut cycles = self.cfg.l1i.hit_latency;
         if !out.hit {
             cycles += self.l2_access(addr, false);
+            trace_mem("l1i.miss", addr.get(), 0);
         }
         cycles
     }
@@ -194,6 +212,7 @@ impl Hierarchy {
         self.uncached += 1;
         let cycles = self.cfg.dram.uncached_cycles();
         self.stall_cycles += cycles;
+        trace_mem("dram.uncached", 0, cycles);
         cycles
     }
 

@@ -9,6 +9,7 @@ use active_pages::{
 use ap_cpu::mmx::MmxOp;
 use ap_cpu::Cpu;
 use ap_mem::VAddr;
+use ap_trace::Subsystem::Radram as TRACE_RAD;
 use std::rc::Rc;
 
 const PAGE_SHIFT: u32 = 19; // 512 KB pages
@@ -95,6 +96,17 @@ impl System {
     #[inline]
     pub fn now(&self) -> u64 {
         self.cpu.now()
+    }
+
+    /// Cycles elapsed since `t0`, emitted as a traced `kernel.region` span.
+    /// Apps call this exactly where they measure their kernel region, so an
+    /// exported timeline carries the same envelope the aggregate
+    /// `kernel_cycles` counter reports (the event stream alone undercounts
+    /// by whatever trailing work emits no event).
+    pub fn kernel_region(&self, t0: u64) -> u64 {
+        let kernel = self.cpu.now() - t0;
+        ap_trace::complete(TRACE_RAD, "kernel.region", t0, kernel, 0, 0);
+        kernel
     }
 
     /// Cumulative processor-memory non-overlap stall cycles so far (zero on
@@ -416,8 +428,15 @@ impl System {
 
     /// Writes control word `word` of the page at `page_base` (uncached;
     /// writing [`sync::CMD`] triggers the bound function).
+    ///
+    /// The emitted `ctrl.write` span covers this call's full cycle delta —
+    /// including any triggered activation's dispatch overhead — so summing
+    /// those spans over a run reproduces the harness's `dispatch_cycles`
+    /// measurement (the paper's `T_A · k`).
     pub fn write_ctrl(&mut self, page_base: VAddr, word: usize, v: u32) {
+        let t0 = self.cpu.now();
         self.store_u32(page_base + sync::ctrl_offset(word) as u64, v);
+        ap_trace::complete(TRACE_RAD, "ctrl.write", t0, self.cpu.now() - t0, word as u64, v as u64);
     }
 
     /// Activates the page at `page_base` by storing `cmd` to its command
@@ -483,6 +502,7 @@ impl System {
     }
 
     fn stall(&mut self, cycles: u64) {
+        ap_trace::complete(TRACE_RAD, "sync.stall", self.cpu.now(), cycles, 0, 0);
         self.cpu.advance(cycles);
         if let Some(rad) = self.rad.as_mut() {
             rad.counters.non_overlap += cycles;
@@ -503,6 +523,7 @@ impl System {
         if ready.is_empty() {
             return 0;
         }
+        ap_trace::instant(TRACE_RAD, "irq.service", now, ready.len() as u64, 0);
         {
             let rad = self.rad.as_mut().unwrap();
             rad.counters.interrupt_batches += 1;
@@ -558,6 +579,7 @@ impl System {
     /// The processor performs an inter-page copy on behalf of a blocked page:
     /// word loads and stores through the cache hierarchy.
     fn mediate_copy(&mut self, dst: VAddr, src: VAddr, len: usize) {
+        let t0 = self.cpu.now();
         let words = len / 4;
         for w in 0..words {
             let v = self.cpu.load_u32(src + (w * 4) as u64);
@@ -567,6 +589,8 @@ impl System {
             let v = self.cpu.load_u8(src + b as u64);
             self.cpu.store_u8(dst + b as u64, v);
         }
+        // b = 0: processor-mediated (vs. 1 for the in-chip network).
+        ap_trace::complete(TRACE_RAD, "interpage.copy", t0, self.cpu.now() - t0, len as u64, 0);
     }
 
     fn schedule(&mut self, pid: u32, start: u64, events: Vec<active_pages::ExecEvent>) {
@@ -576,6 +600,7 @@ impl System {
         for (i, ev) in events.iter().enumerate() {
             match *ev {
                 active_pages::ExecEvent::Run(c) => {
+                    ap_trace::complete(TRACE_RAD, "page.run", t, c * divisor, pid as u64, 0);
                     t += c * divisor;
                     let rad = self.rad.as_mut().unwrap();
                     rad.counters.logic_busy += c * divisor;
@@ -616,7 +641,11 @@ impl System {
             rad.counters.interpage_copies += 1;
             rad.counters.copied_bytes += req.len as u64;
         }
-        (req.len as u64).div_ceil(4) * self.cfg.logic_divisor + 4 * self.cfg.logic_divisor
+        let cost =
+            (req.len as u64).div_ceil(4) * self.cfg.logic_divisor + 4 * self.cfg.logic_divisor;
+        // b = 1: carried by the in-chip network, no processor involvement.
+        ap_trace::complete(TRACE_RAD, "interpage.copy", self.cpu.now(), cost, req.len as u64, 1);
+        cost
     }
 
     /// Runs the bound function on an idle page and schedules its timing from
@@ -666,6 +695,7 @@ impl System {
         // the dominant component of the paper's activation time T_A).
         self.cpu.advance(self.cfg.activation_overhead);
         self.rad.as_mut().unwrap().counters.activations += 1;
+        ap_trace::instant(TRACE_RAD, "page.dispatch", self.cpu.now(), pid as u64, 0);
 
         // Pre-declared non-local references (paper Section 3): the function
         // blocks before computing until they are satisfied.
@@ -754,6 +784,7 @@ impl ActivePageMemory for System {
         if rebound {
             rad.counters.rebinds += 1;
             let cost = self.cfg.rebind_cost * pages;
+            ap_trace::complete(TRACE_RAD, "page.rebind", self.cpu.now(), cost, pages, 0);
             self.cpu.advance(cost);
         }
     }

@@ -168,12 +168,26 @@ impl Machine {
     /// Returns [`RunError`] if the PC escapes the program or fetches an
     /// undecodable word.
     pub fn run(&mut self, max_steps: u64) -> Result<RunOutcome, RunError> {
-        for _ in 0..max_steps {
-            if self.step()? {
-                return Ok(RunOutcome::Halted);
+        let (t0, retired0) = (self.cpu.now(), self.retired);
+        let outcome = (|| {
+            for _ in 0..max_steps {
+                if self.step()? {
+                    return Ok(RunOutcome::Halted);
+                }
             }
-        }
-        Ok(RunOutcome::OutOfSteps)
+            Ok(RunOutcome::OutOfSteps)
+        })();
+        // One `kernel.run` span per run() call: the executed cycle window,
+        // with the retired-instruction count as payload.
+        ap_trace::complete(
+            ap_trace::Subsystem::Risc,
+            "kernel.run",
+            t0,
+            self.cpu.now() - t0,
+            self.retired - retired0,
+            matches!(outcome, Ok(RunOutcome::Halted)) as u64,
+        );
+        outcome
     }
 
     /// Executes one instruction; returns `true` on `halt`.
@@ -404,6 +418,22 @@ mod tests {
         // Warnings (here: an uninitialized read) still load, but are kept.
         let m = machine("add r1, r2, r0\n halt");
         assert_eq!(m.lint_report().warnings(), 1);
+    }
+
+    #[test]
+    fn run_emits_a_kernel_span() {
+        ap_trace::set_filter(ap_trace::Filter::ALL);
+        ap_trace::session::begin(ap_trace::session::SessionConfig::default());
+        let mut m = machine("addi r1, r0, 1\n addi r2, r1, 2\n halt");
+        m.run(10).unwrap();
+        let cycles = m.cycles();
+        let trace = ap_trace::session::finish().unwrap();
+        let spans: Vec<_> = trace.events(ap_trace::Subsystem::Risc).collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, "kernel.run");
+        assert_eq!(spans[0].dur, cycles, "span covers the executed window");
+        assert_eq!(spans[0].a, 3, "payload counts retired instructions");
+        assert_eq!(spans[0].b, 1, "halted");
     }
 
     #[test]

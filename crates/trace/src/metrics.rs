@@ -1,0 +1,160 @@
+//! Monotonic counters and log2-bucketed histograms.
+//!
+//! Both are plain values owned by a session (no atomics — sessions are
+//! thread-local). Histograms bucket by `ceil(log2(v + 1))`, which keeps 64
+//! buckets regardless of the value range: bucket 0 holds `0`, bucket 1
+//! holds `1`, bucket 2 holds `2..=3`, bucket `k` holds `2^(k-1)..=2^k - 1`.
+
+/// A named monotonic counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter {
+    /// Metric name (e.g. `"mem.data_accesses"`).
+    pub name: &'static str,
+    value: u64,
+}
+
+impl Counter {
+    /// A zeroed counter named `name`.
+    pub fn new(name: &'static str) -> Counter {
+        Counter { name, value: 0 }
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+/// Number of histogram buckets: values up to `u64::MAX` fit in 64
+/// power-of-two buckets plus the zero bucket.
+pub const BUCKETS: usize = 65;
+
+/// A named log2-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Metric name (e.g. `"mem.access_latency"`).
+    pub name: &'static str,
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+/// The bucket index for `value`: 0 for 0, else `1 + floor(log2(value))`.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The inclusive upper bound of bucket `i` (`0`, `1`, `3`, `7`, ...).
+pub fn bucket_limit(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram named `name`.
+    pub fn new(name: &'static str) -> Histogram {
+        Histogram { name, buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// `(inclusive upper bound, count)` for each non-empty bucket.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (bucket_limit(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_limit(i)), i, "limit of bucket {i} maps back");
+        }
+    }
+
+    #[test]
+    fn histogram_summary_stats() {
+        let mut h = Histogram::new("t");
+        for v in [0, 1, 1, 7, 50] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 59);
+        assert_eq!(h.max(), 50);
+        assert!((h.mean() - 11.8).abs() < 1e-9);
+        let nz: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(nz, vec![(0, 1), (1, 2), (7, 1), (63, 1)]);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("t");
+        c.add(2);
+        c.add(3);
+        assert_eq!(c.value(), 5);
+    }
+}

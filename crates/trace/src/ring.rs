@@ -1,0 +1,92 @@
+//! Bounded event storage.
+//!
+//! A [`Ring`] holds at most `capacity` events in a pre-allocated buffer.
+//! Pushing past capacity drops the *new* event (keeping the run's prefix —
+//! the phase structure we cross-check lives at the front of a trace) and
+//! increments a drop counter; the buffer never reallocates, so a saturated
+//! tracer has a fixed memory footprint no matter how long the simulation
+//! runs.
+
+use crate::Event;
+
+/// Default per-subsystem ring capacity (32 Ki events ≈ 1.5 MiB).
+pub const DEFAULT_CAPACITY: usize = 1 << 15;
+
+/// A bounded, drop-counting event buffer.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    /// An empty ring that will hold at most `capacity` events. The full
+    /// buffer is reserved up front so pushes never reallocate.
+    pub fn with_capacity(capacity: usize) -> Ring {
+        Ring { events: Vec::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Appends `event`, or counts it as dropped when the ring is full.
+    /// Returns `true` when the event was stored.
+    #[inline]
+    pub fn push(&mut self, event: Event) -> bool {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+            true
+        } else {
+            self.dropped += 1;
+            false
+        }
+    }
+
+    /// The stored events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events rejected because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Subsystem;
+
+    fn ev(cycle: u64) -> Event {
+        Event { cycle, dur: 0, subsystem: Subsystem::Mem, kind: "t", a: 0, b: 0 }
+    }
+
+    #[test]
+    fn saturation_counts_drops_and_never_reallocates() {
+        let mut ring = Ring::with_capacity(4);
+        let buf = ring.events.as_ptr();
+        for i in 0..10 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        assert_eq!(ring.events.as_ptr(), buf, "ring reallocated under saturation");
+        assert_eq!(ring.events.capacity(), 4);
+        // The surviving prefix is the oldest events.
+        assert_eq!(ring.events()[3].cycle, 3);
+    }
+}

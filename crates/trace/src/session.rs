@@ -1,0 +1,206 @@
+//! Thread-local trace sessions.
+//!
+//! Each simulation job runs on its own thread (the engine spawns one per
+//! job), so collection is thread-local: [`begin`] installs a session,
+//! instrumented code [`emit`]s into it with no locking, and [`finish`]
+//! takes it down and returns the collected [`Trace`]. A thread with no
+//! session discards emissions (after the global filter gate, which is the
+//! common early-out).
+
+use crate::metrics::{Counter, Histogram};
+use crate::ring::{Ring, DEFAULT_CAPACITY};
+use crate::{enabled, Event, Subsystem};
+use std::cell::RefCell;
+
+/// Capacity knobs for a session.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Per-subsystem ring capacity in events.
+    pub ring_capacity: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig { ring_capacity: DEFAULT_CAPACITY }
+    }
+}
+
+/// A finished session's collected data: one event ring per subsystem plus
+/// the session's counters and histograms.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    rings: Vec<Ring>,
+    /// Named monotonic counters, in registration order.
+    pub counters: Vec<Counter>,
+    /// Named log2-bucketed histograms, in registration order.
+    pub histograms: Vec<Histogram>,
+}
+
+impl Trace {
+    fn with_config(cfg: SessionConfig) -> Trace {
+        Trace {
+            rings: Subsystem::ALL.iter().map(|_| Ring::with_capacity(cfg.ring_capacity)).collect(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// The ring for `sub`.
+    pub fn ring(&self, sub: Subsystem) -> &Ring {
+        &self.rings[sub.index()]
+    }
+
+    /// The stored events of `sub`, in emission order.
+    pub fn events(&self, sub: Subsystem) -> impl Iterator<Item = &Event> {
+        self.ring(sub).events().iter()
+    }
+
+    /// All stored events across subsystems, subsystem-major.
+    pub fn all_events(&self) -> impl Iterator<Item = &Event> {
+        self.rings.iter().flat_map(|r| r.events().iter())
+    }
+
+    /// Total events dropped across all rings.
+    pub fn dropped(&self) -> u64 {
+        self.rings.iter().map(Ring::dropped).sum()
+    }
+
+    /// Sum of durations of `kind` events in `sub` — the primitive behind
+    /// the `T_A`/`T_P`/`T_C` cross-check.
+    pub fn total_dur(&self, sub: Subsystem, kind: &str) -> u64 {
+        self.events(sub).filter(|e| e.kind == kind).map(|e| e.dur).sum()
+    }
+
+    /// Number of `kind` events in `sub`.
+    pub fn count(&self, sub: Subsystem, kind: &str) -> u64 {
+        self.events(sub).filter(|e| e.kind == kind).count() as u64
+    }
+}
+
+thread_local! {
+    static SESSION: RefCell<Option<Trace>> = const { RefCell::new(None) };
+}
+
+/// Starts collecting on this thread, replacing (and discarding) any
+/// previous session.
+pub fn begin(cfg: SessionConfig) {
+    SESSION.with(|s| *s.borrow_mut() = Some(Trace::with_config(cfg)));
+}
+
+/// Stops collecting on this thread and returns the trace, or `None` when no
+/// session was active.
+pub fn finish() -> Option<Trace> {
+    SESSION.with(|s| s.borrow_mut().take())
+}
+
+/// True when this thread has an active session.
+pub fn active() -> bool {
+    SESSION.with(|s| s.borrow().is_some())
+}
+
+/// Stores `event` in the active session's ring for its subsystem. Callers
+/// gate on [`enabled`] first; this function re-checks nothing.
+#[inline]
+pub fn emit(event: Event) {
+    SESSION.with(|s| {
+        if let Some(trace) = s.borrow_mut().as_mut() {
+            trace.rings[event.subsystem.index()].push(event);
+        }
+    });
+}
+
+/// Emits an instant event (duration zero) if `sub` is enabled.
+#[inline]
+pub fn instant(sub: Subsystem, kind: &'static str, cycle: u64, a: u64, b: u64) {
+    if enabled(sub) {
+        emit(Event { cycle, dur: 0, subsystem: sub, kind, a, b });
+    }
+}
+
+/// Emits a completed span if `sub` is enabled.
+#[inline]
+pub fn complete(sub: Subsystem, kind: &'static str, cycle: u64, dur: u64, a: u64, b: u64) {
+    if enabled(sub) {
+        emit(Event { cycle, dur, subsystem: sub, kind, a, b });
+    }
+}
+
+/// Adds `n` to the session counter named `name`, creating it on first use.
+pub fn count(name: &'static str, n: u64) {
+    SESSION.with(|s| {
+        if let Some(trace) = s.borrow_mut().as_mut() {
+            match trace.counters.iter_mut().find(|c| c.name == name) {
+                Some(c) => c.add(n),
+                None => {
+                    let mut c = Counter::new(name);
+                    c.add(n);
+                    trace.counters.push(c);
+                }
+            }
+        }
+    });
+}
+
+/// Records `value` in the session histogram named `name`, creating it on
+/// first use.
+pub fn observe(name: &'static str, value: u64) {
+    SESSION.with(|s| {
+        if let Some(trace) = s.borrow_mut().as_mut() {
+            match trace.histograms.iter_mut().find(|h| h.name == name) {
+                Some(h) => h.record(value),
+                None => {
+                    let mut h = Histogram::new(name);
+                    h.record(value);
+                    trace.histograms.push(h);
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{set_filter, Filter};
+
+    #[test]
+    fn session_collects_and_finishes() {
+        set_filter(Filter::ALL);
+        begin(SessionConfig::default());
+        assert!(active());
+        instant(Subsystem::Mem, "l1d.miss", 10, 0x40, 0);
+        complete(Subsystem::Radram, "page.run", 100, 80, 3, 0);
+        count("mem.access", 2);
+        count("mem.access", 1);
+        observe("mem.latency", 50);
+        observe("mem.latency", 3);
+        let t = finish().expect("active session");
+        assert!(!active());
+        assert_eq!(t.count(Subsystem::Mem, "l1d.miss"), 1);
+        assert_eq!(t.total_dur(Subsystem::Radram, "page.run"), 80);
+        assert_eq!(t.counters.len(), 1);
+        assert_eq!(t.counters[0].value(), 3);
+        assert_eq!(t.histograms.len(), 1);
+        assert_eq!(t.histograms[0].count(), 2);
+    }
+
+    #[test]
+    fn emissions_without_session_are_discarded() {
+        set_filter(Filter::ALL);
+        assert!(finish().is_none());
+        instant(Subsystem::Cpu, "noop", 1, 0, 0);
+        assert!(finish().is_none());
+    }
+
+    #[test]
+    fn disabled_subsystems_emit_nothing() {
+        set_filter(Filter::of(&[Subsystem::Mem]));
+        begin(SessionConfig::default());
+        instant(Subsystem::Cpu, "bpred.mispredict", 5, 0, 0);
+        instant(Subsystem::Mem, "l1d.hit", 5, 0, 0);
+        let t = finish().unwrap();
+        assert_eq!(t.events(Subsystem::Cpu).count(), 0);
+        assert_eq!(t.events(Subsystem::Mem).count(), 1);
+        set_filter(Filter::NONE);
+    }
+}

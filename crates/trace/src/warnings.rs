@@ -1,0 +1,77 @@
+//! The global warn channel.
+//!
+//! Engine diagnostics used to be bare `eprintln!` calls — visible but
+//! uncountable. [`warn`] keeps the stderr line (operators still see it)
+//! while also counting every warning in a process-wide atomic and retaining
+//! a bounded backlog of structured records that tests can assert against.
+//! Unlike event tracing this channel is *always* on: warnings are rare by
+//! construction, so there is no hot path to protect.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Maximum retained warning records (the count keeps going past this).
+pub const WARN_BACKLOG: usize = 256;
+
+/// One structured warning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warning {
+    /// Stable kind tag (e.g. `"cache.write_failed"`).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+static COUNT: AtomicU64 = AtomicU64::new(0);
+static BACKLOG: Mutex<Vec<Warning>> = Mutex::new(Vec::new());
+
+/// Records a warning: bumps the global count, retains it (up to
+/// `WARN_BACKLOG` entries) and mirrors it to stderr as
+/// `ap-trace[kind]: message`.
+pub fn warn(kind: &'static str, message: String) {
+    COUNT.fetch_add(1, Ordering::Relaxed);
+    eprintln!("ap-trace[{kind}]: {message}");
+    if let Ok(mut log) = BACKLOG.lock() {
+        if log.len() < WARN_BACKLOG {
+            log.push(Warning { kind, message });
+        }
+    }
+}
+
+/// Total warnings recorded since process start (or the last
+/// [`reset_warnings`]).
+pub fn warn_count() -> u64 {
+    COUNT.load(Ordering::Relaxed)
+}
+
+/// A snapshot of the retained warning records.
+pub fn warnings() -> Vec<Warning> {
+    BACKLOG.lock().map(|log| log.clone()).unwrap_or_default()
+}
+
+/// Clears the count and backlog (test isolation).
+pub fn reset_warnings() {
+    COUNT.store(0, Ordering::Relaxed);
+    if let Ok(mut log) = BACKLOG.lock() {
+        log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warnings_count_and_retain() {
+        reset_warnings();
+        warn("test.kind", "first".into());
+        warn("test.kind", "second".into());
+        assert_eq!(warn_count(), 2);
+        let log = warnings();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0], Warning { kind: "test.kind", message: "first".into() });
+        reset_warnings();
+        assert_eq!(warn_count(), 0);
+        assert!(warnings().is_empty());
+    }
+}
