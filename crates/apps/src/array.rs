@@ -17,8 +17,8 @@ use active_pages::{
     sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE,
 };
 use ap_mem::VAddr;
-use radram::{RadramConfig, System};
-use std::rc::Rc;
+use radram::{PageActivation, RadramConfig, System};
+use std::sync::Arc;
 use std::sync::OnceLock;
 
 /// Elements stored per Active Page (body words minus a spare slot region).
@@ -324,15 +324,17 @@ impl ApArray {
         // past its current count so its own tail element survives; full
         // pages evict their tail as the carry captured above.
         let d0 = sys.now();
-        for p in p0..=last {
-            let pb = self.page_base(p);
-            let start = if p == p0 { off0 } else { 0 };
-            let cnt = self.count_in_page(p);
-            let end = if p == last && cnt < ELEMS_PER_PAGE { cnt + 1 } else { cnt };
-            sys.write_ctrl(pb, sync::PARAM, start as u32);
-            sys.write_ctrl(pb, sync::PARAM + 1, end as u32);
-            sys.activate(pb, CMD_SHIFT_RIGHT);
-        }
+        let batch: Vec<PageActivation> = (p0..=last)
+            .map(|p| {
+                let start = if p == p0 { off0 } else { 0 };
+                let cnt = self.count_in_page(p);
+                let end = if p == last && cnt < ELEMS_PER_PAGE { cnt + 1 } else { cnt };
+                PageActivation::new(self.page_base(p), CMD_SHIFT_RIGHT)
+                    .with_param(sync::PARAM, start as u32)
+                    .with_param(sync::PARAM + 1, end as u32)
+            })
+            .collect();
+        sys.activate_pages(&batch);
         *dispatch += sys.now() - d0;
         for p in p0..=last {
             sys.wait_done(self.page_base(p));
@@ -362,14 +364,16 @@ impl ApArray {
             sys.alu(4);
         }
         let d0 = sys.now();
-        for p in p0..=last {
-            let pb = self.page_base(p);
-            let start = if p == p0 { off0 } else { 0 };
-            let end = self.count_in_page(p);
-            sys.write_ctrl(pb, sync::PARAM, start as u32);
-            sys.write_ctrl(pb, sync::PARAM + 1, end as u32);
-            sys.activate(pb, CMD_SHIFT_LEFT);
-        }
+        let batch: Vec<PageActivation> = (p0..=last)
+            .map(|p| {
+                let start = if p == p0 { off0 } else { 0 };
+                let end = self.count_in_page(p);
+                PageActivation::new(self.page_base(p), CMD_SHIFT_LEFT)
+                    .with_param(sync::PARAM, start as u32)
+                    .with_param(sync::PARAM + 1, end as u32)
+            })
+            .collect();
+        sys.activate_pages(&batch);
         *dispatch += sys.now() - d0;
         for p in p0..=last {
             sys.wait_done(self.page_base(p));
@@ -386,13 +390,15 @@ impl ApArray {
     fn count(&self, sys: &mut System, key: u32, dispatch: &mut u64) -> u32 {
         let last = (self.n - 1) / ELEMS_PER_PAGE;
         let d0 = sys.now();
-        for p in 0..=last {
-            let pb = self.page_base(p);
-            sys.write_ctrl(pb, sync::PARAM, 0);
-            sys.write_ctrl(pb, sync::PARAM + 1, self.count_in_page(p) as u32);
-            sys.write_ctrl(pb, sync::PARAM + 2, key);
-            sys.activate(pb, CMD_COUNT);
-        }
+        let batch: Vec<PageActivation> = (0..=last)
+            .map(|p| {
+                PageActivation::new(self.page_base(p), CMD_COUNT)
+                    .with_param(sync::PARAM, 0)
+                    .with_param(sync::PARAM + 1, self.count_in_page(p) as u32)
+                    .with_param(sync::PARAM + 2, key)
+            })
+            .collect();
+        sys.activate_pages(&batch);
         *dispatch += sys.now() - d0;
         let mut total = 0u32;
         for p in 0..=last {
@@ -414,10 +420,10 @@ fn run_radram(
     let mut sys = System::radram(cfg);
     let group = GroupId::new(1);
     let base = sys.ap_alloc_pages(group, alloc_pages);
-    let func: Rc<dyn PageFunction> = match prim {
-        ArrayPrimitive::Insert => Rc::new(ArrayInsertFn),
-        ArrayPrimitive::Delete => Rc::new(ArrayDeleteFn),
-        ArrayPrimitive::Find => Rc::new(ArrayFindFn),
+    let func: Arc<dyn PageFunction> = match prim {
+        ArrayPrimitive::Insert => Arc::new(ArrayInsertFn),
+        ArrayPrimitive::Delete => Arc::new(ArrayDeleteFn),
+        ArrayPrimitive::Find => Arc::new(ArrayFindFn),
     };
     sys.ap_bind(group, func);
 
@@ -565,10 +571,10 @@ pub fn run_script(
                 bound: &mut Option<ArrayPrimitive>,
             ) {
                 if *bound != Some(want) {
-                    let func: Rc<dyn PageFunction> = match want {
-                        ArrayPrimitive::Insert => Rc::new(ArrayInsertFn),
-                        ArrayPrimitive::Delete => Rc::new(ArrayDeleteFn),
-                        ArrayPrimitive::Find => Rc::new(ArrayFindFn),
+                    let func: Arc<dyn PageFunction> = match want {
+                        ArrayPrimitive::Insert => Arc::new(ArrayInsertFn),
+                        ArrayPrimitive::Delete => Arc::new(ArrayDeleteFn),
+                        ArrayPrimitive::Find => Arc::new(ArrayFindFn),
                     };
                     sys.ap_bind(group, func);
                     *bound = Some(want);

@@ -11,8 +11,8 @@ use active_pages::{
     sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE,
 };
 use ap_workloads::database::{AddressBook, LAST_NAME_LEN, RECORD_BYTES};
-use radram::{RadramConfig, System};
-use std::rc::Rc;
+use radram::{PageActivation, RadramConfig, System};
+use std::sync::Arc;
 use std::sync::OnceLock;
 
 /// Records stored per Active Page.
@@ -176,7 +176,7 @@ fn run_radram(
     let mut sys = System::radram(cfg);
     let group = GroupId::new(2);
     let base = sys.ap_alloc_pages(group, alloc_pages);
-    sys.ap_bind(group, Rc::new(DatabaseSearchFn));
+    sys.ap_bind(group, Arc::new(DatabaseSearchFn));
     // Untimed setup: distribute record blocks over the pages.
     for p in 0..alloc_pages {
         let page_base = base + (p * PAGE_SIZE) as u64;
@@ -190,16 +190,19 @@ fn run_radram(
     let t0 = sys.now();
     // Initiate the query on every page.
     let d0 = sys.now();
-    for p in 0..alloc_pages {
-        let pb = base + (p * PAGE_SIZE) as u64;
-        let lo = p * RECORDS_PER_PAGE;
-        let hi = ((p + 1) * RECORDS_PER_PAGE).min(records);
-        sys.write_ctrl(pb, sync::PARAM, (hi - lo) as u32);
-        for (w, &kw) in key.iter().enumerate() {
-            sys.write_ctrl(pb, sync::PARAM + 1 + w, kw);
-        }
-        sys.activate(pb, CMD_SEARCH);
-    }
+    let batch: Vec<PageActivation> = (0..alloc_pages)
+        .map(|p| {
+            let lo = p * RECORDS_PER_PAGE;
+            let hi = ((p + 1) * RECORDS_PER_PAGE).min(records);
+            let mut act = PageActivation::new(base + (p * PAGE_SIZE) as u64, CMD_SEARCH)
+                .with_param(sync::PARAM, (hi - lo) as u32);
+            for (w, &kw) in key.iter().enumerate() {
+                act = act.with_param(sync::PARAM + 1 + w, kw);
+            }
+            act
+        })
+        .collect();
+    sys.activate_pages(&batch);
     let dispatch = sys.now() - d0;
     // Summarize results.
     let mut count = 0u32;

@@ -13,7 +13,7 @@ use active_pages::{
 use ap_mem::VAddr;
 use ap_workloads::dna::SequencePair;
 use radram::{RadramConfig, System};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::OnceLock;
 
 /// Table columns (sequence B length).
@@ -295,8 +295,8 @@ fn run_radram(
     let group = GroupId::new(4);
     let base = sys.ap_alloc_pages(group, npages);
     match mode {
-        BoundaryMode::AppDriven => sys.ap_bind(group, Rc::new(LcsFn)),
-        BoundaryMode::CircuitRequested => sys.ap_bind(group, Rc::new(LcsIntrFn)),
+        BoundaryMode::AppDriven => sys.ap_bind(group, Arc::new(LcsFn)),
+        BoundaryMode::CircuitRequested => sys.ap_bind(group, Arc::new(LcsIntrFn)),
     }
     let a_buf = sys.ram_alloc(n, 8);
     let b_buf = sys.ram_alloc(COLS, 8);
@@ -351,20 +351,24 @@ fn run_radram(
             }
             dispatch += (sys.now() - d0) - (sys.non_overlap_cycles() - s0);
         }
-        for &(p, s) in &pairs {
-            let pb = base + (p * PAGE_SIZE) as u64;
-            let d0 = sys.now();
-            let s0 = sys.non_overlap_cycles();
-            sys.write_ctrl(pb, sync::PARAM, s as u32);
-            sys.write_ctrl(pb, sync::PARAM + 1, rows_of(p, n) as u32);
-            sys.write_ctrl(pb, sync::PARAM + 2, u32::from(p == 0));
-            if mode == BoundaryMode::CircuitRequested && p > 0 {
-                sys.write_ctrl(pb, sync::PARAM + 3, rows_of(p - 1, n) as u32);
-            }
-            sys.activate(pb, CMD_FILL);
-            // Net of stalls waiting for the page's own previous strip.
-            dispatch += (sys.now() - d0) - (sys.non_overlap_cycles() - s0);
-        }
+        let batch: Vec<radram::PageActivation> = pairs
+            .iter()
+            .map(|&(p, s)| {
+                let mut act = radram::PageActivation::new(base + (p * PAGE_SIZE) as u64, CMD_FILL)
+                    .with_param(sync::PARAM, s as u32)
+                    .with_param(sync::PARAM + 1, rows_of(p, n) as u32)
+                    .with_param(sync::PARAM + 2, u32::from(p == 0));
+                if mode == BoundaryMode::CircuitRequested && p > 0 {
+                    act = act.with_param(sync::PARAM + 3, rows_of(p - 1, n) as u32);
+                }
+                act
+            })
+            .collect();
+        let d0 = sys.now();
+        let s0 = sys.non_overlap_cycles();
+        sys.activate_pages(&batch);
+        // Net of stalls waiting for the pages' own previous strips.
+        dispatch += (sys.now() - d0) - (sys.non_overlap_cycles() - s0);
     }
     for p in 0..npages {
         sys.wait_done(base + (p * PAGE_SIZE) as u64);

@@ -19,8 +19,8 @@ use active_pages::{
 };
 use ap_mem::VAddr;
 use ap_workloads::sparse::SparseMatrix;
-use radram::{RadramConfig, System};
-use std::rc::Rc;
+use radram::{PageActivation, RadramConfig, System};
+use std::sync::Arc;
 use std::sync::OnceLock;
 
 /// Nominal dot-product pairs per Active Page.
@@ -271,7 +271,7 @@ fn run_radram(
     let mut sys = System::radram(cfg);
     let group = GroupId::new(5);
     let base = sys.ap_alloc_pages(group, npages);
-    sys.ap_bind(group, Rc::new(MatrixGatherFn));
+    sys.ap_bind(group, Arc::new(MatrixGatherFn));
     let results = sys.ram_alloc(a.rows * 8, 64);
 
     // Untimed setup: co-locate each pair's two rows on its page.
@@ -305,11 +305,16 @@ fn run_radram(
 
     let t0 = sys.now();
     // Dispatch the gathers.
-    for (p, &(lo, hi)) in layout.spans.iter().enumerate() {
-        let pb = base + (p * PAGE_SIZE) as u64;
-        sys.write_ctrl(pb, sync::PARAM, (hi - lo) as u32);
-        sys.activate(pb, CMD_GATHER);
-    }
+    let batch: Vec<PageActivation> = layout
+        .spans
+        .iter()
+        .enumerate()
+        .map(|(p, &(lo, hi))| {
+            PageActivation::new(base + (p * PAGE_SIZE) as u64, CMD_GATHER)
+                .with_param(sync::PARAM, (hi - lo) as u32)
+        })
+        .collect();
+    sys.activate_pages(&batch);
     let dispatch = sys.now() - t0;
     // Compute: read each page's packed operand pairs and multiply at full
     // floating-point speed.

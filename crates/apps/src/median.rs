@@ -16,8 +16,8 @@ use active_pages::{
     sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE,
 };
 use ap_workloads::image::Image;
-use radram::{RadramConfig, System};
-use std::rc::Rc;
+use radram::{PageActivation, RadramConfig, System};
+use std::sync::Arc;
 use std::sync::OnceLock;
 
 /// Image width in pixels (one row = 1 KB).
@@ -210,7 +210,7 @@ fn run_radram(pages: f64, img: &Image, part: &Partition, cfg: RadramConfig) -> R
     let (w, h) = (img.width, img.height);
     let group = GroupId::new(3);
     let base = sys.ap_alloc_pages(group, part.spans.len());
-    sys.ap_bind(group, Rc::new(MedianFn));
+    sys.ap_bind(group, Arc::new(MedianFn));
     let src = sys.ram_alloc(w * h * 2, 64);
     for (i, &px) in img.pixels.iter().enumerate() {
         sys.ram_write_u16(src + (i * 2) as u64, px);
@@ -234,14 +234,19 @@ fn run_radram(pages: f64, img: &Image, part: &Partition, cfg: RadramConfig) -> R
 
     // Phase 2: dispatch the filter to every page, then collect.
     let d0 = sys.now();
-    for (p, &(r0, r1)) in part.spans.iter().enumerate() {
-        let pb = base + (p * PAGE_SIZE) as u64;
-        sys.write_ctrl(pb, sync::PARAM, (r1 - r0) as u32);
-        sys.write_ctrl(pb, sync::PARAM + 1, u32::from(r0 > 0));
-        sys.write_ctrl(pb, sync::PARAM + 2, u32::from(r0 == 0));
-        sys.write_ctrl(pb, sync::PARAM + 3, u32::from(r1 == h));
-        sys.activate(pb, CMD_FILTER);
-    }
+    let batch: Vec<PageActivation> = part
+        .spans
+        .iter()
+        .enumerate()
+        .map(|(p, &(r0, r1))| {
+            PageActivation::new(base + (p * PAGE_SIZE) as u64, CMD_FILTER)
+                .with_param(sync::PARAM, (r1 - r0) as u32)
+                .with_param(sync::PARAM + 1, u32::from(r0 > 0))
+                .with_param(sync::PARAM + 2, u32::from(r0 == 0))
+                .with_param(sync::PARAM + 3, u32::from(r1 == h))
+        })
+        .collect();
+    sys.activate_pages(&batch);
     let dispatch = sys.now() - d0;
     for p in 0..part.spans.len() {
         sys.wait_done(base + (p * PAGE_SIZE) as u64);

@@ -15,7 +15,7 @@ use active_pages::{
 use ap_cpu::mmx::{self, MmxOp};
 use ap_workloads::mpeg::FrameWorkload;
 use radram::{RadramConfig, System};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::OnceLock;
 
 /// Pixels processed per Active Page (each needs src, corr, tmp and out
@@ -111,22 +111,26 @@ pub(crate) fn apply_corrections(
     let chunks = PX_PER_PAGE.div_ceil(PX_PER_MACRO_OP);
     for chunk in 0..chunks {
         for &op in &ops {
-            for p in 0..npages {
-                let pb = base + (p * PAGE_SIZE) as u64;
-                let lo = p * PX_PER_PAGE;
-                let hi = ((p + 1) * PX_PER_PAGE).min(npx);
-                let off = chunk * PX_PER_MACRO_OP;
-                if lo + off >= hi {
-                    continue;
-                }
-                let len = PX_PER_MACRO_OP.min(hi - lo - off);
-                let d0 = sys.now();
-                let s0 = sys.non_overlap_cycles();
-                sys.write_ctrl(pb, sync::PARAM, off as u32);
-                sys.write_ctrl(pb, sync::PARAM + 1, len as u32);
-                sys.activate(pb, op);
-                dispatch += (sys.now() - d0) - (sys.non_overlap_cycles() - s0);
-            }
+            let batch: Vec<radram::PageActivation> = (0..npages)
+                .filter_map(|p| {
+                    let lo = p * PX_PER_PAGE;
+                    let hi = ((p + 1) * PX_PER_PAGE).min(npx);
+                    let off = chunk * PX_PER_MACRO_OP;
+                    if lo + off >= hi {
+                        return None;
+                    }
+                    let len = PX_PER_MACRO_OP.min(hi - lo - off);
+                    Some(
+                        radram::PageActivation::new(base + (p * PAGE_SIZE) as u64, op)
+                            .with_param(sync::PARAM, off as u32)
+                            .with_param(sync::PARAM + 1, len as u32),
+                    )
+                })
+                .collect();
+            let d0 = sys.now();
+            let s0 = sys.non_overlap_cycles();
+            sys.activate_pages(&batch);
+            dispatch += (sys.now() - d0) - (sys.non_overlap_cycles() - s0);
         }
     }
     for p in 0..npages {
@@ -212,7 +216,7 @@ fn run_radram(pages: f64, frame: &FrameWorkload, npages: usize, cfg: RadramConfi
     let mut sys = System::radram(cfg);
     let group = GroupId::new(6);
     let base = sys.ap_alloc_pages(group, npages);
-    sys.ap_bind(group, Rc::new(MmxPageFn));
+    sys.ap_bind(group, Arc::new(MmxPageFn));
     let npx = frame.predicted.len();
     // Untimed setup: distribute src and corr blocks.
     for p in 0..npages {

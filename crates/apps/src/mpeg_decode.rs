@@ -33,7 +33,7 @@ use ap_mem::VAddr;
 use ap_workloads::entropy::{decode_block, encode_block, BitReader, BitWriter, BLOCK};
 use ap_workloads::mpeg::{idct8x8, CodedFrame};
 use radram::{RadramConfig, System};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::OnceLock;
 
 /// Coefficient blocks decoded by one decode page (its 64 K pixels' worth).
@@ -223,8 +223,8 @@ fn run_radram(pages: f64, frame: &CodedFrame, npages: usize, cfg: RadramConfig) 
     let d_group = GroupId::new(9);
     let m_base = sys.ap_alloc_pages(m_group, npages);
     let d_base = sys.ap_alloc_pages(d_group, npages);
-    sys.ap_bind(m_group, Rc::new(MmxPageFn));
-    sys.ap_bind(d_group, Rc::new(EntropyDecodeFn));
+    sys.ap_bind(m_group, Arc::new(MmxPageFn));
+    sys.ap_bind(d_group, Arc::new(EntropyDecodeFn));
 
     // Untimed setup: predicted pixels into the MMX pages; the compressed
     // bitstream (the input file) into the decode pages.
@@ -250,14 +250,18 @@ fn run_radram(pages: f64, frame: &CodedFrame, npages: usize, cfg: RadramConfig) 
     let t0 = sys.now();
     // Stage 1: in-page entropy decode, all pages in parallel.
     let mut dispatch = 0u64;
-    for (p, &(blocks, bytes)) in dpage_meta.iter().enumerate() {
-        let db = d_base + (p * PAGE_SIZE) as u64;
-        let d0 = sys.now();
-        sys.write_ctrl(db, sync::PARAM, blocks as u32);
-        sys.write_ctrl(db, sync::PARAM + 1, bytes as u32);
-        sys.activate(db, CMD_DECODE);
-        dispatch += sys.now() - d0;
-    }
+    let batch: Vec<radram::PageActivation> = dpage_meta
+        .iter()
+        .enumerate()
+        .map(|(p, &(blocks, bytes))| {
+            radram::PageActivation::new(d_base + (p * PAGE_SIZE) as u64, CMD_DECODE)
+                .with_param(sync::PARAM, blocks as u32)
+                .with_param(sync::PARAM + 1, bytes as u32)
+        })
+        .collect();
+    let d0 = sys.now();
+    sys.activate_pages(&batch);
+    dispatch += sys.now() - d0;
     for p in 0..npages {
         sys.wait_done(d_base + (p * PAGE_SIZE) as u64);
     }

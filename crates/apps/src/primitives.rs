@@ -21,8 +21,8 @@ use active_pages::{
 };
 use ap_mem::VAddr;
 use ap_workloads::array_ops::{ArrayOp, Script};
-use radram::{RadramConfig, System};
-use std::rc::Rc;
+use radram::{PageActivation, RadramConfig, System};
+use std::sync::Arc;
 
 /// Primitive opcodes (command-word values).
 pub mod ops {
@@ -134,11 +134,11 @@ impl PrimArray {
         word_addr(self.page_base(i / ELEMS_PER_PAGE), i % ELEMS_PER_PAGE)
     }
 
-    fn move_op(sys: &mut System, pb: VAddr, src: usize, dst: usize, words: usize) {
-        sys.write_ctrl(pb, sync::PARAM, src as u32);
-        sys.write_ctrl(pb, sync::PARAM + 1, dst as u32);
-        sys.write_ctrl(pb, sync::PARAM + 2, words as u32);
-        sys.activate(pb, ops::MOVE);
+    fn move_op(pb: VAddr, src: usize, dst: usize, words: usize) -> PageActivation {
+        PageActivation::new(pb, ops::MOVE)
+            .with_param(sync::PARAM, src as u32)
+            .with_param(sync::PARAM + 1, dst as u32)
+            .with_param(sync::PARAM + 2, words as u32)
     }
 
     fn insert(&mut self, sys: &mut System, idx: usize, value: u32) {
@@ -151,14 +151,16 @@ impl PrimArray {
             carries.push(sys.load_u32(word_addr(self.page_base(p), cnt - 1)));
             sys.alu(4);
         }
-        for p in p0..=last {
-            let pb = self.page_base(p);
-            let start = if p == p0 { off0 } else { 0 };
-            let cnt = self.count_in_page(p);
-            let words =
-                if p == last && cnt < ELEMS_PER_PAGE { cnt - start } else { cnt - start - 1 };
-            Self::move_op(sys, pb, start, start + 1, words);
-        }
+        let batch: Vec<PageActivation> = (p0..=last)
+            .map(|p| {
+                let start = if p == p0 { off0 } else { 0 };
+                let cnt = self.count_in_page(p);
+                let words =
+                    if p == last && cnt < ELEMS_PER_PAGE { cnt - start } else { cnt - start - 1 };
+                Self::move_op(self.page_base(p), start, start + 1, words)
+            })
+            .collect();
+        sys.activate_pages(&batch);
         for p in p0..=last {
             sys.wait_done(self.page_base(p));
         }
@@ -182,12 +184,14 @@ impl PrimArray {
             carries.push(sys.load_u32(word_addr(self.page_base(p), 0)));
             sys.alu(4);
         }
-        for p in p0..=last {
-            let pb = self.page_base(p);
-            let start = if p == p0 { off0 } else { 0 };
-            let cnt = self.count_in_page(p);
-            Self::move_op(sys, pb, start + 1, start, cnt - start - 1);
-        }
+        let batch: Vec<PageActivation> = (p0..=last)
+            .map(|p| {
+                let start = if p == p0 { off0 } else { 0 };
+                let cnt = self.count_in_page(p);
+                Self::move_op(self.page_base(p), start + 1, start, cnt - start - 1)
+            })
+            .collect();
+        sys.activate_pages(&batch);
         for p in p0..=last {
             sys.wait_done(self.page_base(p));
         }
@@ -202,13 +206,15 @@ impl PrimArray {
 
     fn count(&self, sys: &mut System, key: u32) -> u32 {
         let last = (self.n - 1) / ELEMS_PER_PAGE;
-        for p in 0..=last {
-            let pb = self.page_base(p);
-            sys.write_ctrl(pb, sync::PARAM, 0);
-            sys.write_ctrl(pb, sync::PARAM + 1, self.count_in_page(p) as u32);
-            sys.write_ctrl(pb, sync::PARAM + 2, key);
-            sys.activate(pb, ops::COUNT);
-        }
+        let batch: Vec<PageActivation> = (0..=last)
+            .map(|p| {
+                PageActivation::new(self.page_base(p), ops::COUNT)
+                    .with_param(sync::PARAM, 0)
+                    .with_param(sync::PARAM + 1, self.count_in_page(p) as u32)
+                    .with_param(sync::PARAM + 2, key)
+            })
+            .collect();
+        sys.activate_pages(&batch);
         let mut total = 0;
         for p in 0..=last {
             sys.wait_done(self.page_base(p));
@@ -243,7 +249,7 @@ pub fn run_script_primitives(script: &Script, cfg: &RadramConfig) -> RunReport {
     let mut sys = System::radram(cfg);
     let group = GroupId::new(7);
     let base = sys.ap_alloc_pages(group, alloc_pages);
-    sys.ap_bind(group, Rc::new(DataPrimitivesFn));
+    sys.ap_bind(group, Arc::new(DataPrimitivesFn));
     let mut arr = PrimArray { base, n: script.initial_len };
     for (i, v) in script.initial_values().enumerate() {
         let a = arr.elem_addr(i);

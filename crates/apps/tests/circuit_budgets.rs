@@ -10,21 +10,21 @@ use ap_apps::mpeg::MmxPageFn;
 use ap_apps::mpeg_decode::EntropyDecodeFn;
 use ap_apps::primitives::DataPrimitivesFn;
 use radram::{RadramConfig, System};
-use std::rc::Rc;
+use std::sync::Arc;
 
-fn all_functions() -> Vec<Rc<dyn PageFunction>> {
+fn all_functions() -> Vec<Arc<dyn PageFunction>> {
     vec![
-        Rc::new(ArrayInsertFn),
-        Rc::new(ArrayDeleteFn),
-        Rc::new(ArrayFindFn),
-        Rc::new(DatabaseSearchFn),
-        Rc::new(MedianFn),
-        Rc::new(LcsFn),
-        Rc::new(LcsIntrFn),
-        Rc::new(ap_apps::matrix::MatrixGatherFn),
-        Rc::new(MmxPageFn),
-        Rc::new(EntropyDecodeFn),
-        Rc::new(DataPrimitivesFn),
+        Arc::new(ArrayInsertFn),
+        Arc::new(ArrayDeleteFn),
+        Arc::new(ArrayFindFn),
+        Arc::new(DatabaseSearchFn),
+        Arc::new(MedianFn),
+        Arc::new(LcsFn),
+        Arc::new(LcsIntrFn),
+        Arc::new(ap_apps::matrix::MatrixGatherFn),
+        Arc::new(MmxPageFn),
+        Arc::new(EntropyDecodeFn),
+        Arc::new(DataPrimitivesFn),
     ]
 }
 

@@ -22,7 +22,7 @@ use ap_apps::primitives::run_script_primitives;
 use ap_apps::{App, SystemKind};
 use ap_workloads::array_ops::Script;
 use radram::{CommMode, RadramConfig, ServiceMode, System};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Cost of a workload that alternates insert and find bindings `swaps`
 /// times over `pages` pages (forces reconfiguration on every swap).
@@ -35,9 +35,9 @@ fn rebind_workload_cycles(rebind_cost: u64, pages: usize, swaps: usize) -> u64 {
     let t0 = sys.now();
     for i in 0..swaps {
         if i % 2 == 0 {
-            sys.ap_bind(g, Rc::new(ArrayInsertFn));
+            sys.ap_bind(g, Arc::new(ArrayInsertFn));
         } else {
-            sys.ap_bind(g, Rc::new(ArrayFindFn));
+            sys.ap_bind(g, Arc::new(ArrayFindFn));
         }
     }
     sys.now() - t0

@@ -17,6 +17,19 @@ fn bench_cache_hierarchy(c: &mut Criterion) {
             black_box(h.read(VAddr::new(0x1_0000 + addr)))
         });
     });
+    c.bench_function("hierarchy_l1_hit_fastpath", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::reference());
+        // Warm a 4 KB hot set so every access in the loop takes the
+        // one-probe L1 hit path.
+        for w in 0..1024u64 {
+            h.read(VAddr::new(0x1_0000 + w * 4));
+        }
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 4) & 0xFFF;
+            black_box(h.read(VAddr::new(0x1_0000 + addr)))
+        });
+    });
     c.bench_function("hierarchy_strided_misses", |b| {
         let mut h = Hierarchy::new(HierarchyConfig::reference());
         let mut addr = 0u64;

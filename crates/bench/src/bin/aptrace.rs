@@ -12,6 +12,7 @@
 use ap_trace::chrome::{self, ParsedEvent};
 use ap_trace::phases::PhaseTotals;
 use ap_trace::{flame, Subsystem};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -95,6 +96,36 @@ fn summarize_file(file: &PathBuf) -> Result<(), String> {
         events.iter().filter(|e| is_work(e)).map(|e| (e.cat.as_str(), e.name.as_str(), e.dur)),
     );
     print!("{}", flame::render(&file.display().to_string(), &rows));
+
+    // Per-page flame rows: events routed through the per-page trace rings
+    // export with `tid = PAGE_TID_BASE + page`. Summarize the busiest pages
+    // so thousand-page runs stay readable.
+    let mut per_page: BTreeMap<u64, Vec<&ParsedEvent>> = BTreeMap::new();
+    for e in events.iter().filter(|e| is_work(e) && e.tid >= chrome::PAGE_TID_BASE) {
+        per_page.entry(e.tid - chrome::PAGE_TID_BASE).or_default().push(e);
+    }
+    if !per_page.is_empty() {
+        let mut pages: Vec<(u64, u64, Vec<&ParsedEvent>)> = per_page
+            .into_iter()
+            .map(|(page, evs)| (page, evs.iter().map(|e| e.dur).sum(), evs))
+            .collect();
+        pages.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        println!("  per-page rows ({} pages; busiest first):", pages.len());
+        for (page, cycles, evs) in pages.iter().take(8) {
+            let rows =
+                flame::aggregate(evs.iter().map(|e| (e.cat.as_str(), e.name.as_str(), e.dur)));
+            let kinds: Vec<String> =
+                rows.iter().take(3).map(|r| format!("{} {}", r.kind, r.total_dur)).collect();
+            println!(
+                "    page {page:>4}: {cycles:>10} cycles, {:>4} events  [{}]",
+                evs.len(),
+                kinds.join(", ")
+            );
+        }
+        if pages.len() > 8 {
+            println!("    ... {} more pages", pages.len() - 8);
+        }
+    }
 
     let p = PhaseTotals::of_chrome(&events);
     println!(

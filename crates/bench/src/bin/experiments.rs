@@ -23,6 +23,26 @@ fn main() {
         }
     };
     let quick = quick_mode();
+
+    if cli.bench_wallclock {
+        println!("Wallclock page-scaling bench (sequential oracle vs. parallel executor)");
+        let points = ap_bench::wallclock::run(quick);
+        for p in &points {
+            println!(
+                "  {:>5} pages: sequential {:>8.3}s  parallel {:>8.3}s  speedup {:>5.2}x",
+                p.pages,
+                p.sequential_secs,
+                p.parallel_secs,
+                p.speedup()
+            );
+        }
+        report_written(write_result_file(
+            "BENCH_page_scaling.json",
+            &ap_bench::wallclock::render_json(&points),
+        ));
+        return;
+    }
+
     // Fresh manifest per invocation: the file describes this run only.
     let manifest_path = cli.manifest_path();
     if let Some(parent) = manifest_path.parent() {

@@ -28,6 +28,9 @@ pub struct Cli {
     pub trace: Option<Option<PathBuf>>,
     /// Subsystems recorded when tracing (`--trace-filter LIST`, default all).
     pub trace_filter: ap_trace::Filter,
+    /// Run the host-wallclock page-scaling bench instead of the experiment
+    /// targets (`--bench-wallclock`).
+    pub bench_wallclock: bool,
 }
 
 /// The usage text, listing flags and valid targets.
@@ -35,6 +38,7 @@ pub fn usage() -> String {
     format!(
         "usage: experiments [TARGET] [--jobs N] [--no-cache] [--manifest PATH]\n\
          \x20                  [--trace[=DIR]] [--trace-filter LIST]\n\
+         \x20      experiments --bench-wallclock\n\
          \n\
          Runs the paper's experiments through the ap-engine worker pool and\n\
          writes CSV files under the results directory.\n\
@@ -50,6 +54,9 @@ pub fn usage() -> String {
          \x20                     chrome://tracing or summarize with aptrace)\n\
          \x20 --trace-filter LIST comma-separated subsystems to trace\n\
          \x20                     (cpu,mem,radram,risc,engine or all; default all)\n\
+         \x20 --bench-wallclock   time the parallel page executor against the\n\
+         \x20                     sequential oracle on a page-count sweep and\n\
+         \x20                     write BENCH_page_scaling.json\n\
          \n\
          environment: AP_QUICK=1 shrinks sweeps, AP_JOBS sets workers,\n\
          AP_RESULTS_DIR relocates outputs, AP_NO_CACHE=1 disables the cache.",
@@ -66,6 +73,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
         manifest: None,
         trace: None,
         trace_filter: ap_trace::Filter::ALL,
+        bench_wallclock: false,
     };
     let mut target_seen = false;
     let mut args = args.into_iter();
@@ -104,6 +112,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
             "--trace-filter" => {
                 cli.trace_filter = ap_trace::Filter::parse(&value("--trace-filter")?)?;
             }
+            "--bench-wallclock" => cli.bench_wallclock = true,
             "--help" | "-h" => return Err("help".to_string()),
             f if f.starts_with('-') => return Err(format!("unknown option {f:?}")),
             target if !target_seen => {
@@ -118,6 +127,9 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
             }
             extra => return Err(format!("unexpected argument {extra:?}")),
         }
+    }
+    if cli.bench_wallclock && target_seen {
+        return Err("--bench-wallclock replaces the experiment targets; drop the TARGET".into());
     }
     Ok(cli)
 }
@@ -217,6 +229,14 @@ mod tests {
         assert!(parse(&["--trace="]).is_err());
         let err = parse(&["--trace-filter=bogus"]).unwrap_err();
         assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn parses_bench_wallclock() {
+        assert!(!parse(&[]).unwrap().bench_wallclock);
+        assert!(parse(&["--bench-wallclock"]).unwrap().bench_wallclock);
+        let err = parse(&["fig3", "--bench-wallclock"]).unwrap_err();
+        assert!(err.contains("TARGET"), "{err}");
     }
 
     #[test]

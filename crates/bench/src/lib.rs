@@ -36,6 +36,7 @@ pub mod lint_corpus;
 pub mod render;
 pub mod runner;
 pub mod sweep;
+pub mod wallclock;
 
 use std::path::PathBuf;
 

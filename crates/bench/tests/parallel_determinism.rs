@@ -1,0 +1,86 @@
+//! Determinism cross-check for the parallel page executor: on Figure 3/4
+//! sweep points, the parallel path and the `AP_SEQUENTIAL` oracle must
+//! produce bit-identical `RunReport`s (cycles, stats, checksums), identical
+//! trace event streams, and identical `T_A`/`T_P`/`T_C` phase totals.
+//!
+//! This is the acceptance gate for the parallel executor: host-thread
+//! scheduling may reorder the *execution* of page functions, but nothing
+//! observable about the simulation — clock, statistics, interrupts, traces —
+//! is allowed to move.
+
+use ap_apps::{App, RunReport, SystemKind};
+use ap_trace::phases::PhaseTotals;
+use ap_trace::session::{begin, finish, SessionConfig};
+use ap_trace::{set_filter, Filter};
+use proptest::prelude::*;
+use radram::{set_force_sequential, RadramConfig};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: they toggle the process-global
+/// sequential-executor switch, the trace filter and the trace session.
+static GLOBALS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs one Radram point under the chosen executor with a trace session
+/// active, returning everything an executor could possibly perturb.
+fn run_traced(
+    app: App,
+    pages: f64,
+    cfg: &RadramConfig,
+    sequential: bool,
+) -> (RunReport, Vec<ap_trace::Event>, PhaseTotals) {
+    set_force_sequential(sequential);
+    begin(SessionConfig::default());
+    let report = app.run(SystemKind::Radram, pages, cfg);
+    let trace = finish().expect("session active");
+    set_force_sequential(false);
+    let events: Vec<ap_trace::Event> = trace.all_events().copied().collect();
+    let totals = PhaseTotals::of_trace(&trace);
+    (report, events, totals)
+}
+
+#[test]
+fn fig3_sweep_points_are_bit_identical_under_both_executors() {
+    let _guard = GLOBALS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_filter(Filter::ALL);
+    active_pages::parallel::set_thread_budget(4);
+    let cfg = RadramConfig::reference();
+    // One representative per activation pattern: single broadcast batch
+    // (database), shifted block moves (array), round-robin op rounds with
+    // busy pages (mpeg), and diagonal waves with inter-page boundary copies
+    // (dynamic-prog, which exercises the mid-batch flush fallback).
+    for app in [App::Database, App::ArrayInsert, App::MpegMmx, App::DynProg] {
+        // The quick-sweep grid of Figure 3/4, spanning the sub-page and the
+        // multi-page (parallelizable) regions.
+        for pages in [0.5, 2.0, 8.0] {
+            let (seq_report, seq_events, seq_totals) = run_traced(app, pages, &cfg, true);
+            let (par_report, par_events, par_totals) = run_traced(app, pages, &cfg, false);
+            let label = format!("{} p={pages}", app.name());
+            assert_eq!(seq_report, par_report, "{label}: RunReport diverges");
+            assert_eq!(seq_totals, par_totals, "{label}: phase totals diverge");
+            assert_eq!(seq_events.len(), par_events.len(), "{label}: trace event counts diverge");
+            for (i, (s, p)) in seq_events.iter().zip(&par_events).enumerate() {
+                assert_eq!(s, p, "{label}: trace event {i} diverges");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random kernels at random page counts: the two executors agree on the
+    /// full `RunReport` (checksum, every cycle counter, every statistic).
+    #[test]
+    fn random_points_are_bit_identical(app_idx in 0usize..App::ALL.len(), pages in 1u32..12) {
+        let _guard = GLOBALS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_filter(Filter::ALL);
+        active_pages::parallel::set_thread_budget(4);
+        let app = App::ALL[app_idx];
+        let cfg = RadramConfig::reference();
+        set_force_sequential(true);
+        let seq = app.run(SystemKind::Radram, f64::from(pages), &cfg);
+        set_force_sequential(false);
+        let par = app.run(SystemKind::Radram, f64::from(pages), &cfg);
+        prop_assert_eq!(seq, par);
+    }
+}

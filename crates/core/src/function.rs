@@ -126,7 +126,14 @@ impl Execution {
 ///
 /// Implementations also report their logic-element footprint so the host can
 /// enforce the 256-LE-per-page budget of the RADram design.
-pub trait PageFunction: fmt::Debug {
+///
+/// Functions are `Send + Sync`: the hosting memory system may execute many
+/// pages of a group concurrently on host threads (each page owning a
+/// disjoint 512 KB slice of backing RAM), so the shared function object must
+/// be safe to call from several threads at once. Implementations are
+/// typically stateless unit structs; any caches they keep must be
+/// thread-safe (`OnceLock`, atomics).
+pub trait PageFunction: fmt::Debug + Send + Sync {
     /// Short name used in diagnostics and synthesis reports.
     fn name(&self) -> &'static str;
 

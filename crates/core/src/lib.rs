@@ -63,6 +63,7 @@ mod group;
 mod ideal;
 mod model;
 mod page;
+pub mod parallel;
 mod slice;
 pub mod sync;
 mod table;
@@ -72,5 +73,5 @@ pub use group::GroupId;
 pub use ideal::{ActivationSummary, IdealExecutor};
 pub use model::{descriptor, AppDescriptor, Partitioning, TABLE2};
 pub use page::{PageId, PAGE_SIZE};
-pub use slice::{PageInfo, PageSlice};
+pub use slice::{split_pages, PageInfo, PageSlice};
 pub use table::{ActivePageMemory, PageEntry, PageTable};

@@ -1,0 +1,69 @@
+//! Process-wide host-thread budget shared by page-level and job-level
+//! parallelism.
+//!
+//! Two layers of the simulator want host threads: the experiment engine
+//! (`ap-engine`) runs whole jobs in parallel, and the memory system runs the
+//! page functions of one group activation in parallel. Left uncoordinated,
+//! `jobs × pages` threads oversubscribe the host. The engine therefore
+//! divides the machine once — `cores / workers` — and publishes the per-job
+//! share here; the memory system sizes its page pools from [`thread_budget`].
+//!
+//! The budget is advisory and process-global. `AP_PAGE_THREADS` overrides it
+//! for experiments; a budget of 1 disables page-level parallelism entirely.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 means "unset": fall back to the whole machine.
+static BUDGET: AtomicUsize = AtomicUsize::new(0);
+
+/// Publishes the number of host threads one group activation may use.
+///
+/// Called by whoever owns the process-level parallelism decision (the
+/// experiment engine sets `cores / workers`). Clamped to at least 1.
+///
+/// # Examples
+///
+/// ```
+/// active_pages::parallel::set_thread_budget(4);
+/// assert_eq!(active_pages::parallel::thread_budget(), 4);
+/// active_pages::parallel::set_thread_budget(0); // clamps
+/// assert_eq!(active_pages::parallel::thread_budget(), 1);
+/// ```
+pub fn set_thread_budget(threads: usize) {
+    BUDGET.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// Host threads available for executing one group's page functions.
+///
+/// Resolution order: the `AP_PAGE_THREADS` environment variable (if set to a
+/// positive integer), then the budget published via [`set_thread_budget`],
+/// then the host's available parallelism. Never returns 0.
+pub fn thread_budget() -> usize {
+    if let Ok(v) = std::env::var("AP_PAGE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    match BUDGET.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_round_trips_and_clamps() {
+        set_thread_budget(3);
+        assert_eq!(BUDGET.load(Ordering::Relaxed), 3);
+        set_thread_budget(0);
+        assert_eq!(BUDGET.load(Ordering::Relaxed), 1);
+        // Leave unset-like state for other tests: a budget of 1 is the most
+        // conservative value and never oversubscribes.
+        set_thread_budget(1);
+    }
+}

@@ -157,6 +157,65 @@ impl<'a> PageSlice<'a> {
     }
 }
 
+/// Splits one mutable region of backing RAM into disjoint per-page
+/// [`PageSlice`]s, so several pages' functions can execute concurrently —
+/// each thread owning exactly its page's 512 KB.
+///
+/// `region` starts at virtual address `region_base` and must cover every
+/// page in `pages`; `pages` must be sorted by ascending base address with no
+/// duplicates (gaps between pages are fine and remain inaccessible). Built
+/// entirely from `split_at_mut`, so the disjointness is checked by the
+/// borrow rules, not by `unsafe`.
+///
+/// # Panics
+///
+/// Panics if the pages are unsorted, overlap, or fall outside the region.
+///
+/// # Examples
+///
+/// ```
+/// use active_pages::{split_pages, GroupId, PageInfo, PAGE_SIZE};
+/// use ap_mem::VAddr;
+///
+/// let mut ram = vec![0u8; 3 * PAGE_SIZE];
+/// let info = |i: u32| PageInfo {
+///     base: VAddr::new(u64::from(i) * PAGE_SIZE as u64),
+///     group: GroupId::new(0),
+///     index_in_group: i,
+/// };
+/// // Pages 0 and 2: the gap page stays untouched.
+/// let mut slices = split_pages(&mut ram, VAddr::new(0), &[info(0), info(2)]);
+/// slices[0].write_u32(64, 1);
+/// slices[1].write_u32(64, 2);
+/// assert_eq!(slices[0].read_u32(64), 1);
+/// ```
+pub fn split_pages<'a>(
+    region: &'a mut [u8],
+    region_base: VAddr,
+    pages: &[PageInfo],
+) -> Vec<PageSlice<'a>> {
+    let mut out = Vec::with_capacity(pages.len());
+    let mut rest = region;
+    let mut cursor = region_base.get();
+    for info in pages {
+        assert!(
+            info.base.get() >= cursor,
+            "split_pages: page bases must be sorted ascending and disjoint"
+        );
+        let skip = (info.base.get() - cursor) as usize;
+        assert!(
+            skip + PAGE_SIZE <= rest.len(),
+            "split_pages: page at {:#x} falls outside the region",
+            info.base.get()
+        );
+        let (page, tail) = rest[skip..].split_at_mut(PAGE_SIZE);
+        out.push(PageSlice::new(page, *info));
+        rest = tail;
+        cursor = info.base.get() + PAGE_SIZE as u64;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +269,51 @@ mod tests {
         let mut b = vec![0u8; 100];
         let info = PageInfo { base: VAddr::new(0), group: GroupId::new(0), index_in_group: 0 };
         let _ = PageSlice::new(&mut b, info);
+    }
+
+    fn page_info(base: u64, index: u32) -> PageInfo {
+        PageInfo { base: VAddr::new(base), group: GroupId::new(0), index_in_group: index }
+    }
+
+    #[test]
+    fn split_pages_yields_disjoint_views() {
+        let base = 0x8_0000u64;
+        let mut ram = vec![0u8; 4 * PAGE_SIZE];
+        let infos = [
+            page_info(base, 0),
+            page_info(base + PAGE_SIZE as u64, 1),
+            // Skip page 2: gaps are allowed.
+            page_info(base + 3 * PAGE_SIZE as u64, 3),
+        ];
+        let mut slices = split_pages(&mut ram, VAddr::new(base), &infos);
+        assert_eq!(slices.len(), 3);
+        for (i, s) in slices.iter_mut().enumerate() {
+            assert_eq!(s.info(), infos[i]);
+            s.write_u32(sync::BODY_OFFSET, 100 + i as u32);
+        }
+        for (i, s) in slices.iter().enumerate() {
+            assert_eq!(s.read_u32(sync::BODY_OFFSET), 100 + i as u32);
+        }
+        drop(slices);
+        // Writes landed at the right physical offsets, gap page untouched.
+        assert_eq!(ram[PAGE_SIZE + sync::BODY_OFFSET], 101);
+        assert_eq!(ram[2 * PAGE_SIZE + sync::BODY_OFFSET], 0);
+        assert_eq!(ram[3 * PAGE_SIZE + sync::BODY_OFFSET], 102);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted ascending")]
+    fn split_pages_rejects_unsorted() {
+        let mut ram = vec![0u8; 2 * PAGE_SIZE];
+        let infos = [page_info(PAGE_SIZE as u64, 1), page_info(0, 0)];
+        let _ = split_pages(&mut ram, VAddr::new(0), &infos);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the region")]
+    fn split_pages_rejects_out_of_range() {
+        let mut ram = vec![0u8; PAGE_SIZE];
+        let infos = [page_info(PAGE_SIZE as u64, 1)];
+        let _ = split_pages(&mut ram, VAddr::new(0), &infos);
     }
 }

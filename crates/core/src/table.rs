@@ -3,7 +3,7 @@
 use crate::{GroupId, PageFunction, PageId, PAGE_SIZE};
 use ap_mem::VAddr;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Placement record for one allocated Active Page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +38,7 @@ pub struct PageEntry {
 pub struct PageTable {
     entries: Vec<PageEntry>,
     groups: HashMap<GroupId, Vec<PageId>>,
-    functions: HashMap<GroupId, Rc<dyn PageFunction>>,
+    functions: HashMap<GroupId, Arc<dyn PageFunction>>,
     rebinds: u64,
 }
 
@@ -67,7 +67,7 @@ impl PageTable {
     /// Returns `true` when this replaced a previous binding — the paper notes
     /// re-binding "may be necessary to make room for new functions", at a
     /// reconfiguration cost the hosting memory system charges.
-    pub fn bind(&mut self, group: GroupId, functions: Rc<dyn PageFunction>) -> bool {
+    pub fn bind(&mut self, group: GroupId, functions: Arc<dyn PageFunction>) -> bool {
         let rebound = self.functions.insert(group, functions).is_some();
         if rebound {
             self.rebinds += 1;
@@ -76,7 +76,7 @@ impl PageTable {
     }
 
     /// The function set currently bound to `group`, if any.
-    pub fn function_of(&self, group: GroupId) -> Option<&Rc<dyn PageFunction>> {
+    pub fn function_of(&self, group: GroupId) -> Option<&Arc<dyn PageFunction>> {
         self.functions.get(&group)
     }
 
@@ -127,7 +127,7 @@ pub trait ActivePageMemory {
     fn ap_alloc(&mut self, group: GroupId, bytes: usize) -> VAddr;
 
     /// Binds a function set to `group`; repeated calls re-bind.
-    fn ap_bind(&mut self, group: GroupId, functions: Rc<dyn PageFunction>);
+    fn ap_bind(&mut self, group: GroupId, functions: Arc<dyn PageFunction>);
 }
 
 #[cfg(test)]
@@ -168,8 +168,8 @@ mod tests {
         let mut pt = PageTable::new();
         let g = GroupId::new(7);
         assert!(pt.function_of(g).is_none());
-        assert!(!pt.bind(g, Rc::new(Nop)));
-        assert!(pt.bind(g, Rc::new(Nop)));
+        assert!(!pt.bind(g, Arc::new(Nop)));
+        assert!(pt.bind(g, Arc::new(Nop)));
         assert_eq!(pt.rebinds(), 1);
         assert_eq!(pt.function_of(g).unwrap().name(), "nop");
     }

@@ -22,10 +22,12 @@
 //!   cache hit/miss, wall time, worker) and a live progress line tracks
 //!   completed/total and jobs/sec.
 //!
-//! Jobs are `Send` *specs*, not `Send` systems: the simulated machine holds
-//! `Rc` internals and cannot cross threads, so each closure constructs its
-//! own `System` inside the worker. That constraint is why this engine exists
-//! as its own layer instead of a parallel-iterator sprinkle.
+//! Jobs are `Send` *specs*, not `Send` systems: each closure constructs its
+//! own `System` inside the worker, so no simulator state ever crosses a
+//! thread boundary and per-job trace sessions stay thread-local. The engine
+//! also divides the machine's cores between job workers and the simulator's
+//! own page-execution pool (`active_pages::parallel`), so a grid of jobs
+//! that each fan out page kernels does not oversubscribe the host.
 //!
 //! # Examples
 //!
@@ -244,6 +246,12 @@ impl Engine {
             });
         let mut results: Vec<Option<JobOutcome<T>>> = (0..total).map(|_| None).collect();
         let started = Instant::now();
+
+        // Share the cores between job workers and each job's in-simulator
+        // page-execution pool: `workers` jobs, each budgeted cores/workers
+        // threads, together fill the machine without oversubscribing it.
+        let spawned = self.workers.min(total).max(1);
+        active_pages::parallel::set_thread_budget((available_workers() / spawned).max(1));
 
         std::thread::scope(|scope| {
             for worker in 0..self.workers.min(total) {

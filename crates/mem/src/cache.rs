@@ -205,6 +205,30 @@ impl Cache {
         AccessOutcome { hit: false, writeback }
     }
 
+    /// One-probe hit check for the hierarchy's hot path.
+    ///
+    /// On a hit this performs *exactly* the bookkeeping [`Cache::access`]
+    /// would (tick advance, LRU stamp, dirty bit, hit statistics) and
+    /// returns `true`. On a miss it mutates **nothing** — no tick, no stats —
+    /// so the caller can fall back to the full `access` path, which then
+    /// performs the single canonical state update. This keeps fast-path and
+    /// slow-path runs bit-identical in stats and replacement order.
+    #[inline(always)]
+    pub fn probe_hit(&mut self, addr: VAddr, write: bool) -> bool {
+        let (set, tag) = self.index(addr.get());
+        let base = set * self.cfg.assoc;
+        for line in &mut self.lines[base..base + self.cfg.assoc] {
+            if line.valid && line.tag == tag {
+                self.tick += 1;
+                line.stamp = self.tick;
+                line.dirty |= write;
+                self.stats.record(true, write, false);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Returns true if the line containing `addr` is resident.
     pub fn contains(&self, addr: VAddr) -> bool {
         let (set, tag) = self.index(addr.get());
@@ -362,6 +386,42 @@ mod tests {
         assert_eq!(s.misses, 1);
         assert_eq!(s.hits, 2);
         assert_eq!(s.writes, 1);
+    }
+
+    #[test]
+    fn probe_hit_miss_mutates_nothing() {
+        let mut c = small();
+        assert!(!c.probe_hit(VAddr::new(0x40), true));
+        assert_eq!(c.stats().accesses(), 0, "a probe miss must not count");
+        assert_eq!(c.tick, 0, "a probe miss must not advance the LRU clock");
+        assert!(!c.contains(VAddr::new(0x40)));
+    }
+
+    #[test]
+    fn probe_hit_matches_access_bookkeeping() {
+        // Drive one cache through probe_hit-then-access (the hierarchy's
+        // fast path) and a twin through access only; every observable —
+        // stats, dirty state, LRU victim choice — must agree.
+        let mut fast = small();
+        let mut slow = small();
+        let seq: &[(u64, bool)] = &[
+            (0, false),
+            (0, true),   // write hit marks dirty
+            (64, false), // same set
+            (0, false),  // touch so 64 is LRU
+            (128, false),
+            (64, false), // re-miss: 64 must have been the victim
+        ];
+        for &(addr, write) in seq {
+            let a = VAddr::new(addr);
+            let fast_hit = if fast.probe_hit(a, write) { true } else { fast.access(a, write).hit };
+            let slow_hit = slow.access(a, write).hit;
+            assert_eq!(fast_hit, slow_hit, "hit/miss diverged at {addr:#x}");
+        }
+        assert_eq!(fast.stats().hits, slow.stats().hits);
+        assert_eq!(fast.stats().misses, slow.stats().misses);
+        assert_eq!(fast.stats().writes, slow.stats().writes);
+        assert_eq!(fast.tick, slow.tick);
     }
 
     #[test]

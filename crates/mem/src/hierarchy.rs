@@ -182,14 +182,27 @@ impl Hierarchy {
     }
 
     /// Data load; returns cycle cost.
+    ///
+    /// Hot path: when the `mem` subsystem is untraced and the line is L1D
+    /// resident, a single probe does the whole access — no L2/DRAM calls, no
+    /// stall accounting (an L1 hit contributes zero stall cycles), no trace
+    /// emission. The probe commits the exact bookkeeping the full path
+    /// would, so stats and replacement state stay bit-identical.
     #[inline]
     pub fn read(&mut self, addr: VAddr) -> u64 {
+        if !ap_trace::enabled(TRACE_MEM) && self.l1d.probe_hit(addr, false) {
+            return self.cfg.l1d.hit_latency;
+        }
         self.data_access(addr, false)
     }
 
-    /// Data store; returns cycle cost.
+    /// Data store; returns cycle cost. Same L1D hit fast path as
+    /// [`Self::read`].
     #[inline]
     pub fn write(&mut self, addr: VAddr) -> u64 {
+        if !ap_trace::enabled(TRACE_MEM) && self.l1d.probe_hit(addr, true) {
+            return self.cfg.l1d.hit_latency;
+        }
         self.data_access(addr, true)
     }
 
@@ -312,6 +325,29 @@ mod tests {
         let mut h = Hierarchy::new(HierarchyConfig::with_miss_latency(0));
         let c = h.read(VAddr::new(0x9000));
         assert_eq!(c, 1 + 10 + 160);
+    }
+
+    #[test]
+    fn fast_path_hit_skips_slow_machinery_but_keeps_costs() {
+        let mut h = Hierarchy::new(HierarchyConfig::reference());
+        let a = VAddr::new(0x2000);
+        let miss = h.read(a);
+        assert_eq!(miss, 1 + 10 + 50 + 16 * 10);
+        // Resident line: the fast path answers at L1 hit latency and the
+        // books match the full path exactly.
+        assert_eq!(h.read(a), 1);
+        assert_eq!(h.write(a), 1);
+        let s = h.stats();
+        assert_eq!(s.l1d.hits, 2);
+        assert_eq!(s.l1d.misses, 1);
+        assert_eq!(s.l1d.writes, 1);
+        assert_eq!(s.stall_cycles, miss - 1, "hits add zero stall cycles");
+        // The write hit marked the line dirty through the fast path: evict
+        // it and the writeback must appear.
+        let stride = (64 * 1024 / 2) as u64;
+        h.read(VAddr::new(0x2000 + stride));
+        h.read(VAddr::new(0x2000 + 2 * stride));
+        assert_eq!(h.stats().l1d.writebacks, 1);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! ```
 //! use radram::{RadramConfig, System};
 //! use active_pages::{ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, sync};
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! /// A page function that sums the first `n` body words.
 //! #[derive(Debug)]
@@ -44,7 +44,7 @@
 //! let mut sys = System::radram(RadramConfig::reference());
 //! let g = GroupId::new(0);
 //! let base = sys.ap_alloc_pages(g, 1); // one 512 KB Active Page
-//! sys.ap_bind(g, Rc::new(Summer));
+//! sys.ap_bind(g, Arc::new(Summer));
 //! for i in 0..4 {
 //!     sys.store_u32(base + (sync::BODY_OFFSET + 4 * i) as u64, 10);
 //! }
@@ -65,4 +65,4 @@ mod system;
 
 pub use config::{CommMode, RadramConfig, ServiceMode};
 pub use stats::SystemStats;
-pub use system::System;
+pub use system::{force_sequential, set_force_sequential, PageActivation, System};

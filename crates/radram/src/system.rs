@@ -4,16 +4,87 @@ use crate::config::RadramConfig;
 use crate::state::{BlockedExec, PageState};
 use crate::stats::SystemStats;
 use active_pages::{
-    sync, ActivePageMemory, GroupId, PageFunction, PageId, PageInfo, PageSlice, PAGE_SIZE,
+    sync, ActivePageMemory, Execution, GroupId, PageFunction, PageId, PageInfo, PageSlice,
+    PAGE_SIZE,
 };
 use ap_cpu::mmx::MmxOp;
 use ap_cpu::Cpu;
 use ap_mem::VAddr;
 use ap_trace::Subsystem::Radram as TRACE_RAD;
-use std::rc::Rc;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 const PAGE_SHIFT: u32 = 19; // 512 KB pages
 const PAGE_MASK: u64 = PAGE_SIZE as u64 - 1;
+
+/// Process-wide override forcing the sequential activation path.
+static FORCE_SEQUENTIAL: AtomicBool = AtomicBool::new(false);
+
+/// Forces every [`System`] in this process onto the sequential activation
+/// path (the determinism oracle for [`System::activate_pages`]). Parallel
+/// and sequential schedules produce bit-identical simulation results, so
+/// this only changes host wall-clock; it is safe to toggle globally.
+pub fn set_force_sequential(on: bool) {
+    FORCE_SEQUENTIAL.store(on, Ordering::Relaxed);
+}
+
+/// True when [`set_force_sequential`] (or the `AP_SEQUENTIAL` environment
+/// variable at `System` construction) disabled parallel page execution.
+pub fn force_sequential() -> bool {
+    FORCE_SEQUENTIAL.load(Ordering::Relaxed)
+}
+
+/// One page's share of a batched group activation: optional parameter-word
+/// writes followed by a command-word store (see
+/// [`System::activate_pages`]).
+#[derive(Debug, Clone)]
+pub struct PageActivation {
+    /// Base address of the target page.
+    pub page_base: VAddr,
+    /// `(control word, value)` pairs written before the command store.
+    pub params: Vec<(usize, u32)>,
+    /// Value stored to [`sync::CMD`].
+    pub cmd: u32,
+}
+
+impl PageActivation {
+    /// An activation with no parameter writes.
+    pub fn new(page_base: VAddr, cmd: u32) -> Self {
+        PageActivation { page_base, params: Vec::new(), cmd }
+    }
+
+    /// Builder: prepend a control-word write to the command store.
+    pub fn with_param(mut self, word: usize, v: u32) -> Self {
+        self.params.push((word, v));
+        self
+    }
+}
+
+/// A page execution deferred by the batched activation path: all of its
+/// processor-visible bookkeeping (clock, counters, dispatch events, cache
+/// invalidation) already happened at the sequential instants; only the
+/// functional `execute` and its timeline merge remain.
+#[derive(Debug)]
+struct DeferredExec {
+    pid: u32,
+    info: PageInfo,
+    func: Arc<dyn PageFunction>,
+    /// Logic start time recorded at dispatch (execution never advances the
+    /// processor clock, so this equals the sequential schedule start).
+    start: u64,
+    /// The triggering store's suppressed `ctrl.write` span, re-emitted after
+    /// this page's `page.run` spans so per-page ring order matches the
+    /// sequential trace byte for byte.
+    ctrl_event: Option<ap_trace::Event>,
+}
+
+/// In-flight state of one [`System::activate_pages`] batch.
+#[derive(Debug, Default)]
+struct BatchState {
+    deferred: Vec<DeferredExec>,
+    deferred_pids: HashSet<u32>,
+}
 
 #[derive(Debug, Default)]
 struct Counters {
@@ -33,6 +104,9 @@ struct Rad {
     frames: Vec<Option<u32>>,
     /// Page ids blocked on an inter-page reference, in raise order.
     pending: Vec<u32>,
+    /// Reusable ready-list buffer for [`System::service_raised`] (avoids a
+    /// fresh allocation on this hot path every service call).
+    scratch: Vec<u32>,
     counters: Counters,
 }
 
@@ -51,6 +125,16 @@ pub struct System {
     cpu: Cpu,
     cfg: RadramConfig,
     rad: Option<Rad>,
+    /// Per-instance sequential override (seeded from `AP_SEQUENTIAL`).
+    sequential: bool,
+    /// Deferral state while a batched activation is in flight.
+    batch: Option<BatchState>,
+}
+
+/// True when the `AP_SEQUENTIAL` environment variable asks for the
+/// sequential activation path (any non-empty value other than `0`).
+fn env_sequential() -> bool {
+    std::env::var("AP_SEQUENTIAL").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 impl System {
@@ -63,7 +147,13 @@ impl System {
     /// Creates a conventional-memory system with custom parameters (cache
     /// sizes, DRAM latency); Active-Page calls panic on this system.
     pub fn conventional_with(cfg: RadramConfig) -> Self {
-        System { cpu: Cpu::new(cfg.cpu.clone(), cfg.ram_capacity), cfg, rad: None }
+        System {
+            cpu: Cpu::new(cfg.cpu.clone(), cfg.ram_capacity),
+            cfg,
+            rad: None,
+            sequential: env_sequential(),
+            batch: None,
+        }
     }
 
     /// Creates a system whose memory implements Active Pages on RADram.
@@ -76,10 +166,21 @@ impl System {
                 pages: Vec::new(),
                 frames: vec![None; frames],
                 pending: Vec::new(),
+                scratch: Vec::new(),
                 counters: Counters::default(),
             }),
             cfg,
+            sequential: env_sequential(),
+            batch: None,
         }
+    }
+
+    /// Pins this instance to the sequential activation path (or releases
+    /// it). Parallel and sequential runs are bit-identical in simulation
+    /// terms; this switch exists as the determinism oracle and for
+    /// single-core hosts.
+    pub fn set_sequential(&mut self, on: bool) {
+        self.sequential = on;
     }
 
     /// Returns the system configuration.
@@ -435,8 +536,31 @@ impl System {
     /// measurement (the paper's `T_A · k`).
     pub fn write_ctrl(&mut self, page_base: VAddr, word: usize, v: u32) {
         let t0 = self.cpu.now();
-        self.store_u32(page_base + sync::ctrl_offset(word) as u64, v);
-        ap_trace::complete(TRACE_RAD, "ctrl.write", t0, self.cpu.now() - t0, word as u64, v as u64);
+        let addr = page_base + sync::ctrl_offset(word) as u64;
+        let pid = self.lookup(addr).map_or(0, |(p, _)| p as u64);
+        let deferred_before = self.batch.as_ref().map_or(0, |b| b.deferred.len());
+        self.store_u32(addr, v);
+        if !ap_trace::enabled(TRACE_RAD) {
+            return;
+        }
+        let event = ap_trace::Event {
+            cycle: t0,
+            dur: self.cpu.now() - t0,
+            subsystem: TRACE_RAD,
+            kind: "ctrl.write",
+            a: pid,
+            b: word as u64,
+        };
+        if let Some(batch) = self.batch.as_mut() {
+            if batch.deferred.len() > deferred_before {
+                // This store triggered a deferred execution: hold its span
+                // back until the page's `page.run` spans are emitted so the
+                // per-page ring keeps the sequential event order.
+                batch.deferred.last_mut().unwrap().ctrl_event = Some(event);
+                return;
+            }
+        }
+        ap_trace::session::emit(event);
     }
 
     /// Activates the page at `page_base` by storing `cmd` to its command
@@ -480,6 +604,11 @@ impl System {
     }
 
     fn wait_page_idle(&mut self, pid: u32) {
+        // A deferred execution has not published its schedule yet; deliver
+        // it before consulting this page's busy/blocked state.
+        if self.batch.as_ref().is_some_and(|b| b.deferred_pids.contains(&pid)) {
+            self.flush_deferred();
+        }
         loop {
             let now = self.cpu.now();
             let (blocked_raise, busy_until) = {
@@ -489,20 +618,20 @@ impl System {
             };
             if let Some(raised_at) = blocked_raise {
                 if raised_at > now {
-                    self.stall(raised_at - now);
+                    self.stall(pid, raised_at - now);
                 }
                 self.service_raised();
                 continue;
             }
             if busy_until > now {
-                self.stall(busy_until - now);
+                self.stall(pid, busy_until - now);
             }
             return;
         }
     }
 
-    fn stall(&mut self, cycles: u64) {
-        ap_trace::complete(TRACE_RAD, "sync.stall", self.cpu.now(), cycles, 0, 0);
+    fn stall(&mut self, pid: u32, cycles: u64) {
+        ap_trace::complete(TRACE_RAD, "sync.stall", self.cpu.now(), cycles, pid as u64, 0);
         self.cpu.advance(cycles);
         if let Some(rad) = self.rad.as_mut() {
             rad.counters.non_overlap += cycles;
@@ -512,15 +641,25 @@ impl System {
     /// Services all pending requests whose raise time has arrived.
     fn service_raised(&mut self) -> usize {
         let now = self.cpu.now();
-        let ready: Vec<u32> = {
+        let mut ready: Vec<u32> = {
             let rad = self.rad.as_mut().unwrap();
-            let (ready, later): (Vec<u32>, Vec<u32>) = rad.pending.iter().partition(|&&p| {
-                rad.pages[p as usize].blocked.as_ref().map(|b| b.raised_at <= now).unwrap_or(false)
+            let mut ready = std::mem::take(&mut rad.scratch);
+            ready.clear();
+            let pages = &rad.pages;
+            // In-place split: `pending` keeps the not-yet-raised ids in
+            // order, `ready` collects the raised ones in the same pass.
+            rad.pending.retain(|&p| {
+                let raised =
+                    pages[p as usize].blocked.as_ref().map(|b| b.raised_at <= now).unwrap_or(false);
+                if raised {
+                    ready.push(p);
+                }
+                !raised
             });
-            rad.pending = later;
             ready
         };
         if ready.is_empty() {
+            self.rad.as_mut().unwrap().scratch = ready;
             return 0;
         }
         ap_trace::instant(TRACE_RAD, "irq.service", now, ready.len() as u64, 0);
@@ -534,7 +673,7 @@ impl System {
             crate::ServiceMode::Polling => self.cpu.charge_uncached_access(false),
         }
         let mut serviced = 0;
-        for pid in ready {
+        for &pid in &ready {
             let blocked: BlockedExec = {
                 let rad = self.rad.as_mut().unwrap();
                 rad.pages[pid as usize].blocked.take().expect("ready page must be blocked")
@@ -573,6 +712,8 @@ impl System {
                 self.schedule(pid, resume_at, blocked.rest);
             }
         }
+        ready.clear();
+        self.rad.as_mut().unwrap().scratch = ready;
         serviced
     }
 
@@ -649,14 +790,17 @@ impl System {
     }
 
     /// Runs the bound function on an idle page and schedules its timing from
-    /// the current instant.
+    /// the current instant. Inside a batched activation the functional
+    /// execution is deferred (it never advances the clock or touches memory
+    /// outside its own page, so it can run later — and in parallel with
+    /// other pages' executions — without changing any simulated outcome).
     fn execute_and_schedule(&mut self, pid: u32) {
         let (base, group, index_in_group) = {
             let rad = self.rad.as_ref().unwrap();
             let e = rad.table.entry(PageId::new(pid));
             (e.base, e.group, e.index_in_group)
         };
-        let func: Rc<dyn PageFunction> = self
+        let func: Arc<dyn PageFunction> = self
             .rad
             .as_ref()
             .unwrap()
@@ -667,6 +811,17 @@ impl System {
         // In-page logic is about to mutate DRAM behind the caches.
         self.cpu.invalidate_range(base, PAGE_SIZE as u64);
         let info = PageInfo { base, group, index_in_group };
+        if let Some(batch) = self.batch.as_mut() {
+            batch.deferred_pids.insert(pid);
+            batch.deferred.push(DeferredExec {
+                pid,
+                info,
+                func,
+                start: self.cpu.now(),
+                ctrl_event: None,
+            });
+            return;
+        }
         let execution = {
             let bytes = self.cpu.ram.slice_mut(base, PAGE_SIZE);
             let mut slice = PageSlice::new(bytes, info);
@@ -682,7 +837,7 @@ impl System {
             let e = rad.table.entry(PageId::new(pid));
             (e.base, e.group, e.index_in_group)
         };
-        let func: Rc<dyn PageFunction> = self
+        let func: Arc<dyn PageFunction> = self
             .rad
             .as_ref()
             .unwrap()
@@ -720,6 +875,14 @@ impl System {
                     return;
                 }
                 crate::CommMode::ProcessorMediated => {
+                    // A blocked activation joins the global pending queue,
+                    // whose order earlier deferred pages may contribute to:
+                    // deliver all deferred work first, then disable
+                    // deferral for the rest of the batch.
+                    if self.batch.is_some() {
+                        self.flush_deferred();
+                        self.batch = None;
+                    }
                     let now = self.cpu.now();
                     let rad = self.rad.as_mut().unwrap();
                     rad.pages[pid as usize].blocked = Some(BlockedExec {
@@ -745,7 +908,7 @@ impl System {
             let e = rad.table.entry(PageId::new(pid));
             (e.base, e.group, e.index_in_group)
         };
-        let func: Rc<dyn PageFunction> = self
+        let func: Arc<dyn PageFunction> = self
             .rad
             .as_ref()
             .unwrap()
@@ -762,6 +925,161 @@ impl System {
         };
         self.schedule(pid, start, execution.events().to_vec());
     }
+
+    // ---- batched (parallel) activation ------------------------------------
+
+    /// Activates every page of `group` with `cmd`, no parameter writes.
+    /// Equivalent to calling [`System::activate`] on each page in
+    /// allocation order; see [`System::activate_pages`].
+    pub fn activate_group(&mut self, group: GroupId, cmd: u32) {
+        let batch: Vec<PageActivation> = {
+            let rad = self.rad.as_ref().expect("group activation on a conventional memory system");
+            rad.table
+                .pages_in(group)
+                .iter()
+                .map(|&pid| PageActivation::new(rad.table.entry(pid).base, cmd))
+                .collect()
+        };
+        self.activate_pages(&batch);
+    }
+
+    /// Performs a batch of page activations: for each entry, the parameter
+    /// control-word writes followed by the command store, in batch order.
+    ///
+    /// Simulated semantics are *exactly* those of the equivalent
+    /// [`System::write_ctrl`]/[`System::activate`] loop — clock, statistics,
+    /// trace events and memory contents are bit-identical. The batch form
+    /// exists so the host can run the triggered page functions on a thread
+    /// pool: each function owns a disjoint 512 KB slice of backing RAM
+    /// (via [`active_pages::split_pages`]) and never advances the simulated
+    /// clock, so their results can be merged back deterministically in
+    /// batch order. Set `AP_SEQUENTIAL=1` (or [`set_force_sequential`],
+    /// or [`System::set_sequential`]) to force the sequential oracle.
+    ///
+    /// Batches that interact through the pending-request queue — duplicate
+    /// pages, already-busy pages, pre-declared inter-page references,
+    /// hardware-copy communication — transparently fall back to sequential
+    /// processing (wholly or from the first interacting entry onward).
+    pub fn activate_pages(&mut self, batch: &[PageActivation]) {
+        if !self.batch_parallel_eligible(batch) {
+            for entry in batch {
+                for &(word, v) in &entry.params {
+                    self.write_ctrl(entry.page_base, word, v);
+                }
+                self.activate(entry.page_base, entry.cmd);
+            }
+            return;
+        }
+        // Phase A: sequential bookkeeping. Every processor-visible effect
+        // (uncached charges, dispatch overhead, counters, cache
+        // invalidation, trace instants) happens here at its sequential
+        // instant; triggered executions are deferred.
+        self.batch = Some(BatchState::default());
+        for entry in batch {
+            for &(word, v) in &entry.params {
+                self.write_ctrl(entry.page_base, word, v);
+            }
+            self.activate(entry.page_base, entry.cmd);
+        }
+        // `activate_page` clears `self.batch` when an entry had to fall
+        // back to inline processing (everything deferred was flushed).
+        let Some(state) = self.batch.take() else { return };
+        if state.deferred.is_empty() {
+            return;
+        }
+        // Phase B: run the page functions in parallel over disjoint slices.
+        let executions = self.execute_parallel(&state.deferred);
+        // Phase C: merge in batch order. `schedule` never advances the
+        // clock, so replaying it here yields the sequential timeline.
+        for (d, execution) in state.deferred.iter().zip(executions) {
+            self.schedule(d.pid, d.start, execution.events().to_vec());
+            if let Some(event) = d.ctrl_event {
+                ap_trace::session::emit(event);
+            }
+        }
+    }
+
+    /// True when `batch` can take the deferred/parallel path: Active-Page
+    /// memory with processor-mediated communication, no sequential
+    /// override, more than one worker available, and a batch of distinct,
+    /// unblocked pages with an empty pending queue. Pages that are merely
+    /// *busy* are fine — phase A stalls them out inline exactly as the
+    /// sequential path would.
+    fn batch_parallel_eligible(&self, batch: &[PageActivation]) -> bool {
+        let Some(rad) = self.rad.as_ref() else { return false };
+        if batch.len() < 2
+            || self.sequential
+            || force_sequential()
+            || self.cfg.comm == crate::CommMode::HardwareCopy
+            || active_pages::parallel::thread_budget() < 2
+            || !rad.pending.is_empty()
+        {
+            return false;
+        }
+        let mut seen = HashSet::with_capacity(batch.len());
+        batch.iter().all(|entry| match self.lookup(entry.page_base) {
+            Some((pid, _)) => seen.insert(pid) && rad.pages[pid as usize].blocked.is_none(),
+            None => false,
+        })
+    }
+
+    /// Delivers every deferred execution sequentially (in deferral order):
+    /// runs the function, schedules its timeline from the recorded dispatch
+    /// instant and emits the held-back `ctrl.write` span.
+    fn flush_deferred(&mut self) {
+        let Some(mut state) = self.batch.take() else { return };
+        for d in state.deferred.drain(..) {
+            let execution = {
+                let bytes = self.cpu.ram.slice_mut(d.info.base, PAGE_SIZE);
+                let mut slice = PageSlice::new(bytes, d.info);
+                d.func.execute(&mut slice)
+            };
+            self.schedule(d.pid, d.start, execution.events().to_vec());
+            if let Some(event) = d.ctrl_event {
+                ap_trace::session::emit(event);
+            }
+        }
+        state.deferred_pids.clear();
+        self.batch = Some(state);
+    }
+
+    /// Runs the deferred page functions on a scoped thread pool. Each
+    /// worker pulls `(index, slice)` jobs from a shared queue, so results
+    /// come back keyed by deferral order regardless of which thread ran
+    /// them. Returns one [`Execution`] per deferred entry, in order.
+    fn execute_parallel(&mut self, deferred: &[DeferredExec]) -> Vec<Execution> {
+        // Carve disjoint page views out of one covering RAM region (pages
+        // need not be contiguous; `split_pages` skips the gaps).
+        let mut order: Vec<usize> = (0..deferred.len()).collect();
+        order.sort_by_key(|&i| deferred[i].info.base.get());
+        let lo = deferred[order[0]].info.base;
+        let hi = deferred[*order.last().unwrap()].info.base.get() + PAGE_SIZE as u64;
+        let infos: Vec<PageInfo> = order.iter().map(|&i| deferred[i].info).collect();
+        let region = self.cpu.ram.slice_mut(lo, (hi - lo.get()) as usize);
+        let slices = active_pages::split_pages(region, lo, &infos);
+
+        let threads = active_pages::parallel::thread_budget().min(slices.len()).max(1);
+        let jobs = Mutex::new(order.into_iter().zip(slices));
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let jobs = &jobs;
+                scope.spawn(move || loop {
+                    let job = jobs.lock().unwrap().next();
+                    let Some((i, mut slice)) = job else { return };
+                    let execution = deferred[i].func.execute(&mut slice);
+                    let _ = tx.send((i, execution));
+                });
+            }
+        });
+        drop(tx);
+        let mut results: Vec<Option<Execution>> = (0..deferred.len()).map(|_| None).collect();
+        for (i, execution) in rx {
+            results[i] = Some(execution);
+        }
+        results.into_iter().map(|r| r.expect("every deferred page must execute")).collect()
+    }
 }
 
 impl ActivePageMemory for System {
@@ -770,7 +1088,7 @@ impl ActivePageMemory for System {
         self.ap_alloc_pages(group, pages)
     }
 
-    fn ap_bind(&mut self, group: GroupId, functions: Rc<dyn PageFunction>) {
+    fn ap_bind(&mut self, group: GroupId, functions: Arc<dyn PageFunction>) {
         assert!(
             functions.logic_elements() <= self.cfg.les_per_page,
             "circuit '{}' needs {} LEs but a RADram page provides {}",
@@ -852,7 +1170,7 @@ mod tests {
     #[test]
     fn activation_computes_and_takes_logic_time() {
         let (mut sys, base, g) = setup(1);
-        sys.ap_bind(g, Rc::new(Summer));
+        sys.ap_bind(g, Arc::new(Summer));
         for i in 0..8u64 {
             sys.store_u32(base + sync::BODY_OFFSET as u64 + 4 * i, 5);
         }
@@ -871,7 +1189,7 @@ mod tests {
     #[test]
     fn poll_after_completion_sees_done() {
         let (mut sys, base, g) = setup(1);
-        sys.ap_bind(g, Rc::new(Summer));
+        sys.ap_bind(g, Arc::new(Summer));
         sys.write_ctrl(base, sync::PARAM, 1);
         sys.activate(base, 1);
         sys.wait_done(base);
@@ -881,7 +1199,7 @@ mod tests {
     #[test]
     fn data_access_to_busy_page_stalls() {
         let (mut sys, base, g) = setup(1);
-        sys.ap_bind(g, Rc::new(Summer));
+        sys.ap_bind(g, Arc::new(Summer));
         sys.write_ctrl(base, sync::PARAM, 1000);
         sys.activate(base, 1);
         let before = sys.stats().non_overlap_cycles;
@@ -893,7 +1211,7 @@ mod tests {
     #[test]
     fn interpage_reference_is_processor_mediated() {
         let (mut sys, base, g) = setup(2);
-        sys.ap_bind(g, Rc::new(NeighborSummer));
+        sys.ap_bind(g, Arc::new(NeighborSummer));
         let page1 = base + PAGE_SIZE as u64;
         // Seed page 0's body.
         sys.store_u32(base + sync::BODY_OFFSET as u64, 0x11);
@@ -911,9 +1229,9 @@ mod tests {
     #[test]
     fn rebind_charges_reconfiguration() {
         let (mut sys, _base, g) = setup(4);
-        sys.ap_bind(g, Rc::new(Summer));
+        sys.ap_bind(g, Arc::new(Summer));
         let t0 = sys.now();
-        sys.ap_bind(g, Rc::new(Summer));
+        sys.ap_bind(g, Arc::new(Summer));
         assert_eq!(sys.stats().rebinds, 1);
         assert_eq!(sys.now() - t0, 4 * RadramConfig::reference().rebind_cost);
     }
@@ -935,7 +1253,7 @@ mod tests {
             }
         }
         let (mut sys, _base, g) = setup(1);
-        sys.ap_bind(g, Rc::new(Huge));
+        sys.ap_bind(g, Arc::new(Huge));
     }
 
     #[test]
@@ -1001,7 +1319,7 @@ mod tests {
     #[test]
     fn pre_declared_requests_block_then_compute() {
         let (mut sys, base, g) = setup(2);
-        sys.ap_bind(g, Rc::new(PreFetcher));
+        sys.ap_bind(g, Arc::new(PreFetcher));
         let page1 = base + PAGE_SIZE as u64;
         sys.store_u32(base + sync::BODY_OFFSET as u64, 30); // page 0 boundary word
         sys.store_u32(page1 + sync::BODY_OFFSET as u64, 12);
@@ -1022,7 +1340,7 @@ mod tests {
         let mut sys = System::radram(cfg);
         let g = GroupId::new(0);
         let base = sys.ap_alloc_pages(g, 2);
-        sys.ap_bind(g, Rc::new(PreFetcher));
+        sys.ap_bind(g, Arc::new(PreFetcher));
         let page1 = base + PAGE_SIZE as u64;
         sys.store_u32(base + sync::BODY_OFFSET as u64, 30);
         sys.store_u32(page1 + sync::BODY_OFFSET as u64, 12);
@@ -1042,7 +1360,7 @@ mod tests {
         let mut sys = System::radram(cfg);
         let g = GroupId::new(0);
         let base = sys.ap_alloc_pages(g, 2);
-        sys.ap_bind(g, Rc::new(NeighborSummer));
+        sys.ap_bind(g, Arc::new(NeighborSummer));
         let page1 = base + PAGE_SIZE as u64;
         sys.store_u32(base + sync::BODY_OFFSET as u64, 0x77);
         sys.activate(page1, 1);
@@ -1059,7 +1377,7 @@ mod tests {
             let mut sys = System::radram(cfg);
             let g = GroupId::new(0);
             let base = sys.ap_alloc_pages(g, 2);
-            sys.ap_bind(g, Rc::new(PreFetcher));
+            sys.ap_bind(g, Arc::new(PreFetcher));
             let page1 = base + PAGE_SIZE as u64;
             sys.store_u32(base + sync::BODY_OFFSET as u64, 1);
             let t0 = sys.now();
@@ -1104,7 +1422,7 @@ mod tests {
             let mut sys = System::radram(cfg);
             let g = GroupId::new(0);
             let base = sys.ap_alloc_pages(g, 2);
-            sys.ap_bind(g, Rc::new(ThreeRefs));
+            sys.ap_bind(g, Arc::new(ThreeRefs));
             let page1 = base + PAGE_SIZE as u64;
             sys.activate(page1, 1);
             sys.wait_done(page1);
@@ -1112,6 +1430,142 @@ mod tests {
         };
         assert_eq!(run(3), 1, "three outstanding refs fit one interrupt");
         assert_eq!(run(1), 3, "one outstanding ref needs three round trips");
+    }
+
+    /// Builds a Summer-bound system with `pages` pages whose bodies are
+    /// seeded with deterministic values, for batched-vs-sequential
+    /// comparisons.
+    fn summer_setup(pages: usize) -> (System, VAddr, GroupId) {
+        let (mut sys, base, g) = setup(pages);
+        sys.ap_bind(g, Arc::new(Summer));
+        for p in 0..pages {
+            for i in 0..8u64 {
+                let addr = base + (p * PAGE_SIZE) as u64 + sync::BODY_OFFSET as u64 + 4 * i;
+                sys.ram_write_u32(addr, (p as u32 + 1) * 10 + i as u32);
+            }
+        }
+        (sys, base, g)
+    }
+
+    /// Drives `sys` through one broadcast round sequentially: per-page
+    /// parameter write plus command store, then a wait on every page.
+    fn manual_broadcast(sys: &mut System, base: VAddr, pages: usize) {
+        for p in 0..pages {
+            let pb = base + (p * PAGE_SIZE) as u64;
+            sys.write_ctrl(pb, sync::PARAM, 8);
+            sys.activate(pb, 1);
+        }
+        for p in 0..pages {
+            sys.wait_done(base + (p * PAGE_SIZE) as u64);
+        }
+    }
+
+    #[test]
+    fn batched_activation_matches_manual_loop() {
+        active_pages::parallel::set_thread_budget(4);
+        let pages = 6;
+        let (mut seq, seq_base, _) = summer_setup(pages);
+        seq.set_sequential(true);
+        manual_broadcast(&mut seq, seq_base, pages);
+
+        let (mut par, par_base, _) = summer_setup(pages);
+        let batch: Vec<PageActivation> = (0..pages)
+            .map(|p| {
+                PageActivation::new(par_base + (p * PAGE_SIZE) as u64, 1).with_param(sync::PARAM, 8)
+            })
+            .collect();
+        par.activate_pages(&batch);
+        for p in 0..pages {
+            par.wait_done(par_base + (p * PAGE_SIZE) as u64);
+        }
+
+        assert_eq!(par.now(), seq.now(), "simulated clocks must agree");
+        assert_eq!(format!("{:?}", par.stats()), format!("{:?}", seq.stats()));
+        for p in 0..pages {
+            assert_eq!(
+                par.read_ctrl(par_base + (p * PAGE_SIZE) as u64, sync::RESULT),
+                seq.read_ctrl(seq_base + (p * PAGE_SIZE) as u64, sync::RESULT),
+                "page {p} result"
+            );
+        }
+    }
+
+    #[test]
+    fn activate_group_covers_every_page() {
+        active_pages::parallel::set_thread_budget(4);
+        let pages = 5;
+        let (mut sys, base, g) = summer_setup(pages);
+        for p in 0..pages {
+            sys.write_ctrl(base + (p * PAGE_SIZE) as u64, sync::PARAM, 8);
+        }
+        sys.activate_group(g, 1);
+        for p in 0..pages {
+            sys.wait_done(base + (p * PAGE_SIZE) as u64);
+        }
+        assert_eq!(sys.stats().activations, pages as u64);
+        for p in 0..pages {
+            let pb = base + (p * PAGE_SIZE) as u64;
+            let expected: u32 = (0..8).map(|i| (p as u32 + 1) * 10 + i).sum();
+            assert_eq!(sys.read_ctrl(pb, sync::RESULT), expected, "page {p}");
+        }
+    }
+
+    #[test]
+    fn batched_mid_execution_blocks_match_sequential() {
+        active_pages::parallel::set_thread_budget(4);
+        // NeighborSummer blocks mid-run on a copy from the previous page;
+        // batch pages 1..4 so the pending-queue order matters.
+        let run = |sequential: bool| {
+            let (mut sys, base, _g) = setup(4);
+            sys.set_sequential(sequential);
+            sys.ap_bind(GroupId::new(0), Arc::new(NeighborSummer));
+            for p in 0..4u64 {
+                sys.ram_write_u32(
+                    base + p * PAGE_SIZE as u64 + sync::BODY_OFFSET as u64,
+                    0x100 + p as u32,
+                );
+            }
+            let batch: Vec<PageActivation> =
+                (1..4).map(|p| PageActivation::new(base + (p * PAGE_SIZE) as u64, 1)).collect();
+            sys.activate_pages(&batch);
+            for p in 1..4 {
+                sys.wait_done(base + (p * PAGE_SIZE) as u64);
+            }
+            let words: Vec<u32> = (1..4u64)
+                .map(|p| sys.ram_read_u32(base + p * PAGE_SIZE as u64 + sync::BODY_OFFSET as u64))
+                .collect();
+            (sys.now(), format!("{:?}", sys.stats()), words)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn batched_predeclared_requests_match_sequential() {
+        active_pages::parallel::set_thread_budget(4);
+        // PreFetcher: page 0 defers (no requests), page 1+ raise
+        // pre-declared references, forcing the mid-batch flush + fallback.
+        let run = |sequential: bool| {
+            let (mut sys, base, _g) = setup(3);
+            sys.set_sequential(sequential);
+            sys.ap_bind(GroupId::new(0), Arc::new(PreFetcher));
+            for p in 0..3u64 {
+                sys.ram_write_u32(
+                    base + p * PAGE_SIZE as u64 + sync::BODY_OFFSET as u64,
+                    7 * (p as u32 + 1),
+                );
+            }
+            let batch: Vec<PageActivation> =
+                (0..3).map(|p| PageActivation::new(base + (p * PAGE_SIZE) as u64, 1)).collect();
+            sys.activate_pages(&batch);
+            for p in 0..3 {
+                sys.wait_done(base + (p * PAGE_SIZE) as u64);
+            }
+            let results: Vec<u32> = (0..3)
+                .map(|p| sys.read_ctrl(base + (p * PAGE_SIZE) as u64, sync::RESULT))
+                .collect();
+            (sys.now(), format!("{:?}", sys.stats()), results)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]
@@ -1122,7 +1576,7 @@ mod tests {
             let mut sys = System::radram(cfg);
             let g = GroupId::new(0);
             let base = sys.ap_alloc_pages(g, 1);
-            sys.ap_bind(g, Rc::new(Summer));
+            sys.ap_bind(g, Arc::new(Summer));
             sys.write_ctrl(base, sync::PARAM, 1000);
             let t0 = sys.now();
             sys.activate(base, 1);

@@ -6,7 +6,7 @@ use active_pages::{sync, ActivePageMemory, Execution, GroupId, PageFunction, Pag
 use ap_mem::VAddr;
 use proptest::prelude::*;
 use radram::{CommMode, RadramConfig, System};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Adds `PARAM` to every one of the first 64 body words and publishes their
 /// sum; cost is one word per logic cycle.
@@ -67,7 +67,7 @@ fn run_program(ops: &[Op], pages: u8, comm: CommMode) -> (System, Vec<[u32; 64]>
     let mut sys = System::radram(cfg);
     let g = GroupId::new(0);
     let base = sys.ap_alloc_pages(g, pages as usize);
-    sys.ap_bind(g, Rc::new(AddAndSum));
+    sys.ap_bind(g, Arc::new(AddAndSum));
     let mut shadow = vec![[0u32; 64]; pages as usize];
     let page_base = |p: u8| -> VAddr { base + (p as usize * active_pages::PAGE_SIZE) as u64 };
     let mut last_now = sys.now();
@@ -148,7 +148,7 @@ proptest! {
         let mut sys = System::radram(cfg);
         let g = GroupId::new(0);
         let base = sys.ap_alloc_pages(g, 1);
-        sys.ap_bind(g, Rc::new(AddAndSum));
+        sys.ap_bind(g, Arc::new(AddAndSum));
         let mut shadow = [0u32; 64];
         for delta in deltas {
             sys.write_ctrl(base, sync::PARAM, delta);

@@ -19,6 +19,9 @@ use crate::{Subsystem, Trace};
 pub const PID_SIM: u64 = 1;
 /// The pid under which engine events export (wall-clock µs timebase).
 pub const PID_ENGINE: u64 = 2;
+/// Per-page rings export as sim-pid threads with tid `PAGE_TID_BASE + page`,
+/// so each Active Page gets its own named timeline row.
+pub const PAGE_TID_BASE: u64 = 1000;
 
 /// Serializes `trace` as Chrome trace-event JSON. `label` names the
 /// simulation process row (typically the job key).
@@ -42,35 +45,12 @@ pub fn export(trace: &Trace, label: &str) -> String {
 
     for sub in Subsystem::ALL {
         let (pid, tid) = ids(sub);
-        for e in trace.ring(sub).events() {
-            let common = format!(
-                "\"name\":\"{}\",\"cat\":\"{}\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\
-                 \"args\":{{\"a\":{},\"b\":{}}}",
-                escape(e.kind),
-                sub.name(),
-                e.cycle,
-                e.a,
-                e.b
-            );
-            let line = if e.dur > 0 {
-                format!("{{{common},\"ph\":\"X\",\"dur\":{}}}", e.dur)
-            } else {
-                format!("{{{common},\"ph\":\"i\",\"s\":\"t\"}}")
-            };
-            push(line, &mut out);
-        }
-        let dropped = trace.ring(sub).dropped();
-        if dropped > 0 {
-            let ts = trace.ring(sub).events().last().map_or(0, |e| e.cycle + e.dur);
-            push(
-                format!(
-                    "{{\"name\":\"trace.truncated\",\"cat\":\"{}\",\"ts\":{ts},\"pid\":{pid},\
-                     \"tid\":{tid},\"ph\":\"i\",\"s\":\"t\",\"args\":{{\"a\":{dropped},\"b\":0}}}}",
-                    sub.name()
-                ),
-                &mut out,
-            );
-        }
+        export_ring(trace.ring(sub), sub.name(), pid, tid, &mut push, &mut out);
+    }
+    for (page, ring) in trace.page_rings() {
+        let tid = PAGE_TID_BASE + page;
+        push(meta_name("thread_name", PID_SIM, tid, &format!("page {page}")), &mut out);
+        export_ring(ring, Subsystem::Radram.name(), PID_SIM, tid, &mut push, &mut out);
     }
 
     for c in &trace.counters {
@@ -105,6 +85,43 @@ pub fn export(trace: &Trace, label: &str) -> String {
 fn ids(sub: Subsystem) -> (u64, u64) {
     let pid = if sub == Subsystem::Engine { PID_ENGINE } else { PID_SIM };
     (pid, sub.index() as u64 + 1)
+}
+
+fn export_ring(
+    ring: &crate::Ring,
+    cat: &str,
+    pid: u64,
+    tid: u64,
+    push: &mut impl FnMut(String, &mut String),
+    out: &mut String,
+) {
+    for e in ring.events() {
+        let common = format!(
+            "\"name\":\"{}\",\"cat\":\"{cat}\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"a\":{},\"b\":{}}}",
+            escape(e.kind),
+            e.cycle,
+            e.a,
+            e.b
+        );
+        let line = if e.dur > 0 {
+            format!("{{{common},\"ph\":\"X\",\"dur\":{}}}", e.dur)
+        } else {
+            format!("{{{common},\"ph\":\"i\",\"s\":\"t\"}}")
+        };
+        push(line, out);
+    }
+    let dropped = ring.dropped();
+    if dropped > 0 {
+        let ts = ring.events().last().map_or(0, |e| e.cycle + e.dur);
+        push(
+            format!(
+                "{{\"name\":\"trace.truncated\",\"cat\":\"{cat}\",\"ts\":{ts},\"pid\":{pid},\
+                 \"tid\":{tid},\"ph\":\"i\",\"s\":\"t\",\"args\":{{\"a\":{dropped},\"b\":0}}}}"
+            ),
+            out,
+        );
+    }
 }
 
 fn meta_name(kind: &str, pid: u64, tid: u64, name: &str) -> String {
@@ -144,6 +161,9 @@ pub struct ParsedEvent {
     pub dur: u64,
     /// Process id ([`PID_SIM`] or [`PID_ENGINE`]).
     pub pid: u64,
+    /// Thread id (subsystem row, or `PAGE_TID_BASE + page` for per-page
+    /// rows; 0 when absent).
+    pub tid: u64,
     /// First payload word (`args.a`, 0 when absent).
     pub a: u64,
     /// Second payload word (`args.b`, 0 when absent).
@@ -179,6 +199,7 @@ pub fn parse(text: &str) -> Result<Vec<ParsedEvent>, String> {
             dur: num_field(line, "\"dur\":").unwrap_or(0),
             pid: num_field(line, "\"pid\":")
                 .ok_or_else(|| format!("line {}: missing pid", lineno + 1))?,
+            tid: num_field(line, "\"tid\":").unwrap_or(0),
             a: num_field(line, "\"a\":").unwrap_or(0),
             b: num_field(line, "\"b\":").unwrap_or(0),
         });
@@ -253,7 +274,7 @@ mod tests {
     #[test]
     fn truncated_rings_export_a_marker() {
         set_filter(Filter::ALL);
-        begin(SessionConfig { ring_capacity: 2 });
+        begin(SessionConfig { ring_capacity: 2, ..SessionConfig::default() });
         for i in 0..5 {
             instant(Subsystem::Cpu, "tick", i, 0, 0);
         }

@@ -7,7 +7,7 @@
 //! Active-Page run is dominated by `page.run` while the conventional system
 //! burns its time in `stall.mem`.
 
-use crate::{Subsystem, Trace};
+use crate::Trace;
 use std::collections::BTreeMap;
 
 /// One aggregated row of the summary.
@@ -49,13 +49,10 @@ where
     rows
 }
 
-/// [`aggregate`] over a native [`Trace`] (all subsystems).
+/// [`aggregate`] over a native [`Trace`] (all subsystems, per-page rings
+/// included).
 pub fn rows_of_trace(trace: &Trace) -> Vec<Row> {
-    aggregate(
-        Subsystem::ALL.iter().flat_map(|&sub| {
-            trace.ring(sub).events().iter().map(move |e| (sub.name(), e.kind, e.dur))
-        }),
-    )
+    aggregate(trace.all_events().map(|e| (e.subsystem.name(), e.kind, e.dur)))
 }
 
 /// Renders rows as an aligned text table with proportional `#` bars,

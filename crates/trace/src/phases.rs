@@ -83,10 +83,9 @@ impl PhaseTotals {
         let kernel_cycles = if explicit > 0 {
             explicit
         } else {
-            Subsystem::ALL
-                .iter()
-                .filter(|&&s| s != Subsystem::Engine)
-                .flat_map(|&s| trace.ring(s).events())
+            trace
+                .all_events()
+                .filter(|e| e.subsystem != Subsystem::Engine)
                 .map(|e| e.cycle + e.dur)
                 .max()
                 .unwrap_or(0)

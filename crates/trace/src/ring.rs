@@ -12,6 +12,11 @@ use crate::Event;
 /// Default per-subsystem ring capacity (32 Ki events ≈ 1.5 MiB).
 pub const DEFAULT_CAPACITY: usize = 1 << 15;
 
+/// Default per-page ring capacity (4 Ki events). Page rings are created
+/// lazily — one per page that actually emits — so a thousand-page run costs
+/// memory proportional to the events it records, not `pages × capacity`.
+pub const DEFAULT_PAGE_CAPACITY: usize = 1 << 12;
+
 /// A bounded, drop-counting event buffer.
 #[derive(Debug, Clone)]
 pub struct Ring {
@@ -25,6 +30,14 @@ impl Ring {
     /// buffer is reserved up front so pushes never reallocate.
     pub fn with_capacity(capacity: usize) -> Ring {
         Ring { events: Vec::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// An empty ring with the same bound as [`Ring::with_capacity`] but no
+    /// up-front reservation: the buffer grows on demand (and never past
+    /// `capacity`). Used for per-page rings, where most pages record far
+    /// fewer events than the bound.
+    pub fn lazy(capacity: usize) -> Ring {
+        Ring { events: Vec::new(), capacity, dropped: 0 }
     }
 
     /// Appends `event`, or counts it as dropped when the ring is full.

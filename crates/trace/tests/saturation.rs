@@ -9,7 +9,7 @@ use ap_trace::{instant, set_filter, Filter, Subsystem};
 fn saturated_rings_bound_memory_count_drops_and_mark_exports() {
     set_filter(Filter::ALL);
     let cap = 64;
-    begin(SessionConfig { ring_capacity: cap });
+    begin(SessionConfig { ring_capacity: cap, ..SessionConfig::default() });
     for i in 0..(cap as u64 * 10) {
         instant(Subsystem::Mem, "l1d.hit", i, i, 0);
     }

@@ -6,7 +6,7 @@
 
 use active_pages::{sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice};
 use radram::{RadramConfig, System};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An Active-Page function that counts set bits across the page body —
 /// a toy "population count" data-manipulation primitive.
@@ -41,7 +41,7 @@ fn main() {
     // AP_alloc: four Active Pages in one group; AP_bind: attach the circuit.
     let group = GroupId::new(0);
     let base = sys.ap_alloc_pages(group, 4);
-    sys.ap_bind(group, Rc::new(Popcount));
+    sys.ap_bind(group, Arc::new(Popcount));
 
     // Fill each page's body with data through ordinary (timed) stores.
     let words_per_page = 4096;

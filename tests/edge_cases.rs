@@ -89,7 +89,7 @@ fn repeated_activations_reuse_pages_correctly() {
     let mut sys = System::radram(cfg().with_ram_capacity(8 << 20));
     let g = GroupId::new(0);
     let base = sys.ap_alloc_pages(g, 1);
-    sys.ap_bind(g, std::rc::Rc::new(ap_apps::array::ArrayFindFn));
+    sys.ap_bind(g, std::sync::Arc::new(ap_apps::array::ArrayFindFn));
     for w in 0..100u64 {
         sys.store_u32(base + (sync::BODY_OFFSET as u64 + 4 * w), (w % 5) as u32);
     }
