@@ -1,0 +1,153 @@
+//! The `apd` daemon binary: bind, serve, drain on request, exit.
+
+use ap_apd::{DaemonConfig, Server};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage() -> String {
+    "usage: apd [--addr HOST:PORT] [--jobs N] [--queue N] [--deadline-secs N]\n\
+     \x20          [--cache DIR | --no-cache] [--manifest PATH]\n\
+     \n\
+     Runs the Active Pages simulation daemon: a persistent service accepting\n\
+     jobs over a JSON line protocol (submit/cancel/status/shutdown) with an\n\
+     HTTP surface on the same port (/healthz, /metrics, /jobs). Stop it with\n\
+     `apctl shutdown` — the daemon drains in-flight jobs and exits.\n\
+     \n\
+     options:\n\
+     \x20 --addr HOST:PORT   bind address (default 127.0.0.1:7117; port 0\n\
+     \x20                    picks a free port, printed on startup)\n\
+     \x20 --jobs N           worker threads; N must be >= 1 (default: all cores)\n\
+     \x20 --queue N          per-client queue capacity before submits are\n\
+     \x20                    rejected with backpressure (default 256)\n\
+     \x20 --deadline-secs N  default per-job deadline (default 600; 0 disables)\n\
+     \x20 --cache DIR        shared result cache (default <results>/.ap-cache,\n\
+     \x20                    the same cache `experiments` uses)\n\
+     \x20 --no-cache         disable the result cache\n\
+     \x20 --manifest PATH    JSONL job manifest (default <results>/apd-manifest.jsonl)"
+        .to_string()
+}
+
+fn parse(args: impl IntoIterator<Item = String>) -> Result<DaemonConfig, String> {
+    let mut cfg = DaemonConfig {
+        addr: "127.0.0.1:7117".to_string(),
+        cache_dir: Some(ap_bench::results_dir().join(".ap-cache")),
+        manifest: Some(ap_bench::results_dir().join("apd-manifest.jsonl")),
+        ..DaemonConfig::default()
+    };
+    let mut no_cache = false;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg.clone(), None),
+        };
+        let mut value = |name: &str| {
+            inline
+                .clone()
+                .or_else(|| args.next())
+                .filter(|v| !v.is_empty())
+                .ok_or(format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--jobs" => {
+                let v = value("--jobs")?;
+                let n: usize = v.parse().map_err(|_| format!("invalid --jobs value {v:?}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                cfg.workers = Some(n);
+            }
+            "--queue" => {
+                let v = value("--queue")?;
+                let n: usize = v.parse().map_err(|_| format!("invalid --queue value {v:?}"))?;
+                if n == 0 {
+                    return Err("--queue must be at least 1".to_string());
+                }
+                cfg.queue_capacity = n;
+            }
+            "--deadline-secs" => {
+                let v = value("--deadline-secs")?;
+                let n: u64 =
+                    v.parse().map_err(|_| format!("invalid --deadline-secs value {v:?}"))?;
+                cfg.default_deadline = (n > 0).then(|| Duration::from_secs(n));
+            }
+            "--cache" => cfg.cache_dir = Some(PathBuf::from(value("--cache")?)),
+            "--no-cache" => no_cache = true,
+            "--manifest" => cfg.manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if no_cache {
+        cfg.cache_dir = None;
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let cfg = match parse(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(e) if e == "help" => {
+            println!("{}", usage());
+            return;
+        }
+        Err(e) => {
+            eprintln!("apd: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let mut server = match Server::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("apd: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Scripts (and the CI smoke test) scrape this line for the real port.
+    println!("apd listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+    server.wait();
+    println!("apd: drained and stopped");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_strs(args: &[&str]) -> Result<DaemonConfig, String> {
+        parse(args.iter().map(std::string::ToString::to_string))
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let cfg = parse_strs(&[]).unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:7117");
+        assert!(cfg.cache_dir.is_some() && cfg.manifest.is_some());
+
+        let cfg = parse_strs(&[
+            "--addr",
+            "0.0.0.0:0",
+            "--jobs=2",
+            "--queue",
+            "8",
+            "--deadline-secs=0",
+            "--no-cache",
+        ])
+        .unwrap();
+        assert_eq!(cfg.addr, "0.0.0.0:0");
+        assert_eq!(cfg.workers, Some(2));
+        assert_eq!(cfg.queue_capacity, 8);
+        assert_eq!(cfg.default_deadline, None);
+        assert_eq!(cfg.cache_dir, None);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse_strs(&["--jobs", "0"]).unwrap_err().contains("at least 1"));
+        assert!(parse_strs(&["--queue=0"]).is_err());
+        assert!(parse_strs(&["--frobnicate"]).is_err());
+        assert!(parse_strs(&["--addr"]).is_err());
+    }
+}

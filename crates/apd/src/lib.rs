@@ -1,0 +1,37 @@
+//! `apd`: the Active Pages simulation daemon.
+//!
+//! The batch harness (`experiments`) spins an engine up, runs one figure's
+//! sweep, and exits. This crate turns the same execution stack into a
+//! long-running **service**: a persistent daemon that accepts simulation
+//! jobs from many concurrent clients over a newline-delimited JSON line
+//! protocol, multiplexes them onto a single shared [`ap_engine::Service`]
+//! worker pool, and shares one content-addressed disk cache — salted
+//! identically to in-process runs, so the daemon and `experiments` serve
+//! each other's results byte for byte.
+//!
+//! The pieces:
+//!
+//! * [`json`] — a minimal JSON value/parser/writer (the environment has no
+//!   serde, and the protocol needs only small flat documents);
+//! * [`proto`] — the line protocol: [`proto::Request`]/[`proto::Response`]
+//!   frames, [`proto::WireSpec`] (a simulation point as reference-config
+//!   knobs), and 64 KB-capped framing;
+//! * [`server`] — the daemon itself: fair scheduling with per-client
+//!   backpressure, cache short-circuiting, an fsynced JSONL manifest, a
+//!   process-wide [`ap_trace::Registry`] scraped over HTTP (`/healthz`,
+//!   `/metrics`, `/jobs` on the same socket), and graceful drain-on-shutdown;
+//! * [`client`] — the blocking client library behind the `apctl` binary.
+//!
+//! See `DESIGN.md` §12 for the protocol grammar and scheduling policy, and
+//! the README's "Running as a service" section for a walkthrough.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError, JobResult};
+pub use proto::{Outcome, Request, Response, WireSpec, MAX_FRAME};
+pub use server::{DaemonConfig, Server};

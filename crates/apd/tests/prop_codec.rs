@@ -1,0 +1,161 @@
+//! Property tests for the line-protocol codec: encode→decode identity for
+//! every request/response shape, and parser robustness on arbitrary bytes.
+
+use ap_apd::json;
+use ap_apd::proto::{read_frame, FrameError, Outcome, Request, Response, WireSpec, MAX_FRAME};
+use ap_apps::{App, SystemKind};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::Union;
+
+/// Characters chosen to stress JSON escaping: quotes, backslashes, control
+/// characters, multi-byte UTF-8 and an astral-plane emoji.
+const CHARS: &[char] =
+    &['a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '/', 'é', '←', '😀', '{', ':'];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    vec(0usize..CHARS.len(), 0..24).prop_map(|ids| ids.into_iter().map(|i| CHARS[i]).collect())
+}
+
+fn arb_app() -> impl Strategy<Value = App> {
+    (0usize..App::ALL.len()).prop_map(|i| App::ALL[i])
+}
+
+fn arb_kind() -> impl Strategy<Value = SystemKind> {
+    prop_oneof![Just(SystemKind::Conventional), Just(SystemKind::Radram)]
+}
+
+fn arb_opt(range: std::ops::Range<u64>) -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![Just(None), range.prop_map(Some)]
+}
+
+fn arb_spec() -> impl Strategy<Value = WireSpec> {
+    (
+        // Positive, finite sizes over several orders of magnitude; the
+        // round trip must preserve the exact bits (cache keys hash them).
+        (arb_app(), arb_kind(), 0.001f64..512.0),
+        (arb_opt(1..1 << 24), arb_opt(1..1 << 26), arb_opt(1..2000), arb_opt(1..1000)),
+    )
+        .prop_map(|((app, kind, pages), (l1d, l2, lat, div))| WireSpec {
+            app,
+            kind,
+            pages,
+            l1d_size: l1d.map(|v| v as usize),
+            l2_size: l2.map(|v| v as usize),
+            miss_latency: lat,
+            logic_divisor: div,
+        })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    Union::new(vec![
+        Just(Request::Ping).boxed(),
+        Just(Request::Status).boxed(),
+        Just(Request::Shutdown).boxed(),
+        (0u64..1 << 40).prop_map(|job| Request::Cancel { job }).boxed(),
+        (arb_spec(), arb_opt(1..1 << 32))
+            .prop_map(|(spec, deadline_ms)| Request::Submit { spec, deadline_ms })
+            .boxed(),
+    ])
+}
+
+fn arb_outcome() -> impl Strategy<Value = Outcome> {
+    Union::new(vec![
+        Just(Outcome::Ok).boxed(),
+        Just(Outcome::Cancelled).boxed(),
+        arb_string().prop_map(Outcome::Panicked).boxed(),
+        (0u64..1 << 32).prop_map(Outcome::TimedOut).boxed(),
+    ])
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    Union::new(vec![
+        Just(Response::Pong).boxed(),
+        Just(Response::ShuttingDown).boxed(),
+        ((0u64..1 << 40), arb_string())
+            .prop_map(|(job, key)| Response::Accepted { job, key })
+            .boxed(),
+        (arb_string(), (0u64..1 << 20))
+            .prop_map(|(reason, retry_after_ms)| Response::Rejected { reason, retry_after_ms })
+            .boxed(),
+        (0u64..1 << 40).prop_map(|job| Response::Cancelled { job, ok: job % 2 == 0 }).boxed(),
+        ((0u64..1 << 16), (0u64..1 << 16), (1u64..256), (0u64..2))
+            .prop_map(|(queued, running, workers, draining)| Response::Status {
+                queued,
+                running,
+                workers,
+                draining: draining == 1,
+            })
+            .boxed(),
+        arb_string().prop_map(|message| Response::Error { message }).boxed(),
+        ((0u64..1 << 40), arb_string(), arb_outcome(), (0u64..2), (0u64..1 << 32), arb_string())
+            .prop_map(|(job, key, outcome, hit, wall_ms, report)| {
+                // `report` travels only on ok outcomes (the daemon never
+                // sends one otherwise, and `Done` equality covers None).
+                let report = matches!(outcome, Outcome::Ok).then_some(report);
+                Response::Done { job, key, outcome, cache_hit: hit == 1, wall_ms, report }
+            })
+            .boxed(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// decode(encode(request)) is the identity, and every encoded frame is
+    /// one newline-free line under the frame cap.
+    #[test]
+    fn request_encode_decode_identity(request in arb_request()) {
+        let line = request.encode();
+        prop_assert!(!line.contains('\n'), "frame must be one line: {line}");
+        prop_assert!(line.len() < MAX_FRAME, "frame must fit the cap");
+        let decoded = Request::decode(&line)
+            .map_err(|e| format!("decode failed for {line}: {e}"))?;
+        // f64 equality is intentional: pages must survive bit-exactly.
+        prop_assert_eq!(decoded, request);
+    }
+
+    /// decode(encode(response)) is the identity.
+    #[test]
+    fn response_encode_decode_identity(response in arb_response()) {
+        let line = response.encode();
+        prop_assert!(!line.contains('\n'), "frame must be one line: {line}");
+        let decoded = Response::decode(&line)
+            .map_err(|e| format!("decode failed for {line}: {e}"))?;
+        prop_assert_eq!(decoded, response);
+    }
+
+    /// The JSON layer round-trips arbitrary strings through escaping.
+    #[test]
+    fn json_strings_round_trip(text in arb_string()) {
+        let encoded = json::Value::Str(text.clone()).to_json();
+        let back = json::parse(&encoded).map_err(|e| format!("{encoded}: {e}"))?;
+        prop_assert_eq!(back.as_str(), Some(text.as_str()));
+    }
+
+    /// The request parser never panics and never fabricates a valid request
+    /// from a corrupted frame suffix.
+    #[test]
+    fn decode_tolerates_mutated_frames(request in arb_request(), cut in 0usize..64) {
+        let line = request.encode();
+        let truncated: String = line.chars().take(line.chars().count().saturating_sub(cut)).collect();
+        // Must not panic; truncations that stay valid JSON may still parse.
+        let _ = Request::decode(&truncated);
+        let _ = Response::decode(&truncated);
+        let _ = json::parse(&truncated);
+    }
+}
+
+#[test]
+fn malformed_unknown_and_oversized_frames_are_rejected() {
+    // Malformed JSON.
+    assert!(Request::decode("{\"type\":").unwrap_err().contains("malformed JSON"));
+    // Valid JSON, unknown request type.
+    assert!(Request::decode("{\"type\":\"launch\"}").unwrap_err().contains("unknown request type"));
+    // Valid JSON, not an object / missing type.
+    assert!(Request::decode("[1,2,3]").unwrap_err().contains("type"));
+    // Oversized frame at the transport layer.
+    let huge = vec![b'a'; MAX_FRAME * 2];
+    let mut reader = std::io::BufReader::new(&huge[..]);
+    assert!(matches!(read_frame(&mut reader), Err(FrameError::Oversized)));
+}

@@ -17,7 +17,9 @@ pub const TARGETS: &[&str] = &[
 pub struct Cli {
     /// Which experiment to run (one of [`TARGETS`], default `all`).
     pub target: String,
-    /// Worker-count override (`--jobs N`).
+    /// Worker-count override (`--jobs N`). Validated at parse time: `N`
+    /// must parse and be at least 1, so `--jobs 0` is a usage error (exit
+    /// code 2 from the binary), never a silent fallback to a default.
     pub jobs: Option<usize>,
     /// Disable the disk cache (`--no-cache`).
     pub no_cache: bool,
@@ -46,7 +48,9 @@ pub fn usage() -> String {
          targets: {}\n\
          \n\
          options:\n\
-         \x20 --jobs N            worker threads (default: AP_JOBS or all cores)\n\
+         \x20 --jobs N            worker threads; N must be >= 1 — a zero or\n\
+         \x20                     non-numeric value is an error, never a silent\n\
+         \x20                     fallback (default: AP_JOBS or all cores)\n\
          \x20 --no-cache          recompute every point, ignore the disk cache\n\
          \x20 --manifest PATH     write the JSONL run manifest to PATH\n\
          \x20 --trace[=DIR]       export one Chrome trace per computed point\n\
@@ -91,6 +95,9 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
         };
         match flag.as_str() {
             "--jobs" => {
+                // Reject rather than clamp: a user typing `--jobs 0` is
+                // confused about the flag, and silently running on some
+                // default worker count would hide that.
                 let v = value("--jobs")?;
                 let n: usize = v.parse().map_err(|_| format!("invalid --jobs value {v:?}"))?;
                 if n == 0 {
@@ -251,8 +258,17 @@ mod tests {
         assert!(parse(&["--jobs"]).is_err());
         assert!(parse(&["--manifest="]).is_err());
         assert!(parse(&["--jobs", "zero"]).is_err());
-        assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["fig3", "fig5"]).is_err());
+    }
+
+    #[test]
+    fn jobs_zero_is_a_clear_error_not_a_fallback() {
+        let err = parse(&["--jobs", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "must say what a valid value is: {err}");
+        let err = parse(&["--jobs=0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        // The usage text documents the constraint.
+        assert!(usage().contains(">= 1"), "usage must document the --jobs floor");
     }
 }

@@ -25,6 +25,15 @@ use radram::{RadramConfig, SystemStats};
 /// differs) instead of being misread.
 pub const REPORT_FORMAT: u32 = 1;
 
+/// The engine cache salt shared by every harness front-end: the `ap-bench`
+/// crate version plus the report-codec format version. The `apd` daemon
+/// salts its cache with this same value, so a point computed by a local
+/// `experiments` run and one computed by the daemon share one cache entry —
+/// and serve each other byte-identical results.
+pub fn harness_salt() -> String {
+    format!("ap-bench-{}/report-v{REPORT_FORMAT}", env!("CARGO_PKG_VERSION"))
+}
+
 /// One simulation point, as a `Send` specification.
 #[derive(Debug, Clone)]
 pub struct RunSpec {
@@ -112,11 +121,10 @@ impl Runner {
     }
 
     /// A runner over an explicitly configured engine. The engine's salt is
-    /// replaced with the harness salt (crate version + codec format), which
-    /// keeps cache entries from one `ap-bench` version invisible to another.
+    /// replaced with [`harness_salt`], which keeps cache entries from one
+    /// `ap-bench` version invisible to another.
     pub fn with_engine(engine: Engine) -> Runner {
-        let salt = format!("ap-bench-{}/report-v{REPORT_FORMAT}", env!("CARGO_PKG_VERSION"));
-        Runner { engine: engine.with_salt(salt) }
+        Runner { engine: engine.with_salt(harness_salt()) }
     }
 
     /// The underlying engine.

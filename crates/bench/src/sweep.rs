@@ -66,6 +66,24 @@ pub fn run_sweep(runner: &Runner, app: App, cfg: &RadramConfig, quick: bool) -> 
     run_sweeps(runner, &[app], cfg, quick).pop().map(|(_, points)| points).unwrap_or_default()
 }
 
+/// The exact [`RunSpec`] batch behind the Figure 3/4 sweeps for `apps`:
+/// conventional + RADram at every [`size_grid`] point, in submission order
+/// (app-major, size, conventional before RADram). Shared between the
+/// in-process figures ([`run_sweeps`]) and the `apctl` daemon client, so a
+/// sweep submitted to a running `apd` is point-for-point the same batch —
+/// same keys, same cache entries — as a local `experiments` run.
+pub fn sweep_specs(apps: &[App], cfg: &RadramConfig, quick: bool) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for &app in apps {
+        for pages in size_grid(app, quick) {
+            for kind in [SystemKind::Conventional, SystemKind::Radram] {
+                specs.push(RunSpec::new(app, kind, pages, cfg.clone()));
+            }
+        }
+    }
+    specs
+}
+
 /// Runs the size sweeps for several applications as **one** engine batch, so
 /// every point of every app shares the worker pool. A point whose job failed
 /// (panic, deadline) is dropped with a warning; the surviving points keep
@@ -78,14 +96,7 @@ pub fn run_sweeps(
 ) -> Vec<(App, Vec<SweepPoint>)> {
     let grids: Vec<(App, Vec<f64>)> =
         apps.iter().map(|&app| (app, size_grid(app, quick))).collect();
-    let mut specs = Vec::new();
-    for (app, sizes) in &grids {
-        for &pages in sizes {
-            for kind in [SystemKind::Conventional, SystemKind::Radram] {
-                specs.push(RunSpec::new(*app, kind, pages, cfg.clone()));
-            }
-        }
-    }
+    let specs = sweep_specs(apps, cfg, quick);
     let mut results = runner.run(specs).into_iter();
     grids
         .into_iter()

@@ -36,6 +36,9 @@ pub enum JobError {
     Panicked(String),
     /// The job exceeded the engine's wall-clock deadline and was abandoned.
     TimedOut(Duration),
+    /// The job was cancelled while still queued (long-lived
+    /// [`Service`](crate::Service) pools only; batch runs never cancel).
+    Cancelled,
 }
 
 impl std::fmt::Display for JobError {
@@ -43,6 +46,7 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Panicked(msg) => write!(f, "panicked: {msg}"),
             JobError::TimedOut(d) => write!(f, "timed out after {:.1}s", d.as_secs_f64()),
+            JobError::Cancelled => f.write_str("cancelled before execution"),
         }
     }
 }

@@ -46,15 +46,18 @@
 mod cache;
 mod job;
 pub mod manifest;
+pub mod service;
+pub mod supervise;
 
 pub use cache::{fnv1a, DiskCache};
 pub use job::{Codec, Job, JobError, JobOutcome};
+pub use service::{Completion, JobId, Service, ServiceConfig, SubmitError};
+pub use supervise::{supervise, Supervised};
 
 use std::io::IsTerminal as _;
-use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::mpsc::{self, Sender};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -360,67 +363,24 @@ impl Engine {
         }
     }
 
-    /// Runs one job on a dedicated watchdog-supervised thread. The thread is
-    /// detached: on deadline overrun we abandon it (it cannot be killed) and
-    /// report [`JobError::TimedOut`]; its eventual result is discarded.
-    ///
-    /// When a [`TraceSink`] is configured, the job thread opens a
-    /// thread-local trace session around the job body — simulation events
-    /// accumulate lock-free in this thread's session — and exports it as
-    /// Chrome trace JSON afterwards (even when the job panicked, so crashes
-    /// keep their timeline). The returned path is `None` on timeout (the
-    /// abandoned thread's trace is discarded) or export failure.
+    /// Runs one job through [`supervise`] (dedicated thread, panic capture,
+    /// wall-clock watchdog) and, when a [`TraceSink`] is configured, exports
+    /// the job's trace session as Chrome trace JSON (even when the job
+    /// panicked, so crashes keep their timeline). The returned path is
+    /// `None` on timeout (the abandoned thread's trace is discarded) or
+    /// export failure.
     fn execute_isolated<T: Send + 'static>(
         &self,
         key: &str,
         run: Box<dyn FnOnce() -> T + Send>,
     ) -> (Result<T, JobError>, Option<PathBuf>) {
-        let (tx, rx) = mpsc::channel();
-        let sink = self.trace.clone();
-        let label = key.to_string();
-        let spawned = std::thread::Builder::new()
-            .name("ap-engine-job".into())
-            .stack_size(16 << 20) // deep simulations; don't inherit small default stacks
-            .spawn(move || {
-                let tracing = sink.is_some();
-                if tracing {
-                    ap_trace::session::begin(ap_trace::session::SessionConfig::default());
-                }
-                let started = Instant::now();
-                let result = std::panic::catch_unwind(AssertUnwindSafe(run));
-                let path = if let Some(sink) = sink {
-                    ap_trace::complete(
-                        ap_trace::Subsystem::Engine,
-                        "job.run",
-                        0,
-                        started.elapsed().as_micros() as u64,
-                        result.is_ok() as u64,
-                        0,
-                    );
-                    ap_trace::session::finish()
-                        .and_then(|trace| write_trace(&sink.dir, &label, &trace))
-                } else {
-                    None
-                };
-                let _ = tx.send((result, path));
-            });
-        if let Err(e) = spawned {
-            return (Err(JobError::Panicked(format!("cannot spawn job thread: {e}"))), None);
-        }
-        let (received, path) = match self.deadline {
-            Some(deadline) => match rx.recv_timeout(deadline) {
-                Ok(r) => r,
-                Err(RecvTimeoutError::Timeout) => return (Err(JobError::TimedOut(deadline)), None),
-                Err(RecvTimeoutError::Disconnected) => {
-                    return (Err(JobError::Panicked("job thread vanished".into())), None)
-                }
-            },
-            None => match rx.recv() {
-                Ok(r) => r,
-                Err(_) => return (Err(JobError::Panicked("job thread vanished".into())), None),
-            },
+        let session = self.trace.as_ref().map(|_| ap_trace::session::SessionConfig::default());
+        let supervised = supervise::supervise(self.deadline, session, run);
+        let path = match (&self.trace, &supervised.trace) {
+            (Some(sink), Some(trace)) => write_trace(&sink.dir, key, trace),
+            _ => None,
         };
-        (received.map_err(|payload| JobError::Panicked(panic_message(&*payload))), path)
+        (supervised.result, path)
     }
 }
 
@@ -450,17 +410,7 @@ struct JobSlot<T> {
     run: Mutex<Option<Box<dyn FnOnce() -> T + Send>>>,
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-fn available_workers() -> usize {
+pub(crate) fn available_workers() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 

@@ -24,7 +24,7 @@ pub struct DiagCounts {
 pub struct Entry {
     /// Job key.
     pub key: String,
-    /// `"ok"`, `"panicked"` or `"timed_out"`.
+    /// `"ok"`, `"panicked"`, `"timed_out"` or `"cancelled"`.
     pub outcome: &'static str,
     /// Error message for failed jobs.
     pub error: Option<String>,
@@ -48,6 +48,7 @@ impl Entry {
             Ok(_) => ("ok", None),
             Err(e @ JobError::Panicked(_)) => ("panicked", Some(e.to_string())),
             Err(e @ JobError::TimedOut(_)) => ("timed_out", Some(e.to_string())),
+            Err(e @ JobError::Cancelled) => ("cancelled", Some(e.to_string())),
         };
         Entry {
             key: outcome.key.clone(),
@@ -102,7 +103,15 @@ fn escape(s: &str) -> String {
 }
 
 /// Appends one line per outcome to the manifest at `path`.
-pub(crate) struct Writer {
+///
+/// Every [`record`](Writer::record) is written *and fsynced* immediately:
+/// the manifest is the run's audit trail, and a killed process (a daemon
+/// hit by SIGKILL, a crashed CI box) must leave a complete prefix of
+/// whole lines behind, not a page-cache-resident tail that never reached
+/// the disk. Jobs are seconds of simulation each, so one `fdatasync` per
+/// completion is noise.
+#[derive(Debug)]
+pub struct Writer {
     file: std::fs::File,
 }
 
@@ -118,9 +127,14 @@ impl Writer {
         Ok(Writer { file })
     }
 
+    /// Appends one entry and forces it to stable storage.
     pub fn record(&mut self, entry: &Entry) {
         if let Err(e) = writeln!(self.file, "{}", entry.to_json()) {
             ap_trace::warn("manifest.write_failed", format!("cannot write manifest line: {e}"));
+            return;
+        }
+        if let Err(e) = self.file.sync_data() {
+            ap_trace::warn("manifest.sync_failed", format!("cannot fsync manifest: {e}"));
         }
     }
 }
@@ -136,6 +150,8 @@ pub struct Summary {
     pub panicked: usize,
     /// Jobs that exceeded the deadline.
     pub timed_out: usize,
+    /// Jobs cancelled while still queued.
+    pub cancelled: usize,
     /// Values served from the disk cache.
     pub cache_hits: usize,
     /// Values computed fresh.
@@ -160,6 +176,8 @@ pub fn summarize(path: &Path) -> std::io::Result<Summary> {
             s.panicked += 1;
         } else if line.contains("\"outcome\":\"timed_out\"") {
             s.timed_out += 1;
+        } else if line.contains("\"outcome\":\"cancelled\"") {
+            s.cancelled += 1;
         }
         if line.contains("\"cache\":\"hit\"") {
             s.cache_hits += 1;
@@ -222,6 +240,7 @@ mod tests {
                 ok: 1,
                 panicked: 1,
                 timed_out: 0,
+                cancelled: 0,
                 cache_hits: 1,
                 cache_misses: 1,
                 diag_errors: 0,

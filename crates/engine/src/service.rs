@@ -1,0 +1,666 @@
+//! A long-lived job service: the daemon-facing counterpart of the batch
+//! [`Engine`](crate::Engine).
+//!
+//! [`Engine::run`](crate::Engine::run) is a *batch* API — it spins a worker
+//! pool up, drains one vector of jobs, and tears everything down. A daemon
+//! serving many concurrent clients needs the opposite lifecycle: workers
+//! that outlive any one submission, jobs that arrive continuously from
+//! independent clients, and an explicit drain at shutdown. [`Service`] is
+//! that pool:
+//!
+//! * **Fair.** Each client (a connection, in `apd`) owns its own FIFO
+//!   queue; workers pick the next job by round-robin *across clients*, so
+//!   a client that dumps a thousand-point sweep cannot starve a client
+//!   submitting single probes.
+//! * **Bounded.** Per-client queues have a fixed capacity; a submit beyond
+//!   it is rejected with [`SubmitError::Busy`] instead of growing without
+//!   limit — the caller turns that into protocol-level backpressure.
+//! * **Isolated.** Every job runs under [`supervise`](crate::supervise):
+//!   panics and per-job deadline overruns degrade to a [`JobError`] in
+//!   that job's completion while the pool keeps serving.
+//! * **Cancellable.** A queued job can be cancelled; its completion
+//!   callback fires with [`JobError::Cancelled`]. (A *running* job cannot
+//!   be killed mid-simulation — its deadline is the backstop.)
+//! * **Drainable.** [`drain`](Service::drain) stops intake and blocks
+//!   until every accepted job has completed; [`shutdown`](Service::shutdown)
+//!   additionally stops and joins the workers.
+//!
+//! Completions are delivered through a per-job `FnOnce` callback invoked on
+//! the worker thread, exactly once per accepted job (including cancelled
+//! ones). Callbacks should be cheap and must not block on the service.
+
+use crate::job::{Job, JobError};
+use crate::supervise::supervise;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Identity of one accepted job, unique within a [`Service`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Configuration for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs *per client*.
+    pub queue_capacity: usize,
+    /// Deadline applied to jobs submitted without their own.
+    pub default_deadline: Option<Duration>,
+    /// Collect a trace session (counters/histograms) around every job and
+    /// return it in [`Completion::trace`] — the daemon folds these into its
+    /// process-wide [`ap_trace::Registry`].
+    pub collect_sessions: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: crate::available_workers(),
+            queue_capacity: 256,
+            default_deadline: Some(crate::DEFAULT_DEADLINE),
+            collect_sessions: true,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The client's queue is full; retry after some of it drains.
+    Busy {
+        /// Jobs currently queued for this client.
+        queued: usize,
+        /// The per-client queue capacity.
+        capacity: usize,
+    },
+    /// The service is draining for shutdown and takes no new work.
+    Draining,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy { queued, capacity } => {
+                write!(f, "client queue full ({queued}/{capacity})")
+            }
+            SubmitError::Draining => f.write_str("service is draining"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One accepted job's terminal record, handed to its completion callback.
+#[derive(Debug)]
+pub struct Completion<T> {
+    /// The service-assigned job id.
+    pub id: JobId,
+    /// The submitting client.
+    pub client: u64,
+    /// The job's key, as submitted.
+    pub key: String,
+    /// The computed value, or why there is none.
+    pub result: Result<T, JobError>,
+    /// Time the job spent waiting in its queue.
+    pub queued: Duration,
+    /// Time the job occupied a worker (zero for cancelled jobs).
+    pub wall: Duration,
+    /// Index of the worker that executed the job (0 for cancelled jobs).
+    pub worker: usize,
+    /// The job's finished trace session, when
+    /// [`ServiceConfig::collect_sessions`] is set and the job ran.
+    pub trace: Option<ap_trace::session::Trace>,
+}
+
+type OnDone<T> = Box<dyn FnOnce(Completion<T>) + Send>;
+
+struct Pending<T> {
+    id: JobId,
+    client: u64,
+    key: String,
+    run: Box<dyn FnOnce() -> T + Send>,
+    deadline: Option<Duration>,
+    on_done: OnDone<T>,
+    enqueued: Instant,
+}
+
+struct State<T> {
+    /// Per-client FIFO queues. Empty queues linger (clients resubmit);
+    /// [`Service::retire_client`] removes one for good.
+    queues: BTreeMap<u64, VecDeque<Pending<T>>>,
+    /// Round-robin rotation: ids of clients believed to have queued work.
+    /// Lazily validated on pick, so stale entries are harmless.
+    rotation: VecDeque<u64>,
+    next_id: u64,
+    queued: usize,
+    running: usize,
+    draining: bool,
+    stop: bool,
+}
+
+impl<T> State<T> {
+    /// Pops the next job fairly: the first client in the rotation with a
+    /// nonempty queue, which then moves to the rotation's back.
+    fn pick(&mut self) -> Option<Pending<T>> {
+        while let Some(client) = self.rotation.pop_front() {
+            if let Some(queue) = self.queues.get_mut(&client) {
+                if let Some(job) = queue.pop_front() {
+                    if !queue.is_empty() {
+                        self.rotation.push_back(client);
+                    }
+                    self.queued -= 1;
+                    return Some(job);
+                }
+            }
+        }
+        None
+    }
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signaled when work arrives or the pool must re-check stop/drain.
+    work_ready: Condvar,
+    /// Signaled when a job completes (drain waiters listen here).
+    settled: Condvar,
+    cfg: ServiceConfig,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A long-lived worker pool multiplexing jobs from many clients. See the
+/// module docs for the scheduling, backpressure and shutdown contract.
+pub struct Service<T> {
+    shared: Arc<Shared<T>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl<T> std::fmt::Debug for Service<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.shared.lock();
+        f.debug_struct("Service")
+            .field("workers", &self.shared.cfg.workers)
+            .field("queued", &state.queued)
+            .field("running", &state.running)
+            .field("draining", &state.draining)
+            .finish()
+    }
+}
+
+impl<T: Send + 'static> Service<T> {
+    /// Starts the pool: `cfg.workers` threads, idle until jobs arrive.
+    ///
+    /// Like [`Engine::run`](crate::Engine::run), the machine's cores are
+    /// split between job workers and each job's in-simulator page-execution
+    /// pool so concurrent simulations don't oversubscribe the host.
+    pub fn start(cfg: ServiceConfig) -> Service<T> {
+        let workers = cfg.workers.max(1);
+        active_pages::parallel::set_thread_budget((crate::available_workers() / workers).max(1));
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queues: BTreeMap::new(),
+                rotation: VecDeque::new(),
+                next_id: 0,
+                queued: 0,
+                running: 0,
+                draining: false,
+                stop: false,
+            }),
+            work_ready: Condvar::new(),
+            settled: Condvar::new(),
+            cfg: ServiceConfig { workers, ..cfg },
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ap-service-{index}"))
+                    .spawn(move || worker_loop(index, &shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service { shared, workers: Mutex::new(handles) }
+    }
+
+    /// Submits `job` for `client`. `deadline` overrides the configured
+    /// default (`Some(None)` explicitly disables the watchdog). On success
+    /// the job is queued and `on_done` will be called exactly once, on a
+    /// worker thread, when the job completes, fails or is cancelled.
+    pub fn submit(
+        &self,
+        client: u64,
+        job: Job<T>,
+        deadline: Option<Option<Duration>>,
+        on_done: impl FnOnce(Completion<T>) + Send + 'static,
+    ) -> Result<JobId, SubmitError> {
+        let mut state = self.shared.lock();
+        if state.draining || state.stop {
+            return Err(SubmitError::Draining);
+        }
+        let queue = state.queues.entry(client).or_default();
+        if queue.len() >= self.shared.cfg.queue_capacity {
+            return Err(SubmitError::Busy {
+                queued: queue.len(),
+                capacity: self.shared.cfg.queue_capacity,
+            });
+        }
+        let id = JobId(state.next_id);
+        state.next_id += 1;
+        let was_empty = {
+            let queue = state.queues.get_mut(&client).expect("queue just ensured");
+            let was_empty = queue.is_empty();
+            queue.push_back(Pending {
+                id,
+                client,
+                key: job.key.clone(),
+                run: job.run,
+                deadline: deadline.unwrap_or(self.shared.cfg.default_deadline),
+                on_done: Box::new(on_done),
+                enqueued: Instant::now(),
+            });
+            was_empty
+        };
+        state.queued += 1;
+        if was_empty {
+            state.rotation.push_back(client);
+        }
+        drop(state);
+        self.shared.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// Cancels a *queued* job: it is removed from its queue and its
+    /// callback fires (on this thread) with [`JobError::Cancelled`].
+    /// Returns `false` when the job is unknown, already running or done —
+    /// running jobs cannot be killed; their deadline is the backstop.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let removed = {
+            let mut state = self.shared.lock();
+            let mut found = None;
+            for queue in state.queues.values_mut() {
+                if let Some(pos) = queue.iter().position(|p| p.id == id) {
+                    found = queue.remove(pos);
+                    break;
+                }
+            }
+            if found.is_some() {
+                state.queued -= 1;
+            }
+            found
+        };
+        match removed {
+            Some(pending) => {
+                complete_cancelled(pending);
+                self.shared.settled.notify_all();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops `client`'s queue entirely, cancelling its queued jobs (their
+    /// callbacks fire with [`JobError::Cancelled`]). Call when a client
+    /// disconnects; its running jobs still complete normally.
+    pub fn retire_client(&self, client: u64) -> usize {
+        let dropped = {
+            let mut state = self.shared.lock();
+            let dropped = state.queues.remove(&client).unwrap_or_default();
+            state.queued -= dropped.len();
+            dropped
+        };
+        let n = dropped.len();
+        for pending in dropped {
+            complete_cancelled(pending);
+        }
+        if n > 0 {
+            self.shared.settled.notify_all();
+        }
+        n
+    }
+
+    /// `(queued, running)` job counts, for status endpoints.
+    pub fn load(&self) -> (usize, usize) {
+        let state = self.shared.lock();
+        (state.queued, state.running)
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.shared.cfg.workers
+    }
+
+    /// True once [`drain`](Service::drain) (or shutdown) has begun.
+    pub fn draining(&self) -> bool {
+        self.shared.lock().draining
+    }
+
+    /// Stops intake (further submits fail with [`SubmitError::Draining`])
+    /// and blocks until every accepted job has completed. Idempotent.
+    pub fn drain(&self) {
+        let mut state = self.shared.lock();
+        state.draining = true;
+        self.shared.work_ready.notify_all();
+        while state.queued > 0 || state.running > 0 {
+            state =
+                self.shared.settled.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Drains, then stops and joins the worker threads.
+    pub fn shutdown(&self) {
+        self.drain();
+        {
+            let mut state = self.shared.lock();
+            state.stop = true;
+        }
+        self.shared.work_ready.notify_all();
+        let handles = std::mem::take(
+            &mut *self.workers.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Fires `pending`'s callback with a [`JobError::Cancelled`] completion.
+fn complete_cancelled<T>(pending: Pending<T>) {
+    let queued = pending.enqueued.elapsed();
+    (pending.on_done)(Completion {
+        id: pending.id,
+        client: pending.client,
+        key: pending.key,
+        result: Err(JobError::Cancelled),
+        queued,
+        wall: Duration::ZERO,
+        worker: 0,
+        trace: None,
+    });
+}
+
+fn worker_loop<T: Send + 'static>(index: usize, shared: &Shared<T>) {
+    loop {
+        let pending = {
+            let mut state = shared.lock();
+            loop {
+                if state.stop {
+                    return;
+                }
+                if let Some(p) = state.pick() {
+                    state.running += 1;
+                    break p;
+                }
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let queued = pending.enqueued.elapsed();
+        let session = shared.cfg.collect_sessions.then(ap_trace::session::SessionConfig::default);
+        let started = Instant::now();
+        let supervised = supervise(pending.deadline, session, pending.run);
+        let completion = Completion {
+            id: pending.id,
+            client: pending.client,
+            key: pending.key,
+            result: supervised.result,
+            queued,
+            wall: started.elapsed(),
+            worker: index,
+            trace: supervised.trace,
+        };
+        (pending.on_done)(completion);
+        {
+            let mut state = shared.lock();
+            state.running -= 1;
+        }
+        shared.settled.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn quick_cfg(workers: usize) -> ServiceConfig {
+        ServiceConfig {
+            workers,
+            queue_capacity: 16,
+            default_deadline: Some(Duration::from_secs(30)),
+            collect_sessions: false,
+        }
+    }
+
+    /// Spins until `service` has at least `n` jobs running.
+    fn wait_running<T: Send + 'static>(service: &Service<T>, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while service.load().1 < n {
+            assert!(Instant::now() < deadline, "worker never started the gate job");
+            std::thread::yield_now();
+        }
+    }
+
+    /// Submits a job whose completion lands in `tx`.
+    fn send_done<T: Send + 'static>(
+        tx: &mpsc::Sender<Completion<T>>,
+    ) -> impl FnOnce(Completion<T>) + Send + 'static {
+        let tx = tx.clone();
+        move |c| {
+            let _ = tx.send(c);
+        }
+    }
+
+    #[test]
+    fn round_robin_interleaves_clients() {
+        // One worker, two clients with 3 queued jobs each (queued while the
+        // worker is blocked on a gate job): execution must alternate A,B.
+        let service = Service::start(quick_cfg(1));
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (tx, rx) = mpsc::channel();
+        service
+            .submit(
+                99,
+                Job::new("gate", move || {
+                    gate_rx.recv().unwrap();
+                }),
+                None,
+                |_| {},
+            )
+            .unwrap();
+        wait_running(&service, 1);
+        for i in 0..3 {
+            for client in [1u64, 2u64] {
+                service
+                    .submit(client, Job::new(format!("c{client}/{i}"), || {}), None, send_done(&tx))
+                    .unwrap();
+            }
+        }
+        gate_tx.send(()).unwrap();
+        let order: Vec<u64> = (0..6).map(|_| rx.recv().unwrap().client).collect();
+        assert_eq!(order, vec![1, 2, 1, 2, 1, 2], "strict per-client alternation");
+        service.shutdown();
+    }
+
+    #[test]
+    fn bounded_queues_reject_with_busy() {
+        let cfg = ServiceConfig { queue_capacity: 2, ..quick_cfg(1) };
+        let service = Service::start(cfg);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        service
+            .submit(
+                7,
+                Job::new("gate", move || {
+                    gate_rx.recv().unwrap();
+                }),
+                None,
+                |_| {},
+            )
+            .unwrap();
+        // The worker holds the gate job; two more fit in the queue.
+        wait_running(&service, 1);
+        service.submit(7, Job::new("a", || {}), None, |_| {}).unwrap();
+        service.submit(7, Job::new("b", || {}), None, |_| {}).unwrap();
+        match service.submit(7, Job::new("c", || {}), None, |_| {}) {
+            Err(SubmitError::Busy { queued: 2, capacity: 2 }) => {}
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        // Another client is unaffected by client 7's full queue.
+        service.submit(8, Job::new("d", || {}), None, |_| {}).unwrap();
+        gate_tx.send(()).unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn queued_jobs_cancel_running_jobs_do_not() {
+        let service = Service::start(quick_cfg(1));
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (tx, rx) = mpsc::channel();
+        let running = service
+            .submit(
+                1,
+                Job::new("gate", move || {
+                    gate_rx.recv().unwrap();
+                    1u32
+                }),
+                None,
+                send_done(&tx),
+            )
+            .unwrap();
+        // The worker must take the gate job off the queue first.
+        wait_running(&service, 1);
+        let queued = service.submit(1, Job::new("victim", || 2u32), None, send_done(&tx)).unwrap();
+        assert!(!service.cancel(running), "running jobs cannot be cancelled");
+        assert!(service.cancel(queued), "queued jobs can");
+        assert!(!service.cancel(queued), "cancel is not repeatable");
+        gate_tx.send(()).unwrap();
+        let mut results: Vec<(JobId, Result<u32, JobError>)> =
+            (0..2).map(|_| rx.recv().unwrap()).map(|c| (c.id, c.result)).collect();
+        results.sort_by_key(|(id, _)| *id);
+        assert_eq!(results[0].0, running);
+        assert_eq!(results[0].1.as_ref().unwrap(), &1);
+        assert_eq!(results[1].0, queued);
+        assert_eq!(results[1].1, Err(JobError::Cancelled));
+        service.shutdown();
+    }
+
+    #[test]
+    fn drain_blocks_until_empty_and_rejects_new_work() {
+        let service = Arc::new(Service::start(quick_cfg(2)));
+        let (tx, rx) = mpsc::channel();
+        for i in 0..6 {
+            service
+                .submit(
+                    1,
+                    Job::new(format!("j{i}"), move || {
+                        std::thread::sleep(Duration::from_millis(10));
+                        i
+                    }),
+                    None,
+                    send_done(&tx),
+                )
+                .unwrap();
+        }
+        service.drain();
+        assert_eq!(service.load(), (0, 0), "drain returns only when idle");
+        assert_eq!(rx.try_iter().count(), 6, "every accepted job completed");
+        assert!(matches!(
+            service.submit(1, Job::new("late", || 0usize), None, |_| {}),
+            Err(SubmitError::Draining)
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn per_job_deadlines_and_panics_are_isolated() {
+        let service = Service::start(quick_cfg(2));
+        let (tx, rx) = mpsc::channel();
+        service
+            .submit(
+                1,
+                Job::new("slow", || {
+                    std::thread::sleep(Duration::from_secs(10));
+                    0u32
+                }),
+                Some(Some(Duration::from_millis(30))),
+                send_done(&tx),
+            )
+            .unwrap();
+        service
+            .submit(1, Job::new("bad", || panic!("injected") as u32), None, send_done(&tx))
+            .unwrap();
+        service.submit(1, Job::new("good", || 7u32), None, send_done(&tx)).unwrap();
+        let mut by_key = std::collections::BTreeMap::new();
+        for _ in 0..3 {
+            let c = rx.recv().unwrap();
+            by_key.insert(c.key.clone(), c.result);
+        }
+        assert!(matches!(by_key["slow"], Err(JobError::TimedOut(_))));
+        assert!(matches!(by_key["bad"], Err(JobError::Panicked(_))));
+        assert_eq!(by_key["good"].as_ref().unwrap(), &7);
+        service.shutdown();
+    }
+
+    #[test]
+    fn retire_client_cancels_only_that_clients_queue() {
+        let service = Service::start(quick_cfg(1));
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (tx, rx) = mpsc::channel();
+        service
+            .submit(
+                9,
+                Job::new("gate", move || {
+                    gate_rx.recv().unwrap();
+                }),
+                None,
+                |_| {},
+            )
+            .unwrap();
+        wait_running(&service, 1);
+        service.submit(1, Job::new("a1", || {}), None, send_done(&tx)).unwrap();
+        service.submit(1, Job::new("a2", || {}), None, send_done(&tx)).unwrap();
+        service.submit(2, Job::new("b1", || {}), None, send_done(&tx)).unwrap();
+        assert_eq!(service.retire_client(1), 2);
+        gate_tx.send(()).unwrap();
+        let mut outcomes: Vec<(String, bool)> =
+            (0..3).map(|_| rx.recv().unwrap()).map(|c| (c.key, c.result.is_ok())).collect();
+        outcomes.sort();
+        assert_eq!(outcomes, vec![("a1".into(), false), ("a2".into(), false), ("b1".into(), true)]);
+        service.shutdown();
+    }
+
+    #[test]
+    fn sessions_flow_back_when_enabled() {
+        let cfg = ServiceConfig { collect_sessions: true, ..quick_cfg(1) };
+        let service = Service::start(cfg);
+        let (tx, rx) = mpsc::channel();
+        service
+            .submit(
+                1,
+                Job::new("counted", || {
+                    ap_trace::session::count("svc.test", 5);
+                    0u8
+                }),
+                None,
+                send_done(&tx),
+            )
+            .unwrap();
+        let c = rx.recv().unwrap();
+        let trace = c.trace.expect("session collected");
+        assert_eq!(trace.counters.iter().find(|x| x.name == "svc.test").unwrap().value(), 5);
+        service.shutdown();
+    }
+}

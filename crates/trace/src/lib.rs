@@ -51,11 +51,13 @@ pub mod chrome;
 pub mod flame;
 pub mod metrics;
 pub mod phases;
+pub mod registry;
 pub mod ring;
 pub mod session;
 mod warnings;
 
 pub use metrics::{Counter, Histogram};
+pub use registry::Registry;
 pub use ring::Ring;
 pub use session::{complete, instant, Trace};
 pub use warnings::{reset_warnings, warn, warn_count, warnings, Warning};

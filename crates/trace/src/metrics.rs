@@ -29,6 +29,14 @@ impl Counter {
     pub fn value(&self) -> u64 {
         self.value
     }
+
+    /// Folds `other` into this counter (saturating). Each source counter
+    /// must be merged exactly once — the caller owns double-counting
+    /// prevention; merge itself is a plain sum of two disjoint tallies.
+    pub fn merge(&mut self, other: &Counter) {
+        debug_assert_eq!(self.name, other.name, "merging differently named counters");
+        self.value = self.value.saturating_add(other.value);
+    }
 }
 
 /// Number of histogram buckets: values up to `u64::MAX` fit in 64
@@ -115,6 +123,20 @@ impl Histogram {
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (bucket_limit(i), c))
     }
+
+    /// Folds `other` into this histogram: bucket-wise count addition plus
+    /// combined count/sum/max, exactly as if every sample recorded in
+    /// `other` had been recorded here. Each source histogram must be merged
+    /// exactly once — the caller owns double-counting prevention.
+    pub fn merge(&mut self, other: &Histogram) {
+        debug_assert_eq!(self.name, other.name, "merging differently named histograms");
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
 }
 
 #[cfg(test)]
@@ -156,5 +178,47 @@ mod tests {
         c.add(2);
         c.add(3);
         assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn counter_merge_sums_once() {
+        let mut a = Counter::new("t");
+        a.add(5);
+        let mut b = Counter::new("t");
+        b.add(7);
+        a.merge(&b);
+        assert_eq!(a.value(), 12);
+        assert_eq!(b.value(), 7, "merge source is untouched");
+        let mut sat = Counter::new("t");
+        sat.add(u64::MAX);
+        sat.merge(&a);
+        assert_eq!(sat.value(), u64::MAX, "merge saturates");
+    }
+
+    #[test]
+    fn histogram_merge_equals_recording_all_samples() {
+        let left = [0u64, 1, 7, 7, 50];
+        let right = [2u64, 1023, 1024, u64::MAX];
+        let mut a = Histogram::new("t");
+        let mut b = Histogram::new("t");
+        let mut whole = Histogram::new("t");
+        for &v in &left {
+            a.record(v);
+            whole.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.buckets(), whole.buckets());
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.max(), whole.max());
+        // Merging an empty histogram is the identity.
+        let before = a.clone();
+        a.merge(&Histogram::new("t"));
+        assert_eq!(a.buckets(), before.buckets());
+        assert_eq!(a.count(), before.count());
     }
 }

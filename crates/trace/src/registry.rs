@@ -1,0 +1,169 @@
+//! A process-wide metrics registry.
+//!
+//! Sessions are thread-local by design ([`crate::session`]): each
+//! simulation job collects its counters and histograms lock-free on its own
+//! thread and hands back a finished [`Trace`]. A long-running service (the
+//! `apd` daemon) wants the *live, whole-process* view of those per-job
+//! snapshots: one registry that every completed session folds into exactly
+//! once, plus daemon-side counters (jobs accepted, cache hits) that have no
+//! session to live in.
+//!
+//! [`Registry`] is that aggregation point. It is `Sync` (one mutex around a
+//! pair of sorted maps — this is cold-path code: it is touched once per
+//! *job*, never per simulated event) and folds sessions via the
+//! [`Counter::merge`]/[`Histogram::merge`] operations, so a value recorded
+//! in some job's session is counted exactly once no matter how many
+//! registries or scrapes observe it.
+
+use crate::metrics::{Counter, Histogram};
+use crate::session::Trace;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A thread-safe, process-wide accumulation of counters and histograms.
+///
+/// Names are `&'static str` like everywhere else in this crate; maps are
+/// sorted so snapshots (and anything rendered from them) have a stable
+/// order.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, Counter>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// A point-in-time copy of a registry's contents, in name order.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Every counter, sorted by name.
+    pub counters: Vec<Counter>,
+    /// Every histogram, sorted by name.
+    pub histograms: Vec<Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `n` to the counter named `name`, creating it at zero first.
+    pub fn add(&self, name: &'static str, n: u64) {
+        let mut inner = self.lock();
+        inner.counters.entry(name).or_insert_with(|| Counter::new(name)).add(n);
+    }
+
+    /// Records one sample in the histogram named `name`, creating it first.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        let mut inner = self.lock();
+        inner.histograms.entry(name).or_insert_with(|| Histogram::new(name)).record(value);
+    }
+
+    /// Folds a finished session into the registry: every counter and
+    /// histogram in `trace` is merged into the entry of the same name.
+    ///
+    /// Call this exactly once per finished session — merge is a plain sum,
+    /// so absorbing the same `Trace` twice double-counts it.
+    pub fn absorb(&self, trace: &Trace) {
+        let mut inner = self.lock();
+        for c in &trace.counters {
+            inner.counters.entry(c.name).or_insert_with(|| Counter::new(c.name)).merge(c);
+        }
+        for h in &trace.histograms {
+            inner.histograms.entry(h.name).or_insert_with(|| Histogram::new(h.name)).merge(h);
+        }
+    }
+
+    /// The current value of the counter named `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).map_or(0, Counter::value)
+    }
+
+    /// A point-in-time copy of everything, in name order.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner.counters.values().copied().collect(),
+            histograms: inner.histograms.values().cloned().collect(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding the lock can only happen inside this
+        // module's own (panic-free) map operations; recover the data rather
+        // than poisoning every future scrape.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{self, SessionConfig};
+
+    #[test]
+    fn direct_adds_and_observations_accumulate() {
+        let r = Registry::new();
+        r.add("apd.jobs", 1);
+        r.add("apd.jobs", 2);
+        r.observe("apd.wall_ms", 5);
+        r.observe("apd.wall_ms", 9);
+        assert_eq!(r.counter("apd.jobs"), 3);
+        assert_eq!(r.counter("absent"), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].count(), 2);
+        assert_eq!(snap.histograms[0].sum(), 14);
+    }
+
+    #[test]
+    fn absorbing_sessions_folds_without_double_counting() {
+        let r = Registry::new();
+        // Two "jobs", each with its own session; each session absorbed once.
+        for (loads, lat) in [(10u64, 4u64), (32, 16)] {
+            session::begin(SessionConfig::default());
+            session::count("cpu.loads", loads);
+            session::observe("mem.latency", lat);
+            let trace = session::finish().expect("session active");
+            r.absorb(&trace);
+        }
+        assert_eq!(r.counter("cpu.loads"), 42);
+        let snap = r.snapshot();
+        let h = &snap.histograms[0];
+        assert_eq!(h.name, "mem.latency");
+        assert_eq!(h.count(), 2, "one sample per absorbed session");
+        assert_eq!(h.sum(), 20);
+        assert_eq!(h.max(), 16);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered() {
+        let r = Registry::new();
+        r.add("z.last", 1);
+        r.add("a.first", 1);
+        r.add("m.middle", 1);
+        let names: Vec<&str> = r.snapshot().counters.iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["a.first", "m.middle", "z.last"]);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let r = std::sync::Arc::new(Registry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        r.add("contended", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("contended"), 400);
+    }
+}
