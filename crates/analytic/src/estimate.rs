@@ -1,0 +1,171 @@
+//! The fast tier's analytic cycle oracle (DESIGN.md §13).
+//!
+//! A fast-mode run executes full application semantics but only *counts*
+//! memory behaviour instead of simulating the hierarchy, so its kernel cycle
+//! total is itself an estimate. This module closes the loop with the Figure 7
+//! model: the counted run is treated as a calibration data set — per-activation
+//! `(T_A, T_P, T_C)` averages are extracted exactly as [`crate::calibrate`]
+//! does for accurate runs — and the [`crate::ConstModel`] recurrence then
+//! predicts the kernel time analytically. The pair of numbers (counted vs
+//! analytic) brackets the true cycle count; their gap is a cheap self-check
+//! that the fast tier's accounting stayed plausible for a given sweep point.
+
+use crate::{calibrate, Calibration};
+use ap_apps::RunReport;
+
+/// A kernel-cycle estimate produced from one RADram run.
+///
+/// `counted` is what the run's instrumented clock accumulated; `analytic` is
+/// the Figure 7 prediction from the same run's `(T_A, T_P, T_C)` averages.
+/// For constant-time-per-page kernels the two agree closely; irregular
+/// kernels (matrix-boeing's skewed row lengths) diverge because the constant
+/// model averages away the skew.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleEstimate {
+    /// Kernel cycles accumulated by the run's own clock.
+    pub counted: u64,
+    /// Kernel cycles the Figure 7 constant model predicts for the run's
+    /// activation count.
+    pub analytic: f64,
+    /// The per-activation averages behind `analytic`.
+    pub calibration: Calibration,
+}
+
+impl CycleEstimate {
+    /// Signed relative gap between the analytic prediction and the counted
+    /// clock, as a fraction of the counted value: `(analytic − counted) /
+    /// counted`. Zero when the model reproduces the clock exactly.
+    pub fn relative_gap(&self) -> f64 {
+        if self.counted == 0 {
+            return 0.0;
+        }
+        (self.analytic - self.counted as f64) / self.counted as f64
+    }
+
+    /// Predicted partitioned speedup against a measured conventional run of
+    /// the same problem, using the analytic kernel time.
+    pub fn predicted_speedup(&self, conventional_cycles: u64) -> f64 {
+        conventional_cycles as f64 / self.analytic
+    }
+}
+
+/// Builds the two-sided estimate from one RADram [`RunReport`] (either tier).
+///
+/// # Panics
+///
+/// Panics if the report has no activations (a conventional run), like
+/// [`crate::calibrate`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use ap_apps::{App, ExecMode, SystemKind};
+/// use radram::RadramConfig;
+///
+/// let cfg = RadramConfig::reference();
+/// let r = App::Database.run_mode(SystemKind::Radram, 4.0, &cfg, ExecMode::Fast);
+/// let est = ap_analytic::estimate_kernel(&r);
+/// assert!(est.analytic > 0.0);
+/// ```
+pub fn estimate_kernel(report: &RunReport) -> CycleEstimate {
+    let calibration = calibrate(report);
+    let k = calibration.activations as usize;
+    let analytic = calibration.model().predicted_kernel_time(k);
+    CycleEstimate { counted: report.kernel_cycles, analytic, calibration }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_apps::{App, ExecMode, RunReport, SystemKind};
+    use radram::{RadramConfig, SystemStats};
+
+    /// A synthetic RADram report with the given timing decomposition.
+    fn report(kernel: u64, dispatch: u64, non_overlap: u64, logic: u64, k: u64) -> RunReport {
+        let stats = SystemStats {
+            activations: k,
+            non_overlap_cycles: non_overlap,
+            logic_busy_cycles: logic,
+            ..Default::default()
+        };
+        RunReport {
+            app: "synthetic",
+            system: SystemKind::Radram,
+            mode: ExecMode::Fast,
+            pages: k as f64,
+            kernel_cycles: kernel,
+            total_cycles: kernel,
+            dispatch_cycles: dispatch,
+            checksum: 0,
+            stats,
+        }
+    }
+
+    #[test]
+    fn single_activation_is_the_sum_of_the_three_terms() {
+        // k = 1 degenerate case: NO(1) = T_C, so the analytic kernel time is
+        // exactly T_A + T_P + T_C regardless of how the counted kernel
+        // decomposed.
+        let r = report(1_500, 200, 1_000, 1_000, 1);
+        let est = estimate_kernel(&r);
+        assert_eq!(est.calibration.activations, 1);
+        let expected = est.calibration.t_a + est.calibration.t_p + est.calibration.t_c;
+        assert!((est.analytic - expected).abs() < 1e-9, "got {}", est.analytic);
+        // T_P = kernel − NO − dispatch = 300.
+        assert!((est.calibration.t_p - 300.0).abs() < 1e-9);
+        assert!((est.analytic - 1_500.0).abs() < 1e-9);
+        assert!(est.relative_gap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_tp_kernel_estimates_dispatch_plus_waits() {
+        // A kernel whose processor does nothing after dispatching (T_P = 0):
+        // kernel = dispatch + non-overlap exactly. The constant model then
+        // predicts K·T_A plus the recurrence's waits, with only later
+        // activations available to hide page compute.
+        let k = 4u64;
+        let (dispatch, no) = (400, 2_600);
+        let r = report(dispatch + no, dispatch, no, 4_000, k);
+        let est = estimate_kernel(&r);
+        assert_eq!(est.calibration.t_p, 0.0);
+        // T_A = 100, T_C = 1000. NO(i) = max(0, 1000 − 100·(K−i) − ΣNO):
+        // NO = [700, 100, 100, 100] → analytic = 400 + 1000.
+        assert!((est.analytic - 1_400.0).abs() < 1e-9, "got {}", est.analytic);
+        // With T_P = 0 the model never reaches complete overlap.
+        assert_eq!(est.calibration.model().pages_for_overlap(1 << 10), 1 << 10);
+    }
+
+    #[test]
+    fn zero_counted_kernel_reports_zero_gap() {
+        let est = estimate_kernel(&report(0, 0, 0, 0, 1));
+        assert_eq!(est.counted, 0);
+        assert_eq!(est.relative_gap(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "activations")]
+    fn conventional_reports_are_rejected() {
+        estimate_kernel(&report(1_000, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn fast_run_estimate_brackets_the_accurate_kernel() {
+        // The analytic prediction from a fast-mode database run should land
+        // near the accurate simulation's kernel time: the kernel is
+        // constant-time-per-page, the model's best case.
+        let cfg = RadramConfig::reference();
+        let fast = App::Database.run_mode(SystemKind::Radram, 3.0, &cfg, ExecMode::Fast);
+        let accurate = App::Database.run_mode(SystemKind::Radram, 3.0, &cfg, ExecMode::Accurate);
+        let est = estimate_kernel(&fast);
+        let rel =
+            (est.analytic - accurate.kernel_cycles as f64).abs() / accurate.kernel_cycles as f64;
+        assert!(rel < 0.25, "analytic {} vs accurate {}", est.analytic, accurate.kernel_cycles);
+    }
+
+    #[test]
+    fn predicted_speedup_uses_the_analytic_time() {
+        let est = estimate_kernel(&report(1_000, 100, 500, 800, 2));
+        let s = est.predicted_speedup(10_000);
+        assert!((s - 10_000.0 / est.analytic).abs() < 1e-12);
+    }
+}

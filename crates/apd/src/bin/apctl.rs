@@ -7,7 +7,7 @@
 
 use ap_apd::client::{http_get, Client};
 use ap_apd::proto::{Outcome, WireSpec};
-use ap_apps::{App, SystemKind};
+use ap_apps::{App, ExecMode, SystemKind};
 use ap_bench::runner::{report_codec, RunSpec};
 use ap_bench::sweep::sweep_specs;
 use radram::RadramConfig;
@@ -133,7 +133,9 @@ fn run_point(addr: &str, args: &[String]) {
         // The same spec the daemon would build, executed in-process: the
         // printed text is what a daemon `point` must match byte for byte.
         let spec = WireSpec::point(app, kind, pages);
-        let report = RunSpec::new(spec.app, spec.kind, spec.pages, spec.config()).execute();
+        let report = RunSpec::new(spec.app, spec.kind, spec.pages, spec.config())
+            .with_mode(spec.mode)
+            .execute();
         print!("{}", (report_codec().encode)(&report));
         return;
     }
@@ -165,9 +167,9 @@ fn run_sweep(addr: &str, args: &[String]) {
     // specs, same order, same keys — so the daemon's cache fills (or hits)
     // point for point.
     let cfg = RadramConfig::reference();
-    let specs: Vec<WireSpec> = sweep_specs(&apps, &cfg, quick)
+    let specs: Vec<WireSpec> = sweep_specs(&apps, &cfg, quick, ExecMode::Accurate)
         .into_iter()
-        .map(|s| WireSpec::point(s.app, s.kind, s.pages))
+        .map(|s| WireSpec::point(s.app, s.kind, s.pages).with_mode(s.mode))
         .collect();
     let mut client = connect(addr);
     let results = client.run_all(&specs).unwrap_or_else(|e| fail(&e.to_string()));

@@ -78,8 +78,8 @@ impl From<FrameError> for ClientError {
 /// A connected line-protocol client.
 ///
 /// The protocol is pipelined — the daemon pushes `done` frames whenever
-/// jobs finish — so reads route through [`Client::next_response`], which
-/// buffers out-of-band completions until the caller collects them.
+/// jobs finish — so reads buffer out-of-band completions until the caller
+/// collects them (see [`Client::collect`]).
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,

@@ -13,7 +13,7 @@
 //! suite pins `decode(encode(x)) == x` for every message type.
 
 use crate::json::{self, obj, Value};
-use ap_apps::{App, SystemKind};
+use ap_apps::{App, ExecMode, SystemKind};
 use radram::RadramConfig;
 use std::io::BufRead;
 
@@ -36,6 +36,9 @@ pub struct WireSpec {
     pub app: App,
     /// Which memory system.
     pub kind: SystemKind,
+    /// Execution tier (DESIGN.md §13). Absent on the wire means accurate,
+    /// so pre-fast-mode clients keep working unchanged.
+    pub mode: ExecMode,
     /// Problem size in Active Pages.
     pub pages: f64,
     /// L1 data-cache size override in bytes (Figure 5 sweeps).
@@ -49,17 +52,24 @@ pub struct WireSpec {
 }
 
 impl WireSpec {
-    /// A reference-configuration point (no overrides).
+    /// A reference-configuration point (no overrides, accurate tier).
     pub fn point(app: App, kind: SystemKind, pages: f64) -> WireSpec {
         WireSpec {
             app,
             kind,
+            mode: ExecMode::Accurate,
             pages,
             l1d_size: None,
             l2_size: None,
             miss_latency: None,
             logic_divisor: None,
         }
+    }
+
+    /// The same spec on the given execution tier.
+    pub fn with_mode(mut self, mode: ExecMode) -> WireSpec {
+        self.mode = mode;
+        self
     }
 
     /// The [`RadramConfig`] this spec describes: the reference system with
@@ -89,6 +99,11 @@ impl WireSpec {
             ("system", json::s(self.kind.to_string())),
             ("pages", Value::Num(self.pages)),
         ];
+        // Only non-default modes travel: an accurate spec encodes exactly as
+        // it did before the field existed, keeping keys and frames stable.
+        if self.mode != ExecMode::Accurate {
+            pairs.push(("mode", json::s(self.mode.name())));
+        }
         if let Some(v) = self.l1d_size {
             pairs.push(("l1d_size", json::n(v as u64)));
         }
@@ -117,6 +132,13 @@ impl WireSpec {
         if pages <= 0.0 || !pages.is_finite() {
             return Err(format!("pages must be positive, got {pages}"));
         }
+        let mode = match v.get("mode") {
+            None => ExecMode::Accurate,
+            Some(m) => {
+                let name = m.as_str().ok_or("mode must be a string")?;
+                ExecMode::parse(name)?
+            }
+        };
         let size = |key: &str| -> Result<Option<usize>, String> {
             match v.get(key) {
                 None => Ok(None),
@@ -138,6 +160,7 @@ impl WireSpec {
         Ok(WireSpec {
             app,
             kind,
+            mode,
             pages,
             l1d_size: size("l1d_size")?,
             l2_size: size("l2_size")?,
@@ -519,6 +542,7 @@ mod tests {
         for r in [
             Request::Ping,
             Request::Submit { spec: spec(), deadline_ms: None },
+            Request::Submit { spec: spec().with_mode(ExecMode::Fast), deadline_ms: None },
             Request::Submit { spec: full, deadline_ms: Some(30_000) },
             Request::Cancel { job: 17 },
             Request::Status,
@@ -628,6 +652,35 @@ mod tests {
         }
         assert!(Response::decode("{\"type\":\"warp\"}").is_err());
         assert!(Response::decode("{\"type\":\"done\",\"job\":1}").is_err(), "missing fields");
+    }
+
+    #[test]
+    fn unknown_exec_modes_are_a_protocol_error_not_a_panic() {
+        let bad = "{\"type\":\"submit\",\"spec\":{\"app\":\"median\",\"system\":\"radram\",\
+                   \"pages\":1,\"mode\":\"warp\"}}";
+        let err = Request::decode(bad).unwrap_err();
+        assert!(err.contains("warp"), "must name the bad mode: {err}");
+        assert!(err.contains("accurate") && err.contains("fast"), "must list valid modes: {err}");
+        let not_string = "{\"type\":\"submit\",\"spec\":{\"app\":\"median\",\
+                          \"system\":\"radram\",\"pages\":1,\"mode\":7}}";
+        assert!(Request::decode(not_string).is_err());
+    }
+
+    #[test]
+    fn absent_mode_means_accurate_and_accurate_stays_off_the_wire() {
+        // Backward compatibility both ways: old frames decode to the
+        // accurate tier, and accurate specs encode without the field.
+        let old = "{\"type\":\"submit\",\"spec\":{\"app\":\"median\",\"system\":\"radram\",\
+                   \"pages\":1}}";
+        match Request::decode(old).unwrap() {
+            Request::Submit { spec, .. } => assert_eq!(spec.mode, ExecMode::Accurate),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        let line = Request::Submit { spec: spec(), deadline_ms: None }.encode();
+        assert!(!line.contains("mode"), "accurate must encode without a mode field: {line}");
+        let line =
+            Request::Submit { spec: spec().with_mode(ExecMode::Fast), deadline_ms: None }.encode();
+        assert!(line.contains("\"mode\":\"fast\""), "{line}");
     }
 
     #[test]

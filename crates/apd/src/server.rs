@@ -364,7 +364,8 @@ fn handle_submit(
     spec: &WireSpec,
     deadline_ms: Option<u64>,
 ) {
-    let run_spec = RunSpec::new(spec.app, spec.kind, spec.pages, spec.config());
+    let run_spec =
+        RunSpec::new(spec.app, spec.kind, spec.pages, spec.config()).with_mode(spec.mode);
     let key = run_spec.key();
     let job_id = daemon.next_job.fetch_add(1, Ordering::Relaxed);
 

@@ -3,7 +3,7 @@
 
 use ap_apd::json;
 use ap_apd::proto::{read_frame, FrameError, Outcome, Request, Response, WireSpec, MAX_FRAME};
-use ap_apps::{App, SystemKind};
+use ap_apps::{App, ExecMode, SystemKind};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use proptest::strategy::Union;
@@ -25,6 +25,10 @@ fn arb_kind() -> impl Strategy<Value = SystemKind> {
     prop_oneof![Just(SystemKind::Conventional), Just(SystemKind::Radram)]
 }
 
+fn arb_mode() -> impl Strategy<Value = ExecMode> {
+    prop_oneof![Just(ExecMode::Accurate), Just(ExecMode::Fast)]
+}
+
 fn arb_opt(range: std::ops::Range<u64>) -> impl Strategy<Value = Option<u64>> {
     prop_oneof![Just(None), range.prop_map(Some)]
 }
@@ -33,12 +37,13 @@ fn arb_spec() -> impl Strategy<Value = WireSpec> {
     (
         // Positive, finite sizes over several orders of magnitude; the
         // round trip must preserve the exact bits (cache keys hash them).
-        (arb_app(), arb_kind(), 0.001f64..512.0),
+        (arb_app(), arb_kind(), arb_mode(), 0.001f64..512.0),
         (arb_opt(1..1 << 24), arb_opt(1..1 << 26), arb_opt(1..2000), arb_opt(1..1000)),
     )
-        .prop_map(|((app, kind, pages), (l1d, l2, lat, div))| WireSpec {
+        .prop_map(|((app, kind, mode, pages), (l1d, l2, lat, div))| WireSpec {
             app,
             kind,
+            mode,
             pages,
             l1d_size: l1d.map(|v| v as usize),
             l2_size: l2.map(|v| v as usize),

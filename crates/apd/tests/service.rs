@@ -31,7 +31,8 @@ fn points(app: App, sizes: &[f64]) -> Vec<WireSpec> {
 /// The encoded report an in-process run of `spec` produces — the reference
 /// the daemon's bytes must match exactly.
 fn local_encoded(spec: &WireSpec) -> String {
-    let report = RunSpec::new(spec.app, spec.kind, spec.pages, spec.config()).execute();
+    let report =
+        RunSpec::new(spec.app, spec.kind, spec.pages, spec.config()).with_mode(spec.mode).execute();
     (report_codec().encode)(&report)
 }
 

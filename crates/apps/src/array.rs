@@ -17,7 +17,7 @@ use active_pages::{
     sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE,
 };
 use ap_mem::VAddr;
-use radram::{PageActivation, RadramConfig, System};
+use radram::{ExecMode, PageActivation, RadramConfig, System};
 use std::sync::Arc;
 use std::sync::OnceLock;
 
@@ -186,13 +186,24 @@ fn op_index(n: usize, j: usize) -> usize {
 /// assert_eq!(conv.checksum, rad.checksum);
 /// ```
 pub fn run(prim: ArrayPrimitive, kind: SystemKind, pages: f64, cfg: &RadramConfig) -> RunReport {
+    run_mode(prim, kind, pages, cfg, ExecMode::Accurate)
+}
+
+/// [`run`] on the execution tier `mode` selects (see DESIGN.md §13).
+pub fn run_mode(
+    prim: ArrayPrimitive,
+    kind: SystemKind,
+    pages: f64,
+    cfg: &RadramConfig,
+    mode: ExecMode,
+) -> RunReport {
     let n0 = array_sizes(pages);
     let alloc_pages = n0.div_ceil(ELEMS_PER_PAGE) + 2;
     let mut cfg = cfg.clone();
     cfg.ram_capacity = (alloc_pages + 4) * PAGE_SIZE;
     match kind {
-        SystemKind::Conventional => run_conventional(prim, pages, n0, cfg),
-        SystemKind::Radram => run_radram(prim, pages, n0, alloc_pages, cfg),
+        SystemKind::Conventional => run_conventional(prim, pages, n0, cfg, mode),
+        SystemKind::Radram => run_radram(prim, pages, n0, alloc_pages, cfg, mode),
     }
 }
 
@@ -210,6 +221,7 @@ fn finish(
     RunReport {
         app,
         system: kind,
+        mode: sys.mode(),
         pages,
         kernel_cycles: kernel,
         total_cycles: total,
@@ -219,8 +231,14 @@ fn finish(
     }
 }
 
-fn run_conventional(prim: ArrayPrimitive, pages: f64, n0: usize, cfg: RadramConfig) -> RunReport {
-    let mut sys = System::conventional_with(cfg);
+fn run_conventional(
+    prim: ArrayPrimitive,
+    pages: f64,
+    n0: usize,
+    cfg: RadramConfig,
+    mode: ExecMode,
+) -> RunReport {
+    let mut sys = System::conventional_mode(cfg, mode);
     let base = sys.ram_alloc((n0 + OPS_PER_RUN + 1) * 4, 8);
     // Untimed setup: populate initial contents directly.
     {
@@ -231,7 +249,7 @@ fn run_conventional(prim: ArrayPrimitive, pages: f64, n0: usize, cfg: RadramConf
     }
     let mut n = n0;
     let mut checksum = 0u64;
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     for j in 0..OPS_PER_RUN {
         match prim {
             ArrayPrimitive::Insert => {
@@ -416,8 +434,9 @@ fn run_radram(
     n0: usize,
     alloc_pages: usize,
     cfg: RadramConfig,
+    mode: ExecMode,
 ) -> RunReport {
-    let mut sys = System::radram(cfg);
+    let mut sys = System::radram_mode(cfg, mode);
     let group = GroupId::new(1);
     let base = sys.ap_alloc_pages(group, alloc_pages);
     let func: Arc<dyn PageFunction> = match prim {
@@ -436,7 +455,7 @@ fn run_radram(
 
     let mut checksum = 0u64;
     let mut dispatch = 0u64;
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     for j in 0..OPS_PER_RUN {
         match prim {
             ArrayPrimitive::Insert => {
@@ -498,6 +517,16 @@ pub fn run_script(
     kind: SystemKind,
     cfg: &RadramConfig,
 ) -> RunReport {
+    run_script_mode(script, kind, cfg, ExecMode::Accurate)
+}
+
+/// [`run_script`] on the execution tier `mode` selects.
+pub fn run_script_mode(
+    script: &ap_workloads::array_ops::Script,
+    kind: SystemKind,
+    cfg: &RadramConfig,
+    mode: ExecMode,
+) -> RunReport {
     use ap_workloads::array_ops::ArrayOp;
 
     let max_len = script.initial_len + script.ops.len() + 1;
@@ -508,14 +537,14 @@ pub fn run_script(
 
     match kind {
         SystemKind::Conventional => {
-            let mut sys = System::conventional_with(cfg);
+            let mut sys = System::conventional_mode(cfg, mode);
             let base = sys.ram_alloc(max_len * 4, 8);
             for (i, v) in script.initial_values().enumerate() {
                 sys.ram_write_u32(base + (4 * i) as u64, v);
             }
             let mut n = script.initial_len;
             let mut checksum = 0u64;
-            let t0 = sys.now();
+            let t0 = sys.kernel_start();
             for op in &script.ops {
                 match *op {
                     ArrayOp::Insert { index, value } => {
@@ -554,7 +583,7 @@ pub fn run_script(
             )
         }
         SystemKind::Radram => {
-            let mut sys = System::radram(cfg);
+            let mut sys = System::radram_mode(cfg, mode);
             let group = GroupId::new(1);
             let base = sys.ap_alloc_pages(group, alloc_pages);
             let mut arr = ApArray { base, n: script.initial_len };
@@ -583,7 +612,7 @@ pub fn run_script(
             let mut bound: Option<ArrayPrimitive> = None;
             let mut checksum = 0u64;
             let mut dispatch = 0u64;
-            let t0 = sys.now();
+            let t0 = sys.kernel_start();
             for op in &script.ops {
                 match *op {
                     ArrayOp::Insert { index, value } => {

@@ -1,6 +1,6 @@
 //! Shared reporting types for the evaluation applications.
 
-use radram::SystemStats;
+use radram::{ExecMode, SystemStats};
 
 /// Which memory system an application run targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,6 +31,9 @@ pub struct RunReport {
     pub app: &'static str,
     /// Which system produced this report.
     pub system: SystemKind,
+    /// Which execution tier produced it (accurate cycle modeling or the
+    /// fast functional estimator; see DESIGN.md §13).
+    pub mode: ExecMode,
     /// Problem size in 512 KB Active Pages (the paper's x-axis).
     pub pages: f64,
     /// Cycles of the measured kernel (dispatch + compute + post-processing).
@@ -102,6 +105,7 @@ mod tests {
         RunReport {
             app,
             system: SystemKind::Conventional,
+            mode: ExecMode::Accurate,
             pages: 1.0,
             kernel_cycles: cycles,
             total_cycles: cycles,

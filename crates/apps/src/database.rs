@@ -11,7 +11,7 @@ use active_pages::{
     sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE,
 };
 use ap_workloads::database::{AddressBook, LAST_NAME_LEN, RECORD_BYTES};
-use radram::{PageActivation, RadramConfig, System};
+use radram::{ExecMode, PageActivation, RadramConfig, System};
 use std::sync::Arc;
 use std::sync::OnceLock;
 
@@ -90,13 +90,18 @@ fn key_words(book: &AddressBook) -> [u32; 4] {
 /// assert!(r.stats.activations >= 1);
 /// ```
 pub fn run(kind: SystemKind, pages: f64, cfg: &RadramConfig) -> RunReport {
+    run_mode(kind, pages, cfg, ExecMode::Accurate)
+}
+
+/// [`run`] on the execution tier `mode` selects (see DESIGN.md §13).
+pub fn run_mode(kind: SystemKind, pages: f64, cfg: &RadramConfig, mode: ExecMode) -> RunReport {
     let (book, records) = book_for(pages);
     let alloc_pages = records.div_ceil(RECORDS_PER_PAGE);
     let mut cfg = cfg.clone();
     cfg.ram_capacity = (alloc_pages + 6) * PAGE_SIZE;
     match kind {
-        SystemKind::Conventional => run_conventional(pages, &book, records, cfg),
-        SystemKind::Radram => run_radram(pages, &book, records, alloc_pages, cfg),
+        SystemKind::Conventional => run_conventional(pages, &book, records, cfg, mode),
+        SystemKind::Radram => run_radram(pages, &book, records, alloc_pages, cfg, mode),
     }
 }
 
@@ -113,6 +118,7 @@ fn report(
     RunReport {
         app: "database",
         system: kind,
+        mode: sys.mode(),
         pages,
         kernel_cycles: kernel,
         total_cycles: kernel,
@@ -127,31 +133,67 @@ fn run_conventional(
     book: &AddressBook,
     records: usize,
     cfg: RadramConfig,
+    mode: ExecMode,
 ) -> RunReport {
-    let mut sys = System::conventional_with(cfg);
+    let mut sys = System::conventional_mode(cfg, mode);
     let base = sys.ram_alloc(records * RECORD_BYTES, 64);
     for (i, &b) in book.bytes().iter().enumerate() {
         sys.ram_write_u8(base + i as u64, b);
     }
     let key = key_words(book);
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     let mut count = 0u32;
-    for r in 0..records {
-        let rec = base + (r * RECORD_BYTES) as u64;
-        // Early-exit word-wise compare of the last-name field.
-        let mut matched = true;
-        for (w, &kw) in key.iter().enumerate() {
-            let v = sys.load_u32(rec + (w * 4) as u64);
-            sys.alu(1);
-            if !sys.branch(11, v == kw) {
-                matched = false;
-                break;
+    if sys.mode() == ExecMode::Fast {
+        // Bulk fast path (DESIGN.md §13): run the scan over an untimed slice,
+        // then charge the loop's instruction stream from counts. The early
+        // exit is replayed exactly — a record compares its leading matching
+        // words plus the mismatching one — so `count` and the charged
+        // instruction mix are identical to the word-wise loop below.
+        let mut words = 0u64;
+        {
+            let data = sys.ram_slice(base, records * RECORD_BYTES);
+            // Unrolled so the common first-word mismatch costs one compare.
+            for rec in data.chunks_exact(RECORD_BYTES) {
+                words += 1;
+                if u32::from_le_bytes(rec[0..4].try_into().unwrap()) != key[0] {
+                    continue;
+                }
+                words += 1;
+                if u32::from_le_bytes(rec[4..8].try_into().unwrap()) != key[1] {
+                    continue;
+                }
+                words += 1;
+                if u32::from_le_bytes(rec[8..12].try_into().unwrap()) != key[2] {
+                    continue;
+                }
+                words += 1;
+                if u32::from_le_bytes(rec[12..16].try_into().unwrap()) != key[3] {
+                    continue;
+                }
+                count += 1;
             }
         }
-        sys.alu(2); // record pointer bump + loop test
-        if matched {
-            count += 1;
-            sys.alu(1);
+        sys.scan_heads(base, records, RECORD_BYTES, words);
+        sys.alu(words + 2 * records as u64 + count as u64);
+        sys.branch_run(words);
+    } else {
+        for r in 0..records {
+            let rec = base + (r * RECORD_BYTES) as u64;
+            // Early-exit word-wise compare of the last-name field.
+            let mut matched = true;
+            for (w, &kw) in key.iter().enumerate() {
+                let v = sys.load_u32(rec + (w * 4) as u64);
+                sys.alu(1);
+                if !sys.branch(11, v == kw) {
+                    matched = false;
+                    break;
+                }
+            }
+            sys.alu(2); // record pointer bump + loop test
+            if matched {
+                count += 1;
+                sys.alu(1);
+            }
         }
     }
     let kernel = sys.kernel_region(t0);
@@ -172,8 +214,9 @@ fn run_radram(
     records: usize,
     alloc_pages: usize,
     cfg: RadramConfig,
+    mode: ExecMode,
 ) -> RunReport {
-    let mut sys = System::radram(cfg);
+    let mut sys = System::radram_mode(cfg, mode);
     let group = GroupId::new(2);
     let base = sys.ap_alloc_pages(group, alloc_pages);
     sys.ap_bind(group, Arc::new(DatabaseSearchFn));
@@ -187,7 +230,7 @@ fn run_radram(
         }
     }
     let key = key_words(book);
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     // Initiate the query on every page.
     let d0 = sys.now();
     let batch: Vec<PageActivation> = (0..alloc_pages)

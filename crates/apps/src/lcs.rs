@@ -12,7 +12,7 @@ use active_pages::{
 };
 use ap_mem::VAddr;
 use ap_workloads::dna::SequencePair;
-use radram::{RadramConfig, System};
+use radram::{ExecMode, RadramConfig, System};
 use std::sync::Arc;
 use std::sync::OnceLock;
 
@@ -166,18 +166,35 @@ pub enum BoundaryMode {
 /// assert!(r.kernel_cycles > 0);
 /// ```
 pub fn run(kind: SystemKind, pages: f64, cfg: &RadramConfig) -> RunReport {
-    run_with(kind, pages, cfg, BoundaryMode::AppDriven)
+    run_full(kind, pages, cfg, BoundaryMode::AppDriven, ExecMode::Accurate)
+}
+
+/// [`run`] on the execution tier `exec` selects (see DESIGN.md §13).
+pub fn run_mode(kind: SystemKind, pages: f64, cfg: &RadramConfig, exec: ExecMode) -> RunReport {
+    run_full(kind, pages, cfg, BoundaryMode::AppDriven, exec)
 }
 
 /// [`run`] with an explicit boundary-communication mode (ablation hook).
 pub fn run_with(kind: SystemKind, pages: f64, cfg: &RadramConfig, mode: BoundaryMode) -> RunReport {
+    run_full(kind, pages, cfg, mode, ExecMode::Accurate)
+}
+
+/// [`run`] with both the boundary-communication mode and the execution tier
+/// explicit.
+pub fn run_full(
+    kind: SystemKind,
+    pages: f64,
+    cfg: &RadramConfig,
+    mode: BoundaryMode,
+    exec: ExecMode,
+) -> RunReport {
     let (n, p) = dims(pages);
     let pair = seqs(n);
     let mut cfg = cfg.clone();
     cfg.ram_capacity = (p + 4) * PAGE_SIZE + 4 * n * COLS;
     match kind {
-        SystemKind::Conventional => run_conventional(pages, &pair, n, cfg),
-        SystemKind::Radram => run_radram(pages, &pair, n, p, cfg, mode),
+        SystemKind::Conventional => run_conventional(pages, &pair, n, cfg, exec),
+        SystemKind::Radram => run_radram(pages, &pair, n, p, cfg, mode, exec),
     }
 }
 
@@ -233,8 +250,14 @@ fn backtrack(
     h
 }
 
-fn run_conventional(pages: f64, pair: &SequencePair, n: usize, cfg: RadramConfig) -> RunReport {
-    let mut sys = System::conventional_with(cfg);
+fn run_conventional(
+    pages: f64,
+    pair: &SequencePair,
+    n: usize,
+    cfg: RadramConfig,
+    exec: ExecMode,
+) -> RunReport {
+    let mut sys = System::conventional_mode(cfg, exec);
     let a_buf = sys.ram_alloc(n, 8);
     let b_buf = sys.ram_alloc(COLS, 8);
     let table = sys.ram_alloc(n * COLS * 2, 64);
@@ -245,7 +268,7 @@ fn run_conventional(pages: f64, pair: &SequencePair, n: usize, cfg: RadramConfig
         sys.ram_write_u8(b_buf + j as u64, c);
     }
 
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     for i in 0..n {
         let a = sys.load_u8(a_buf + i as u64);
         let mut left = 0u16;
@@ -274,6 +297,7 @@ fn run_conventional(pages: f64, pair: &SequencePair, n: usize, cfg: RadramConfig
     RunReport {
         app: "dynamic-prog",
         system: SystemKind::Conventional,
+        mode: sys.mode(),
         pages,
         kernel_cycles: kernel,
         total_cycles: kernel,
@@ -290,8 +314,9 @@ fn run_radram(
     npages: usize,
     cfg: RadramConfig,
     mode: BoundaryMode,
+    exec: ExecMode,
 ) -> RunReport {
-    let mut sys = System::radram(cfg);
+    let mut sys = System::radram_mode(cfg, exec);
     let group = GroupId::new(4);
     let base = sys.ap_alloc_pages(group, npages);
     match mode {
@@ -319,7 +344,7 @@ fn run_radram(
     }
 
     let strips = COLS / STRIP;
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     let mut dispatch = 0u64;
     // Wavefront over (page, strip) anti-diagonals. Each diagonal runs in
     // two passes: first the processor mediates every boundary copy (the
@@ -389,6 +414,7 @@ fn run_radram(
     RunReport {
         app: "dynamic-prog",
         system: SystemKind::Radram,
+        mode: sys.mode(),
         pages,
         kernel_cycles: kernel,
         total_cycles: kernel,

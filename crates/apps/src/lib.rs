@@ -51,6 +51,7 @@ pub mod mpeg_decode;
 pub mod primitives;
 
 pub use common::{fnv1a, fnv_mix, speedup, RunReport, SystemKind};
+pub use radram::ExecMode;
 
 use radram::RadramConfig;
 
@@ -114,16 +115,38 @@ impl App {
 
     /// Runs the benchmark at `pages` problem size on the given system.
     pub fn run(self, kind: SystemKind, pages: f64, cfg: &RadramConfig) -> RunReport {
+        self.run_mode(kind, pages, cfg, ExecMode::Accurate)
+    }
+
+    /// [`App::run`] on the execution tier `mode` selects: the cycle-accurate
+    /// oracle or the counted fast tier (see DESIGN.md §13). Functional
+    /// results (checksums) are identical between tiers; cycle counts in fast
+    /// mode are estimates.
+    pub fn run_mode(
+        self,
+        kind: SystemKind,
+        pages: f64,
+        cfg: &RadramConfig,
+        mode: ExecMode,
+    ) -> RunReport {
         match self {
-            App::ArrayInsert => array::run(array::ArrayPrimitive::Insert, kind, pages, cfg),
-            App::ArrayDelete => array::run(array::ArrayPrimitive::Delete, kind, pages, cfg),
-            App::ArrayFind => array::run(array::ArrayPrimitive::Find, kind, pages, cfg),
-            App::Database => database::run(kind, pages, cfg),
-            App::Median => median::run(kind, pages, cfg),
-            App::DynProg => lcs::run(kind, pages, cfg),
-            App::MatrixSimplex => matrix::run(matrix::MatrixVariant::Simplex, kind, pages, cfg),
-            App::MatrixBoeing => matrix::run(matrix::MatrixVariant::Boeing, kind, pages, cfg),
-            App::MpegMmx => mpeg::run(kind, pages, cfg),
+            App::ArrayInsert => {
+                array::run_mode(array::ArrayPrimitive::Insert, kind, pages, cfg, mode)
+            }
+            App::ArrayDelete => {
+                array::run_mode(array::ArrayPrimitive::Delete, kind, pages, cfg, mode)
+            }
+            App::ArrayFind => array::run_mode(array::ArrayPrimitive::Find, kind, pages, cfg, mode),
+            App::Database => database::run_mode(kind, pages, cfg, mode),
+            App::Median => median::run_mode(kind, pages, cfg, mode),
+            App::DynProg => lcs::run_mode(kind, pages, cfg, mode),
+            App::MatrixSimplex => {
+                matrix::run_mode(matrix::MatrixVariant::Simplex, kind, pages, cfg, mode)
+            }
+            App::MatrixBoeing => {
+                matrix::run_mode(matrix::MatrixVariant::Boeing, kind, pages, cfg, mode)
+            }
+            App::MpegMmx => mpeg::run_mode(kind, pages, cfg, mode),
         }
     }
 }

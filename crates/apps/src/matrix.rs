@@ -19,7 +19,7 @@ use active_pages::{
 };
 use ap_mem::VAddr;
 use ap_workloads::sparse::SparseMatrix;
-use radram::{PageActivation, RadramConfig, System};
+use radram::{ExecMode, PageActivation, RadramConfig, System};
 use std::sync::Arc;
 use std::sync::OnceLock;
 
@@ -170,14 +170,25 @@ fn pair_count(pages: f64) -> usize {
 /// assert!(r.stats.activations >= 1);
 /// ```
 pub fn run(variant: MatrixVariant, kind: SystemKind, pages: f64, cfg: &RadramConfig) -> RunReport {
+    run_mode(variant, kind, pages, cfg, ExecMode::Accurate)
+}
+
+/// [`run`] on the execution tier `mode` selects (see DESIGN.md §13).
+pub fn run_mode(
+    variant: MatrixVariant,
+    kind: SystemKind,
+    pages: f64,
+    cfg: &RadramConfig,
+    mode: ExecMode,
+) -> RunReport {
     let pairs = pair_count(pages);
     let (a, b) = variant.matrices(pairs);
     let mut cfg = cfg.clone();
     let data_bytes = 16 + a.nnz() * 12 + b.nnz() * 12 + pairs * 24;
     cfg.ram_capacity = ((pages.ceil() as usize) + 8) * PAGE_SIZE + 2 * data_bytes;
     match kind {
-        SystemKind::Conventional => run_conventional(variant, pages, &a, &b, cfg),
-        SystemKind::Radram => run_radram(variant, pages, &a, &b, cfg),
+        SystemKind::Conventional => run_conventional(variant, pages, &a, &b, cfg, mode),
+        SystemKind::Radram => run_radram(variant, pages, &a, &b, cfg, mode),
     }
 }
 
@@ -195,8 +206,9 @@ fn run_conventional(
     a: &SparseMatrix,
     b: &SparseMatrix,
     cfg: RadramConfig,
+    mode: ExecMode,
 ) -> RunReport {
-    let mut sys = System::conventional_with(cfg);
+    let mut sys = System::conventional_mode(cfg, mode);
     let pairs = a.rows;
     // Serialize both matrices row-wise: idx and val arrays per row.
     let idx_a = sys.ram_alloc(a.nnz() * 4, 64);
@@ -217,7 +229,7 @@ fn run_conventional(
         sys.ram_write_f64(val_b + (k * 8) as u64, v);
     }
 
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     for r in 0..pairs {
         let (a0, a1) = (a.row_ptr[r] as usize, a.row_ptr[r + 1] as usize);
         let (b0, b1) = (b.row_ptr[r] as usize, b.row_ptr[r + 1] as usize);
@@ -248,6 +260,7 @@ fn run_conventional(
     RunReport {
         app: variant.app_name(),
         system: SystemKind::Conventional,
+        mode: sys.mode(),
         pages,
         kernel_cycles: kernel,
         total_cycles: kernel,
@@ -263,12 +276,13 @@ fn run_radram(
     a: &SparseMatrix,
     b: &SparseMatrix,
     cfg: RadramConfig,
+    mode: ExecMode,
 ) -> RunReport {
     let layout = plan_layout(a, b);
     let npages = layout.spans.len();
     let mut cfg = cfg;
     cfg.ram_capacity = cfg.ram_capacity.max((npages + 8) * PAGE_SIZE);
-    let mut sys = System::radram(cfg);
+    let mut sys = System::radram_mode(cfg, mode);
     let group = GroupId::new(5);
     let base = sys.ap_alloc_pages(group, npages);
     sys.ap_bind(group, Arc::new(MatrixGatherFn));
@@ -303,7 +317,7 @@ fn run_radram(
         }
     }
 
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     // Dispatch the gathers.
     let batch: Vec<PageActivation> = layout
         .spans
@@ -342,6 +356,7 @@ fn run_radram(
     RunReport {
         app: variant.app_name(),
         system: SystemKind::Radram,
+        mode: sys.mode(),
         pages,
         kernel_cycles: kernel,
         total_cycles: kernel,
@@ -379,7 +394,7 @@ mod tests {
         // reference dot products.
         let (a, b) = MatrixVariant::Simplex.matrices(64);
         let cfg = RadramConfig::reference();
-        let r = run_radram(MatrixVariant::Simplex, 0.05, &a, &b, cfg);
+        let r = run_radram(MatrixVariant::Simplex, 0.05, &a, &b, cfg, ExecMode::Accurate);
         // Recompute reference checksum.
         let mut h = fnv_mix(0, a.rows as u64);
         for row in 0..a.rows {

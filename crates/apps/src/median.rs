@@ -16,7 +16,7 @@ use active_pages::{
     sync, ActivePageMemory, Execution, GroupId, PageFunction, PageSlice, PAGE_SIZE,
 };
 use ap_workloads::image::Image;
-use radram::{PageActivation, RadramConfig, System};
+use radram::{ExecMode, PageActivation, RadramConfig, System};
 use std::sync::Arc;
 use std::sync::OnceLock;
 
@@ -121,13 +121,18 @@ fn partition(pages: f64) -> Partition {
 /// assert!(r.total_cycles > r.kernel_cycles);
 /// ```
 pub fn run(kind: SystemKind, pages: f64, cfg: &RadramConfig) -> RunReport {
+    run_mode(kind, pages, cfg, ExecMode::Accurate)
+}
+
+/// [`run`] on the execution tier `mode` selects (see DESIGN.md §13).
+pub fn run_mode(kind: SystemKind, pages: f64, cfg: &RadramConfig, mode: ExecMode) -> RunReport {
     let part = partition(pages);
     let img = Image::generate(0x1A6E, WIDTH, part.height, 0.04);
     let mut cfg = cfg.clone();
     cfg.ram_capacity = (part.spans.len() + 4) * PAGE_SIZE + 4 * img.pixels.len();
     match kind {
-        SystemKind::Conventional => run_conventional(pages, &img, cfg),
-        SystemKind::Radram => run_radram(pages, &img, &part, cfg),
+        SystemKind::Conventional => run_conventional(pages, &img, cfg, mode),
+        SystemKind::Radram => run_radram(pages, &img, &part, cfg, mode),
     }
 }
 
@@ -135,8 +140,8 @@ fn digest_pixels(iter: impl Iterator<Item = u16>) -> u64 {
     iter.fold(0u64, |h, px| fnv_mix(h, px as u64))
 }
 
-fn run_conventional(pages: f64, img: &Image, cfg: RadramConfig) -> RunReport {
-    let mut sys = System::conventional_with(cfg);
+fn run_conventional(pages: f64, img: &Image, cfg: RadramConfig, mode: ExecMode) -> RunReport {
+    let mut sys = System::conventional_mode(cfg, mode);
     let (w, h) = (img.width, img.height);
     let src = sys.ram_alloc(w * h * 2, 64);
     let work = sys.ram_alloc(w * h * 2, 64);
@@ -145,7 +150,7 @@ fn run_conventional(pages: f64, img: &Image, cfg: RadramConfig) -> RunReport {
         sys.ram_write_u16(src + (i * 2) as u64, px);
     }
 
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     // Phase 1: image I/O — read the source into the working array.
     for wd in 0..(w * h / 2) {
         let v = sys.load_u32(src + (wd * 4) as u64);
@@ -196,6 +201,7 @@ fn run_conventional(pages: f64, img: &Image, cfg: RadramConfig) -> RunReport {
     RunReport {
         app: "median",
         system: SystemKind::Conventional,
+        mode: sys.mode(),
         pages,
         kernel_cycles: kernel,
         total_cycles: t2 - t0,
@@ -205,8 +211,14 @@ fn run_conventional(pages: f64, img: &Image, cfg: RadramConfig) -> RunReport {
     }
 }
 
-fn run_radram(pages: f64, img: &Image, part: &Partition, cfg: RadramConfig) -> RunReport {
-    let mut sys = System::radram(cfg);
+fn run_radram(
+    pages: f64,
+    img: &Image,
+    part: &Partition,
+    cfg: RadramConfig,
+    mode: ExecMode,
+) -> RunReport {
+    let mut sys = System::radram_mode(cfg, mode);
     let (w, h) = (img.width, img.height);
     let group = GroupId::new(3);
     let base = sys.ap_alloc_pages(group, part.spans.len());
@@ -216,7 +228,7 @@ fn run_radram(pages: f64, img: &Image, part: &Partition, cfg: RadramConfig) -> R
         sys.ram_write_u16(src + (i * 2) as u64, px);
     }
 
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     // Phase 1: layout transform — copy each page's block plus halo rows.
     for (p, &(r0, r1)) in part.spans.iter().enumerate() {
         let pb = base + (p * PAGE_SIZE) as u64;
@@ -268,6 +280,7 @@ fn run_radram(pages: f64, img: &Image, part: &Partition, cfg: RadramConfig) -> R
     RunReport {
         app: "median",
         system: SystemKind::Radram,
+        mode: sys.mode(),
         pages,
         kernel_cycles: kernel,
         total_cycles: t2 - t0,

@@ -14,7 +14,7 @@ use active_pages::{
 };
 use ap_cpu::mmx::{self, MmxOp};
 use ap_workloads::mpeg::FrameWorkload;
-use radram::{RadramConfig, System};
+use radram::{ExecMode, RadramConfig, System};
 use std::sync::Arc;
 use std::sync::OnceLock;
 
@@ -157,14 +157,19 @@ fn frame_for(pages: f64) -> FrameWorkload {
 /// assert!(r.stats.activations >= 3); // unpack, add, pack per chunk
 /// ```
 pub fn run(kind: SystemKind, pages: f64, cfg: &RadramConfig) -> RunReport {
+    run_mode(kind, pages, cfg, ExecMode::Accurate)
+}
+
+/// [`run`] on the execution tier `mode` selects (see DESIGN.md §13).
+pub fn run_mode(kind: SystemKind, pages: f64, cfg: &RadramConfig, mode: ExecMode) -> RunReport {
     let frame = frame_for(pages);
     let npx = frame.predicted.len();
     let npages = npx.div_ceil(PX_PER_PAGE);
     let mut cfg = cfg.clone();
     cfg.ram_capacity = (npages + 6) * PAGE_SIZE + 8 * npx;
     match kind {
-        SystemKind::Conventional => run_conventional(pages, &frame, cfg),
-        SystemKind::Radram => run_radram(pages, &frame, npages, cfg),
+        SystemKind::Conventional => run_conventional(pages, &frame, cfg, mode),
+        SystemKind::Radram => run_radram(pages, &frame, npages, cfg, mode),
     }
 }
 
@@ -172,8 +177,13 @@ fn digest(out: impl Iterator<Item = u8>) -> u64 {
     out.fold(0u64, |h, b| fnv_mix(h, b as u64))
 }
 
-fn run_conventional(pages: f64, frame: &FrameWorkload, cfg: RadramConfig) -> RunReport {
-    let mut sys = System::conventional_with(cfg);
+fn run_conventional(
+    pages: f64,
+    frame: &FrameWorkload,
+    cfg: RadramConfig,
+    mode: ExecMode,
+) -> RunReport {
+    let mut sys = System::conventional_mode(cfg, mode);
     let npx = frame.predicted.len();
     let src = sys.ram_alloc(npx, 64);
     let corr = sys.ram_alloc(npx * 2, 64);
@@ -185,7 +195,7 @@ fn run_conventional(pages: f64, frame: &FrameWorkload, cfg: RadramConfig) -> Run
         sys.ram_write_u16(corr + (i * 2) as u64, c as u16);
     }
 
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     // SimpleScalar MMX: 32 bits of result per instruction (4 pixels).
     for k in (0..npx).step_by(4) {
         let s = sys.load_u32(src + k as u64) as u64;
@@ -203,6 +213,7 @@ fn run_conventional(pages: f64, frame: &FrameWorkload, cfg: RadramConfig) -> Run
     RunReport {
         app: "mpeg-mmx",
         system: SystemKind::Conventional,
+        mode: sys.mode(),
         pages,
         kernel_cycles: kernel,
         total_cycles: kernel,
@@ -212,8 +223,14 @@ fn run_conventional(pages: f64, frame: &FrameWorkload, cfg: RadramConfig) -> Run
     }
 }
 
-fn run_radram(pages: f64, frame: &FrameWorkload, npages: usize, cfg: RadramConfig) -> RunReport {
-    let mut sys = System::radram(cfg);
+fn run_radram(
+    pages: f64,
+    frame: &FrameWorkload,
+    npages: usize,
+    cfg: RadramConfig,
+    mode: ExecMode,
+) -> RunReport {
+    let mut sys = System::radram_mode(cfg, mode);
     let group = GroupId::new(6);
     let base = sys.ap_alloc_pages(group, npages);
     sys.ap_bind(group, Arc::new(MmxPageFn));
@@ -229,7 +246,7 @@ fn run_radram(pages: f64, frame: &FrameWorkload, npages: usize, cfg: RadramConfi
         }
     }
 
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     // MMX dispatch: round-robin the macro-instruction streams across the
     // pages so their engines run concurrently — the processor issues the
     // next op of each page in turn, like a scoreboard of outstanding
@@ -250,6 +267,7 @@ fn run_radram(pages: f64, frame: &FrameWorkload, npages: usize, cfg: RadramConfi
     RunReport {
         app: "mpeg-mmx",
         system: SystemKind::Radram,
+        mode: sys.mode(),
         pages,
         kernel_cycles: kernel,
         total_cycles: kernel,

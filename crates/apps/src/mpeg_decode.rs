@@ -32,7 +32,7 @@ use ap_cpu::mmx::{self, MmxOp};
 use ap_mem::VAddr;
 use ap_workloads::entropy::{decode_block, encode_block, BitReader, BitWriter, BLOCK};
 use ap_workloads::mpeg::{idct8x8, CodedFrame};
-use radram::{RadramConfig, System};
+use radram::{ExecMode, RadramConfig, System};
 use std::sync::Arc;
 use std::sync::OnceLock;
 
@@ -102,6 +102,11 @@ impl PageFunction for EntropyDecodeFn {
 /// assert_eq!(c.checksum, r.checksum);
 /// ```
 pub fn run(kind: SystemKind, pages: f64, cfg: &RadramConfig) -> RunReport {
+    run_mode(kind, pages, cfg, ExecMode::Accurate)
+}
+
+/// [`run`] on the execution tier `mode` selects (see DESIGN.md §13).
+pub fn run_mode(kind: SystemKind, pages: f64, cfg: &RadramConfig, mode: ExecMode) -> RunReport {
     let px = ((pages * PX_PER_PAGE as f64) as usize).max(16 * 512);
     let height = (px / 512).div_ceil(16) * 16;
     let frame = CodedFrame::generate(0xDEC0DE, 512, height.max(16), 0.45);
@@ -110,8 +115,8 @@ pub fn run(kind: SystemKind, pages: f64, cfg: &RadramConfig) -> RunReport {
     let mut cfg = cfg.clone();
     cfg.ram_capacity = (2 * npages + 8) * PAGE_SIZE + 8 * npx;
     match kind {
-        SystemKind::Conventional => run_conventional(pages, &frame, cfg),
-        SystemKind::Radram => run_radram(pages, &frame, npages, cfg),
+        SystemKind::Conventional => run_conventional(pages, &frame, cfg, mode),
+        SystemKind::Radram => run_radram(pages, &frame, npages, cfg, mode),
     }
 }
 
@@ -142,8 +147,13 @@ fn charge_conventional_decode(sys: &mut System, stream: VAddr, bits: u64, symbol
     }
 }
 
-fn run_conventional(pages: f64, frame: &CodedFrame, cfg: RadramConfig) -> RunReport {
-    let mut sys = System::conventional_with(cfg);
+fn run_conventional(
+    pages: f64,
+    frame: &CodedFrame,
+    cfg: RadramConfig,
+    mode: ExecMode,
+) -> RunReport {
+    let mut sys = System::conventional_mode(cfg, mode);
     let npx = frame.predicted.len();
     let nblocks = frame.blocks.len();
     let stream_bytes = encode_span(frame, 0, nblocks);
@@ -159,7 +169,7 @@ fn run_conventional(pages: f64, frame: &CodedFrame, cfg: RadramConfig) -> RunRep
         sys.ram_write_u8(src + i as u64, p);
     }
 
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     // Stage 1: entropy decode on the processor.
     let mut reader = BitReader::new(&stream_bytes);
     for b in 0..nblocks {
@@ -206,6 +216,7 @@ fn run_conventional(pages: f64, frame: &CodedFrame, cfg: RadramConfig) -> RunRep
     RunReport {
         app: "mpeg-decode",
         system: SystemKind::Conventional,
+        mode: sys.mode(),
         pages,
         kernel_cycles: kernel,
         total_cycles: kernel,
@@ -215,8 +226,14 @@ fn run_conventional(pages: f64, frame: &CodedFrame, cfg: RadramConfig) -> RunRep
     }
 }
 
-fn run_radram(pages: f64, frame: &CodedFrame, npages: usize, cfg: RadramConfig) -> RunReport {
-    let mut sys = System::radram(cfg);
+fn run_radram(
+    pages: f64,
+    frame: &CodedFrame,
+    npages: usize,
+    cfg: RadramConfig,
+    mode: ExecMode,
+) -> RunReport {
+    let mut sys = System::radram_mode(cfg, mode);
     let npx = frame.predicted.len();
     let nblocks = frame.blocks.len();
     let m_group = GroupId::new(8);
@@ -247,7 +264,7 @@ fn run_radram(pages: f64, frame: &CodedFrame, npages: usize, cfg: RadramConfig) 
         dpage_meta.push((hi_b - lo_b, stream.len()));
     }
 
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     // Stage 1: in-page entropy decode, all pages in parallel.
     let mut dispatch = 0u64;
     let batch: Vec<radram::PageActivation> = dpage_meta
@@ -307,6 +324,7 @@ fn run_radram(pages: f64, frame: &CodedFrame, npages: usize, cfg: RadramConfig) 
     RunReport {
         app: "mpeg-decode",
         system: SystemKind::Radram,
+        mode: sys.mode(),
         pages,
         kernel_cycles: kernel,
         total_cycles: kernel,

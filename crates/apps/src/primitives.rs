@@ -21,7 +21,7 @@ use active_pages::{
 };
 use ap_mem::VAddr;
 use ap_workloads::array_ops::{ArrayOp, Script};
-use radram::{PageActivation, RadramConfig, System};
+use radram::{ExecMode, PageActivation, RadramConfig, System};
 use std::sync::Arc;
 
 /// Primitive opcodes (command-word values).
@@ -240,13 +240,23 @@ impl PrimArray {
 /// assert_eq!(r.stats.rebinds, 0);
 /// ```
 pub fn run_script_primitives(script: &Script, cfg: &RadramConfig) -> RunReport {
+    run_script_primitives_mode(script, cfg, ExecMode::Accurate)
+}
+
+/// [`run_script_primitives`] on the execution tier `mode` selects (see
+/// DESIGN.md §13).
+pub fn run_script_primitives_mode(
+    script: &Script,
+    cfg: &RadramConfig,
+    mode: ExecMode,
+) -> RunReport {
     let max_len = script.initial_len + script.ops.len() + 1;
     let alloc_pages = max_len.div_ceil(ELEMS_PER_PAGE) + 1;
     let mut cfg = cfg.clone();
     cfg.ram_capacity = (alloc_pages + 4) * PAGE_SIZE;
     let pages = script.initial_len as f64 / ELEMS_PER_PAGE as f64;
 
-    let mut sys = System::radram(cfg);
+    let mut sys = System::radram_mode(cfg, mode);
     let group = GroupId::new(7);
     let base = sys.ap_alloc_pages(group, alloc_pages);
     sys.ap_bind(group, Arc::new(DataPrimitivesFn));
@@ -257,7 +267,7 @@ pub fn run_script_primitives(script: &Script, cfg: &RadramConfig) -> RunReport {
     }
 
     let mut checksum = 0u64;
-    let t0 = sys.now();
+    let t0 = sys.kernel_start();
     for op in &script.ops {
         match *op {
             ArrayOp::Insert { index, value } => arr.insert(&mut sys, index, value),
@@ -277,6 +287,7 @@ pub fn run_script_primitives(script: &Script, cfg: &RadramConfig) -> RunReport {
     RunReport {
         app: "array-script",
         system: SystemKind::Radram,
+        mode: sys.mode(),
         pages,
         kernel_cycles: kernel,
         total_cycles: kernel,

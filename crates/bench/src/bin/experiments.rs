@@ -40,6 +40,26 @@ fn main() {
             "BENCH_page_scaling.json",
             &ap_bench::wallclock::render_json(&points),
         ));
+        println!("Fast-tier bench (accurate oracle vs. counted fast mode)");
+        let rows = ap_bench::fastmode::bench(quick);
+        for r in &rows {
+            println!(
+                "  {:<14} {:>6.2} pages: accurate {:>8.4}s  fast {:>8.4}s  speedup {:>6.2}x  \
+                 (oracle {:>6.2}x)  cycle err conv {:>+7.3} rad {:>+7.3}",
+                r.app.name(),
+                r.pages,
+                r.accurate_secs,
+                r.fast_secs,
+                r.wall_speedup(),
+                r.oracle_speedup(),
+                r.conv_error,
+                r.rad_error,
+            );
+        }
+        report_written(write_result_file(
+            "BENCH_fastmode.json",
+            &ap_bench::fastmode::render_json(&rows, quick),
+        ));
         return;
     }
 
@@ -68,8 +88,9 @@ fn main() {
         println!();
     }
     if cli.wants("fig3") || cli.wants("fig4") {
-        let data = experiments::fig3_fig4(&runner, quick);
-        println!("Figure 3: RADram speedup as problem size varies");
+        let (mode, cross) = cli.mode_or(ap_bench::ExecMode::Accurate);
+        let data = experiments::fig3_fig4_mode(&runner, quick, mode);
+        println!("Figure 3: RADram speedup as problem size varies ({mode} tier)");
         for (app, points) in &data {
             render::print_sweep(*app, points);
         }
@@ -83,6 +104,51 @@ fn main() {
             println!();
         }
         report_written(write_result_file("fig3_fig4.csv", &render::sweep_csv(&data)));
+        if cross {
+            let accurate =
+                experiments::fig3_fig4_mode(&runner, quick, ap_bench::ExecMode::Accurate);
+            let checks = ap_bench::fastmode::cross_check(&accurate, &data);
+            let max = ap_bench::fastmode::max_error(&checks);
+            let breaches = ap_bench::fastmode::envelope_breaches(&checks);
+            println!(
+                "cross-check: {} runs, max cycle error {:.3} (envelope {})",
+                checks.len(),
+                max,
+                ap_bench::fastmode::CYCLE_ERROR_ENVELOPE
+            );
+            if !breaches.is_empty() {
+                for b in &breaches {
+                    eprintln!(
+                        "error: {} {} at {} pages: cycle error {:+.3} exceeds the envelope",
+                        b.app.name(),
+                        b.kind,
+                        b.pages,
+                        b.relative_error()
+                    );
+                }
+                std::process::exit(1);
+            }
+        }
+        println!();
+    }
+    if cli.wants("dse-smoke") {
+        let (mode, cross) = cli.mode_or(ap_bench::ExecMode::Fast);
+        let summary = ap_bench::fastmode::dse_smoke(&runner, quick, mode, cross);
+        println!(
+            "dse-smoke: {} points on the {mode} tier, {} failed",
+            summary.points, summary.failed
+        );
+        if let Some(max) = summary.max_cycle_error {
+            println!(
+                "cross-check: max cycle error {:.3} (envelope {})",
+                max,
+                ap_bench::fastmode::CYCLE_ERROR_ENVELOPE
+            );
+            if max > ap_bench::fastmode::CYCLE_ERROR_ENVELOPE {
+                eprintln!("error: dse-smoke cycle error {max:.3} exceeds the envelope");
+                std::process::exit(1);
+            }
+        }
         println!();
     }
     if cli.wants("fig5") {

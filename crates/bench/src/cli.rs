@@ -4,13 +4,46 @@
 //! renders errors and exits non-zero.
 
 use crate::runner::Runner;
+use ap_apps::ExecMode;
 use ap_engine::Engine;
 use std::path::PathBuf;
 
 /// Every experiment target the binary accepts.
 pub const TARGETS: &[&str] = &[
-    "all", "table1", "table2", "table3", "table4", "fig1", "fig3", "fig4", "fig5", "fig8", "fig9",
+    "all",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig8",
+    "fig9",
+    "dse-smoke",
 ];
+
+/// The `--mode` choices: one execution tier, or both with a cross-check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeChoice {
+    /// One tier ([`ExecMode::Accurate`] or [`ExecMode::Fast`]).
+    One(ExecMode),
+    /// Both tiers; sweep targets cross-check fast against accurate and fail
+    /// on any envelope breach.
+    Both,
+}
+
+impl ModeChoice {
+    fn parse(name: &str) -> Result<ModeChoice, String> {
+        if name == "both" {
+            return Ok(ModeChoice::Both);
+        }
+        ExecMode::parse(name)
+            .map(ModeChoice::One)
+            .map_err(|_| format!("unknown --mode {name:?} (valid: accurate, fast, both)"))
+    }
+}
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +66,10 @@ pub struct Cli {
     /// Run the host-wallclock page-scaling bench instead of the experiment
     /// targets (`--bench-wallclock`).
     pub bench_wallclock: bool,
+    /// Execution-tier selection (`--mode accurate|fast|both`). `None` keeps
+    /// each target's default: accurate for the figures, fast for
+    /// `dse-smoke`.
+    pub mode: Option<ModeChoice>,
 }
 
 /// The usage text, listing flags and valid targets.
@@ -60,7 +97,15 @@ pub fn usage() -> String {
          \x20                     (cpu,mem,radram,risc,engine or all; default all)\n\
          \x20 --bench-wallclock   time the parallel page executor against the\n\
          \x20                     sequential oracle on a page-count sweep and\n\
-         \x20                     write BENCH_page_scaling.json\n\
+         \x20                     write BENCH_page_scaling.json, then time the\n\
+         \x20                     fast tier against the accurate oracle and\n\
+         \x20                     write BENCH_fastmode.json\n\
+         \x20 --mode M            execution tier for sweep targets: accurate\n\
+         \x20                     (cycle oracle, default), fast (counted\n\
+         \x20                     functional tier), or both (run both tiers,\n\
+         \x20                     cross-check answers and cycle error; exits\n\
+         \x20                     non-zero on an envelope breach).\n\
+         \x20                     dse-smoke defaults to fast\n\
          \n\
          environment: AP_QUICK=1 shrinks sweeps, AP_JOBS sets workers,\n\
          AP_RESULTS_DIR relocates outputs, AP_NO_CACHE=1 disables the cache.",
@@ -78,6 +123,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
         trace: None,
         trace_filter: ap_trace::Filter::ALL,
         bench_wallclock: false,
+        mode: None,
     };
     let mut target_seen = false;
     let mut args = args.into_iter();
@@ -120,6 +166,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
                 cli.trace_filter = ap_trace::Filter::parse(&value("--trace-filter")?)?;
             }
             "--bench-wallclock" => cli.bench_wallclock = true,
+            "--mode" => cli.mode = Some(ModeChoice::parse(&value("--mode")?)?),
             "--help" | "-h" => return Err("help".to_string()),
             f if f.starts_with('-') => return Err(format!("unknown option {f:?}")),
             target if !target_seen => {
@@ -142,9 +189,23 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
 }
 
 impl Cli {
-    /// True when `name` (or `all`) was requested.
+    /// True when `name` (or `all`) was requested. `dse-smoke` is explicit
+    /// only — `all` reproduces the paper's figures, not the DSE grid.
     pub fn wants(&self, name: &str) -> bool {
+        if name == "dse-smoke" {
+            return self.target == "dse-smoke";
+        }
         self.target == "all" || self.target == name
+    }
+
+    /// The execution tier for sweep targets whose default is `default`,
+    /// and whether a both-tier cross-check was requested.
+    pub fn mode_or(&self, default: ExecMode) -> (ExecMode, bool) {
+        match self.mode {
+            None => (default, false),
+            Some(ModeChoice::One(m)) => (m, false),
+            Some(ModeChoice::Both) => (ExecMode::Fast, true),
+        }
     }
 
     /// Builds the engine-backed runner this invocation asked for: environment
@@ -244,6 +305,29 @@ mod tests {
         assert!(parse(&["--bench-wallclock"]).unwrap().bench_wallclock);
         let err = parse(&["fig3", "--bench-wallclock"]).unwrap_err();
         assert!(err.contains("TARGET"), "{err}");
+    }
+
+    #[test]
+    fn parses_mode_choices() {
+        assert_eq!(parse(&[]).unwrap().mode, None);
+        assert_eq!(parse(&[]).unwrap().mode_or(ExecMode::Accurate), (ExecMode::Accurate, false));
+        let cli = parse(&["fig3", "--mode", "fast"]).unwrap();
+        assert_eq!(cli.mode, Some(ModeChoice::One(ExecMode::Fast)));
+        assert_eq!(cli.mode_or(ExecMode::Accurate), (ExecMode::Fast, false));
+        let cli = parse(&["--mode=both"]).unwrap();
+        assert_eq!(cli.mode, Some(ModeChoice::Both));
+        assert_eq!(cli.mode_or(ExecMode::Accurate), (ExecMode::Fast, true));
+        let err = parse(&["--mode", "warp"]).unwrap_err();
+        assert!(err.contains("warp") && err.contains("both"), "{err}");
+    }
+
+    #[test]
+    fn dse_smoke_is_a_target_but_not_part_of_all() {
+        let cli = parse(&["dse-smoke"]).unwrap();
+        assert!(cli.wants("dse-smoke"));
+        assert!(!cli.wants("fig3"));
+        let all = parse(&[]).unwrap();
+        assert!(!all.wants("dse-smoke"), "`all` must not trigger the DSE grid");
     }
 
     #[test]

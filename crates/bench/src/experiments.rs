@@ -1,9 +1,9 @@
 //! Generators for every table and figure of the evaluation.
 
 use crate::runner::{RunSpec, Runner};
-use crate::sweep::{run_sweeps, SweepPoint};
+use crate::sweep::{run_sweeps, run_sweeps_mode, SweepPoint};
 use ap_analytic::{calibrate, pearson, Calibration, Fig1Point};
-use ap_apps::{speedup, App, SystemKind};
+use ap_apps::{speedup, App, ExecMode, SystemKind};
 use ap_synth::report::Table3Row;
 use radram::RadramConfig;
 
@@ -44,7 +44,13 @@ pub fn table3() -> Vec<Table3Row> {
 /// Figures 3 and 4: the speedup and non-overlap sweeps for every kernel,
 /// submitted to the engine as one batch.
 pub fn fig3_fig4(runner: &Runner, quick: bool) -> Vec<(App, Vec<SweepPoint>)> {
-    run_sweeps(runner, &App::ALL, &RadramConfig::reference(), quick)
+    fig3_fig4_mode(runner, quick, ExecMode::Accurate)
+}
+
+/// [`fig3_fig4`] on the chosen execution tier (`--mode fast` trades exact
+/// cycle counts for wall-clock; see DESIGN.md §13).
+pub fn fig3_fig4_mode(runner: &Runner, quick: bool, mode: ExecMode) -> Vec<(App, Vec<SweepPoint>)> {
+    run_sweeps_mode(runner, &App::ALL, &RadramConfig::reference(), quick, mode)
 }
 
 /// One Figure 5 series: execution time vs. L1 data-cache size.

@@ -32,11 +32,14 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod fastmode;
 pub mod lint_corpus;
 pub mod render;
 pub mod runner;
 pub mod sweep;
 pub mod wallclock;
+
+pub use ap_apps::ExecMode;
 
 use std::path::PathBuf;
 

@@ -16,14 +16,14 @@
 //!   wholesale — the `ap-bench` crate version and the report-codec format
 //!   version.
 
-use ap_apps::{App, RunReport, SystemKind};
+use ap_apps::{App, ExecMode, RunReport, SystemKind};
 use ap_engine::{fnv1a, Codec, Engine, Job, JobError};
 use radram::{RadramConfig, SystemStats};
 
 /// Version of the [`report_codec`] wire format. Bump whenever the encoded
 /// field set changes; old cache entries then fail to decode (their salt
 /// differs) instead of being misread.
-pub const REPORT_FORMAT: u32 = 1;
+pub const REPORT_FORMAT: u32 = 2;
 
 /// The engine cache salt shared by every harness front-end: the `ap-bench`
 /// crate version plus the report-codec format version. The `apd` daemon
@@ -45,22 +45,33 @@ pub struct RunSpec {
     pub pages: f64,
     /// Full machine configuration.
     pub cfg: RadramConfig,
+    /// Execution tier: the cycle-accurate oracle or the counted fast tier
+    /// (DESIGN.md §13).
+    pub mode: ExecMode,
 }
 
 impl RunSpec {
-    /// A spec for `app` on `kind` at `pages` under `cfg`.
+    /// A spec for `app` on `kind` at `pages` under `cfg`, on the accurate
+    /// tier.
     pub fn new(app: App, kind: SystemKind, pages: f64, cfg: RadramConfig) -> Self {
-        RunSpec { app, kind, pages, cfg }
+        RunSpec { app, kind, pages, cfg, mode: ExecMode::Accurate }
     }
 
-    /// Stable cache/manifest key: app, system, exact size bits and a
-    /// fingerprint of the configuration (any `RadramConfig` field change —
-    /// cache geometry, latencies, logic clock — changes the key).
+    /// The same spec on the given execution tier.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Stable cache/manifest key: app, system, execution tier, exact size
+    /// bits and a fingerprint of the configuration (any `RadramConfig` field
+    /// change — cache geometry, latencies, logic clock — changes the key).
     pub fn key(&self) -> String {
         format!(
-            "{}/{}/p{:016x}/cfg{:016x}",
+            "{}/{}/{}/p{:016x}/cfg{:016x}",
             self.app.name(),
             self.kind,
+            self.mode,
             self.pages.to_bits(),
             fnv1a(format!("{:?}", self.cfg).as_bytes()),
         )
@@ -68,7 +79,7 @@ impl RunSpec {
 
     /// Runs the simulation (constructing the `System` on this thread).
     pub fn execute(&self) -> RunReport {
-        let report = self.app.run(self.kind, self.pages, &self.cfg);
+        let report = self.app.run_mode(self.kind, self.pages, &self.cfg, self.mode);
         record_session_metrics(&report);
         report
     }
@@ -202,7 +213,7 @@ fn encode_report(r: &RunReport) -> String {
         put(&format!("{tag}.writebacks"), cs.writebacks);
         put(&format!("{tag}.invalidated"), cs.invalidated);
     }
-    out.push_str(&format!("app={}\nsystem={}\n", r.app, r.system));
+    out.push_str(&format!("app={}\nsystem={}\nmode={}\n", r.app, r.system, r.mode));
     out
 }
 
@@ -226,6 +237,7 @@ fn decode_report(text: &str) -> Option<RunReport> {
         "radram" => SystemKind::Radram,
         _ => return None,
     };
+    let mode = ExecMode::parse(fields.get("mode")?).ok()?;
 
     let mut stats = SystemStats {
         non_overlap_cycles: num("non_overlap_cycles")?,
@@ -262,6 +274,7 @@ fn decode_report(text: &str) -> Option<RunReport> {
     Some(RunReport {
         app: app.name(),
         system,
+        mode,
         pages: f64::from_bits(num("pages_bits")?),
         kernel_cycles: num("kernel_cycles")?,
         total_cycles: num("total_cycles")?,
@@ -291,8 +304,20 @@ mod tests {
         let good = encode_report(
             &RunSpec::new(App::Median, SystemKind::Conventional, 0.25, cfg).execute(),
         );
-        assert!(decode_report(&good.replacen("format=1", "format=999", 1)).is_none());
+        assert!(decode_report(&good.replacen("format=2", "format=999", 1)).is_none());
         assert!(decode_report(&good.replace("app=median", "app=unknown-app")).is_none());
+        assert!(decode_report(&good.replace("mode=accurate", "mode=warp")).is_none());
+    }
+
+    #[test]
+    fn codec_roundtrips_the_fast_tier() {
+        let cfg = RadramConfig::reference();
+        let report = RunSpec::new(App::Database, SystemKind::Radram, 0.5, cfg)
+            .with_mode(ExecMode::Fast)
+            .execute();
+        assert_eq!(report.mode, ExecMode::Fast);
+        let decoded = decode_report(&encode_report(&report)).expect("decode");
+        assert_eq!(report, decoded);
     }
 
     #[test]
@@ -302,9 +327,11 @@ mod tests {
         let other_app = RunSpec::new(App::Median, SystemKind::Radram, 1.0, cfg.clone());
         let other_kind = RunSpec::new(App::Database, SystemKind::Conventional, 1.0, cfg.clone());
         let other_size = RunSpec::new(App::Database, SystemKind::Radram, 2.0, cfg.clone());
+        let other_mode = base.clone().with_mode(ExecMode::Fast);
         let other_cfg =
             RunSpec::new(App::Database, SystemKind::Radram, 1.0, cfg.with_miss_latency(100));
-        let keys = [&base, &other_app, &other_kind, &other_size, &other_cfg].map(|s| s.key());
+        let keys =
+            [&base, &other_app, &other_kind, &other_size, &other_mode, &other_cfg].map(|s| s.key());
         for i in 0..keys.len() {
             for j in (i + 1)..keys.len() {
                 assert_ne!(keys[i], keys[j]);

@@ -1,7 +1,7 @@
 //! Problem-size sweeps shared by the figures.
 
 use crate::runner::{RunSpec, Runner};
-use ap_apps::{speedup, App, RunReport, SystemKind};
+use ap_apps::{speedup, App, ExecMode, RunReport, SystemKind};
 use radram::RadramConfig;
 
 /// One problem size measured on both systems.
@@ -67,36 +67,48 @@ pub fn run_sweep(runner: &Runner, app: App, cfg: &RadramConfig, quick: bool) -> 
 }
 
 /// The exact [`RunSpec`] batch behind the Figure 3/4 sweeps for `apps`:
-/// conventional + RADram at every [`size_grid`] point, in submission order
-/// (app-major, size, conventional before RADram). Shared between the
-/// in-process figures ([`run_sweeps`]) and the `apctl` daemon client, so a
-/// sweep submitted to a running `apd` is point-for-point the same batch —
-/// same keys, same cache entries — as a local `experiments` run.
-pub fn sweep_specs(apps: &[App], cfg: &RadramConfig, quick: bool) -> Vec<RunSpec> {
+/// conventional + RADram at every [`size_grid`] point on the given execution
+/// tier, in submission order (app-major, size, conventional before RADram).
+/// Shared between the in-process figures ([`run_sweeps`]) and the `apctl`
+/// daemon client, so a sweep submitted to a running `apd` is point-for-point
+/// the same batch — same keys, same cache entries — as a local `experiments`
+/// run.
+pub fn sweep_specs(apps: &[App], cfg: &RadramConfig, quick: bool, mode: ExecMode) -> Vec<RunSpec> {
     let mut specs = Vec::new();
     for &app in apps {
         for pages in size_grid(app, quick) {
             for kind in [SystemKind::Conventional, SystemKind::Radram] {
-                specs.push(RunSpec::new(app, kind, pages, cfg.clone()));
+                specs.push(RunSpec::new(app, kind, pages, cfg.clone()).with_mode(mode));
             }
         }
     }
     specs
 }
 
-/// Runs the size sweeps for several applications as **one** engine batch, so
-/// every point of every app shares the worker pool. A point whose job failed
-/// (panic, deadline) is dropped with a warning; the surviving points keep
-/// the figure usable.
+/// [`run_sweeps`] on the accurate tier.
 pub fn run_sweeps(
     runner: &Runner,
     apps: &[App],
     cfg: &RadramConfig,
     quick: bool,
 ) -> Vec<(App, Vec<SweepPoint>)> {
+    run_sweeps_mode(runner, apps, cfg, quick, ExecMode::Accurate)
+}
+
+/// Runs the size sweeps for several applications as **one** engine batch, so
+/// every point of every app shares the worker pool. A point whose job failed
+/// (panic, deadline) is dropped with a warning; the surviving points keep
+/// the figure usable.
+pub fn run_sweeps_mode(
+    runner: &Runner,
+    apps: &[App],
+    cfg: &RadramConfig,
+    quick: bool,
+    mode: ExecMode,
+) -> Vec<(App, Vec<SweepPoint>)> {
     let grids: Vec<(App, Vec<f64>)> =
         apps.iter().map(|&app| (app, size_grid(app, quick))).collect();
-    let specs = sweep_specs(apps, cfg, quick);
+    let specs = sweep_specs(apps, cfg, quick, mode);
     let mut results = runner.run(specs).into_iter();
     grids
         .into_iter()

@@ -1,0 +1,66 @@
+//! Functional-identity cross-check for the fast tier: on Figure 3/4 sweep
+//! points and on random specs, `ExecMode::Fast` must produce bit-identical
+//! *answers* (checksums) to the accurate oracle, and its kernel-cycle
+//! estimate must stay inside the documented error envelope
+//! (`fastmode::CYCLE_ERROR_ENVELOPE`, DESIGN.md §13).
+//!
+//! This is the acceptance gate for the two-tier executor: the fast tier may
+//! approximate *time*, never *results*.
+
+use ap_apps::{App, ExecMode, SystemKind};
+use ap_bench::fastmode::{check_pair, CYCLE_ERROR_ENVELOPE};
+use proptest::prelude::*;
+use radram::RadramConfig;
+
+/// Runs one point on both tiers and audits it: checksum identity (the
+/// `check_pair` panic) plus the cycle-error envelope.
+fn audit(app: App, kind: SystemKind, pages: f64, cfg: &RadramConfig) {
+    let accurate = app.run_mode(kind, pages, cfg, ExecMode::Accurate);
+    let fast = app.run_mode(kind, pages, cfg, ExecMode::Fast);
+    assert_eq!(
+        accurate.checksum,
+        fast.checksum,
+        "{} {kind} p={pages}: fast tier changed the answer",
+        app.name()
+    );
+    let check = check_pair(app, pages, &accurate, &fast);
+    assert!(
+        check.relative_error().abs() <= CYCLE_ERROR_ENVELOPE,
+        "{} {kind} p={pages}: cycle error {:+.3} exceeds the envelope {CYCLE_ERROR_ENVELOPE}",
+        app.name(),
+        check.relative_error()
+    );
+}
+
+#[test]
+fn fig3_sweep_points_are_functionally_identical_across_tiers() {
+    let cfg = RadramConfig::reference();
+    // One representative per activation pattern (same set the parallel
+    // determinism gate uses), spanning sub-page and multi-page sizes.
+    for app in [App::Database, App::ArrayInsert, App::MpegMmx, App::DynProg] {
+        for pages in [0.5, 2.0, 8.0] {
+            for kind in [SystemKind::Conventional, SystemKind::Radram] {
+                audit(app, kind, pages, &cfg);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random kernels at random page counts: fast-tier answers are
+    /// bit-identical and cycle estimates stay inside the envelope on both
+    /// memory systems.
+    #[test]
+    fn random_points_are_functionally_identical(
+        app_idx in 0usize..App::ALL.len(),
+        pages in 1u32..12,
+    ) {
+        let app = App::ALL[app_idx];
+        let cfg = RadramConfig::reference();
+        for kind in [SystemKind::Conventional, SystemKind::Radram] {
+            audit(app, kind, f64::from(pages), &cfg);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 use crate::bpred::BranchPredictor;
 use crate::mmx::MmxOp;
 use crate::stats::CpuStats;
-use ap_mem::{Hierarchy, HierarchyConfig, SimRam, VAddr};
+use ap_mem::{ExecMode, Hierarchy, HierarchyConfig, MemBackend, MemModel, SimRam, VAddr};
 use ap_trace::Subsystem::Cpu as TRACE_CPU;
 
 /// Subsystems whose events need the simulated clock published before a
@@ -93,7 +93,7 @@ pub struct Cpu {
     /// The simulated memory contents (public: applications allocate and the
     /// RADram logic engine operates on page bytes held here).
     pub ram: SimRam,
-    hier: Hierarchy,
+    mem: MemBackend,
     cfg: CpuConfig,
     now: u64,
     bpred: BranchPredictor,
@@ -101,11 +101,21 @@ pub struct Cpu {
 }
 
 impl Cpu {
-    /// Creates a processor with `ram_capacity` bytes of simulated memory.
+    /// Creates a processor with `ram_capacity` bytes of simulated memory,
+    /// running on the accurate (cycle-modeled) memory tier.
     pub fn new(cfg: CpuConfig, ram_capacity: usize) -> Self {
+        Cpu::with_mode(cfg, ram_capacity, ExecMode::Accurate)
+    }
+
+    /// Creates a processor on the memory tier `mode` selects. The accurate
+    /// tier is today's full hierarchy; the fast tier swaps in the
+    /// [`ap_mem::FastMem`] estimator and also skips branch-predictor and
+    /// instruction-fetch modeling (functional behaviour is unchanged — data
+    /// still lives in [`SimRam`]).
+    pub fn with_mode(cfg: CpuConfig, ram_capacity: usize, mode: ExecMode) -> Self {
         Cpu {
             ram: SimRam::new(ram_capacity),
-            hier: Hierarchy::new(cfg.hierarchy.clone()),
+            mem: MemBackend::new(cfg.hierarchy.clone(), mode),
             bpred: BranchPredictor::new(cfg.bpred_entries),
             now: 0,
             stats: CpuStats::new(),
@@ -116,6 +126,11 @@ impl Cpu {
     /// Returns the configuration.
     pub fn config(&self) -> &CpuConfig {
         &self.cfg
+    }
+
+    /// Which execution tier this processor runs on.
+    pub fn mode(&self) -> ExecMode {
+        self.mem.mode()
     }
 
     /// Current simulated time in cycles.
@@ -168,6 +183,11 @@ impl Cpu {
         self.stats.instructions += 1;
         self.stats.branches += 1;
         self.now += self.cfg.alu_latency;
+        if matches!(self.mem, MemBackend::Fast(_)) {
+            // Fast tier: the predictor is not modeled (documented error
+            // source) — every branch costs one cycle.
+            return taken;
+        }
         if !self.bpred.predict_and_train(site, taken) {
             self.stats.mispredicts += 1;
             ap_trace::instant(TRACE_CPU, "bpred.mispredict", self.now, site as u64, taken as u64);
@@ -183,6 +203,39 @@ impl Cpu {
         self.stats.mmx_ops += 1;
         self.now += self.cfg.alu_latency;
         op.apply(a, b)
+    }
+
+    /// Charges `n` single-cycle conditional branches at once, predictor
+    /// untouched. For fast-tier bulk kernels (DESIGN.md §13), which count
+    /// their branches instead of taking them one [`Self::branch`] call at a
+    /// time; on the fast tier the two are equivalent because the predictor
+    /// is not modeled there.
+    #[inline]
+    pub fn branch_run(&mut self, n: u64) {
+        self.stats.instructions += n;
+        self.stats.branches += n;
+        self.now += n * self.cfg.alu_latency;
+    }
+
+    /// Charges a strided record scan in bulk: `records` heads `stride`
+    /// bytes apart from `base`, `words` 32-bit loads in total (one filter
+    /// probe per head, the rest L1 hits — see [`ap_mem::FastMem::scan_heads`]).
+    /// The accurate tier gets the equivalent per-word charging through the
+    /// hierarchy, but callers normally branch on [`Self::mode`] and keep
+    /// their per-word loops there.
+    pub fn scan_heads(&mut self, base: VAddr, records: usize, stride: usize, words: u64) {
+        self.stats.instructions += words;
+        self.stats.loads += words;
+        match &mut self.mem {
+            MemBackend::Fast(f) => self.now += f.scan_heads(base, records, stride, words),
+            MemBackend::Accurate(h) => {
+                for r in 0..records {
+                    self.now += h.read(VAddr::new(base.get() + (r * stride) as u64));
+                }
+                let tail = words.saturating_sub(records as u64);
+                self.now += tail * self.cfg.hierarchy.l1d.hit_latency;
+            }
+        }
     }
 
     /// Publishes [`Self::now`] as the thread's trace clock when any
@@ -212,8 +265,13 @@ impl Cpu {
     fn charge_load(&mut self, addr: VAddr) {
         self.stats.instructions += 1;
         self.stats.loads += 1;
+        if let MemBackend::Fast(f) = &mut self.mem {
+            // Fast tier: estimate and go — no trace clock, no stall spans.
+            self.now += f.access(addr, false);
+            return;
+        }
         self.publish_trace_clock();
-        let cost = self.hier.read(addr);
+        let cost = self.mem.read(addr);
         self.trace_mem_stall(addr, cost);
         self.now += cost;
     }
@@ -222,8 +280,12 @@ impl Cpu {
     fn charge_store(&mut self, addr: VAddr) {
         self.stats.instructions += 1;
         self.stats.stores += 1;
+        if let MemBackend::Fast(f) = &mut self.mem {
+            self.now += f.access(addr, true);
+            return;
+        }
         self.publish_trace_clock();
-        let cost = self.hier.write(addr);
+        let cost = self.mem.write(addr);
         self.trace_mem_stall(addr, cost);
         self.now += cost;
     }
@@ -304,8 +366,13 @@ impl Cpu {
     /// accounts for the executed operation itself.
     #[inline]
     pub fn charge_fetch(&mut self, pc: VAddr) {
+        if matches!(self.mem, MemBackend::Fast(_)) {
+            // Fast tier: fetches are free (the L1I hit rate is ~100% on
+            // these kernels, so the modeled cost is already ~0).
+            return;
+        }
         self.publish_trace_clock();
-        let cycles = self.hier.fetch(pc);
+        let cycles = self.mem.fetch(pc);
         let hidden = self.cfg.hierarchy.l1i.hit_latency;
         self.now += cycles.saturating_sub(hidden);
     }
@@ -321,8 +388,12 @@ impl Cpu {
         } else {
             self.stats.loads += 1;
         }
+        if let MemBackend::Fast(f) = &mut self.mem {
+            self.now += MemModel::uncached(&mut **f);
+            return;
+        }
         self.publish_trace_clock();
-        self.now += self.hier.uncached();
+        self.now += self.mem.uncached();
     }
 
     /// Uncached 32-bit load (synchronization variables bypass the caches).
@@ -330,8 +401,12 @@ impl Cpu {
     pub fn uncached_load_u32(&mut self, addr: VAddr) -> u32 {
         self.stats.instructions += 1;
         self.stats.loads += 1;
-        self.publish_trace_clock();
-        self.now += self.hier.uncached();
+        if let MemBackend::Fast(f) = &mut self.mem {
+            self.now += MemModel::uncached(&mut **f);
+        } else {
+            self.publish_trace_clock();
+            self.now += self.mem.uncached();
+        }
         self.ram.read_u32(addr)
     }
 
@@ -340,29 +415,35 @@ impl Cpu {
     pub fn uncached_store_u32(&mut self, addr: VAddr, v: u32) {
         self.stats.instructions += 1;
         self.stats.stores += 1;
-        self.publish_trace_clock();
-        self.now += self.hier.uncached();
+        if let MemBackend::Fast(f) = &mut self.mem {
+            self.now += MemModel::uncached(&mut **f);
+        } else {
+            self.publish_trace_clock();
+            self.now += self.mem.uncached();
+        }
         self.ram.write_u32(addr, v);
     }
 
     /// Invalidates cached copies of `[start, start + len)`; called by the
-    /// memory system when in-page logic mutates DRAM directly.
+    /// memory system when in-page logic mutates DRAM directly. On the fast
+    /// tier this is a no-op (documented error source of the estimator).
     pub fn invalidate_range(&mut self, start: VAddr, len: u64) {
-        self.hier.invalidate_range(start, len);
+        self.mem.invalidate_range(start, len);
     }
 
-    /// Statistics snapshot (includes the memory hierarchy's counters and the
+    /// Statistics snapshot (includes the memory backend's counters and the
     /// current cycle count).
     pub fn stats(&self) -> CpuStats {
         let mut s = self.stats.clone();
         s.cycles = self.now;
-        s.mem = self.hier.stats();
+        s.mem = self.mem.stats();
         s
     }
 
-    /// Borrows the memory hierarchy (read-only; for inspection in tests).
-    pub fn hierarchy(&self) -> &Hierarchy {
-        &self.hier
+    /// Borrows the accurate memory hierarchy when this processor runs on it
+    /// (read-only; for inspection in tests). `None` on the fast tier.
+    pub fn hierarchy(&self) -> Option<&Hierarchy> {
+        self.mem.hierarchy()
     }
 }
 
@@ -468,6 +549,46 @@ mod tests {
         let t = c.now();
         c.load_u32(a);
         assert!(c.now() - t > 1);
+    }
+
+    #[test]
+    fn fast_mode_is_functionally_identical_and_counts_accesses() {
+        let mut acc = cpu();
+        let mut fast = Cpu::with_mode(CpuConfig::reference(), 1 << 22, ExecMode::Fast);
+        assert_eq!(fast.mode(), ExecMode::Fast);
+        assert!(fast.hierarchy().is_none());
+        assert!(acc.hierarchy().is_some());
+        for c in [&mut acc, &mut fast] {
+            let a = c.ram.alloc(4096, 64);
+            for i in 0..512u64 {
+                c.store_u64(a + i * 8, i * 3);
+            }
+            let mut sum = 0u64;
+            for i in 0..512u64 {
+                sum = sum.wrapping_add(c.load_u64(a + i * 8));
+                c.branch(1, i % 2 == 0);
+            }
+            assert_eq!(sum, (0..512u64).map(|i| i * 3).sum());
+        }
+        let (sa, sf) = (acc.stats(), fast.stats());
+        assert_eq!((sa.loads, sa.stores), (sf.loads, sf.stores));
+        assert_eq!(sa.instructions, sf.instructions);
+        // The fast tier still estimates cycles, and both tiers agree on the
+        // compulsory-miss-dominated pattern above to within a few percent.
+        assert!(sf.cycles > 0);
+        assert_eq!(sf.mispredicts, 0, "fast tier skips the predictor");
+        assert!(sa.mispredicts > 0);
+    }
+
+    #[test]
+    fn fast_mode_uncached_cost_matches_accurate() {
+        let mut fast = Cpu::with_mode(CpuConfig::reference(), 1 << 20, ExecMode::Fast);
+        let a = fast.ram.alloc(64, 64);
+        fast.uncached_store_u32(a, 7);
+        assert_eq!(fast.uncached_load_u32(a), 7);
+        let s = fast.stats();
+        assert_eq!(s.mem.uncached, 2);
+        assert_eq!(s.cycles, 2 * 60);
     }
 
     #[test]

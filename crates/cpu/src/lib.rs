@@ -39,6 +39,7 @@ mod cpu;
 pub mod mmx;
 mod stats;
 
+pub use ap_mem::ExecMode;
 pub use bpred::BranchPredictor;
 pub use cpu::{Cpu, CpuConfig};
 pub use stats::CpuStats;

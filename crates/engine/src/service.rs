@@ -15,7 +15,7 @@
 //! * **Bounded.** Per-client queues have a fixed capacity; a submit beyond
 //!   it is rejected with [`SubmitError::Busy`] instead of growing without
 //!   limit — the caller turns that into protocol-level backpressure.
-//! * **Isolated.** Every job runs under [`supervise`](crate::supervise):
+//! * **Isolated.** Every job runs under [`supervise`](crate::supervise()):
 //!   panics and per-job deadline overruns degrade to a [`JobError`] in
 //!   that job's completion while the pool keeps serving.
 //! * **Cancellable.** A queued job can be cancelled; its completion

@@ -16,6 +16,10 @@
 //!   page behind the processor's caches).
 //! * [`SimRam`] — the simulated flat physical/virtual memory holding the real
 //!   bytes every workload computes on, with a bump allocator.
+//! * [`ExecMode`] / [`MemBackend`] — the two-tier execution switch: per job,
+//!   a processor runs on the accurate [`Hierarchy`] or on [`FastMem`], a
+//!   tag-filter estimator for the fast functional tier, both behind the
+//!   [`MemModel`] trait (DESIGN.md §13).
 //!
 //! Timing is expressed in CPU cycles; the reference processor runs at 1 GHz so
 //! one cycle is one nanosecond, which keeps Table 1's nanosecond parameters
@@ -40,6 +44,7 @@
 mod addr;
 mod cache;
 mod dram;
+mod exec;
 mod hierarchy;
 mod ram;
 mod stats;
@@ -47,6 +52,7 @@ mod stats;
 pub use addr::VAddr;
 pub use cache::{AccessOutcome, Cache, CacheConfig};
 pub use dram::{Dram, DramConfig};
+pub use exec::{ExecMode, FastMem, MemBackend, MemModel};
 pub use hierarchy::{Hierarchy, HierarchyConfig};
 pub use ram::SimRam;
 pub use stats::{CacheStats, MemStats};

@@ -1,0 +1,54 @@
+//! Thread-local accumulation of *host* wall-clock time spent inside
+//! simulated kernel regions.
+//!
+//! The two-tier benchmark (`BENCH_fastmode.json`) compares how long the
+//! simulator itself takes to execute a kernel in fast vs accurate mode.
+//! Workload generation and RAM population are identical in both tiers, so
+//! they must be excluded from that measurement: [`crate::System::kernel_start`]
+//! stamps a host timestamp and [`crate::System::kernel_region`] adds the
+//! elapsed host seconds here. Harnesses drain the total with
+//! [`take_kernel_host_secs`] after a run.
+//!
+//! Host seconds never enter a `RunReport` — simulation results stay
+//! bit-deterministic; this is a side channel for wall-clock benchmarking
+//! only. It is thread-local so engine workers running jobs concurrently do
+//! not contaminate each other.
+
+use std::cell::Cell;
+
+thread_local! {
+    static KERNEL_SECS: Cell<f64> = const { Cell::new(0.0) };
+}
+
+/// Adds `secs` of host time to this thread's kernel-region total.
+pub(crate) fn add_kernel_secs(secs: f64) {
+    KERNEL_SECS.with(|c| c.set(c.get() + secs));
+}
+
+/// Returns and resets the host seconds this thread has spent inside kernel
+/// regions since the last call (zero if none).
+pub fn take_kernel_host_secs() -> f64 {
+    KERNEL_SECS.with(|c| c.replace(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_drains() {
+        assert_eq!(take_kernel_host_secs(), 0.0);
+        add_kernel_secs(0.25);
+        add_kernel_secs(0.5);
+        assert_eq!(take_kernel_host_secs(), 0.75);
+        assert_eq!(take_kernel_host_secs(), 0.0);
+    }
+
+    #[test]
+    fn is_thread_local() {
+        add_kernel_secs(1.0);
+        let other = std::thread::spawn(take_kernel_host_secs).join().unwrap();
+        assert_eq!(other, 0.0);
+        assert_eq!(take_kernel_host_secs(), 1.0);
+    }
+}

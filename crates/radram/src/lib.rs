@@ -58,11 +58,14 @@
 #![warn(missing_docs)]
 
 mod config;
+mod hosttime;
 pub mod paging;
 mod state;
 mod stats;
 mod system;
 
+pub use ap_cpu::ExecMode;
 pub use config::{CommMode, RadramConfig, ServiceMode};
+pub use hosttime::take_kernel_host_secs;
 pub use stats::SystemStats;
 pub use system::{force_sequential, set_force_sequential, PageActivation, System};

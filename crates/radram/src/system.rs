@@ -8,7 +8,7 @@ use active_pages::{
     PAGE_SIZE,
 };
 use ap_cpu::mmx::MmxOp;
-use ap_cpu::Cpu;
+use ap_cpu::{Cpu, ExecMode};
 use ap_mem::VAddr;
 use ap_trace::Subsystem::Radram as TRACE_RAD;
 use std::collections::HashSet;
@@ -129,6 +129,8 @@ pub struct System {
     sequential: bool,
     /// Deferral state while a batched activation is in flight.
     batch: Option<BatchState>,
+    /// Host timestamp of the open kernel region ([`System::kernel_start`]).
+    kernel_t0: Option<std::time::Instant>,
 }
 
 /// True when the `AP_SEQUENTIAL` environment variable asks for the
@@ -147,20 +149,33 @@ impl System {
     /// Creates a conventional-memory system with custom parameters (cache
     /// sizes, DRAM latency); Active-Page calls panic on this system.
     pub fn conventional_with(cfg: RadramConfig) -> Self {
+        Self::conventional_mode(cfg, ExecMode::Accurate)
+    }
+
+    /// Creates a conventional-memory system on the execution tier `mode`
+    /// selects (see [`ExecMode`]; fast estimates cycles instead of modeling
+    /// every access).
+    pub fn conventional_mode(cfg: RadramConfig, mode: ExecMode) -> Self {
         System {
-            cpu: Cpu::new(cfg.cpu.clone(), cfg.ram_capacity),
+            cpu: Cpu::with_mode(cfg.cpu.clone(), cfg.ram_capacity, mode),
             cfg,
             rad: None,
             sequential: env_sequential(),
             batch: None,
+            kernel_t0: None,
         }
     }
 
     /// Creates a system whose memory implements Active Pages on RADram.
     pub fn radram(cfg: RadramConfig) -> Self {
+        Self::radram_mode(cfg, ExecMode::Accurate)
+    }
+
+    /// Creates an Active-Page system on the execution tier `mode` selects.
+    pub fn radram_mode(cfg: RadramConfig, mode: ExecMode) -> Self {
         let frames = cfg.ram_capacity >> PAGE_SHIFT;
         System {
-            cpu: Cpu::new(cfg.cpu.clone(), cfg.ram_capacity),
+            cpu: Cpu::with_mode(cfg.cpu.clone(), cfg.ram_capacity, mode),
             rad: Some(Rad {
                 table: active_pages::PageTable::new(),
                 pages: Vec::new(),
@@ -172,6 +187,7 @@ impl System {
             cfg,
             sequential: env_sequential(),
             batch: None,
+            kernel_t0: None,
         }
     }
 
@@ -193,9 +209,24 @@ impl System {
         self.rad.is_some()
     }
 
+    /// Which execution tier this system runs on.
+    pub fn mode(&self) -> ExecMode {
+        self.cpu.mode()
+    }
+
     /// Current simulated time in CPU cycles (1 ns at the 1 GHz reference).
     #[inline]
     pub fn now(&self) -> u64 {
+        self.cpu.now()
+    }
+
+    /// Marks the start of a kernel region: stamps a host wall-clock
+    /// timestamp (drained by [`crate::take_kernel_host_secs`] when the
+    /// matching [`System::kernel_region`] closes it) and returns the current
+    /// simulated time, so apps can write `let t0 = sys.kernel_start();`
+    /// where they previously sampled [`System::now`].
+    pub fn kernel_start(&mut self) -> u64 {
+        self.kernel_t0 = Some(std::time::Instant::now());
         self.cpu.now()
     }
 
@@ -203,8 +234,13 @@ impl System {
     /// Apps call this exactly where they measure their kernel region, so an
     /// exported timeline carries the same envelope the aggregate
     /// `kernel_cycles` counter reports (the event stream alone undercounts
-    /// by whatever trailing work emits no event).
-    pub fn kernel_region(&self, t0: u64) -> u64 {
+    /// by whatever trailing work emits no event). Closes the host-time
+    /// window an earlier [`System::kernel_start`] opened; simulated results
+    /// are unaffected.
+    pub fn kernel_region(&mut self, t0: u64) -> u64 {
+        if let Some(start) = self.kernel_t0.take() {
+            crate::hosttime::add_kernel_secs(start.elapsed().as_secs_f64());
+        }
         let kernel = self.cpu.now() - t0;
         ap_trace::complete(TRACE_RAD, "kernel.region", t0, kernel, 0, 0);
         kernel
@@ -481,6 +517,26 @@ impl System {
     /// Untimed double write (see [`System::ram_write_u8`]).
     pub fn ram_write_f64(&mut self, addr: VAddr, v: f64) {
         self.cpu.ram.write_f64(addr, v);
+    }
+
+    /// Untimed view of `len` bytes at `addr` (see [`System::ram_read_u8`]).
+    /// Fast-tier bulk kernels compute over this slice and charge the loop's
+    /// instruction stream from counts via [`System::scan_heads`] /
+    /// [`System::alu`] / [`System::branch_run`] (DESIGN.md §13).
+    pub fn ram_slice(&self, addr: VAddr, len: usize) -> &[u8] {
+        self.cpu.ram.slice(addr, len)
+    }
+
+    /// Charges a strided record scan in bulk: one filter probe per record
+    /// head, `words` 32-bit loads in total (see [`ap_cpu::Cpu::scan_heads`]).
+    pub fn scan_heads(&mut self, base: VAddr, records: usize, stride: usize, words: u64) {
+        self.cpu.scan_heads(base, records, stride, words);
+    }
+
+    /// Charges `n` single-cycle branches at once, predictor untouched (see
+    /// [`ap_cpu::Cpu::branch_run`]; fast-tier bulk kernels only).
+    pub fn branch_run(&mut self, n: u64) {
+        self.cpu.branch_run(n);
     }
 
     // ---- Active Pages interface ------------------------------------------
