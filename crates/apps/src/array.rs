@@ -77,6 +77,10 @@ fn shift_execute(page: &mut PageSlice<'_>, right: bool) -> Execution {
 }
 
 impl PageFunction for ArrayInsertFn {
+    fn footprint(&self) -> active_pages::StaticFootprint {
+        crate::common::whole_page_footprint()
+    }
+
     fn name(&self) -> &'static str {
         "array-insert"
     }
@@ -93,6 +97,10 @@ impl PageFunction for ArrayInsertFn {
 }
 
 impl PageFunction for ArrayDeleteFn {
+    fn footprint(&self) -> active_pages::StaticFootprint {
+        crate::common::whole_page_footprint()
+    }
+
     fn name(&self) -> &'static str {
         "array-delete"
     }
@@ -109,6 +117,10 @@ impl PageFunction for ArrayDeleteFn {
 }
 
 impl PageFunction for ArrayFindFn {
+    fn footprint(&self) -> active_pages::StaticFootprint {
+        crate::common::read_body_footprint()
+    }
+
     fn name(&self) -> &'static str {
         "array-find"
     }

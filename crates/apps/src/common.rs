@@ -80,6 +80,29 @@ pub fn speedup(conventional: &RunReport, radram: &RunReport) -> f64 {
     conventional.kernel_cycles as f64 / radram.kernel_cycles.max(1) as f64
 }
 
+/// A declared footprint covering the whole 512 KB page, reads and writes.
+///
+/// The honest over-approximation for page functions whose touched ranges
+/// depend on control-word parameters (shifters, filters, gathers): every
+/// access is provably page-local, which is all the parallel executor's
+/// race checks need to fast-track a batch as disjoint.
+pub fn whole_page_footprint() -> active_pages::StaticFootprint {
+    let page = active_pages::PAGE_SIZE as u64;
+    active_pages::StaticFootprint::Known(
+        active_pages::PageFootprint::new().with_read(0, page).with_write(0, page),
+    )
+}
+
+/// A declared footprint for functions that read anywhere in their page but
+/// write only synchronization/result words in the control area.
+pub fn read_body_footprint() -> active_pages::StaticFootprint {
+    let page = active_pages::PAGE_SIZE as u64;
+    let ctrl = active_pages::sync::CTRL_SIZE as u64;
+    active_pages::StaticFootprint::Known(
+        active_pages::PageFootprint::new().with_read(0, page).with_write(0, ctrl),
+    )
+}
+
 /// FNV-1a digest used for result checksums.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;

@@ -27,6 +27,10 @@ const CMD_SEARCH: u32 = 1;
 pub struct DatabaseSearchFn;
 
 impl PageFunction for DatabaseSearchFn {
+    fn footprint(&self) -> active_pages::StaticFootprint {
+        crate::common::read_body_footprint()
+    }
+
     fn name(&self) -> &'static str {
         "database"
     }

@@ -47,6 +47,10 @@ pub struct LcsFn;
 pub struct LcsIntrFn;
 
 impl PageFunction for LcsIntrFn {
+    fn footprint(&self) -> active_pages::StaticFootprint {
+        crate::common::whole_page_footprint()
+    }
+
     fn name(&self) -> &'static str {
         "dynamic-prog-intr"
     }
@@ -78,6 +82,10 @@ impl PageFunction for LcsIntrFn {
 }
 
 impl PageFunction for LcsFn {
+    fn footprint(&self) -> active_pages::StaticFootprint {
+        crate::common::whole_page_footprint()
+    }
+
     fn name(&self) -> &'static str {
         "dynamic-prog"
     }

@@ -50,7 +50,9 @@ pub mod mpeg;
 pub mod mpeg_decode;
 pub mod primitives;
 
-pub use common::{fnv1a, fnv_mix, speedup, RunReport, SystemKind};
+pub use common::{
+    fnv1a, fnv_mix, read_body_footprint, speedup, whole_page_footprint, RunReport, SystemKind,
+};
 pub use radram::ExecMode;
 
 use radram::RadramConfig;

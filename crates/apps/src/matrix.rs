@@ -70,6 +70,10 @@ impl MatrixVariant {
 pub struct MatrixGatherFn;
 
 impl PageFunction for MatrixGatherFn {
+    fn footprint(&self) -> active_pages::StaticFootprint {
+        crate::common::whole_page_footprint()
+    }
+
     fn name(&self) -> &'static str {
         "matrix"
     }

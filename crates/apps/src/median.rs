@@ -39,6 +39,10 @@ const CMD_FILTER: u32 = 1;
 pub struct MedianFn;
 
 impl PageFunction for MedianFn {
+    fn footprint(&self) -> active_pages::StaticFootprint {
+        crate::common::whole_page_footprint()
+    }
+
     fn name(&self) -> &'static str {
         "median"
     }

@@ -42,6 +42,10 @@ const CMD_PACKUSWB: u32 = 3;
 pub struct MmxPageFn;
 
 impl PageFunction for MmxPageFn {
+    fn footprint(&self) -> active_pages::StaticFootprint {
+        crate::common::whole_page_footprint()
+    }
+
     fn name(&self) -> &'static str {
         "mpeg-mmx"
     }

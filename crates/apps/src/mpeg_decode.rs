@@ -51,6 +51,10 @@ const CMD_DECODE: u32 = 1;
 pub struct EntropyDecodeFn;
 
 impl PageFunction for EntropyDecodeFn {
+    fn footprint(&self) -> active_pages::StaticFootprint {
+        crate::common::whole_page_footprint()
+    }
+
     fn name(&self) -> &'static str {
         "entropy-decode"
     }

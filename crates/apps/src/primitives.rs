@@ -47,6 +47,10 @@ pub mod ops {
 pub struct DataPrimitivesFn;
 
 impl PageFunction for DataPrimitivesFn {
+    fn footprint(&self) -> active_pages::StaticFootprint {
+        crate::common::whole_page_footprint()
+    }
+
     fn name(&self) -> &'static str {
         "data-primitives"
     }

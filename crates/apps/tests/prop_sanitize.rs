@@ -1,0 +1,47 @@
+//! Property test: with the access sanitizer forced on, every benchmark's
+//! RADram run audits clean — the page functions' declared footprints really
+//! do contain what their kernels touch (dynamic ⊆ static, RC204) and no two
+//! batch participants collide (RC205) — on both execution tiers and across
+//! problem sizes.
+
+use ap_apps::{App, ExecMode, SystemKind};
+use proptest::prelude::*;
+use radram::RadramConfig;
+
+/// Turns the sanitizer off again even when an assertion unwinds mid-case.
+struct SanitizeGuard;
+
+impl Drop for SanitizeGuard {
+    fn drop(&mut self) {
+        radram::set_force_sanitize(false);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sanitized_runs_report_no_races(
+        which in 0usize..9,
+        fast in proptest::bool::ANY,
+        half_pages in 1u32..5,
+    ) {
+        // Real worker threads even on a small host, so batches actually take
+        // the parallel path the sanitizer audits.
+        active_pages::parallel::set_thread_budget(4);
+        let app = App::ALL[which];
+        let pages = f64::from(half_pages) * 0.5;
+        let mode = if fast { ExecMode::Fast } else { ExecMode::Accurate };
+        let _guard = SanitizeGuard;
+        radram::set_force_sanitize(true);
+        let report = app.run_mode(SystemKind::Radram, pages, &RadramConfig::reference(), mode);
+        prop_assert_eq!(
+            (report.stats.race_errors, report.stats.race_warnings),
+            (0, 0),
+            "{} at {} pages in {:?} mode reported race diagnostics",
+            app.name(),
+            pages,
+            mode
+        );
+    }
+}

@@ -2,20 +2,24 @@
 //!
 //! Lints the Table 3 circuits, the Section 10 extension circuits and the
 //! six SS-lite workload kernels, printing one report per subject. Exits
-//! nonzero when any subject carries an Error-severity diagnostic, so CI
-//! can gate on a clean corpus.
+//! nonzero when any subject carries an Error-severity diagnostic (or, under
+//! `--deny-warnings`, any Warning), so CI can gate on a clean corpus.
 //!
 //! ```text
-//! aplint [--all | NAME...] [--format text|json]
+//! aplint [--all | NAME...] [--race] [--deny-warnings] [--format text|json]
 //! ```
 //!
 //! With no names (or `--all`) the whole corpus is linted; otherwise only
-//! subjects whose name matches one of the given names.
+//! subjects whose name matches one of the given names. `--race` runs the
+//! static race/footprint analysis (RC201/RC202/RC203) over the kernels
+//! instead of the structural lint passes, reporting each kernel's proven
+//! byte footprint.
 
 use ap_bench::lint_corpus;
+use ap_lint::footprint::StaticFootprint;
 
 fn usage() -> ! {
-    eprintln!("usage: aplint [--all | NAME...] [--format text|json]");
+    eprintln!("usage: aplint [--all | NAME...] [--race] [--deny-warnings] [--format text|json]");
     eprintln!("subjects:");
     for r in lint_corpus::all_reports() {
         eprintln!("  {}", r.subject());
@@ -23,13 +27,34 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// One line summarizing what the footprint analysis proved for a kernel.
+fn footprint_summary(fp: &StaticFootprint) -> String {
+    match fp {
+        StaticFootprint::Known(fp) => {
+            let page = active_pages::PAGE_SIZE as u64;
+            let local = fp.reads.runs().iter().chain(fp.writes.runs()).all(|&(_, end)| end <= page);
+            format!(
+                "footprint: known, {} read bytes / {} write bytes, {}",
+                fp.reads.bytes(),
+                fp.writes.bytes(),
+                if local { "page-local" } else { "ESCAPES PAGE" }
+            )
+        }
+        StaticFootprint::Unknown => "footprint: unknown (runtime fallbacks kept)".to_string(),
+    }
+}
+
 fn main() {
     let mut names: Vec<String> = Vec::new();
     let mut json = false;
+    let mut race = false;
+    let mut deny_warnings = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--all" => {}
+            "--race" => race = true,
+            "--deny-warnings" => deny_warnings = true,
             "--format" => match args.next().as_deref() {
                 Some("text") => json = false,
                 Some("json") => json = true,
@@ -41,10 +66,19 @@ fn main() {
         }
     }
 
-    let reports: Vec<_> = lint_corpus::all_reports()
-        .into_iter()
-        .filter(|r| names.is_empty() || names.iter().any(|n| n == r.subject()))
-        .collect();
+    let reports: Vec<_> = if race {
+        lint_corpus::race_reports()
+            .into_iter()
+            .filter(|(r, _)| names.is_empty() || names.iter().any(|n| n == r.subject()))
+            .map(|(r, fp)| (r, Some(fp)))
+            .collect()
+    } else {
+        lint_corpus::all_reports()
+            .into_iter()
+            .filter(|r| names.is_empty() || names.iter().any(|n| n == r.subject()))
+            .map(|r| (r, None))
+            .collect()
+    };
     if reports.is_empty() {
         eprintln!("aplint: no subject matches {names:?}");
         usage();
@@ -52,17 +86,21 @@ fn main() {
 
     let mut errors = 0u32;
     let mut warnings = 0u32;
-    for r in &reports {
+    for (r, fp) in &reports {
         errors += r.errors();
         warnings += r.warnings();
         if json {
             println!("{}", r.render_json());
         } else {
             println!("{}", r.render_text());
+            if let Some(fp) = fp {
+                println!("  {}", footprint_summary(fp));
+            }
         }
     }
     if !json {
         println!("aplint: {} subjects, {errors} errors, {warnings} warnings", reports.len());
     }
-    std::process::exit(if errors > 0 { 1 } else { 0 });
+    let fail = errors > 0 || (deny_warnings && warnings > 0);
+    std::process::exit(if fail { 1 } else { 0 });
 }

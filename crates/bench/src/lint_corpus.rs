@@ -36,6 +36,21 @@ pub fn all_reports() -> Vec<Report> {
     reports
 }
 
+/// Static race/footprint analysis (`aplint --race`) over the six SS-lite
+/// kernels: one report per kernel, carrying any RC201/RC202/RC203 findings.
+/// The paired footprint of each analysis is returned alongside so renderers
+/// can show what was proven.
+pub fn race_reports() -> Vec<(Report, ap_lint::footprint::StaticFootprint)> {
+    ap_risc::kernels::all()
+        .into_iter()
+        .map(|(name, _)| {
+            let analysis =
+                ap_risc::footprint::analyze(name, &ap_risc::kernels::assemble_kernel(name));
+            (analysis.report, analysis.footprint)
+        })
+        .collect()
+}
+
 /// The Table 3 circuit implementing `app`, if it has one (`median` is
 /// processor-side only in Table 3).
 fn circuit_for_app(app: &str) -> Option<fn() -> ap_synth::Netlist> {
@@ -65,8 +80,9 @@ fn kernel_for_app(app: &str) -> Option<&'static str> {
 }
 
 /// Diagnostic totals for the artifacts behind application `app`: its
-/// Table 3 circuit (when it has one) plus its SS-lite kernel. Unknown
-/// names have no artifacts and report zero.
+/// Table 3 circuit (when it has one) plus its SS-lite kernel — the kernel
+/// contributing both its structural lint and its static race/footprint
+/// analysis. Unknown names have no artifacts and report zero.
 pub fn counts_for_app(app: &str) -> DiagCounts {
     let mut counts = DiagCounts::default();
     let mut add = |r: &Report| {
@@ -77,7 +93,9 @@ pub fn counts_for_app(app: &str) -> DiagCounts {
         add(&ap_synth::lint::check(&build()));
     }
     if let Some(kernel) = kernel_for_app(app) {
-        add(&ap_risc::lint::check(kernel, &ap_risc::kernels::assemble_kernel(kernel)));
+        let prog = ap_risc::kernels::assemble_kernel(kernel);
+        add(&ap_risc::lint::check(kernel, &prog));
+        add(&ap_risc::footprint::analyze(kernel, &prog).report);
     }
     counts
 }
@@ -103,5 +121,32 @@ mod tests {
     #[test]
     fn unknown_apps_count_nothing() {
         assert_eq!(counts_for_app("nonesuch"), DiagCounts::default());
+    }
+
+    /// The footprint analyzer hard-codes the page geometry (ap-risc cannot
+    /// depend on active-pages); this is the one place both crates are in
+    /// scope, so pin the constants together here.
+    #[test]
+    fn footprint_analyzer_geometry_matches_simulator() {
+        assert_eq!(ap_risc::footprint::PAGE_BYTES, active_pages::PAGE_SIZE as u64);
+        assert_eq!(ap_risc::footprint::CTRL_BYTES, active_pages::sync::CTRL_SIZE as u64);
+    }
+
+    /// `aplint --race` acceptance: every SS-lite kernel analyzes clean and
+    /// proves a page-local byte footprint.
+    #[test]
+    fn race_corpus_is_clean_and_page_local() {
+        let reports = race_reports();
+        assert_eq!(reports.len(), 6);
+        for (report, footprint) in &reports {
+            assert!(report.is_empty(), "{}", report.render_text());
+            let fp = footprint
+                .known()
+                .unwrap_or_else(|| panic!("{}: footprint not statically known", report.subject()));
+            let page = active_pages::PAGE_SIZE as u64;
+            for &(_, end) in fp.reads.runs().iter().chain(fp.writes.runs()) {
+                assert!(end <= page, "{}: run ends at {end}", report.subject());
+            }
+        }
     }
 }

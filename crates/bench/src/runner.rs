@@ -23,7 +23,7 @@ use radram::{RadramConfig, SystemStats};
 /// Version of the [`report_codec`] wire format. Bump whenever the encoded
 /// field set changes; old cache entries then fail to decode (their salt
 /// differs) instead of being misread.
-pub const REPORT_FORMAT: u32 = 2;
+pub const REPORT_FORMAT: u32 = 3;
 
 /// The engine cache salt shared by every harness front-end: the `ap-bench`
 /// crate version plus the report-codec format version. The `apd` daemon
@@ -161,11 +161,16 @@ pub fn report_codec() -> Codec<RunReport> {
 }
 
 /// Diagnostic totals for a report: the lint findings of the circuit and
-/// kernel implementing its application. Computed fresh on every job (cache
-/// hits included), so lint-pass changes surface without invalidating the
-/// simulation cache.
+/// kernel implementing its application, plus any dynamic race findings the
+/// access sanitizer recorded during the run itself. Static counts are
+/// computed fresh on every job (cache hits included), so lint-pass changes
+/// surface without invalidating the simulation cache; the dynamic counts
+/// ride in the cached report's stats.
 fn report_diag(r: &RunReport) -> ap_engine::manifest::DiagCounts {
-    crate::lint_corpus::counts_for_app(r.app)
+    let mut counts = crate::lint_corpus::counts_for_app(r.app);
+    counts.errors += r.stats.race_errors as u32;
+    counts.warnings += r.stats.race_warnings as u32;
+    counts
 }
 
 fn encode_report(r: &RunReport) -> String {
@@ -194,6 +199,8 @@ fn encode_report(r: &RunReport) -> String {
     put("copied_bytes", s.copied_bytes);
     put("rebinds", s.rebinds);
     put("logic_busy_cycles", s.logic_busy_cycles);
+    put("race_errors", s.race_errors);
+    put("race_warnings", s.race_warnings);
     put("cpu.cycles", c.cycles);
     put("cpu.instructions", c.instructions);
     put("cpu.loads", c.loads);
@@ -247,6 +254,8 @@ fn decode_report(text: &str) -> Option<RunReport> {
         copied_bytes: num("copied_bytes")?,
         rebinds: num("rebinds")?,
         logic_busy_cycles: num("logic_busy_cycles")?,
+        race_errors: num("race_errors")?,
+        race_warnings: num("race_warnings")?,
         ..Default::default()
     };
     let c = &mut stats.cpu;
@@ -304,7 +313,7 @@ mod tests {
         let good = encode_report(
             &RunSpec::new(App::Median, SystemKind::Conventional, 0.25, cfg).execute(),
         );
-        assert!(decode_report(&good.replacen("format=2", "format=999", 1)).is_none());
+        assert!(decode_report(&good.replacen("format=3", "format=999", 1)).is_none());
         assert!(decode_report(&good.replace("app=median", "app=unknown-app")).is_none());
         assert!(decode_report(&good.replace("mode=accurate", "mode=warp")).is_none());
     }

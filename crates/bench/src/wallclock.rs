@@ -59,6 +59,10 @@ impl PageFunction for BodyHashFn {
         page.set_ctrl(sync::STATUS, sync::DONE);
         Execution::run(u64::from(PASSES) * words as u64)
     }
+
+    fn footprint(&self) -> active_pages::StaticFootprint {
+        ap_apps::whole_page_footprint()
+    }
 }
 
 /// One page count of the scaling sweep, measured on both executors.

@@ -168,6 +168,21 @@ pub trait PageFunction: fmt::Debug + Send + Sync {
     /// another set of synchronization variables to indicate the data is
     /// ready".
     fn execute(&self, page: &mut PageSlice<'_>) -> Execution;
+
+    /// The page-relative byte ranges [`PageFunction::execute`] may touch, as
+    /// a statically declared over-approximation.
+    ///
+    /// The parallel executor uses this for its race checks: batches whose
+    /// members all declare footprints confined to their own pages are proven
+    /// disjoint and fast-tracked, and the dynamic sanitizer (`AP_SANITIZE=1`)
+    /// verifies every recorded access stays inside the declaration. The
+    /// default — honest ignorance — keeps the runtime fallbacks instead.
+    ///
+    /// Implementations must *over*-declare: claiming less than `execute`
+    /// touches turns the sanitizer's RC204 check into an error.
+    fn footprint(&self) -> ap_lint::footprint::StaticFootprint {
+        ap_lint::footprint::StaticFootprint::Unknown
+    }
 }
 
 #[cfg(test)]

@@ -68,6 +68,7 @@ mod slice;
 pub mod sync;
 mod table;
 
+pub use ap_lint::footprint::{ByteIntervals, PageFootprint, StaticFootprint};
 pub use function::{CopyRequest, ExecEvent, Execution, PageFunction};
 pub use group::GroupId;
 pub use ideal::{ActivationSummary, IdealExecutor};

@@ -1,7 +1,9 @@
 //! Typed access to one page's bytes during function execution.
 
 use crate::{GroupId, PAGE_SIZE};
+use ap_lint::footprint::PageFootprint;
 use ap_mem::VAddr;
+use std::cell::RefCell;
 
 /// Placement information a page function may consult while executing.
 ///
@@ -46,6 +48,12 @@ pub struct PageInfo {
 pub struct PageSlice<'a> {
     bytes: &'a mut [u8],
     info: PageInfo,
+    /// Sanitizer shadow log: byte ranges touched, page-relative. Boxed so
+    /// the disabled (`None`) case costs one pointer and one branch per
+    /// access; `RefCell` because reads record through `&self`. The cell is
+    /// only ever borrowed inside single accessor calls, so it cannot be
+    /// caught doubly borrowed.
+    log: Option<Box<RefCell<PageFootprint>>>,
 }
 
 impl<'a> PageSlice<'a> {
@@ -56,7 +64,7 @@ impl<'a> PageSlice<'a> {
     /// Panics if `bytes` is not exactly [`PAGE_SIZE`] long.
     pub fn new(bytes: &'a mut [u8], info: PageInfo) -> Self {
         assert_eq!(bytes.len(), PAGE_SIZE, "a PageSlice must cover exactly one page");
-        PageSlice { bytes, info }
+        PageSlice { bytes, info, log: None }
     }
 
     /// Placement information for this page.
@@ -65,51 +73,79 @@ impl<'a> PageSlice<'a> {
         self.info
     }
 
+    /// Starts recording every access into a shadow footprint (the dynamic
+    /// access sanitizer). Any previous log is discarded.
+    pub fn record_accesses(&mut self) {
+        self.log = Some(Box::default());
+    }
+
+    /// Stops recording and returns the footprint of every access since
+    /// [`PageSlice::record_accesses`], or `None` if recording was never on.
+    pub fn take_access_log(&mut self) -> Option<PageFootprint> {
+        self.log.take().map(|b| b.into_inner())
+    }
+
+    /// Notes one access in the shadow log, if recording.
+    #[inline]
+    fn note(&self, offset: usize, len: usize, write: bool) {
+        if let Some(log) = &self.log {
+            log.borrow_mut().record(offset as u64, len as u64, write);
+        }
+    }
+
     /// Reads one byte at `offset`.
     #[inline]
     pub fn read_u8(&self, offset: usize) -> u8 {
+        self.note(offset, 1, false);
         self.bytes[offset]
     }
 
     /// Writes one byte at `offset`.
     #[inline]
     pub fn write_u8(&mut self, offset: usize, v: u8) {
+        self.note(offset, 1, true);
         self.bytes[offset] = v;
     }
 
     /// Reads a little-endian `u16` at `offset`.
     #[inline]
     pub fn read_u16(&self, offset: usize) -> u16 {
+        self.note(offset, 2, false);
         u16::from_le_bytes(self.bytes[offset..offset + 2].try_into().unwrap())
     }
 
     /// Writes a little-endian `u16` at `offset`.
     #[inline]
     pub fn write_u16(&mut self, offset: usize, v: u16) {
+        self.note(offset, 2, true);
         self.bytes[offset..offset + 2].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Reads a little-endian `u32` at `offset`.
     #[inline]
     pub fn read_u32(&self, offset: usize) -> u32 {
+        self.note(offset, 4, false);
         u32::from_le_bytes(self.bytes[offset..offset + 4].try_into().unwrap())
     }
 
     /// Writes a little-endian `u32` at `offset`.
     #[inline]
     pub fn write_u32(&mut self, offset: usize, v: u32) {
+        self.note(offset, 4, true);
         self.bytes[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Reads a little-endian `u64` at `offset`.
     #[inline]
     pub fn read_u64(&self, offset: usize) -> u64 {
+        self.note(offset, 8, false);
         u64::from_le_bytes(self.bytes[offset..offset + 8].try_into().unwrap())
     }
 
     /// Writes a little-endian `u64` at `offset`.
     #[inline]
     pub fn write_u64(&mut self, offset: usize, v: u64) {
+        self.note(offset, 8, true);
         self.bytes[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
     }
 
@@ -141,18 +177,24 @@ impl<'a> PageSlice<'a> {
     /// `memmove`).
     #[inline]
     pub fn copy_within(&mut self, src: usize, dst: usize, len: usize) {
+        self.note(src, len, false);
+        self.note(dst, len, true);
         self.bytes.copy_within(src..src + len, dst);
     }
 
     /// Borrows `len` bytes at `offset`.
     #[inline]
     pub fn slice(&self, offset: usize, len: usize) -> &[u8] {
+        self.note(offset, len, false);
         &self.bytes[offset..offset + len]
     }
 
     /// Mutably borrows `len` bytes at `offset`.
     #[inline]
     pub fn slice_mut(&mut self, offset: usize, len: usize) -> &mut [u8] {
+        // A mutable borrow may read or write: record both, conservatively.
+        self.note(offset, len, false);
+        self.note(offset, len, true);
         &mut self.bytes[offset..offset + len]
     }
 }
@@ -250,6 +292,25 @@ mod tests {
         p.set_ctrl(sync::STATUS, sync::DONE);
         assert_eq!(p.ctrl(sync::STATUS), sync::DONE);
         assert_eq!(p.read_u32(4), sync::DONE);
+    }
+
+    #[test]
+    fn access_log_records_reads_and_writes() {
+        let mut b = vec![0u8; PAGE_SIZE];
+        let mut p = make(&mut b);
+        assert!(p.take_access_log().is_none(), "recording starts off");
+        p.write_u32(100, 7); // before recording: not logged
+        p.record_accesses();
+        p.write_u16(200, 3);
+        let _ = p.read_u64(208);
+        p.copy_within(300, 400, 16);
+        let _ = p.slice(500, 8);
+        p.set_ctrl(sync::STATUS, sync::DONE);
+        let log = p.take_access_log().unwrap();
+        assert_eq!(log.writes.runs(), &[(4, 8), (200, 202), (400, 416)]);
+        assert_eq!(log.reads.runs(), &[(208, 216), (300, 316), (500, 508)]);
+        assert!(p.take_access_log().is_none(), "take turns recording off");
+        p.write_u32(600, 1); // must not panic with recording off
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use crate::bpred::BranchPredictor;
 use crate::mmx::MmxOp;
 use crate::stats::CpuStats;
-use ap_mem::{ExecMode, Hierarchy, HierarchyConfig, MemBackend, MemModel, SimRam, VAddr};
+use ap_mem::{
+    AccessTap, ExecMode, Hierarchy, HierarchyConfig, MemBackend, MemModel, SimRam, VAddr,
+};
 use ap_trace::Subsystem::Cpu as TRACE_CPU;
 
 /// Subsystems whose events need the simulated clock published before a
@@ -98,6 +100,9 @@ pub struct Cpu {
     now: u64,
     bpred: BranchPredictor,
     stats: CpuStats,
+    /// Access recorder for the race sanitizer; `None` (the default) keeps
+    /// the cached load/store paths free of logging.
+    tap: Option<AccessTap>,
 }
 
 impl Cpu {
@@ -119,8 +124,23 @@ impl Cpu {
             bpred: BranchPredictor::new(cfg.bpred_entries),
             now: 0,
             stats: CpuStats::new(),
+            tap: None,
             cfg,
         }
+    }
+
+    /// Starts (`true`) or stops (`false`) recording cached data accesses
+    /// into an [`AccessTap`]. Starting replaces any previous tap. Uncached
+    /// accesses — the Active-Page synchronization protocol — are deliberately
+    /// not tapped: they target the per-page control areas, never page bodies.
+    pub fn tap_accesses(&mut self, on: bool) {
+        self.tap = on.then(AccessTap::new);
+    }
+
+    /// Takes the current access tap, leaving recording off. `None` when
+    /// [`Self::tap_accesses`] was never enabled.
+    pub fn take_tapped(&mut self) -> Option<AccessTap> {
+        self.tap.take()
     }
 
     /// Returns the configuration.
@@ -262,9 +282,12 @@ impl Cpu {
     }
 
     #[inline]
-    fn charge_load(&mut self, addr: VAddr) {
+    fn charge_load(&mut self, addr: VAddr, len: u32) {
         self.stats.instructions += 1;
         self.stats.loads += 1;
+        if let Some(tap) = &mut self.tap {
+            tap.record(addr.get(), len, false);
+        }
         if let MemBackend::Fast(f) = &mut self.mem {
             // Fast tier: estimate and go — no trace clock, no stall spans.
             self.now += f.access(addr, false);
@@ -277,9 +300,12 @@ impl Cpu {
     }
 
     #[inline]
-    fn charge_store(&mut self, addr: VAddr) {
+    fn charge_store(&mut self, addr: VAddr, len: u32) {
         self.stats.instructions += 1;
         self.stats.stores += 1;
+        if let Some(tap) = &mut self.tap {
+            tap.record(addr.get(), len, true);
+        }
         if let MemBackend::Fast(f) = &mut self.mem {
             self.now += f.access(addr, true);
             return;
@@ -293,70 +319,70 @@ impl Cpu {
     /// Loads a byte through the data cache.
     #[inline]
     pub fn load_u8(&mut self, addr: VAddr) -> u8 {
-        self.charge_load(addr);
+        self.charge_load(addr, 1);
         self.ram.read_u8(addr)
     }
 
     /// Loads a 16-bit word through the data cache.
     #[inline]
     pub fn load_u16(&mut self, addr: VAddr) -> u16 {
-        self.charge_load(addr);
+        self.charge_load(addr, 2);
         self.ram.read_u16(addr)
     }
 
     /// Loads a 32-bit word through the data cache.
     #[inline]
     pub fn load_u32(&mut self, addr: VAddr) -> u32 {
-        self.charge_load(addr);
+        self.charge_load(addr, 4);
         self.ram.read_u32(addr)
     }
 
     /// Loads a 64-bit word through the data cache.
     #[inline]
     pub fn load_u64(&mut self, addr: VAddr) -> u64 {
-        self.charge_load(addr);
+        self.charge_load(addr, 8);
         self.ram.read_u64(addr)
     }
 
     /// Loads a double through the data cache.
     #[inline]
     pub fn load_f64(&mut self, addr: VAddr) -> f64 {
-        self.charge_load(addr);
+        self.charge_load(addr, 8);
         self.ram.read_f64(addr)
     }
 
     /// Stores a byte through the data cache.
     #[inline]
     pub fn store_u8(&mut self, addr: VAddr, v: u8) {
-        self.charge_store(addr);
+        self.charge_store(addr, 1);
         self.ram.write_u8(addr, v);
     }
 
     /// Stores a 16-bit word through the data cache.
     #[inline]
     pub fn store_u16(&mut self, addr: VAddr, v: u16) {
-        self.charge_store(addr);
+        self.charge_store(addr, 2);
         self.ram.write_u16(addr, v);
     }
 
     /// Stores a 32-bit word through the data cache.
     #[inline]
     pub fn store_u32(&mut self, addr: VAddr, v: u32) {
-        self.charge_store(addr);
+        self.charge_store(addr, 4);
         self.ram.write_u32(addr, v);
     }
 
     /// Stores a 64-bit word through the data cache.
     #[inline]
     pub fn store_u64(&mut self, addr: VAddr, v: u64) {
-        self.charge_store(addr);
+        self.charge_store(addr, 8);
         self.ram.write_u64(addr, v);
     }
 
     /// Stores a double through the data cache.
     #[inline]
     pub fn store_f64(&mut self, addr: VAddr, v: f64) {
-        self.charge_store(addr);
+        self.charge_store(addr, 8);
         self.ram.write_f64(addr, v);
     }
 
@@ -597,5 +623,27 @@ mod tests {
         let r = c.mmx(MmxOp::PXor, 0xF0F0, 0x0FF0);
         assert_eq!(r, 0xFF00);
         assert_eq!(c.stats().mmx_ops, 1);
+    }
+
+    #[test]
+    fn tap_records_cached_widths_but_not_uncached() {
+        for mode in [ExecMode::Accurate, ExecMode::Fast] {
+            let mut c = Cpu::with_mode(CpuConfig::reference(), 1 << 20, mode);
+            let a = c.ram.alloc(64, 64);
+            c.store_u32(a, 1); // before the tap: must not appear
+            c.tap_accesses(true);
+            c.store_u8(a, 2);
+            c.store_u64(a + 8, 3);
+            c.load_u16(a);
+            c.load_f64(a + 8);
+            c.uncached_store_u32(a + 16, 4); // sync-protocol path: untapped
+            c.charge_uncached_access(false);
+            let tap = c.take_tapped().expect("tap was on");
+            let got: Vec<(u64, u32, bool)> =
+                tap.accesses().iter().map(|t| (t.addr - a.get(), t.len, t.write)).collect();
+            assert_eq!(got, vec![(0, 1, true), (8, 8, true), (0, 2, false), (8, 8, false)]);
+            assert_eq!(tap.dropped(), 0);
+            assert!(c.take_tapped().is_none(), "take leaves recording off");
+        }
     }
 }

@@ -57,11 +57,26 @@ pub enum Code {
     MisalignedAccess,
     /// RK105: a reachable path falls off the end of the program.
     FallthroughExit,
+    /// RC201: a memory access may escape the kernel's 512 KB page slice.
+    FootprintEscape,
+    /// RC202: two pages in one activation batch have overlapping write
+    /// footprints (relative to their own page bases).
+    BatchWriteOverlap,
+    /// RC203: the processor-visible control area is written before the
+    /// kernel's final store — a sync point published while data writes may
+    /// still be in flight.
+    UnsyncedVisibleWrite,
+    /// RC204: a dynamically recorded access falls outside the statically
+    /// declared footprint (dynamic ⊆ static soundness violated).
+    DynamicFootprintViolation,
+    /// RC205: two pages of one parallel batch dynamically touched
+    /// conflicting byte ranges (write/write or write/read overlap).
+    DynamicWriteOverlap,
 }
 
 impl Code {
-    /// Every code, netlist passes first.
-    pub const ALL: [Code; 11] = [
+    /// Every code: netlist passes, then kernel passes, then race passes.
+    pub const ALL: [Code; 16] = [
         Code::CombLoop,
         Code::FloatingDff,
         Code::ConstOutput,
@@ -73,6 +88,11 @@ impl Code {
         Code::JumpOutOfRange,
         Code::MisalignedAccess,
         Code::FallthroughExit,
+        Code::FootprintEscape,
+        Code::BatchWriteOverlap,
+        Code::UnsyncedVisibleWrite,
+        Code::DynamicFootprintViolation,
+        Code::DynamicWriteOverlap,
     ];
 
     /// The stable machine-readable form (`"NL001"`, `"RK103"`, …).
@@ -89,6 +109,11 @@ impl Code {
             Code::JumpOutOfRange => "RK103",
             Code::MisalignedAccess => "RK104",
             Code::FallthroughExit => "RK105",
+            Code::FootprintEscape => "RC201",
+            Code::BatchWriteOverlap => "RC202",
+            Code::UnsyncedVisibleWrite => "RC203",
+            Code::DynamicFootprintViolation => "RC204",
+            Code::DynamicWriteOverlap => "RC205",
         }
     }
 
@@ -99,13 +124,18 @@ impl Code {
             | Code::FloatingDff
             | Code::WidthMismatch
             | Code::JumpOutOfRange
-            | Code::FallthroughExit => Severity::Error,
+            | Code::FallthroughExit
+            | Code::FootprintEscape
+            | Code::BatchWriteOverlap
+            | Code::DynamicFootprintViolation
+            | Code::DynamicWriteOverlap => Severity::Error,
             Code::ConstOutput
             | Code::DeadLogic
             | Code::FanoutExceeded
             | Code::ReadBeforeWrite
             | Code::UnreachableBlock
-            | Code::MisalignedAccess => Severity::Warning,
+            | Code::MisalignedAccess
+            | Code::UnsyncedVisibleWrite => Severity::Warning,
         }
     }
 
@@ -123,6 +153,19 @@ impl Code {
             Code::JumpOutOfRange => "the jump target is outside the program",
             Code::MisalignedAccess => "the displacement is not a multiple of the access width",
             Code::FallthroughExit => "execution can run off the end of the program",
+            Code::FootprintEscape => "an access may land outside the kernel's own page slice",
+            Code::BatchWriteOverlap => {
+                "batched pages with overlapping writes race under parallel execution"
+            }
+            Code::UnsyncedVisibleWrite => {
+                "the sync word is published while later stores are still in flight"
+            }
+            Code::DynamicFootprintViolation => {
+                "a recorded access escaped the declared static footprint"
+            }
+            Code::DynamicWriteOverlap => {
+                "pages of one parallel batch touched conflicting byte ranges"
+            }
         }
     }
 }

@@ -1,0 +1,398 @@
+//! Byte-interval footprints: the abstract domain shared by the static
+//! kernel analysis (`ap_risc::footprint`) and the dynamic access sanitizer
+//! (`radram::System` under `AP_SANITIZE=1`).
+//!
+//! A footprint describes which bytes of a 512 KB Active Page a computation
+//! may read and write, as sorted, coalesced, half-open byte runs. The static
+//! layer derives one per kernel by abstract interpretation; the dynamic
+//! layer records one per page per batch. Three checks connect them:
+//!
+//! * [`check_batch_writes`] — RC202: two pages of one `activate_pages`
+//!   batch have write footprints that, placed at their page bases, overlap
+//!   another page's reads or writes (only possible when a footprint escapes
+//!   its own page — pages are physically disjoint).
+//! * [`check_dynamic_within`] — RC204: a recorded access escapes the
+//!   declared static footprint (dynamic ⊆ static soundness).
+//! * [`check_dynamic_overlap`] — RC205: two participants of one parallel
+//!   batch dynamically touched conflicting absolute byte ranges.
+//!
+//! Everything here is pure data + checks; no simulator types are involved,
+//! so both `ap-risc` and `radram` can depend on it without cycles.
+
+use crate::{Code, Diagnostic, Location, Report};
+
+/// A set of byte offsets, kept as sorted, coalesced, half-open `[start, end)`
+/// runs.
+///
+/// # Examples
+///
+/// ```
+/// use ap_lint::footprint::ByteIntervals;
+///
+/// let mut iv = ByteIntervals::new();
+/// iv.insert(0, 4);
+/// iv.insert(4, 8); // adjacent: coalesces
+/// iv.insert(16, 20);
+/// assert_eq!(iv.runs(), &[(0, 8), (16, 20)]);
+/// assert!(iv.contains(2, 6));
+/// assert!(!iv.contains(6, 18));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ByteIntervals {
+    runs: Vec<(u64, u64)>,
+}
+
+impl ByteIntervals {
+    /// The empty set.
+    pub fn new() -> Self {
+        ByteIntervals::default()
+    }
+
+    /// A set holding one run `[start, end)`.
+    pub fn of(start: u64, end: u64) -> Self {
+        let mut iv = ByteIntervals::new();
+        iv.insert(start, end);
+        iv
+    }
+
+    /// True when no bytes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The coalesced runs, ascending.
+    pub fn runs(&self) -> &[(u64, u64)] {
+        &self.runs
+    }
+
+    /// Total bytes covered.
+    pub fn bytes(&self) -> u64 {
+        self.runs.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Adds `[start, end)`, coalescing with overlapping or adjacent runs.
+    /// Empty ranges are ignored.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // First run that could touch [start, end): the one before the
+        // partition point, if it reaches start.
+        let mut i = self.runs.partition_point(|&(s, _)| s < start);
+        if i > 0 && self.runs[i - 1].1 >= start {
+            i -= 1;
+        }
+        // Fast path: the run at i already covers the insertion.
+        if let Some(&(s, e)) = self.runs.get(i) {
+            if s <= start && end <= e {
+                return;
+            }
+        }
+        let mut j = i;
+        let (mut lo, mut hi) = (start, end);
+        while j < self.runs.len() && self.runs[j].0 <= hi {
+            lo = lo.min(self.runs[j].0);
+            hi = hi.max(self.runs[j].1);
+            j += 1;
+        }
+        self.runs.splice(i..j, [(lo, hi)]);
+    }
+
+    /// Folds another set into this one.
+    pub fn union_with(&mut self, other: &ByteIntervals) {
+        for &(s, e) in &other.runs {
+            self.insert(s, e);
+        }
+    }
+
+    /// True when every byte of `[start, end)` is covered (vacuously true for
+    /// the empty range).
+    pub fn contains(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        let i = self.runs.partition_point(|&(s, _)| s <= start);
+        i > 0 && self.runs[i - 1].1 >= end
+    }
+
+    /// The same runs displaced by `base` (page-relative → absolute).
+    pub fn shifted(&self, base: u64) -> ByteIntervals {
+        ByteIntervals { runs: self.runs.iter().map(|&(s, e)| (s + base, e + base)).collect() }
+    }
+
+    /// The first byte range shared with `other`, if any.
+    pub fn overlap(&self, other: &ByteIntervals) -> Option<(u64, u64)> {
+        let (mut i, mut j) = (0, 0);
+        while i < self.runs.len() && j < other.runs.len() {
+            let (a, b) = self.runs[i];
+            let (c, d) = other.runs[j];
+            let (lo, hi) = (a.max(c), b.min(d));
+            if lo < hi {
+                return Some((lo, hi));
+            }
+            if b <= d {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        None
+    }
+
+    /// The first run of `self` not fully covered by `other`, if any.
+    pub fn escapee(&self, other: &ByteIntervals) -> Option<(u64, u64)> {
+        self.runs.iter().copied().find(|&(s, e)| !other.contains(s, e))
+    }
+}
+
+/// What one page's computation reads and writes, page-relative.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PageFootprint {
+    /// Bytes that may be read.
+    pub reads: ByteIntervals,
+    /// Bytes that may be written.
+    pub writes: ByteIntervals,
+}
+
+impl PageFootprint {
+    /// The empty footprint.
+    pub fn new() -> Self {
+        PageFootprint::default()
+    }
+
+    /// Adds `[start, end)` to the read set (builder form).
+    pub fn with_read(mut self, start: u64, end: u64) -> Self {
+        self.reads.insert(start, end);
+        self
+    }
+
+    /// Adds `[start, end)` to the write set (builder form).
+    pub fn with_write(mut self, start: u64, end: u64) -> Self {
+        self.writes.insert(start, end);
+        self
+    }
+
+    /// Records one access.
+    pub fn record(&mut self, offset: u64, len: u64, write: bool) {
+        let iv = if write { &mut self.writes } else { &mut self.reads };
+        iv.insert(offset, offset + len);
+    }
+
+    /// True when nothing is touched.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    /// Folds another footprint into this one.
+    pub fn union_with(&mut self, other: &PageFootprint) {
+        self.reads.union_with(&other.reads);
+        self.writes.union_with(&other.writes);
+    }
+}
+
+/// The result of static footprint analysis: either a proven over-approximation
+/// of the accesses, or an honest "could not bound it".
+///
+/// `Unknown` is the soundness escape hatch: an analysis that cannot bound a
+/// kernel (indirect jump, exhausted fuel) degrades to `Unknown` and the
+/// executor keeps its runtime fallbacks, rather than trusting a wrong bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaticFootprint {
+    /// Every dynamic access is contained in this footprint.
+    Known(PageFootprint),
+    /// The analysis could not bound the accesses.
+    Unknown,
+}
+
+impl StaticFootprint {
+    /// The proven footprint, if any.
+    pub fn known(&self) -> Option<&PageFootprint> {
+        match self {
+            StaticFootprint::Known(fp) => Some(fp),
+            StaticFootprint::Unknown => None,
+        }
+    }
+
+    /// True when the analysis produced a bound.
+    pub fn is_known(&self) -> bool {
+        self.known().is_some()
+    }
+}
+
+/// RC202: statically-proven write races between pages of one batch.
+///
+/// Each entry is `(page base, footprint)`, the footprint page-relative. Since
+/// distinct pages occupy distinct 512 KB regions, a page's accesses can only
+/// collide with another page's after escaping its own page — so this fires
+/// only for footprints that extend past the page size. `Unknown` footprints
+/// are skipped (the executor keeps runtime fallbacks for those). Emits at
+/// most one diagnostic per page pair.
+pub fn check_batch_writes(batch: &[(u64, &StaticFootprint)], report: &mut Report) {
+    let known: Vec<(u64, &PageFootprint)> =
+        batch.iter().filter_map(|&(base, fp)| fp.known().map(|k| (base, k))).collect();
+    for (i, &(base_a, a)) in known.iter().enumerate() {
+        let writes_a = a.writes.shifted(base_a);
+        for &(base_b, b) in &known[i + 1..] {
+            let hit = writes_a
+                .overlap(&b.writes.shifted(base_b))
+                .or_else(|| writes_a.overlap(&b.reads.shifted(base_b)))
+                .or_else(|| a.reads.shifted(base_a).overlap(&b.writes.shifted(base_b)));
+            if let Some((lo, hi)) = hit {
+                report.push(Diagnostic::new(
+                    Code::BatchWriteOverlap,
+                    Location::Design,
+                    format!(
+                        "pages at {base_a:#x} and {base_b:#x} both touch bytes \
+                         [{lo:#x}, {hi:#x}) with at least one write"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// RC204: dynamic ⊆ static containment for one page of a sanitized batch.
+///
+/// Reads must land in the declared read set and writes in the declared write
+/// set. Against an `Unknown` footprint there is nothing to check. Emits at
+/// most one diagnostic per access kind.
+pub fn check_dynamic_within(
+    label: &str,
+    dynamic: &PageFootprint,
+    declared: &StaticFootprint,
+    report: &mut Report,
+) {
+    let Some(decl) = declared.known() else { return };
+    for (kind, got, allowed) in
+        [("read", &dynamic.reads, &decl.reads), ("write", &dynamic.writes, &decl.writes)]
+    {
+        if let Some((s, e)) = got.escapee(allowed) {
+            report.push(Diagnostic::new(
+                Code::DynamicFootprintViolation,
+                Location::Design,
+                format!(
+                    "{label}: recorded {kind} of [{s:#x}, {e:#x}) escapes the static footprint"
+                ),
+            ));
+        }
+    }
+}
+
+/// RC205: dynamic conflicts between participants of one parallel batch.
+///
+/// Each entry is `(label, base, recorded accesses)` with accesses relative to
+/// `base` (pass 0 for participants recorded in absolute addresses, like the
+/// processor). A conflict is any byte both participants touched where at
+/// least one touch is a write. Emits at most one diagnostic per pair.
+pub fn check_dynamic_overlap(parts: &[(&str, u64, &PageFootprint)], report: &mut Report) {
+    for (i, &(name_a, base_a, a)) in parts.iter().enumerate() {
+        let writes_a = a.writes.shifted(base_a);
+        for &(name_b, base_b, b) in &parts[i + 1..] {
+            let hit = writes_a
+                .overlap(&b.writes.shifted(base_b))
+                .or_else(|| writes_a.overlap(&b.reads.shifted(base_b)))
+                .or_else(|| a.reads.shifted(base_a).overlap(&b.writes.shifted(base_b)));
+            if let Some((lo, hi)) = hit {
+                report.push(Diagnostic::new(
+                    Code::DynamicWriteOverlap,
+                    Location::Design,
+                    format!(
+                        "{name_a} and {name_b} both touched bytes [{lo:#x}, {hi:#x}) \
+                         with at least one write during a parallel batch"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_coalesces_and_orders() {
+        let mut iv = ByteIntervals::new();
+        iv.insert(10, 20);
+        iv.insert(30, 40);
+        iv.insert(0, 4);
+        assert_eq!(iv.runs(), &[(0, 4), (10, 20), (30, 40)]);
+        iv.insert(18, 32); // bridges the middle two
+        assert_eq!(iv.runs(), &[(0, 4), (10, 40)]);
+        iv.insert(4, 10); // adjacent on both sides
+        assert_eq!(iv.runs(), &[(0, 40)]);
+        iv.insert(5, 6); // fully covered: no-op
+        assert_eq!(iv.runs(), &[(0, 40)]);
+        assert_eq!(iv.bytes(), 40);
+        iv.insert(7, 7); // empty: no-op
+        assert_eq!(iv.runs(), &[(0, 40)]);
+    }
+
+    #[test]
+    fn contains_and_overlap() {
+        let a = {
+            let mut iv = ByteIntervals::of(0, 8);
+            iv.insert(16, 24);
+            iv
+        };
+        assert!(a.contains(0, 8) && a.contains(17, 23) && a.contains(3, 3));
+        assert!(!a.contains(6, 18) && !a.contains(24, 25));
+        let b = ByteIntervals::of(20, 30);
+        assert_eq!(a.overlap(&b), Some((20, 24)));
+        assert_eq!(a.overlap(&ByteIntervals::of(8, 16)), None);
+        assert_eq!(a.escapee(&ByteIntervals::of(0, 32)), None);
+        assert_eq!(a.escapee(&ByteIntervals::of(0, 20)), Some((16, 24)));
+        assert_eq!(a.shifted(100).runs(), &[(100, 108), (116, 124)]);
+    }
+
+    #[test]
+    fn batch_write_check_fires_only_on_escaped_overlap() {
+        const PAGE: u64 = 1 << 19;
+        // Two well-behaved pages: identical relative footprints, disjoint
+        // absolute ranges.
+        let local =
+            StaticFootprint::Known(PageFootprint::new().with_read(0, 1024).with_write(2048, 4096));
+        let mut r = Report::new("batch");
+        check_batch_writes(&[(0, &local), (PAGE, &local)], &mut r);
+        assert!(r.is_empty(), "{}", r.render_text());
+
+        // Page 0 writes past its page end into page 1's read range.
+        let escaping = StaticFootprint::Known(PageFootprint::new().with_write(PAGE, PAGE + 512));
+        check_batch_writes(
+            &[(0, &escaping), (PAGE, &local), (2 * PAGE, &StaticFootprint::Unknown)],
+            &mut r,
+        );
+        assert_eq!(r.with_code(Code::BatchWriteOverlap).count(), 1, "{}", r.render_text());
+    }
+
+    #[test]
+    fn dynamic_within_respects_unknown_and_kinds() {
+        let decl =
+            StaticFootprint::Known(PageFootprint::new().with_read(0, 100).with_write(0, 100));
+        let mut dynamic = PageFootprint::new();
+        dynamic.record(10, 4, false);
+        dynamic.record(20, 8, true);
+        let mut r = Report::new("dyn");
+        check_dynamic_within("page 0", &dynamic, &decl, &mut r);
+        assert!(r.is_empty());
+        check_dynamic_within("page 0", &dynamic, &StaticFootprint::Unknown, &mut r);
+        assert!(r.is_empty());
+        dynamic.record(200, 4, true); // escapes the write set
+        check_dynamic_within("page 0", &dynamic, &decl, &mut r);
+        assert_eq!(r.with_code(Code::DynamicFootprintViolation).count(), 1);
+    }
+
+    #[test]
+    fn dynamic_overlap_needs_a_write() {
+        let mut shared_read = PageFootprint::new();
+        shared_read.record(0, 64, false);
+        let mut r = Report::new("batch");
+        // Read/read sharing (both at base 0, i.e. absolute) is fine.
+        check_dynamic_overlap(&[("cpu", 0, &shared_read), ("page 0", 0, &shared_read)], &mut r);
+        assert!(r.is_empty());
+        let mut writer = PageFootprint::new();
+        writer.record(32, 8, true);
+        check_dynamic_overlap(&[("cpu", 0, &shared_read), ("page 0", 0, &writer)], &mut r);
+        assert_eq!(r.with_code(Code::DynamicWriteOverlap).count(), 1);
+    }
+}

@@ -18,7 +18,10 @@
 //! stable machine-readable [`Code`], the [`Severity`] that code dictates, a
 //! [`Location`] and a message; a [`Report`] collects them per subject and
 //! renders as compiler-style text or JSON. The [`graph`] module provides the
-//! iterative Tarjan SCC and reachability engines the passes share.
+//! iterative Tarjan SCC and reachability engines the passes share, and the
+//! [`footprint`] module the byte-interval access domain the race passes
+//! (`RC…` codes, static analysis in `ap_risc::footprint` + the runtime
+//! sanitizer in `radram`) are built on.
 //!
 //! Layering: `ap-lint` depends on nothing, so `ap-synth` and `ap-risc` can
 //! depend on it and run their passes inside their own gates
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod diag;
+pub mod footprint;
 pub mod graph;
 
 pub use diag::{escape, Code, Diagnostic, Location, Report, Severity, Summary};

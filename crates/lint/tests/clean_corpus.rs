@@ -26,3 +26,19 @@ fn every_workload_kernel_is_diagnostic_free() {
         assert!(r.is_empty(), "{name}:\n{}", r.render_text());
     }
 }
+
+#[test]
+fn every_workload_kernel_analyzes_race_free_with_a_page_local_footprint() {
+    for (name, _) in ap_risc::kernels::all() {
+        let prog = ap_risc::kernels::assemble_kernel(name);
+        let a = ap_risc::footprint::analyze(name, &prog);
+        assert!(a.report.is_empty(), "{name}:\n{}", a.report.render_text());
+        let fp = a.footprint.known().unwrap_or_else(|| panic!("{name}: footprint not known"));
+        for &(_, end) in fp.reads.runs().iter().chain(fp.writes.runs()) {
+            assert!(
+                end <= ap_risc::footprint::PAGE_BYTES,
+                "{name}: access run ends at {end:#x}, past the page"
+            );
+        }
+    }
+}

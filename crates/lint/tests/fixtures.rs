@@ -2,7 +2,10 @@
 //! diagnostic code. Every fixture must trigger exactly its own code, once —
 //! no false negatives, no cross-fire from a sibling pass.
 
-use ap_lint::Code;
+use ap_lint::footprint::{
+    check_batch_writes, check_dynamic_overlap, check_dynamic_within, PageFootprint, StaticFootprint,
+};
+use ap_lint::{Code, Report};
 use ap_synth::{Gate, Netlist};
 
 /// All codes a netlist report contains, in emission order.
@@ -107,4 +110,60 @@ fn rk104_misaligned_access_fires_exactly_once() {
 #[test]
 fn rk105_fallthrough_exit_fires_exactly_once() {
     assert_eq!(rk_codes(include_str!("fixtures/rk105.asm")), vec![Code::FallthroughExit]);
+}
+
+/// All codes the footprint analysis of a kernel emits, in emission order.
+fn rc_codes(src: &str) -> Vec<Code> {
+    let prog = ap_risc::assemble(src).expect("fixture assembles");
+    let analysis = ap_risc::footprint::analyze("fixture", &prog);
+    analysis.report.diagnostics().iter().map(|d| d.code).collect()
+}
+
+/// All codes `report` contains, in emission order.
+fn codes(report: &Report) -> Vec<Code> {
+    report.diagnostics().iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn rc201_footprint_escape_fires_exactly_once() {
+    assert_eq!(rc_codes(include_str!("fixtures/rc201.asm")), vec![Code::FootprintEscape]);
+}
+
+#[test]
+fn rc202_batch_write_overlap_fires_exactly_once() {
+    // Page at base 0 declares writes reaching 64 bytes past its own end;
+    // the page based at 64 declares writes over the same absolute range.
+    let escaping = StaticFootprint::Known(PageFootprint::new().with_write(0, 128));
+    let local = StaticFootprint::Known(PageFootprint::new().with_write(0, 64));
+    let mut report = Report::new("rc202");
+    check_batch_writes(&[(0, &escaping), (64, &local)], &mut report);
+    assert_eq!(codes(&report), vec![Code::BatchWriteOverlap]);
+}
+
+#[test]
+fn rc203_unsynced_visible_write_fires_exactly_once() {
+    assert_eq!(rc_codes(include_str!("fixtures/rc203.asm")), vec![Code::UnsyncedVisibleWrite]);
+}
+
+#[test]
+fn rc204_dynamic_footprint_violation_fires_exactly_once() {
+    // The kernel declared writes to [0, 64) but was observed writing
+    // [0, 128); reads stay inside their declaration so only the write
+    // kind fires.
+    let declared = StaticFootprint::Known(PageFootprint::new().with_read(0, 256).with_write(0, 64));
+    let observed = PageFootprint::new().with_read(0, 256).with_write(0, 128);
+    let mut report = Report::new("rc204");
+    check_dynamic_within("kernel@page0", &observed, &declared, &mut report);
+    assert_eq!(codes(&report), vec![Code::DynamicFootprintViolation]);
+}
+
+#[test]
+fn rc205_dynamic_write_overlap_fires_exactly_once() {
+    // Two participants touched the same absolute bytes and one of the two
+    // accesses was a write.
+    let writer = PageFootprint::new().with_write(0, 128);
+    let reader = PageFootprint::new().with_read(0, 64);
+    let mut report = Report::new("rc205");
+    check_dynamic_overlap(&[("a@page0", 0, &writer), ("b@page1", 64, &reader)], &mut report);
+    assert_eq!(codes(&report), vec![Code::DynamicWriteOverlap]);
 }

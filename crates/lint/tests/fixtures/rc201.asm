@@ -1,0 +1,5 @@
+; RC201: 0x80000 is the first byte past the 512 KB page slice, so this
+; load provably escapes the kernel's page.
+lui r1, 8
+lw  r2, (r1)
+halt

@@ -1,0 +1,6 @@
+; RC203: the first store publishes a control word the processor can poll;
+; the body store after it is not covered by any later sync point.
+addi r2, r0, 1
+sw   r2, 4(r0)
+sw   r2, 64(r0)
+halt

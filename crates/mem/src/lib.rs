@@ -20,6 +20,9 @@
 //!   a processor runs on the accurate [`Hierarchy`] or on [`FastMem`], a
 //!   tag-filter estimator for the fast functional tier, both behind the
 //!   [`MemModel`] trait (DESIGN.md §13).
+//! * [`AccessTap`] — an optional recorder of processor data accesses, used by
+//!   the dynamic race sanitizer to audit CPU-side traffic issued while a
+//!   parallel Active-Page batch is in flight (DESIGN.md §14).
 //!
 //! Timing is expressed in CPU cycles; the reference processor runs at 1 GHz so
 //! one cycle is one nanosecond, which keeps Table 1's nanosecond parameters
@@ -48,6 +51,7 @@ mod exec;
 mod hierarchy;
 mod ram;
 mod stats;
+mod tap;
 
 pub use addr::VAddr;
 pub use cache::{AccessOutcome, Cache, CacheConfig};
@@ -56,3 +60,4 @@ pub use exec::{ExecMode, FastMem, MemBackend, MemModel};
 pub use hierarchy::{Hierarchy, HierarchyConfig};
 pub use ram::SimRam;
 pub use stats::{CacheStats, MemStats};
+pub use tap::{AccessTap, TappedAccess};

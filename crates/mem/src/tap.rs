@@ -1,0 +1,86 @@
+//! A bounded recorder of data accesses, for the dynamic access sanitizer.
+//!
+//! While a parallel Active-Page batch is in flight, the processor side of
+//! the simulation keeps issuing cached loads and stores (batch bookkeeping,
+//! result polling). The sanitizer needs to prove those accesses never touch
+//! a page body a worker thread owns — so the CPU's cached access funnels can
+//! be tapped into one of these, and the hosting memory system audits the
+//! recorded ranges when the batch merges.
+
+/// One recorded processor access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TappedAccess {
+    /// Virtual byte address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub len: u32,
+    /// Store (`true`) or load (`false`).
+    pub write: bool,
+}
+
+/// An append-only access log with a hard capacity.
+///
+/// The cap bounds memory if a tap is accidentally left open across a long
+/// run; overflowing records are counted, not silently lost, so a consumer
+/// can degrade conservatively instead of under-reporting.
+#[derive(Debug, Clone, Default)]
+pub struct AccessTap {
+    accesses: Vec<TappedAccess>,
+    dropped: u64,
+}
+
+impl AccessTap {
+    /// Maximum recorded accesses (1M); beyond this, [`AccessTap::dropped`]
+    /// counts instead.
+    pub const CAPACITY: usize = 1 << 20;
+
+    /// An empty tap.
+    pub fn new() -> Self {
+        AccessTap::default()
+    }
+
+    /// Records one access (or counts it as dropped at capacity).
+    #[inline]
+    pub fn record(&mut self, addr: u64, len: u32, write: bool) {
+        if self.accesses.len() < Self::CAPACITY {
+            self.accesses.push(TappedAccess { addr, len, write });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded accesses, in issue order.
+    pub fn accesses(&self) -> &[TappedAccess] {
+        &self.accesses
+    }
+
+    /// Accesses that arrived after the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = AccessTap::new();
+        t.record(0x100, 4, false);
+        t.record(0x200, 8, true);
+        assert_eq!(t.accesses().len(), 2);
+        assert_eq!(t.accesses()[1], TappedAccess { addr: 0x200, len: 8, write: true });
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_counts_drops() {
+        let mut t = AccessTap { accesses: Vec::new(), dropped: 0 };
+        // Simulate a full tap without allocating a million entries.
+        t.accesses = vec![TappedAccess { addr: 0, len: 1, write: false }; AccessTap::CAPACITY];
+        t.record(1, 1, true);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.accesses().len(), AccessTap::CAPACITY);
+    }
+}

@@ -68,4 +68,7 @@ pub use ap_cpu::ExecMode;
 pub use config::{CommMode, RadramConfig, ServiceMode};
 pub use hosttime::take_kernel_host_secs;
 pub use stats::SystemStats;
-pub use system::{force_sequential, set_force_sequential, PageActivation, System};
+pub use system::{
+    force_sanitize, force_sequential, set_force_sanitize, set_force_sequential, PageActivation,
+    RaceAudit, System,
+};

@@ -38,6 +38,11 @@ pub struct SystemStats {
     /// Total reconfigurable-logic busy time scheduled, in CPU cycles
     /// (run segments times the logic divisor, summed over activations).
     pub logic_busy_cycles: u64,
+    /// Error-severity race diagnostics (RC202/RC204/RC205) accumulated by
+    /// the access sanitizer. Zero unless `AP_SANITIZE` finds a violation.
+    pub race_errors: u64,
+    /// Warning-severity race diagnostics from the sanitizer.
+    pub race_warnings: u64,
 }
 
 impl SystemStats {

@@ -9,7 +9,9 @@ use active_pages::{
 };
 use ap_cpu::mmx::MmxOp;
 use ap_cpu::{Cpu, ExecMode};
-use ap_mem::VAddr;
+use ap_lint::footprint::{self as footprint, PageFootprint, StaticFootprint};
+use ap_lint::Report;
+use ap_mem::{AccessTap, VAddr};
 use ap_trace::Subsystem::Radram as TRACE_RAD;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -33,6 +35,42 @@ pub fn set_force_sequential(on: bool) {
 /// variable at `System` construction) disabled parallel page execution.
 pub fn force_sequential() -> bool {
     FORCE_SEQUENTIAL.load(Ordering::Relaxed)
+}
+
+/// Process-wide override enabling the dynamic access sanitizer.
+static FORCE_SANITIZE: AtomicBool = AtomicBool::new(false);
+
+/// Turns the dynamic access sanitizer on for every [`System`] in this
+/// process (equivalent to constructing under `AP_SANITIZE=1`). Sanitized
+/// batches record every byte each page function touches plus the
+/// processor's cached traffic, and cross-check them (RC204/RC205); results
+/// and simulated timing are unchanged — only host wall-clock grows.
+pub fn set_force_sanitize(on: bool) {
+    FORCE_SANITIZE.store(on, Ordering::Relaxed);
+}
+
+/// True when [`set_force_sanitize`] enabled the sanitizer process-wide.
+pub fn force_sanitize() -> bool {
+    FORCE_SANITIZE.load(Ordering::Relaxed)
+}
+
+/// Counters describing how the parallel executor classified its batches.
+///
+/// These are host-side audit numbers, not simulation state: a sequential
+/// run never classifies batches, so they differ between bit-identical
+/// parallel and sequential runs and deliberately stay out of
+/// [`SystemStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RaceAudit {
+    /// Batches whose member footprints were all statically proven
+    /// page-local (sanitizer recording skipped).
+    pub proven_batches: u64,
+    /// Batches with at least one unknown or escaping footprint (runtime
+    /// fallbacks kept; sanitized when the sanitizer is on).
+    pub unknown_batches: u64,
+    /// Batches sent to the sequential path because their declared write
+    /// footprints statically overlap (RC202).
+    pub overlap_rejects: u64,
 }
 
 /// One page's share of a batched group activation: optional parameter-word
@@ -84,6 +122,9 @@ struct DeferredExec {
 struct BatchState {
     deferred: Vec<DeferredExec>,
     deferred_pids: HashSet<u32>,
+    /// Record per-page access logs and cross-check them when the batch
+    /// completes (set when the sanitizer is on).
+    sanitize: bool,
 }
 
 #[derive(Debug, Default)]
@@ -127,16 +168,34 @@ pub struct System {
     rad: Option<Rad>,
     /// Per-instance sequential override (seeded from `AP_SEQUENTIAL`).
     sequential: bool,
+    /// Per-instance sanitizer switch (seeded from `AP_SANITIZE`).
+    sanitize: bool,
+    /// Race diagnostics accumulated by the sanitizer and the static batch
+    /// check (RC202/RC204/RC205).
+    race: Report,
+    /// Batch-classification counters (see [`RaceAudit`]).
+    audit: RaceAudit,
     /// Deferral state while a batched activation is in flight.
     batch: Option<BatchState>,
     /// Host timestamp of the open kernel region ([`System::kernel_start`]).
     kernel_t0: Option<std::time::Instant>,
 }
 
-/// True when the `AP_SEQUENTIAL` environment variable asks for the
-/// sequential activation path (any non-empty value other than `0`).
+/// True when environment variable `name` is set to anything non-empty other
+/// than `0` (the shared boolean-flag convention: `AP_SEQUENTIAL`,
+/// `AP_SANITIZE`).
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// True when `AP_SEQUENTIAL` asks for the sequential activation path.
 fn env_sequential() -> bool {
-    std::env::var("AP_SEQUENTIAL").is_ok_and(|v| !v.is_empty() && v != "0")
+    env_flag("AP_SEQUENTIAL")
+}
+
+/// True when `AP_SANITIZE` asks for the dynamic access sanitizer.
+fn env_sanitize() -> bool {
+    env_flag("AP_SANITIZE")
 }
 
 impl System {
@@ -161,6 +220,9 @@ impl System {
             cfg,
             rad: None,
             sequential: env_sequential(),
+            sanitize: env_sanitize(),
+            race: Report::new("ap-race"),
+            audit: RaceAudit::default(),
             batch: None,
             kernel_t0: None,
         }
@@ -186,6 +248,9 @@ impl System {
             }),
             cfg,
             sequential: env_sequential(),
+            sanitize: env_sanitize(),
+            race: Report::new("ap-race"),
+            audit: RaceAudit::default(),
             batch: None,
             kernel_t0: None,
         }
@@ -197,6 +262,23 @@ impl System {
     /// single-core hosts.
     pub fn set_sequential(&mut self, on: bool) {
         self.sequential = on;
+    }
+
+    /// Turns the dynamic access sanitizer on (or off) for this instance
+    /// (see [`set_force_sanitize`] for the process-wide switch and
+    /// `AP_SANITIZE` for the environment seed).
+    pub fn set_sanitize(&mut self, on: bool) {
+        self.sanitize = on;
+    }
+
+    /// The race diagnostics (RC202/RC204/RC205) accumulated so far.
+    pub fn race_report(&self) -> &Report {
+        &self.race
+    }
+
+    /// How the parallel executor classified its batches so far.
+    pub fn race_audit(&self) -> RaceAudit {
+        self.audit
     }
 
     /// Returns the system configuration.
@@ -270,6 +352,8 @@ impl System {
             s.rebinds = rad.counters.rebinds;
             s.logic_busy_cycles = rad.counters.logic_busy;
         }
+        s.race_errors = self.race.errors() as u64;
+        s.race_warnings = self.race.warnings() as u64;
         s
     }
 
@@ -1017,7 +1101,7 @@ impl System {
     /// hardware-copy communication — transparently fall back to sequential
     /// processing (wholly or from the first interacting entry onward).
     pub fn activate_pages(&mut self, batch: &[PageActivation]) {
-        if !self.batch_parallel_eligible(batch) {
+        let Some(sanitize) = self.batch_plan(batch) else {
             for entry in batch {
                 for &(word, v) in &entry.params {
                     self.write_ctrl(entry.page_base, word, v);
@@ -1025,18 +1109,24 @@ impl System {
                 self.activate(entry.page_base, entry.cmd);
             }
             return;
-        }
+        };
         // Phase A: sequential bookkeeping. Every processor-visible effect
         // (uncached charges, dispatch overhead, counters, cache
         // invalidation, trace instants) happens here at its sequential
-        // instant; triggered executions are deferred.
-        self.batch = Some(BatchState::default());
+        // instant; triggered executions are deferred. Under the sanitizer
+        // the processor's cached traffic in this window — the only window
+        // where it coexists with the deferred executions — is tapped.
+        self.batch = Some(BatchState { sanitize, ..BatchState::default() });
+        if sanitize {
+            self.cpu.tap_accesses(true);
+        }
         for entry in batch {
             for &(word, v) in &entry.params {
                 self.write_ctrl(entry.page_base, word, v);
             }
             self.activate(entry.page_base, entry.cmd);
         }
+        let tap = if sanitize { self.cpu.take_tapped() } else { None };
         // `activate_page` clears `self.batch` when an entry had to fall
         // back to inline processing (everything deferred was flushed).
         let Some(state) = self.batch.take() else { return };
@@ -1044,15 +1134,106 @@ impl System {
             return;
         }
         // Phase B: run the page functions in parallel over disjoint slices.
-        let executions = self.execute_parallel(&state.deferred);
+        let results = self.execute_parallel(&state.deferred, state.sanitize);
         // Phase C: merge in batch order. `schedule` never advances the
         // clock, so replaying it here yields the sequential timeline.
-        for (d, execution) in state.deferred.iter().zip(executions) {
+        for (d, (execution, _)) in state.deferred.iter().zip(&results) {
             self.schedule(d.pid, d.start, execution.events().to_vec());
             if let Some(event) = d.ctrl_event {
                 ap_trace::session::emit(event);
             }
         }
+        if state.sanitize {
+            self.sanitize_batch(&state.deferred, &results, tap);
+        }
+    }
+
+    /// Classifies `batch`: `None` sends it down the sequential path,
+    /// `Some(sanitize)` takes the deferred/parallel path, recording and
+    /// cross-checking accesses when `sanitize` is set.
+    ///
+    /// The classification is static, from the members' declared
+    /// [`PageFunction::footprint`]s: all known and page-local proves the
+    /// batch disjoint (the fast-track — production runs need no recording
+    /// for it); a statically proven write overlap is reported (RC202) and
+    /// rejected to the sequential path; anything unknown keeps the runtime
+    /// fallbacks. When the sanitizer is on, every parallel batch is
+    /// recorded — proven ones included, since auditing the declared
+    /// footprints (dynamic ⊆ static, RC204) is precisely its job.
+    fn batch_plan(&mut self, batch: &[PageActivation]) -> Option<bool> {
+        if !self.batch_parallel_eligible(batch) {
+            return None;
+        }
+        let mut fps: Vec<(u64, StaticFootprint)> = Vec::with_capacity(batch.len());
+        for entry in batch {
+            let (pid, _) = self.lookup(entry.page_base).expect("eligible batch resolves");
+            let rad = self.rad.as_ref().unwrap();
+            let group = rad.table.entry(PageId::new(pid)).group;
+            let fp =
+                rad.table.function_of(group).map_or(StaticFootprint::Unknown, |f| f.footprint());
+            fps.push((entry.page_base.get(), fp));
+        }
+        let refs: Vec<(u64, &StaticFootprint)> = fps.iter().map(|(b, f)| (*b, f)).collect();
+        let errors_before = self.race.errors();
+        footprint::check_batch_writes(&refs, &mut self.race);
+        if self.race.errors() > errors_before {
+            self.audit.overlap_rejects += 1;
+            return None;
+        }
+        let page = PAGE_SIZE as u64;
+        let proven = fps.iter().all(|(_, f)| {
+            f.known().is_some_and(|k| {
+                k.reads.runs().iter().chain(k.writes.runs()).all(|&(_, end)| end <= page)
+            })
+        });
+        if proven {
+            self.audit.proven_batches += 1;
+        } else {
+            self.audit.unknown_batches += 1;
+        }
+        Some(self.sanitize || force_sanitize())
+    }
+
+    /// Cross-checks a completed sanitized batch: every page's recorded
+    /// accesses against its declared footprint (RC204) and all
+    /// participants — pages at their bases plus the processor's tapped
+    /// cached traffic — against each other (RC205).
+    fn sanitize_batch(
+        &mut self,
+        deferred: &[DeferredExec],
+        results: &[(Execution, Option<PageFootprint>)],
+        tap: Option<AccessTap>,
+    ) {
+        let labels: Vec<String> =
+            deferred.iter().map(|d| format!("{}@page{}", d.func.name(), d.pid)).collect();
+        for (d, (label, (_, log))) in deferred.iter().zip(labels.iter().zip(results)) {
+            if let Some(log) = log {
+                footprint::check_dynamic_within(label, log, &d.func.footprint(), &mut self.race);
+            }
+        }
+        let mut cpu_fp = PageFootprint::new();
+        if let Some(tap) = &tap {
+            for a in tap.accesses() {
+                cpu_fp.record(a.addr, a.len as u64, a.write);
+            }
+            if tap.dropped() > 0 {
+                // Tap overflow: degrade to "the processor may have touched
+                // anything" rather than under-report.
+                cpu_fp.record(0, u64::MAX, false);
+                cpu_fp.record(0, u64::MAX, true);
+            }
+        }
+        let mut parts: Vec<(&str, u64, &PageFootprint)> = deferred
+            .iter()
+            .zip(labels.iter().zip(results))
+            .filter_map(|(d, (label, (_, log)))| {
+                log.as_ref().map(|log| (label.as_str(), d.info.base.get(), log))
+            })
+            .collect();
+        if !cpu_fp.is_empty() {
+            parts.push(("cpu", 0, &cpu_fp));
+        }
+        footprint::check_dynamic_overlap(&parts, &mut self.race);
     }
 
     /// True when `batch` can take the deferred/parallel path: Active-Page
@@ -1085,11 +1266,21 @@ impl System {
     fn flush_deferred(&mut self) {
         let Some(mut state) = self.batch.take() else { return };
         for d in state.deferred.drain(..) {
-            let execution = {
+            let (execution, log) = {
                 let bytes = self.cpu.ram.slice_mut(d.info.base, PAGE_SIZE);
                 let mut slice = PageSlice::new(bytes, d.info);
-                d.func.execute(&mut slice)
+                if state.sanitize {
+                    slice.record_accesses();
+                }
+                let execution = d.func.execute(&mut slice);
+                (execution, slice.take_access_log())
             };
+            if let Some(log) = &log {
+                // Flushed executions run inline (no concurrency), so only
+                // the dynamic-within-static claim needs checking.
+                let label = format!("{}@page{}", d.func.name(), d.pid);
+                footprint::check_dynamic_within(&label, log, &d.func.footprint(), &mut self.race);
+            }
             self.schedule(d.pid, d.start, execution.events().to_vec());
             if let Some(event) = d.ctrl_event {
                 ap_trace::session::emit(event);
@@ -1102,8 +1293,13 @@ impl System {
     /// Runs the deferred page functions on a scoped thread pool. Each
     /// worker pulls `(index, slice)` jobs from a shared queue, so results
     /// come back keyed by deferral order regardless of which thread ran
-    /// them. Returns one [`Execution`] per deferred entry, in order.
-    fn execute_parallel(&mut self, deferred: &[DeferredExec]) -> Vec<Execution> {
+    /// them. Returns one `(Execution, access log)` per deferred entry, in
+    /// order; the log is `Some` only when `sanitize` asked for recording.
+    fn execute_parallel(
+        &mut self,
+        deferred: &[DeferredExec],
+        sanitize: bool,
+    ) -> Vec<(Execution, Option<PageFootprint>)> {
         // Carve disjoint page views out of one covering RAM region (pages
         // need not be contiguous; `split_pages` skips the gaps).
         let mut order: Vec<usize> = (0..deferred.len()).collect();
@@ -1124,15 +1320,20 @@ impl System {
                 scope.spawn(move || loop {
                     let job = jobs.lock().unwrap().next();
                     let Some((i, mut slice)) = job else { return };
+                    if sanitize {
+                        slice.record_accesses();
+                    }
                     let execution = deferred[i].func.execute(&mut slice);
-                    let _ = tx.send((i, execution));
+                    let log = slice.take_access_log();
+                    let _ = tx.send((i, execution, log));
                 });
             }
         });
         drop(tx);
-        let mut results: Vec<Option<Execution>> = (0..deferred.len()).map(|_| None).collect();
-        for (i, execution) in rx {
-            results[i] = Some(execution);
+        let mut results: Vec<Option<(Execution, Option<PageFootprint>)>> =
+            (0..deferred.len()).map(|_| None).collect();
+        for (i, execution, log) in rx {
+            results[i] = Some((execution, log));
         }
         results.into_iter().map(|r| r.expect("every deferred page must execute")).collect()
     }
@@ -1622,6 +1823,173 @@ mod tests {
             (sys.now(), format!("{:?}", sys.stats()), results)
         };
         assert_eq!(run(false), run(true));
+    }
+
+    /// Summer with an honest page-local footprint declaration.
+    #[derive(Debug)]
+    struct DeclaredSummer;
+    impl PageFunction for DeclaredSummer {
+        fn name(&self) -> &'static str {
+            "declared-summer"
+        }
+        fn logic_elements(&self) -> u32 {
+            64
+        }
+        fn execute(&self, page: &mut PageSlice<'_>) -> Execution {
+            Summer.execute(page)
+        }
+        fn footprint(&self) -> StaticFootprint {
+            // Ctrl reads/writes plus the first 8 body words.
+            StaticFootprint::Known(
+                PageFootprint::new()
+                    .with_read(0, sync::CTRL_SIZE as u64)
+                    .with_read(sync::BODY_OFFSET as u64, (sync::BODY_OFFSET + 32) as u64)
+                    .with_write(0, sync::CTRL_SIZE as u64),
+            )
+        }
+    }
+
+    /// Summer whose declaration omits the body reads (seeded RC204 defect).
+    #[derive(Debug)]
+    struct UnderDeclaredSummer;
+    impl PageFunction for UnderDeclaredSummer {
+        fn name(&self) -> &'static str {
+            "under-declared-summer"
+        }
+        fn logic_elements(&self) -> u32 {
+            64
+        }
+        fn execute(&self, page: &mut PageSlice<'_>) -> Execution {
+            Summer.execute(page)
+        }
+        fn footprint(&self) -> StaticFootprint {
+            StaticFootprint::Known(
+                PageFootprint::new()
+                    .with_read(0, sync::CTRL_SIZE as u64)
+                    .with_write(0, sync::CTRL_SIZE as u64),
+            )
+        }
+    }
+
+    /// Declares a write footprint escaping into the next page (seeded RC202
+    /// defect); never actually executed in the overlap test.
+    #[derive(Debug)]
+    struct EscapingWriter;
+    impl PageFunction for EscapingWriter {
+        fn name(&self) -> &'static str {
+            "escaping-writer"
+        }
+        fn logic_elements(&self) -> u32 {
+            10
+        }
+        fn execute(&self, page: &mut PageSlice<'_>) -> Execution {
+            page.set_ctrl(sync::STATUS, sync::DONE);
+            Execution::run(1)
+        }
+        fn footprint(&self) -> StaticFootprint {
+            // Claims to write its own body plus the start of the next page.
+            StaticFootprint::Known(
+                PageFootprint::new()
+                    .with_write(0, sync::CTRL_SIZE as u64)
+                    .with_write(sync::BODY_OFFSET as u64, (PAGE_SIZE + 4096) as u64),
+            )
+        }
+    }
+
+    fn broadcast_batch(base: VAddr, pages: usize) -> Vec<PageActivation> {
+        (0..pages)
+            .map(|p| {
+                PageActivation::new(base + (p * PAGE_SIZE) as u64, 1).with_param(sync::PARAM, 8)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sanitizer_is_clean_on_honest_footprints() {
+        active_pages::parallel::set_thread_budget(4);
+        let pages = 4;
+        let (mut sys, base, g) = summer_setup(pages);
+        sys.ap_bind(g, Arc::new(DeclaredSummer));
+        sys.set_sanitize(true);
+        sys.activate_pages(&broadcast_batch(base, pages));
+        for p in 0..pages {
+            sys.wait_done(base + (p * PAGE_SIZE) as u64);
+        }
+        assert!(sys.race_report().is_empty(), "{}", sys.race_report().render_text());
+        assert_eq!(sys.race_audit().proven_batches, 1);
+        let s = sys.stats();
+        assert_eq!((s.race_errors, s.race_warnings), (0, 0));
+    }
+
+    #[test]
+    fn sanitizer_fires_rc204_on_underdeclared_footprint() {
+        active_pages::parallel::set_thread_budget(4);
+        let pages = 3;
+        let (mut sys, base, g) = summer_setup(pages);
+        sys.ap_bind(g, Arc::new(UnderDeclaredSummer));
+        sys.set_sanitize(true);
+        sys.activate_pages(&broadcast_batch(base, pages));
+        for p in 0..pages {
+            sys.wait_done(base + (p * PAGE_SIZE) as u64);
+        }
+        let hits: Vec<_> =
+            sys.race_report().with_code(ap_lint::Code::DynamicFootprintViolation).collect();
+        assert_eq!(hits.len(), pages, "one RC204 per page whose reads escaped the declaration");
+        assert!(sys.stats().race_errors >= 1);
+    }
+
+    #[test]
+    fn statically_overlapping_batch_rejected_to_sequential_with_rc202() {
+        active_pages::parallel::set_thread_budget(4);
+        let (mut sys, base, g) = setup(3);
+        sys.ap_bind(g, Arc::new(EscapingWriter));
+        sys.activate_pages(&broadcast_batch(base, 3));
+        for p in 0..3 {
+            sys.wait_done(base + (p * PAGE_SIZE) as u64);
+        }
+        assert_eq!(sys.race_audit().overlap_rejects, 1);
+        assert!(
+            sys.race_report().with_code(ap_lint::Code::BatchWriteOverlap).count() >= 1,
+            "RC202 must be reported"
+        );
+        // The rejected batch still executed — sequentially.
+        assert_eq!(sys.stats().activations, 3);
+    }
+
+    #[test]
+    fn sanitizer_off_records_nothing() {
+        active_pages::parallel::set_thread_budget(4);
+        let pages = 3;
+        let (mut sys, base, g) = summer_setup(pages);
+        sys.ap_bind(g, Arc::new(UnderDeclaredSummer));
+        sys.activate_pages(&broadcast_batch(base, pages));
+        for p in 0..pages {
+            sys.wait_done(base + (p * PAGE_SIZE) as u64);
+        }
+        assert!(sys.race_report().is_empty(), "defect must go unnoticed with the sanitizer off");
+    }
+
+    #[test]
+    fn sanitized_batch_matches_sequential_run_bit_for_bit() {
+        active_pages::parallel::set_thread_budget(4);
+        let pages = 5;
+        let run = |sequential: bool, sanitize: bool| {
+            let (mut sys, base, g) = summer_setup(pages);
+            sys.ap_bind(g, Arc::new(DeclaredSummer));
+            sys.set_sequential(sequential);
+            sys.set_sanitize(sanitize);
+            sys.activate_pages(&broadcast_batch(base, pages));
+            for p in 0..pages {
+                sys.wait_done(base + (p * PAGE_SIZE) as u64);
+            }
+            let results: Vec<u32> = (0..pages)
+                .map(|p| sys.read_ctrl(base + (p * PAGE_SIZE) as u64, sync::RESULT))
+                .collect();
+            (sys.now(), format!("{:?}", sys.stats()), results)
+        };
+        let oracle = run(true, false);
+        assert_eq!(run(false, true), oracle, "sanitized parallel vs sequential");
+        assert_eq!(run(false, false), oracle, "plain parallel vs sequential");
     }
 
     #[test]

@@ -1,0 +1,611 @@
+//! Static page-footprint analysis of assembled SS-lite kernels (the static
+//! half of `ap-race`; the `RC2**` diagnostics).
+//!
+//! [`analyze`] abstractly interprets a kernel over an interval domain: each
+//! register holds a `[lo, hi]` range of its possible u32 values, propagated
+//! through the control-flow graph that `crate::lint` already builds. Every
+//! load/store contributes its possible byte range to the kernel's
+//! [`PageFootprint`]; the result is a proven over-approximation of the bytes
+//! the kernel can touch, page-relative (a kernel's address space *is* its
+//! 512 KB page — data conventionally sits at `0x20000`).
+//!
+//! Rather than widening (which would destroy the correlation between a loop
+//! counter and the address it strides), the analysis enumerates abstract
+//! states explicitly: a worklist of `(pc, registers)` pairs, deduplicated by
+//! interval subsumption at basic-block leaders, bounded by a fuel budget.
+//! The paper's kernels have small constant trip counts, so exploration
+//! terminates in a few thousand states; anything the budget or an
+//! unresolvable `jr` defeats degrades to [`StaticFootprint::Unknown`] — the
+//! honest escape hatch — never to a wrong bound.
+//!
+//! | Code  | Severity | Finds |
+//! |-------|----------|-------|
+//! | RC201 | Error    | an access that may land outside the `[0, 512 KB)` page slice |
+//! | RC203 | Warning  | a store after the processor-visible control area was written |
+//!
+//! (RC202/RC204/RC205 are batch- and runtime-level checks; they live in
+//! `ap_lint::footprint` and `radram`.)
+
+use crate::isa::{AluOp, BranchCond, Inst, Width};
+use ap_lint::footprint::{PageFootprint, StaticFootprint};
+use ap_lint::{Code, Diagnostic, Location, Report};
+use std::collections::BTreeSet;
+
+/// Bytes in one Active Page. Mirrors `active_pages::PAGE_SIZE` (asserted
+/// equal by the `ap-bench` consistency tests; `ap-risc` cannot depend on
+/// `active-pages` without a cycle).
+pub const PAGE_BYTES: u64 = 1 << 19;
+
+/// Bytes of the processor-visible control area at the base of every page.
+/// Mirrors `active_pages::sync::CTRL_SIZE`.
+pub const CTRL_BYTES: u64 = 64;
+
+/// Abstract-state budget: states processed before the analysis gives up and
+/// reports [`StaticFootprint::Unknown`]. The six paper kernels finish in a
+/// few thousand.
+const FUEL: usize = 200_000;
+
+const WRAP: i128 = 1 << 32;
+const U32MAX: i64 = u32::MAX as i64;
+
+/// What the analysis concluded about one kernel.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// RC201/RC203 findings (empty for a proven page-local kernel).
+    pub report: Report,
+    /// The derived footprint, or `Unknown` if the kernel defeated the
+    /// analysis.
+    pub footprint: StaticFootprint,
+}
+
+/// An inclusive range `[lo, hi]` of possible u32 register values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Iv {
+    lo: i64,
+    hi: i64,
+}
+
+impl Iv {
+    const TOP: Iv = Iv { lo: 0, hi: U32MAX };
+
+    fn exact(v: u32) -> Iv {
+        Iv { lo: v as i64, hi: v as i64 }
+    }
+
+    fn single(self) -> Option<u32> {
+        (self.lo == self.hi).then_some(self.lo as u32)
+    }
+
+    fn covers(self, o: Iv) -> bool {
+        self.lo <= o.lo && o.hi <= self.hi
+    }
+
+    /// Normalizes a raw `[lo, hi]` computation into the u32 domain. A range
+    /// that wraps entirely (all values negative, or all past `u32::MAX`)
+    /// shifts by 2^32 exactly; one that wraps only partially becomes TOP.
+    fn norm(lo: i128, hi: i128) -> Iv {
+        debug_assert!(lo <= hi);
+        if lo >= 0 && hi < WRAP {
+            Iv { lo: lo as i64, hi: hi as i64 }
+        } else if hi < 0 && lo >= -WRAP {
+            Iv { lo: (lo + WRAP) as i64, hi: (hi + WRAP) as i64 }
+        } else if lo >= WRAP && hi < 2 * WRAP {
+            Iv { lo: (lo - WRAP) as i64, hi: (hi - WRAP) as i64 }
+        } else {
+            Iv::TOP
+        }
+    }
+
+    /// The value set viewed as signed i32s, when it does not straddle the
+    /// sign boundary.
+    fn signed(self) -> Option<(i64, i64)> {
+        if self.hi < 1 << 31 {
+            Some((self.lo, self.hi))
+        } else if self.lo >= 1 << 31 {
+            Some((self.lo - (1 << 32), self.hi - (1 << 32)))
+        } else {
+            None
+        }
+    }
+
+    fn meet(self, o: Iv) -> Option<Iv> {
+        let (lo, hi) = (self.lo.max(o.lo), self.hi.min(o.hi));
+        (lo <= hi).then_some(Iv { lo, hi })
+    }
+}
+
+/// The abstract transfer function of [`crate::Machine`]'s ALU (exact on
+/// singletons, a sound over-approximation otherwise).
+fn alu(op: AluOp, a: Iv, b: Iv) -> Iv {
+    // Singletons evaluate with the machine's own concrete semantics, so the
+    // abstraction can never disagree with execution on a known value.
+    if let (Some(x), Some(y)) = (a.single(), b.single()) {
+        let v = match op {
+            AluOp::Add => x.wrapping_add(y),
+            AluOp::Sub => x.wrapping_sub(y),
+            AluOp::And => x & y,
+            AluOp::Or => x | y,
+            AluOp::Xor => x ^ y,
+            AluOp::Slt => ((x as i32) < (y as i32)) as u32,
+            AluOp::Sltu => (x < y) as u32,
+            AluOp::Sll => x.wrapping_shl(y & 31),
+            AluOp::Srl => x.wrapping_shr(y & 31),
+            AluOp::Sra => ((x as i32).wrapping_shr(y & 31)) as u32,
+            AluOp::Mul => x.wrapping_mul(y),
+            AluOp::Div => {
+                if y == 0 {
+                    u32::MAX
+                } else {
+                    ((x as i32).wrapping_div(y as i32)) as u32
+                }
+            }
+        };
+        return Iv::exact(v);
+    }
+    match op {
+        AluOp::Add => Iv::norm((a.lo + b.lo) as i128, (a.hi + b.hi) as i128),
+        AluOp::Sub => Iv::norm((a.lo - b.hi) as i128, (a.hi - b.lo) as i128),
+        // Clearing bits cannot raise the value above either operand.
+        AluOp::And => Iv { lo: 0, hi: a.hi.min(b.hi) },
+        AluOp::Or | AluOp::Xor | AluOp::Div => Iv::TOP,
+        AluOp::Slt => match (a.signed(), b.signed()) {
+            (Some((_, ah)), Some((bl, _))) if ah < bl => Iv::exact(1),
+            (Some((al, _)), Some((_, bh))) if al >= bh => Iv::exact(0),
+            _ => Iv { lo: 0, hi: 1 },
+        },
+        AluOp::Sltu => {
+            if a.hi < b.lo {
+                Iv::exact(1)
+            } else if a.lo >= b.hi {
+                Iv::exact(0)
+            } else {
+                Iv { lo: 0, hi: 1 }
+            }
+        }
+        AluOp::Sll => match b.single() {
+            Some(k) => Iv::norm((a.lo as i128) << (k & 31), (a.hi as i128) << (k & 31)),
+            None => Iv::TOP,
+        },
+        AluOp::Srl => match b.single() {
+            Some(k) => Iv { lo: a.lo >> (k & 31), hi: a.hi >> (k & 31) },
+            None => Iv { lo: 0, hi: a.hi },
+        },
+        AluOp::Sra => match (b.single(), a.hi < 1 << 31) {
+            // Non-negative values: arithmetic and logical shifts agree.
+            (Some(k), true) => Iv { lo: a.lo >> (k & 31), hi: a.hi >> (k & 31) },
+            _ => Iv::TOP,
+        },
+        AluOp::Mul => {
+            let (lo, hi) = (a.lo as i128 * b.lo as i128, a.hi as i128 * b.hi as i128);
+            if hi < WRAP {
+                Iv::norm(lo, hi)
+            } else {
+                Iv::TOP
+            }
+        }
+    }
+}
+
+/// Whether a branch is decided by the operand intervals, and the refined
+/// operand intervals along the `taken` edge (`None` = edge infeasible).
+fn branch_edge(cond: BranchCond, a: Iv, b: Iv, taken: bool) -> Option<(Iv, Iv)> {
+    let decided: Option<bool> = match cond {
+        BranchCond::Eq | BranchCond::Ne => {
+            let eq = match (a.single(), b.single()) {
+                (Some(x), Some(y)) if x == y => Some(true),
+                _ if a.meet(b).is_none() => Some(false),
+                _ => None,
+            };
+            eq.map(|e| if cond == BranchCond::Eq { e } else { !e })
+        }
+        BranchCond::Ltu | BranchCond::Geu => {
+            let lt = if a.hi < b.lo {
+                Some(true)
+            } else if a.lo >= b.hi {
+                Some(false)
+            } else {
+                None
+            };
+            lt.map(|l| if cond == BranchCond::Ltu { l } else { !l })
+        }
+        BranchCond::Lt | BranchCond::Ge => {
+            let lt = match (a.signed(), b.signed()) {
+                (Some((_, ah)), Some((bl, _))) if ah < bl => Some(true),
+                (Some((al, _)), Some((_, bh))) if al >= bh => Some(false),
+                _ => None,
+            };
+            lt.map(|l| if cond == BranchCond::Lt { l } else { !l })
+        }
+    };
+    if let Some(d) = decided {
+        return (d == taken).then_some((a, b));
+    }
+    // Undecided: refine where the comparison constrains the intervals.
+    // "a < b holds" ⇒ a ≤ b.hi-1 and b ≥ a.lo+1; "a < b fails" ⇒ a ≥ b.lo
+    // and b ≤ a.hi. Signed comparisons only refine when both ranges sit in
+    // the non-negative half, where signed and unsigned agree.
+    let lt_refinable =
+        matches!(cond, BranchCond::Ltu | BranchCond::Geu) || (a.hi < 1 << 31 && b.hi < 1 << 31);
+    let want_eq = cond == BranchCond::Eq && taken || cond == BranchCond::Ne && !taken;
+    let want_ne = cond == BranchCond::Eq && !taken || cond == BranchCond::Ne && taken;
+    let want_lt = matches!(cond, BranchCond::Ltu | BranchCond::Lt) == taken
+        && !matches!(cond, BranchCond::Eq | BranchCond::Ne);
+    if want_eq {
+        let m = a.meet(b)?;
+        return Some((m, m));
+    }
+    if want_ne {
+        // Only an endpoint equal to a singleton can be trimmed.
+        let mut a2 = a;
+        let mut b2 = b;
+        if let Some(y) = b.single() {
+            if a2.lo == y as i64 {
+                a2.lo += 1;
+            } else if a2.hi == y as i64 {
+                a2.hi -= 1;
+            }
+        }
+        if let Some(x) = a.single() {
+            if b2.lo == x as i64 {
+                b2.lo += 1;
+            } else if b2.hi == x as i64 {
+                b2.hi -= 1;
+            }
+        }
+        return (a2.lo <= a2.hi && b2.lo <= b2.hi).then_some((a2, b2));
+    }
+    if !lt_refinable {
+        return Some((a, b));
+    }
+    if want_lt {
+        let a2 = Iv { lo: a.lo, hi: a.hi.min(b.hi - 1) };
+        let b2 = Iv { lo: b.lo.max(a.lo + 1), hi: b.hi };
+        (a2.lo <= a2.hi && b2.lo <= b2.hi).then_some((a2, b2))
+    } else {
+        let a2 = Iv { lo: a.lo.max(b.lo), hi: a.hi };
+        let b2 = Iv { lo: b.lo, hi: b.hi.min(a.hi) };
+        (a2.lo <= a2.hi && b2.lo <= b2.hi).then_some((a2, b2))
+    }
+}
+
+#[derive(Clone, PartialEq, Eq)]
+struct State {
+    regs: [Iv; 32],
+    /// A store has already hit the control area `[0, CTRL_BYTES)`.
+    synced: bool,
+}
+
+impl State {
+    fn entry() -> State {
+        State { regs: [Iv::exact(0); 32], synced: false }
+    }
+
+    fn covers(&self, o: &State) -> bool {
+        self.synced == o.synced && self.regs.iter().zip(&o.regs).all(|(a, b)| a.covers(*b))
+    }
+}
+
+struct Explorer<'p> {
+    prog: &'p [Inst],
+    /// Seen states per basic-block leader, for subsumption.
+    seen: Vec<Vec<State>>,
+    /// Leader pc → index into `seen` (parallel to the block list).
+    leaders: Vec<u32>,
+    work: Vec<(u32, State)>,
+    footprint: PageFootprint,
+    escapes: BTreeSet<u32>,
+    unsynced: BTreeSet<u32>,
+    fuel: usize,
+}
+
+impl Explorer<'_> {
+    /// Queues `state` at `pc`, deduplicating at block leaders.
+    fn enqueue(&mut self, pc: u32, state: State) {
+        if let Ok(bi) = self.leaders.binary_search(&pc) {
+            if self.seen[bi].iter().any(|s| s.covers(&state)) {
+                return;
+            }
+            self.seen[bi].push(state.clone());
+        }
+        self.work.push((pc, state));
+    }
+
+    /// Records one access and its RC201/RC203 evidence. `base` is the base
+    /// register's interval; the machine computes `(base as i64 + imm)` and
+    /// reinterprets as u64, so a negative sum wraps to the top of the
+    /// address space (recorded as such, and always an escape).
+    fn access(&mut self, pc: u32, st: &mut State, base: Iv, imm: i16, width: u64, write: bool) {
+        let (lo, hi) = (base.lo + imm as i64, base.hi + imm as i64);
+        if lo < 0 || hi + width as i64 > PAGE_BYTES as i64 {
+            self.escapes.insert(pc);
+        }
+        if hi >= 0 {
+            self.footprint.record(lo.max(0) as u64, (hi - lo.max(0)) as u64 + width, write);
+        }
+        if lo < 0 {
+            let wrapped = lo as u64; // two's complement: 2^64 + lo
+            let end = (hi.min(-1) as u64).saturating_add(width);
+            let iv = if write { &mut self.footprint.writes } else { &mut self.footprint.reads };
+            iv.insert(wrapped, end.max(wrapped));
+        }
+        if write {
+            if st.synced {
+                self.unsynced.insert(pc);
+            }
+            if lo < CTRL_BYTES as i64 {
+                st.synced = true;
+            }
+        }
+    }
+
+    /// Runs states to exhaustion. Returns false if the budget ran out or an
+    /// indirect jump could not be resolved.
+    fn run(&mut self) -> bool {
+        let len = self.prog.len() as u32;
+        while let Some((mut pc, mut st)) = self.work.pop() {
+            loop {
+                if self.fuel == 0 {
+                    return false;
+                }
+                self.fuel -= 1;
+                if pc >= len {
+                    break; // falls off the program: RK105's business
+                }
+                match self.prog[pc as usize] {
+                    Inst::Alu { op, rd, rs, rt } => {
+                        let v = alu(op, st.regs[rs.index()], st.regs[rt.index()]);
+                        if rd.index() != 0 {
+                            st.regs[rd.index()] = v;
+                        }
+                    }
+                    Inst::AluImm { op, rd, rs, imm } => {
+                        let v = alu(op, st.regs[rs.index()], Iv::exact(imm as i32 as u32));
+                        if rd.index() != 0 {
+                            st.regs[rd.index()] = v;
+                        }
+                    }
+                    Inst::Lui { rd, imm } => {
+                        if rd.index() != 0 {
+                            st.regs[rd.index()] = Iv::exact((imm as u32) << 16);
+                        }
+                    }
+                    Inst::Load { width, rd, rs, imm } => {
+                        let base = st.regs[rs.index()];
+                        self.access(pc, &mut st, base, imm, bytes(width), false);
+                        if rd.index() != 0 {
+                            st.regs[rd.index()] = Iv::TOP;
+                        }
+                    }
+                    Inst::Store { width, rs, imm, .. } => {
+                        let base = st.regs[rs.index()];
+                        self.access(pc, &mut st, base, imm, bytes(width), true);
+                    }
+                    Inst::Branch { cond, rs, rt, offset } => {
+                        let (a, b) = (st.regs[rs.index()], st.regs[rt.index()]);
+                        for taken in [false, true] {
+                            let Some((a2, b2)) = branch_edge(cond, a, b, taken) else { continue };
+                            let t =
+                                if taken { pc as i64 + 1 + offset as i64 } else { pc as i64 + 1 };
+                            if !(0..i64::from(len)).contains(&t) {
+                                continue; // wild target: RK103's business
+                            }
+                            let mut st2 = st.clone();
+                            st2.regs[rs.index()] = a2;
+                            st2.regs[rt.index()] = b2;
+                            // A branch comparing a register against itself
+                            // (rs == rt) keeps a single refined copy: the
+                            // second write wins, which is `b2` — sound
+                            // because then a == b and both refinements agree.
+                            self.enqueue(t as u32, st2);
+                        }
+                        break;
+                    }
+                    Inst::Jal { rd, target } => {
+                        if rd.index() != 0 {
+                            st.regs[rd.index()] = Iv::exact(pc + 1);
+                        }
+                        if target < len {
+                            self.enqueue(target, st);
+                        }
+                        break;
+                    }
+                    Inst::Jr { rs } => {
+                        match st.regs[rs.index()].single() {
+                            Some(t) if t < len => self.enqueue(t, st),
+                            // Past the program: the machine stops (wild PC).
+                            Some(_) => {}
+                            // Unresolvable indirect jump: give up soundly.
+                            None => return false,
+                        }
+                        break;
+                    }
+                    Inst::Halt => break,
+                }
+                pc += 1;
+                // Crossing into another block's leader goes through the
+                // dedup gate, or straight-line loops would never converge.
+                if self.leaders.binary_search(&pc).is_ok() {
+                    self.enqueue(pc, st);
+                    break;
+                }
+            }
+        }
+        true
+    }
+}
+
+fn bytes(w: Width) -> u64 {
+    match w {
+        Width::B | Width::Bu => 1,
+        Width::H | Width::Hu => 2,
+        Width::W => 4,
+    }
+}
+
+/// Derives the kernel's page footprint and the `RC2**` findings.
+///
+/// The entry state is the machine's power-up state (all registers zero),
+/// matching how [`crate::Machine`] runs kernels; inputs arrive through
+/// memory, which loads model as "any u32".
+///
+/// # Examples
+///
+/// ```
+/// use ap_risc::{assemble, footprint};
+///
+/// let prog = assemble("lui r1, 2\n lw r2, (r1)\n sw r2, 4(r1)\n halt").unwrap();
+/// let a = footprint::analyze("toy", &prog);
+/// assert!(a.report.is_empty());
+/// let fp = a.footprint.known().unwrap();
+/// assert_eq!(fp.reads.runs(), &[(0x20000, 0x20004)]);
+/// assert_eq!(fp.writes.runs(), &[(0x20004, 0x20008)]);
+/// ```
+pub fn analyze(subject: &str, prog: &[Inst]) -> Analysis {
+    let mut report = Report::new(subject);
+    if prog.is_empty() {
+        return Analysis { report, footprint: StaticFootprint::Known(PageFootprint::new()) };
+    }
+    let leaders: Vec<u32> = crate::lint::basic_blocks(prog).iter().map(|&(s, _)| s).collect();
+    let mut ex = Explorer {
+        prog,
+        seen: vec![Vec::new(); leaders.len()],
+        leaders,
+        work: Vec::new(),
+        footprint: PageFootprint::new(),
+        escapes: BTreeSet::new(),
+        unsynced: BTreeSet::new(),
+        fuel: FUEL,
+    };
+    ex.enqueue(0, State::entry());
+    let bounded = ex.run();
+    for &pc in &ex.escapes {
+        report.push(Diagnostic::new(
+            Code::FootprintEscape,
+            Location::Inst(pc),
+            format!("access may land outside the {PAGE_BYTES}-byte page slice"),
+        ));
+    }
+    for &pc in &ex.unsynced {
+        report.push(Diagnostic::new(
+            Code::UnsyncedVisibleWrite,
+            Location::Inst(pc),
+            "store after the control area was written: the sync word is \
+             published while this write is still in flight",
+        ));
+    }
+    let footprint =
+        if bounded { StaticFootprint::Known(ex.footprint) } else { StaticFootprint::Unknown };
+    Analysis { report, footprint }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str) -> Analysis {
+        analyze("t", &assemble(src).unwrap())
+    }
+
+    #[test]
+    fn straight_line_footprint_is_exact() {
+        let a = run("lui r1, 2\n lw r2, (r1)\n sw r2, 8(r1)\n halt");
+        assert!(a.report.is_empty(), "{}", a.report.render_text());
+        let fp = a.footprint.known().unwrap();
+        assert_eq!(fp.reads.runs(), &[(0x20000, 0x20004)]);
+        assert_eq!(fp.writes.runs(), &[(0x20008, 0x2000C)]);
+    }
+
+    #[test]
+    fn counted_loop_is_bounded_by_correlation() {
+        // Classic stride loop: r1 walks 64 words up while r3 counts down.
+        let a = run(r"
+            lui  r1, 2
+            addi r3, r0, 64
+        loop:
+            lw   r2, (r1)
+            sw   r2, 1024(r1)
+            addi r1, r1, 4
+            addi r3, r3, -1
+            bne  r3, r0, loop
+            halt
+        ");
+        assert!(a.report.is_empty(), "{}", a.report.render_text());
+        let fp = a.footprint.known().unwrap();
+        assert_eq!(fp.reads.runs(), &[(0x20000, 0x20000 + 64 * 4)]);
+        assert_eq!(fp.writes.runs(), &[(0x20400, 0x20400 + 64 * 4)]);
+    }
+
+    #[test]
+    fn escape_fires_rc201_once() {
+        // 0x80000 is the first byte past the page.
+        let a = run("lui r1, 8\n lw r2, (r1)\n halt");
+        let codes: Vec<Code> = a.report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::FootprintEscape]);
+        // The footprint is still a bound — just not a page-local one.
+        assert!(a.footprint.is_known());
+    }
+
+    #[test]
+    fn negative_address_escapes() {
+        let a = run("lw r2, -4(r0)\n halt");
+        let codes: Vec<Code> = a.report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::FootprintEscape]);
+    }
+
+    #[test]
+    fn store_after_sync_fires_rc203_once() {
+        let a = run(r"
+            addi r2, r0, 1
+            sw   r2, 4(r0)
+            sw   r2, 64(r0)
+            halt
+        ");
+        let codes: Vec<Code> = a.report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::UnsyncedVisibleWrite]);
+    }
+
+    #[test]
+    fn data_dependent_address_is_clamped_not_trusted() {
+        // The loaded value is unknown, so the derived address is TOP and the
+        // access may escape.
+        let a = run("lui r1, 2\n lw r2, (r1)\n lw r3, (r2)\n halt");
+        let codes: Vec<Code> = a.report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::FootprintEscape]);
+    }
+
+    #[test]
+    fn masked_data_dependent_address_is_page_local() {
+        // Masking the unknown value to 16 bits bounds the address.
+        let a = run(r"
+            lui  r1, 2
+            lw   r2, (r1)
+            lui  r4, 1
+            addi r4, r4, -1
+            and  r2, r2, r4
+            add  r2, r2, r1
+            lw   r3, (r2)
+            halt
+        ");
+        assert!(a.report.is_empty(), "{}", a.report.render_text());
+        let fp = a.footprint.known().unwrap();
+        assert!(fp.reads.contains(0x20000, 0x20004));
+        assert!(fp.reads.contains(0x2FFFF, 0x2FFFF + 4));
+    }
+
+    #[test]
+    fn call_return_resolves_and_unresolvable_jr_degrades() {
+        let a = run("jal r31, 3\n lui r1, 2\n sw r0, (r1)\n jr r31");
+        // jal at 0 jumps to 3 (the jr), which returns to 1; 1..2 store.
+        assert!(a.footprint.is_known());
+        // A jr on a loaded value cannot be resolved: Unknown, no unsound bound.
+        let b = run("lui r1, 2\n lw r2, (r1)\n jr r2");
+        assert_eq!(b.footprint, StaticFootprint::Unknown);
+    }
+
+    #[test]
+    fn empty_program_is_empty_footprint() {
+        let a = analyze("t", &[]);
+        assert!(a.footprint.known().unwrap().is_empty());
+    }
+}

@@ -98,14 +98,19 @@ store:
 "#;
 
 /// `matrix`: sorted index-stream merge — the sparse compare-gather inner
-/// loop of the simplex/Boeing matrix multiply.
+/// loop of the simplex/Boeing matrix multiply. Both streams carry explicit
+/// element counts: the cursors are data-driven, so without a count a
+/// degenerate stream would walk a cursor past its array (the footprint
+/// analysis rejects the unbounded form as `Unknown`).
 pub const MATRIX: &str = r#"
     lui  r1, 2              ; stream A cursor
     lui  r2, 3              ; stream B cursor
     addi r3, r0, 16         ; elements left in A
+    addi r7, r0, 16         ; elements left in B
     addi r4, r0, 0          ; matches gathered
 loop:
     beq  r3, r0, done
+    beq  r7, r0, done
     lw   r5, (r1)
     lw   r6, (r2)
     bne  r5, r6, advance
@@ -113,10 +118,12 @@ loop:
     addi r1, r1, 4
     addi r2, r2, 4
     addi r3, r3, -1
+    addi r7, r7, -1
     j    loop
 advance:
     bltu r5, r6, adv_a
     addi r2, r2, 4          ; B behind: advance B
+    addi r7, r7, -1
     j    loop
 adv_a:
     addi r1, r1, 4          ; A behind: advance A
@@ -198,6 +205,23 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
             let outcome = m.run(100_000).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(outcome, crate::RunOutcome::Halted, "{name}");
+        }
+    }
+
+    #[test]
+    fn all_kernels_prove_page_local() {
+        for (name, _) in all() {
+            let a = crate::footprint::analyze(name, &assemble_kernel(name));
+            assert!(a.report.is_empty(), "{name}:\n{}", a.report.render_text());
+            let fp = a.footprint.known().unwrap_or_else(|| panic!("{name}: unknown footprint"));
+            for iv in [&fp.reads, &fp.writes] {
+                for &(s, e) in iv.runs() {
+                    assert!(
+                        e <= crate::footprint::PAGE_BYTES,
+                        "{name}: [{s:#x}, {e:#x}) escapes the page"
+                    );
+                }
+            }
         }
     }
 

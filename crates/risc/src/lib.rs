@@ -19,6 +19,9 @@
 //!   reachability, register definedness, jump ranges, access alignment)
 //!   producing `RK***` diagnostics; [`Machine::load`] refuses programs with
 //!   Error-severity findings.
+//! * [`footprint`] — static page-footprint analysis (interval abstract
+//!   interpretation over the same CFG) proving kernels page-local and
+//!   producing `RC***` diagnostics for the parallel executor's race checks.
 //! * [`kernels`] — the six paper workloads' inner loops as clean assembly,
 //!   used by the lint corpus tests and the `aplint` tool.
 //!
@@ -48,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod asm;
+pub mod footprint;
 mod isa;
 pub mod kernels;
 pub mod lint;

@@ -49,8 +49,8 @@ pub fn check(subject: &str, prog: &[Inst]) -> Report {
 
 /// Half-open basic blocks `[start, end)` in program order. Leaders are the
 /// entry, every static branch/jump target, and every instruction after a
-/// terminator.
-fn basic_blocks(prog: &[Inst]) -> Vec<(u32, u32)> {
+/// terminator. Shared with the footprint analysis (`crate::footprint`).
+pub(crate) fn basic_blocks(prog: &[Inst]) -> Vec<(u32, u32)> {
     let len = prog.len() as u32;
     let mut leader = vec![false; prog.len()];
     leader[0] = true;
