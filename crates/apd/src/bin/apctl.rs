@@ -10,6 +10,10 @@ use ap_apd::proto::{Outcome, WireSpec};
 use ap_apps::{App, ExecMode, SystemKind};
 use ap_bench::runner::{report_codec, RunSpec};
 use ap_bench::sweep::sweep_specs;
+use ap_dse::collect::{pareto_points, Collector};
+use ap_dse::grid::{expand, Grid};
+use ap_dse::pareto::{front, OBJECTIVES};
+use ap_dse::report::{DseReport, FrontRow};
 use radram::RadramConfig;
 
 fn usage() -> String {
@@ -28,6 +32,9 @@ fn usage() -> String {
          \x20                           instead (for byte-for-byte diffs)\n\
          \x20 sweep APP...|all [--quick] submit the Figure 3/4 sweep for the\n\
          \x20                           given apps, print one line per point\n\
+         \x20 dse [--quick]             sweep the design-space grid through\n\
+         \x20   [--mode fast|accurate]  the daemon and print its Pareto\n\
+         \x20                           front (default tier: fast)\n\
          \n\
          --addr defaults to 127.0.0.1:7117.\n\
          apps: {}\n\
@@ -101,6 +108,7 @@ fn main() {
         }
         "point" => run_point(&addr, rest),
         "sweep" => run_sweep(&addr, rest),
+        "dse" => run_dse(&addr, rest),
         "--help" | "-h" | "help" => println!("{}", usage()),
         other => {
             eprintln!("apctl: unknown command {other:?}\n\n{}", usage());
@@ -201,6 +209,99 @@ fn run_sweep(addr: &str, args: &[String]) {
     let hits = results.iter().filter(|r| r.cache_hit).count();
     println!("sweep: {} points, {} failed, {hits} served from cache", results.len(), failed);
     if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn run_dse(addr: &str, args: &[String]) {
+    let mut quick = false;
+    let mut mode = ExecMode::Fast;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--mode" => {
+                mode = match iter.next().map(String::as_str) {
+                    Some("fast") => ExecMode::Fast,
+                    Some("accurate") => ExecMode::Accurate,
+                    other => fail(&format!("--mode needs fast or accurate, got {other:?}")),
+                }
+            }
+            other => fail(&format!("unknown dse option {other:?}")),
+        }
+    }
+    // The exact grid a single-tier `experiments dse --mode <tier>` sweeps:
+    // same configs, same expansion order, and the wire spec rebuilds each
+    // RadramConfig through the same composable builders — so the daemon's
+    // cache keys match the in-process harness's byte for byte.
+    let grid = Grid::for_quick(quick);
+    let configs = grid.configs();
+    let specs: Vec<WireSpec> = expand(&configs, mode)
+        .iter()
+        .map(|s| {
+            let c = &configs[s.config_index];
+            WireSpec {
+                app: s.app,
+                kind: s.kind,
+                mode: s.mode,
+                pages: s.pages,
+                l1d_size: Some(c.l1d_size),
+                l1d_assoc: Some(c.l1d_assoc),
+                l1d_block: Some(c.l1d_block),
+                l2_size: None,
+                miss_latency: None,
+                logic_divisor: Some(c.logic_divisor),
+            }
+        })
+        .collect();
+    println!("dse sweep through {addr}: {}", grid.describe());
+    let mut client = connect(addr);
+    let start = std::time::Instant::now();
+    let results = client.run_all(&specs).unwrap_or_else(|e| fail(&e.to_string()));
+    let wall = start.elapsed().as_secs_f64();
+    let hits = results.iter().filter(|r| r.cache_hit).count();
+    let run_count = results.len();
+    let mut collector = Collector::new(configs);
+    for (i, result) in results.into_iter().enumerate() {
+        collector.push(i, result.report);
+    }
+    let (points, incomplete) = collector.finish();
+    let pareto = pareto_points(&points);
+    let ids = front(&pareto, &OBJECTIVES);
+    let tier = if mode == ExecMode::Fast { "fast" } else { "accurate" };
+    let report = DseReport {
+        quick,
+        mode: tier,
+        grid: grid.describe(),
+        config_count: grid.config_count(),
+        run_count: grid.run_count(),
+        triage_points: points.len(),
+        incomplete,
+        rungs: vec![points.len()],
+        promoted: 0,
+        dominated: points.len() - ids.len(),
+        max_promoted_error: 0.0,
+        front: ids
+            .iter()
+            .map(|&pos| {
+                let (id, point) = &points[pos];
+                FrontRow {
+                    config_id: *id,
+                    speedup: point.speedup(),
+                    le_mhz: point.config.le_mhz(),
+                    area_bytes: point.config.area_bytes(),
+                    config: point.config.clone(),
+                    tier,
+                }
+            })
+            .collect(),
+    };
+    print!("{}", report.table());
+    println!(
+        "dse: {run_count} runs in {wall:.1}s, {hits} served from the daemon cache, \
+         {incomplete} incomplete"
+    );
+    if incomplete > 0 || report.front.is_empty() {
         std::process::exit(1);
     }
 }

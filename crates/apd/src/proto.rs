@@ -43,6 +43,11 @@ pub struct WireSpec {
     pub pages: f64,
     /// L1 data-cache size override in bytes (Figure 5 sweeps).
     pub l1d_size: Option<usize>,
+    /// L1 data-cache associativity override (DSE sweeps). Absent on the
+    /// wire keeps the reference geometry, so old frames decode unchanged.
+    pub l1d_assoc: Option<usize>,
+    /// L1 data-cache block (line) size override in bytes (DSE sweeps).
+    pub l1d_block: Option<usize>,
     /// L2 size override in bytes.
     pub l2_size: Option<usize>,
     /// DRAM miss-latency override in ns (Figure 8 sweeps).
@@ -60,6 +65,8 @@ impl WireSpec {
             mode: ExecMode::Accurate,
             pages,
             l1d_size: None,
+            l1d_assoc: None,
+            l1d_block: None,
             l2_size: None,
             miss_latency: None,
             logic_divisor: None,
@@ -73,13 +80,21 @@ impl WireSpec {
     }
 
     /// The [`RadramConfig`] this spec describes: the reference system with
-    /// the overrides applied through the standard builders (cache sizes
+    /// the overrides applied through the standard builders (cache geometry
     /// first, then miss latency, then the logic clock — the same order a
-    /// sweep harness would chain them).
+    /// sweep harness would chain them). The builders compose — each mutates
+    /// only its own knob — so a multi-override spec fingerprints
+    /// identically to the harness-built config.
     pub fn config(&self) -> RadramConfig {
         let mut cfg = RadramConfig::reference();
         if let Some(size) = self.l1d_size {
             cfg = cfg.with_l1d_size(size);
+        }
+        if let Some(assoc) = self.l1d_assoc {
+            cfg = cfg.with_l1d_assoc(assoc);
+        }
+        if let Some(block) = self.l1d_block {
+            cfg = cfg.with_l1d_block(block);
         }
         if let Some(size) = self.l2_size {
             cfg = cfg.with_l2_size(size);
@@ -106,6 +121,12 @@ impl WireSpec {
         }
         if let Some(v) = self.l1d_size {
             pairs.push(("l1d_size", json::n(v as u64)));
+        }
+        if let Some(v) = self.l1d_assoc {
+            pairs.push(("l1d_assoc", json::n(v as u64)));
+        }
+        if let Some(v) = self.l1d_block {
+            pairs.push(("l1d_block", json::n(v as u64)));
         }
         if let Some(v) = self.l2_size {
             pairs.push(("l2_size", json::n(v as u64)));
@@ -163,6 +184,8 @@ impl WireSpec {
             mode,
             pages,
             l1d_size: size("l1d_size")?,
+            l1d_assoc: size("l1d_assoc")?,
+            l1d_block: size("l1d_block")?,
             l2_size: size("l2_size")?,
             miss_latency: num("miss_latency")?,
             logic_divisor: num("logic_divisor")?,
@@ -534,6 +557,8 @@ mod tests {
     fn requests_round_trip() {
         let full = WireSpec {
             l1d_size: Some(16 << 10),
+            l1d_assoc: Some(4),
+            l1d_block: Some(64),
             l2_size: Some(1 << 20),
             miss_latency: Some(120),
             logic_divisor: Some(50),
@@ -631,6 +656,35 @@ mod tests {
         assert_eq!(wire.config(), reference.clone().with_miss_latency(200));
         let wire = WireSpec { l1d_size: Some(8 << 10), ..spec() };
         assert_eq!(wire.config(), reference.with_l1d_size(8 << 10));
+    }
+
+    #[test]
+    fn multi_knob_wire_specs_compose_every_override() {
+        // Regression: the hierarchy builders used to reset each other, so a
+        // spec carrying both a cache override and a miss latency silently
+        // dropped the cache one. All knobs must now land together — and
+        // fingerprint identically to the harness-side chain.
+        let wire = WireSpec {
+            l1d_size: Some(16 << 10),
+            l1d_assoc: Some(4),
+            l1d_block: Some(64),
+            miss_latency: Some(200),
+            logic_divisor: Some(50),
+            ..spec()
+        };
+        let cfg = wire.config();
+        assert_eq!(cfg.cpu.hierarchy.l1d.size, 16 << 10);
+        assert_eq!(cfg.cpu.hierarchy.l1d.assoc, 4);
+        assert_eq!(cfg.cpu.hierarchy.l1d.line, 64);
+        assert_eq!(cfg.cpu.hierarchy.dram.latency, 200);
+        assert_eq!(cfg.logic_divisor, 50);
+        let harness = RadramConfig::reference()
+            .with_l1d_size(16 << 10)
+            .with_l1d_assoc(4)
+            .with_l1d_block(64)
+            .with_logic_divisor(50)
+            .with_miss_latency(200);
+        assert_eq!(cfg, harness, "wire and harness configs must fingerprint identically");
     }
 
     #[test]

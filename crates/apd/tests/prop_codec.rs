@@ -39,13 +39,16 @@ fn arb_spec() -> impl Strategy<Value = WireSpec> {
         // round trip must preserve the exact bits (cache keys hash them).
         (arb_app(), arb_kind(), arb_mode(), 0.001f64..512.0),
         (arb_opt(1..1 << 24), arb_opt(1..1 << 26), arb_opt(1..2000), arb_opt(1..1000)),
+        (arb_opt(1..16), arb_opt(8..256)),
     )
-        .prop_map(|((app, kind, mode, pages), (l1d, l2, lat, div))| WireSpec {
+        .prop_map(|((app, kind, mode, pages), (l1d, l2, lat, div), (assoc, block))| WireSpec {
             app,
             kind,
             mode,
             pages,
             l1d_size: l1d.map(|v| v as usize),
+            l1d_assoc: assoc.map(|v| v as usize),
+            l1d_block: block.map(|v| v as usize),
             l2_size: l2.map(|v| v as usize),
             miss_latency: lat,
             logic_divisor: div,

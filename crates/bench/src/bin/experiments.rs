@@ -8,7 +8,7 @@
 //! `aptrace`). Unknown targets or options print the usage and exit
 //! non-zero.
 
-use ap_bench::{cli, experiments, quick_mode, render, write_result_file};
+use ap_bench::{cli, experiments, render, write_result_file};
 use std::path::Path;
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
             std::process::exit(if msg == "help" { 0 } else { 2 });
         }
     };
-    let quick = quick_mode();
+    let quick = cli.is_quick();
 
     if cli.bench_wallclock {
         println!("Wallclock page-scaling bench (sequential oracle vs. parallel executor)");
@@ -131,23 +131,38 @@ fn main() {
         }
         println!();
     }
-    if cli.wants("dse-smoke") {
-        let (mode, cross) = cli.mode_or(ap_bench::ExecMode::Fast);
-        let summary = ap_bench::fastmode::dse_smoke(&runner, quick, mode, cross);
+    if cli.wants("dse") || cli.wants("dse-smoke") {
+        if cli.wants("dse-smoke") {
+            eprintln!("warning: `dse-smoke` is deprecated; it now forwards to the `dse` sweep");
+        }
+        let run = ap_bench::dse::run(&runner, quick, cli.mode);
+        let r = &run.report;
+        println!("Design-space sweep ({}, {} mode)", r.grid, r.mode);
+        print!("{}", r.table());
         println!(
-            "dse-smoke: {} points on the {mode} tier, {} failed",
-            summary.points, summary.failed
+            "sweep: {:.1}s wall, {} jobs ({} cached), rungs {:?}",
+            run.wall_secs, run.total_jobs, run.cache_hits, r.rungs
         );
-        if let Some(max) = summary.max_cycle_error {
+        if r.promoted > 0 {
             println!(
-                "cross-check: max cycle error {:.3} (envelope {})",
-                max,
+                "cross-check: {} promoted points, max cycle error {:.3} (envelope {})",
+                r.promoted,
+                r.max_promoted_error,
                 ap_bench::fastmode::CYCLE_ERROR_ENVELOPE
             );
-            if max > ap_bench::fastmode::CYCLE_ERROR_ENVELOPE {
-                eprintln!("error: dse-smoke cycle error {max:.3} exceeds the envelope");
-                std::process::exit(1);
-            }
+        }
+        report_written(write_result_file("BENCH_dse.json", &run.render_json()));
+        report_written(write_result_file("BENCH_dse_front.json", &r.front_json()));
+        if r.front.is_empty() {
+            eprintln!("error: the sweep produced an empty Pareto front");
+            std::process::exit(1);
+        }
+        if r.max_promoted_error > ap_bench::fastmode::CYCLE_ERROR_ENVELOPE {
+            eprintln!(
+                "error: promoted-point cycle error {:.3} exceeds the envelope",
+                r.max_promoted_error
+            );
+            std::process::exit(1);
         }
         println!();
     }

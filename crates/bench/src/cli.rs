@@ -8,21 +8,29 @@ use ap_apps::ExecMode;
 use ap_engine::Engine;
 use std::path::PathBuf;
 
-/// Every experiment target the binary accepts.
-pub const TARGETS: &[&str] = &[
-    "all",
-    "table1",
-    "table2",
-    "table3",
-    "table4",
-    "fig1",
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig8",
-    "fig9",
-    "dse-smoke",
+/// Every experiment target the binary accepts, with the one-line
+/// description the usage text is generated from. Single source of truth:
+/// adding a row here is all it takes to document a new target.
+pub const TARGETS: &[(&str, &str)] = &[
+    ("all", "every paper table and figure below (the default)"),
+    ("table1", "reference system parameters"),
+    ("table2", "application working sets and activation counts"),
+    ("table3", "partitioned-algorithm statistics"),
+    ("table4", "activation time T_A per application"),
+    ("fig1", "conventional vs RADram memory organization counters"),
+    ("fig3", "speedup vs problem size, all nine kernels"),
+    ("fig4", "processor/memory overlap breakdown"),
+    ("fig5", "L1 data-cache size sensitivity"),
+    ("fig8", "DRAM miss-latency sensitivity"),
+    ("fig9", "reconfigurable-logic clock sensitivity"),
+    ("dse", "design-space sweep with Pareto-front search (BENCH_dse.json)"),
+    ("dse-smoke", "deprecated alias for `dse` (kept for old scripts)"),
 ];
+
+/// The registered target names, in table order.
+pub fn target_names() -> Vec<&'static str> {
+    TARGETS.iter().map(|(name, _)| *name).collect()
+}
 
 /// The `--mode` choices: one execution tier, or both with a cross-check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,22 +75,28 @@ pub struct Cli {
     /// targets (`--bench-wallclock`).
     pub bench_wallclock: bool,
     /// Execution-tier selection (`--mode accurate|fast|both`). `None` keeps
-    /// each target's default: accurate for the figures, fast for
-    /// `dse-smoke`.
+    /// each target's default: accurate for the figures, the two-tier
+    /// triage-and-promote pipeline for `dse`.
     pub mode: Option<ModeChoice>,
+    /// Shrink sweeps to CI size (`--quick`, equivalent to `AP_QUICK=1`).
+    pub quick: bool,
 }
 
-/// The usage text, listing flags and valid targets.
+/// The usage text. The target list is generated from [`TARGETS`], so the
+/// help can never drift from what the parser accepts.
 pub fn usage() -> String {
+    let targets: String =
+        TARGETS.iter().map(|(name, desc)| format!("  {name:<12} {desc}\n")).collect();
     format!(
         "usage: experiments [TARGET] [--jobs N] [--no-cache] [--manifest PATH]\n\
-         \x20                  [--trace[=DIR]] [--trace-filter LIST]\n\
+         \x20                  [--trace[=DIR]] [--trace-filter LIST] [--quick]\n\
          \x20      experiments --bench-wallclock\n\
          \n\
          Runs the paper's experiments through the ap-engine worker pool and\n\
          writes CSV files under the results directory.\n\
          \n\
-         targets: {}\n\
+         targets:\n\
+         {targets}\
          \n\
          options:\n\
          \x20 --jobs N            worker threads; N must be >= 1 — a zero or\n\
@@ -105,11 +119,13 @@ pub fn usage() -> String {
          \x20                     functional tier), or both (run both tiers,\n\
          \x20                     cross-check answers and cycle error; exits\n\
          \x20                     non-zero on an envelope breach).\n\
-         \x20                     dse-smoke defaults to fast\n\
+         \x20                     dse defaults to the two-tier pipeline: fast\n\
+         \x20                     triage, then accurate promotion of the\n\
+         \x20                     Pareto-front survivors\n\
+         \x20 --quick             shrink sweeps to CI size (same as AP_QUICK=1)\n\
          \n\
          environment: AP_QUICK=1 shrinks sweeps, AP_JOBS sets workers,\n\
          AP_RESULTS_DIR relocates outputs, AP_NO_CACHE=1 disables the cache.",
-        TARGETS.join("|")
     )
 }
 
@@ -124,6 +140,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
         trace_filter: ap_trace::Filter::ALL,
         bench_wallclock: false,
         mode: None,
+        quick: false,
     };
     let mut target_seen = false;
     let mut args = args.into_iter();
@@ -167,13 +184,14 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
             }
             "--bench-wallclock" => cli.bench_wallclock = true,
             "--mode" => cli.mode = Some(ModeChoice::parse(&value("--mode")?)?),
+            "--quick" => cli.quick = true,
             "--help" | "-h" => return Err("help".to_string()),
             f if f.starts_with('-') => return Err(format!("unknown option {f:?}")),
             target if !target_seen => {
-                if !TARGETS.contains(&target) {
+                if !target_names().contains(&target) {
                     return Err(format!(
                         "unknown target {target:?} (valid: {})",
-                        TARGETS.join(", ")
+                        target_names().join(", ")
                     ));
                 }
                 cli.target = target.to_string();
@@ -189,13 +207,20 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
 }
 
 impl Cli {
-    /// True when `name` (or `all`) was requested. `dse-smoke` is explicit
-    /// only — `all` reproduces the paper's figures, not the DSE grid.
+    /// True when `name` (or `all`) was requested. The DSE targets (`dse`
+    /// and its deprecated `dse-smoke` alias) are explicit only — `all`
+    /// reproduces the paper's figures, not the design-space sweep.
     pub fn wants(&self, name: &str) -> bool {
-        if name == "dse-smoke" {
-            return self.target == "dse-smoke";
+        if name == "dse" || name == "dse-smoke" {
+            return self.target == name;
         }
         self.target == "all" || self.target == name
+    }
+
+    /// True when this invocation should shrink sweeps to CI size: `--quick`
+    /// or the `AP_QUICK=1` environment.
+    pub fn is_quick(&self) -> bool {
+        self.quick || crate::quick_mode()
     }
 
     /// The execution tier for sweep targets whose default is `default`,
@@ -322,12 +347,29 @@ mod tests {
     }
 
     #[test]
-    fn dse_smoke_is_a_target_but_not_part_of_all() {
+    fn dse_targets_are_explicit_but_not_part_of_all() {
+        let cli = parse(&["dse"]).unwrap();
+        assert!(cli.wants("dse") && !cli.wants("dse-smoke") && !cli.wants("fig3"));
         let cli = parse(&["dse-smoke"]).unwrap();
-        assert!(cli.wants("dse-smoke"));
-        assert!(!cli.wants("fig3"));
+        assert!(cli.wants("dse-smoke") && !cli.wants("dse"));
         let all = parse(&[]).unwrap();
-        assert!(!all.wants("dse-smoke"), "`all` must not trigger the DSE grid");
+        assert!(!all.wants("dse") && !all.wants("dse-smoke"), "`all` must not sweep the DSE grid");
+    }
+
+    #[test]
+    fn quick_flag_parses() {
+        assert!(!parse(&["dse"]).unwrap().quick);
+        assert!(parse(&["dse", "--quick"]).unwrap().quick);
+        assert!(parse(&["dse", "--quick"]).unwrap().is_quick());
+    }
+
+    #[test]
+    fn usage_lists_every_target_with_its_description() {
+        let text = usage();
+        for (name, desc) in TARGETS {
+            assert!(text.contains(name), "usage must list {name}");
+            assert!(text.contains(desc), "usage must describe {name}");
+        }
     }
 
     #[test]

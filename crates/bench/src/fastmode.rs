@@ -1,6 +1,6 @@
-//! Two-tier execution harness: fast-vs-accurate cross-checks, the
-//! `BENCH_fastmode.json` speed/error bench, and the `dse-smoke` grid
-//! (DESIGN.md §13).
+//! Two-tier execution harness: fast-vs-accurate cross-checks and the
+//! `BENCH_fastmode.json` speed/error bench (DESIGN.md §13). The DSE grids
+//! that used to live here moved to the `ap-dse` crate (DESIGN.md §15).
 //!
 //! The fast tier (`ExecMode::Fast`) runs full application semantics but
 //! replaces per-access hierarchy simulation with counted estimates, so it
@@ -18,17 +18,17 @@
 //! `BENCH_page_scaling.json` and `BENCH_fastmode.json` come from one
 //! measurement path.
 
-use crate::runner::{RunSpec, Runner};
 use crate::sweep::SweepPoint;
 use ap_apps::{App, ExecMode, RunReport, SystemKind};
 use radram::{take_kernel_host_secs, RadramConfig};
 
 /// Documented bound on the fast tier's signed relative kernel-cycle error,
 /// per point, against the accurate oracle. The measured maximum over the
-/// full Figure 3/4 sweep (170 runs) is 0.349 and over the quick `dse-smoke`
+/// full Figure 3/4 sweep (170 runs) is 0.349 and over the legacy DSE smoke
 /// grid 0.346 (see `BENCH_fastmode.json`); the dominant contributors are
-/// the no-op `invalidate_range` and the unmodelled branch predictor. CI and
-/// `--mode both` fail any point outside this bound.
+/// the no-op `invalidate_range` and the unmodelled branch predictor. CI,
+/// `--mode both`, and the `dse` promotion pipeline fail any point outside
+/// this bound.
 pub const CYCLE_ERROR_ENVELOPE: f64 = 0.40;
 
 /// The Figure 3 database point the ≥ 5x wall-clock gate is scored on. The
@@ -259,13 +259,13 @@ pub fn bench(quick: bool) -> Vec<FastmodeRow> {
     rows
 }
 
-/// Renders the bench as the `BENCH_fastmode.json` payload.
+/// Renders the bench as the `BENCH_fastmode.json` payload (schema v1).
 pub fn render_json(rows: &[FastmodeRow], quick: bool) -> String {
     let gate = rows.iter().find(|r| r.app == App::Database && r.pages == gate_pages(quick));
     let max_cycle_err =
         rows.iter().flat_map(|r| [r.conv_error.abs(), r.rad_error.abs()]).fold(0.0, f64::max);
     let max_speedup_err = rows.iter().map(|r| r.speedup_error.abs()).fold(0.0, f64::max);
-    let mut s = String::from("{\n  \"bench\": \"fastmode\",\n");
+    let mut s = String::from("{\n  \"schema\": 1,\n  \"bench\": \"fastmode\",\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str(&format!(
         "  \"documented_cycle_error_envelope\": {CYCLE_ERROR_ENVELOPE},\n\
@@ -308,83 +308,6 @@ pub fn render_json(rows: &[FastmodeRow], quick: bool) -> String {
     s
 }
 
-/// The `dse-smoke` problem-size grid: a dense log-ish ladder so the target
-/// exercises a few hundred engine jobs in fast mode.
-pub fn dse_grid(quick: bool) -> Vec<f64> {
-    if quick {
-        vec![0.5, 2.0, 8.0, 32.0]
-    } else {
-        vec![
-            0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0,
-            96.0, 128.0,
-        ]
-    }
-}
-
-/// The `dse-smoke` spec batch: every kernel, both systems, the full
-/// [`dse_grid`], on one tier.
-pub fn dse_specs(quick: bool, mode: ExecMode) -> Vec<RunSpec> {
-    let cfg = RadramConfig::reference();
-    let mut specs = Vec::new();
-    for app in App::ALL {
-        for &pages in &dse_grid(quick) {
-            for kind in [SystemKind::Conventional, SystemKind::Radram] {
-                specs.push(RunSpec::new(app, kind, pages, cfg.clone()).with_mode(mode));
-            }
-        }
-    }
-    specs
-}
-
-/// Outcome of one `dse-smoke` run.
-#[derive(Debug, Clone)]
-pub struct DseSummary {
-    /// Points attempted.
-    pub points: usize,
-    /// Points whose job failed (panic, deadline).
-    pub failed: usize,
-    /// Largest absolute relative cycle error, when both tiers ran
-    /// (`--mode both`); `None` on a single-tier run.
-    pub max_cycle_error: Option<f64>,
-}
-
-/// Runs the design-space-exploration smoke grid through the engine on one
-/// tier; with `cross_check_tiers`, runs the grid on **both** tiers and
-/// audits every surviving point (checksum identity + cycle error).
-///
-/// # Panics
-///
-/// Panics if a cross-checked point's checksum differs between tiers.
-pub fn dse_smoke(
-    runner: &Runner,
-    quick: bool,
-    mode: ExecMode,
-    cross_check_tiers: bool,
-) -> DseSummary {
-    let specs = dse_specs(quick, mode);
-    let results = runner.run(specs.clone());
-    let mut failed = results.iter().filter(|r| r.is_err()).count();
-    let points = results.len();
-    if !cross_check_tiers {
-        return DseSummary { points, failed, max_cycle_error: None };
-    }
-    let other = match mode {
-        ExecMode::Fast => ExecMode::Accurate,
-        ExecMode::Accurate => ExecMode::Fast,
-    };
-    let other_results = runner.run(dse_specs(quick, other));
-    failed += other_results.iter().filter(|r| r.is_err()).count();
-    let mut max_err = 0.0f64;
-    for ((spec, a), b) in specs.iter().zip(&results).zip(&other_results) {
-        if let (Ok(a), Ok(b)) = (a, b) {
-            let (fast, accurate) = if spec.mode == ExecMode::Fast { (a, b) } else { (b, a) };
-            let check = check_pair(spec.app, spec.pages, accurate, fast);
-            max_err = max_err.max(check.relative_error().abs());
-        }
-    }
-    DseSummary { points: points + other_results.len(), failed, max_cycle_error: Some(max_err) }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,13 +330,6 @@ mod tests {
         let mut fast = App::Database.run_mode(SystemKind::Radram, 1.0, &cfg, ExecMode::Fast);
         fast.checksum ^= 1;
         check_pair(App::Database, 1.0, &acc, &fast);
-    }
-
-    #[test]
-    fn dse_grid_is_a_few_hundred_points() {
-        let full = dse_specs(false, ExecMode::Fast).len();
-        assert!((200..=500).contains(&full), "got {full}");
-        assert!(dse_specs(true, ExecMode::Fast).len() < full);
     }
 
     #[test]

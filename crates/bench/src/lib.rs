@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod dse;
 pub mod experiments;
 pub mod fastmode;
 pub mod lint_corpus;

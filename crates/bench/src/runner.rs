@@ -146,9 +146,16 @@ impl Runner {
     /// Runs every spec (parallel, cached, fault-isolated) and returns one
     /// result per spec in submission order.
     pub fn run(&self, specs: Vec<RunSpec>) -> Vec<Result<RunReport, JobError>> {
+        self.run_outcomes(specs).into_iter().map(|o| o.result).collect()
+    }
+
+    /// Like [`Runner::run`] but returns the full engine outcomes — result
+    /// plus per-job wall time and whether the disk cache served it. Sweep
+    /// reports use the cache-hit flags to publish their hit ratio.
+    pub fn run_outcomes(&self, specs: Vec<RunSpec>) -> Vec<ap_engine::JobOutcome<RunReport>> {
         let jobs =
             specs.into_iter().map(|spec| Job::new(spec.key(), move || spec.execute())).collect();
-        self.engine.run(jobs, Some(report_codec())).into_iter().map(|o| o.result).collect()
+        self.engine.run(jobs, Some(report_codec()))
     }
 }
 

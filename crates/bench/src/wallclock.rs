@@ -150,7 +150,7 @@ pub fn run(quick: bool) -> Vec<ScalingPoint> {
 /// Renders the sweep as the `BENCH_page_scaling.json` payload.
 pub fn render_json(points: &[ScalingPoint]) -> String {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut s = String::from("{\n  \"bench\": \"page_scaling\",\n");
+    let mut s = String::from("{\n  \"schema\": 1,\n  \"bench\": \"page_scaling\",\n");
     s.push_str(&format!("  \"kernel\": \"{PASSES}-pass FNV hash over the 512 KB page body\",\n"));
     s.push_str(&format!("  \"host_cores\": {cores},\n"));
     s.push_str(&format!("  \"page_threads\": {},\n", active_pages::parallel::thread_budget()));
@@ -184,6 +184,7 @@ mod tests {
         let points = run(true);
         assert_eq!(points.len(), page_sizes(true).len());
         let json = render_json(&points);
+        assert!(json.contains("\"schema\": 1"), "{json}");
         assert!(json.contains("\"pages\": 8"), "{json}");
         assert!(json.contains("\"speedup\""), "{json}");
         for p in &points {

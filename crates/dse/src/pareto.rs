@@ -1,0 +1,238 @@
+//! N-dimensional Pareto dominance, non-dominated sorting, and the
+//! successive-halving refiner.
+//!
+//! Points live in an objective space described by a slice of [`Objective`]s
+//! (each axis maximized or minimized). The front ([`front`]) and the layer
+//! decomposition ([`layers`]) are **order-invariant**: they depend only on
+//! the set of `(id, objectives)` pairs, never on input order, so a shuffled
+//! sweep produces a byte-identical report. Ties (equal vectors) never
+//! dominate each other, so duplicates survive together.
+
+/// Direction of one objective axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Objective {
+    /// Axis name as it appears in reports.
+    pub name: &'static str,
+    /// `true` to maximize the axis, `false` to minimize it.
+    pub maximize: bool,
+}
+
+/// The three objectives of the stock DSE sweep: RADram speedup
+/// (maximized) versus the logic bandwidth budget and the cache area the
+/// configuration spends (both minimized).
+pub const OBJECTIVES: [Objective; 3] = [
+    Objective { name: "speedup", maximize: true },
+    Objective { name: "le_mhz", maximize: false },
+    Objective { name: "area_bytes", maximize: false },
+];
+
+/// A point in objective space, tagged with a stable caller-assigned id.
+///
+/// Objective values must be finite: NaN compares false both ways, which
+/// would make a point both undominatable and non-dominating and silently
+/// corrupt the front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Stable id the caller maps back to a configuration.
+    pub id: usize,
+    /// One value per objective axis, in axis order.
+    pub objectives: Vec<f64>,
+}
+
+impl ParetoPoint {
+    /// A point with the given id and objective values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any objective value is not finite.
+    pub fn new(id: usize, objectives: Vec<f64>) -> ParetoPoint {
+        assert!(
+            objectives.iter().all(|v| v.is_finite()),
+            "objective values must be finite: {objectives:?}"
+        );
+        ParetoPoint { id, objectives }
+    }
+}
+
+/// True when `a` dominates `b`: at least as good on every axis (oriented by
+/// `axes`) and strictly better on at least one.
+///
+/// # Panics
+///
+/// Panics if either point's dimensionality differs from `axes`.
+pub fn dominates(a: &ParetoPoint, b: &ParetoPoint, axes: &[Objective]) -> bool {
+    assert_eq!(a.objectives.len(), axes.len(), "point {} has wrong dimensionality", a.id);
+    assert_eq!(b.objectives.len(), axes.len(), "point {} has wrong dimensionality", b.id);
+    let mut strictly = false;
+    for (i, axis) in axes.iter().enumerate() {
+        let (x, y) = if axis.maximize {
+            (a.objectives[i], b.objectives[i])
+        } else {
+            (b.objectives[i], a.objectives[i])
+        };
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// The Pareto front: ids of every point no other point dominates, sorted
+/// ascending (so the result is independent of input order).
+pub fn front(points: &[ParetoPoint], axes: &[Objective]) -> Vec<usize> {
+    let mut ids: Vec<usize> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| dominates(q, p, axes)))
+        .map(|p| p.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Non-dominated sorting: layer 0 is the front, layer `k` is the front of
+/// the points left after removing layers `0..k`. Ids within each layer are
+/// sorted ascending. Implemented with domination counts, so the whole
+/// decomposition is one O(n²) pairwise pass regardless of depth.
+pub fn layers(points: &[ParetoPoint], axes: &[Objective]) -> Vec<Vec<usize>> {
+    let n = points.len();
+    // Sort by id first so positions — and therefore the per-layer output
+    // order — cannot depend on input order.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&i| points[i].id);
+    let mut dominated_by = vec![0usize; n];
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (a_pos, &a) in order.iter().enumerate() {
+        for &b in &order[a_pos + 1..] {
+            if dominates(&points[a], &points[b], axes) {
+                dominates_list[a].push(b);
+                dominated_by[b] += 1;
+            } else if dominates(&points[b], &points[a], axes) {
+                dominates_list[b].push(a);
+                dominated_by[a] += 1;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = order.iter().copied().filter(|&i| dominated_by[i] == 0).collect();
+    while !current.is_empty() {
+        out.push(current.iter().map(|&i| points[i].id).collect());
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominates_list[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        next.sort_unstable_by_key(|&i| points[i].id);
+        current = next;
+    }
+    out
+}
+
+/// Outcome of one successive-halving triage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Halving {
+    /// Population at each rung, starting with the full grid and halving
+    /// down to the survivor count.
+    pub rungs: Vec<usize>,
+    /// Ids promoted to the next tier, sorted ascending. Always a superset
+    /// of the triage-tier Pareto front.
+    pub survivors: Vec<usize>,
+}
+
+/// Successive halving over dominance ranks: repeatedly halves the
+/// population, keeping the best half by non-dominated layer (ties within
+/// the cut layer broken by ascending id), until at most
+/// `max(budget, |front|)` points remain. The full layer-0 front always
+/// survives — the refiner exists to drop *dominated* bulk, never a true
+/// front point seen at triage.
+pub fn successive_halving(points: &[ParetoPoint], axes: &[Objective], budget: usize) -> Halving {
+    let ranked = layers(points, axes);
+    let front_len = ranked.first().map_or(0, Vec::len);
+    let keep = budget.max(front_len).min(points.len());
+    let mut rungs = vec![points.len()];
+    while *rungs.last().expect("non-empty") > keep {
+        let next = rungs.last().expect("non-empty").div_ceil(2).max(keep);
+        rungs.push(next);
+    }
+    let mut survivors: Vec<usize> = ranked.into_iter().flatten().take(keep).collect();
+    survivors.sort_unstable();
+    Halving { rungs, survivors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(id: usize, speedup: f64, le: f64, area: f64) -> ParetoPoint {
+        ParetoPoint::new(id, vec![speedup, le, area])
+    }
+
+    #[test]
+    fn dominance_respects_axis_direction() {
+        let better = p(0, 10.0, 100.0, 1000.0);
+        let worse = p(1, 5.0, 200.0, 1000.0);
+        assert!(dominates(&better, &worse, &OBJECTIVES));
+        assert!(!dominates(&worse, &better, &OBJECTIVES));
+        // Equal vectors never dominate each other.
+        let twin = p(2, 10.0, 100.0, 1000.0);
+        assert!(!dominates(&better, &twin, &OBJECTIVES));
+        assert!(!dominates(&twin, &better, &OBJECTIVES));
+    }
+
+    #[test]
+    fn front_keeps_exactly_the_non_dominated_points() {
+        let pts = vec![
+            p(0, 10.0, 100.0, 1000.0), // front: best speedup
+            p(1, 5.0, 50.0, 1000.0),   // front: cheapest logic
+            p(2, 5.0, 100.0, 500.0),   // front: smallest area
+            p(3, 4.0, 100.0, 1000.0),  // dominated by 0
+            p(4, 10.0, 100.0, 1000.0), // tie with 0: survives
+        ];
+        assert_eq!(front(&pts, &OBJECTIVES), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn layers_decompose_a_chain() {
+        let pts: Vec<ParetoPoint> = (0..5).map(|i| p(i, (5 - i) as f64, 100.0, 1000.0)).collect();
+        let ranked = layers(&pts, &OBJECTIVES);
+        assert_eq!(ranked, vec![vec![0], vec![1], vec![2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn halving_keeps_the_front_past_any_budget() {
+        let mut pts =
+            vec![p(0, 10.0, 100.0, 1000.0), p(1, 5.0, 50.0, 1000.0), p(2, 5.0, 100.0, 500.0)];
+        for i in 3..20 {
+            pts.push(p(i, 1.0, 200.0, 2000.0)); // dominated bulk
+        }
+        let h = successive_halving(&pts, &OBJECTIVES, 1);
+        assert_eq!(h.survivors, vec![0, 1, 2], "budget 1 still keeps the whole front");
+        assert_eq!(*h.rungs.first().unwrap(), 20);
+        assert_eq!(*h.rungs.last().unwrap(), 3);
+        assert!(h.rungs.windows(2).all(|w| w[1] >= w[0].div_ceil(2).min(w[0])));
+    }
+
+    #[test]
+    fn halving_budget_admits_front_adjacent_points() {
+        let pts = vec![
+            p(0, 10.0, 100.0, 1000.0), // layer 0
+            p(1, 9.0, 100.0, 1000.0),  // layer 1
+            p(2, 8.0, 100.0, 1000.0),  // layer 2
+            p(3, 7.0, 100.0, 1000.0),  // layer 3
+        ];
+        let h = successive_halving(&pts, &OBJECTIVES, 2);
+        assert_eq!(h.survivors, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_objectives_are_rejected() {
+        let _ = ParetoPoint::new(0, vec![f64::NAN, 1.0, 1.0]);
+    }
+}

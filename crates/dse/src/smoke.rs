@@ -1,0 +1,79 @@
+//! The legacy `dse-smoke` surface, moved here from `ap-bench::fastmode`.
+//!
+//! Before the grid model existed, `dse-smoke` swept one axis — a dense
+//! problem-size ladder at the reference configuration — as an engine
+//! stress test. The `dse-smoke` CLI target now forwards to the full `dse`
+//! pipeline; this module keeps the ladder and the summary shape so older
+//! tooling (and the forwarding alias) still has a stable vocabulary.
+
+use ap_apps::{App, ExecMode, SystemKind};
+use radram::RadramConfig;
+
+use crate::grid::DseSpec;
+
+/// The legacy `dse-smoke` problem-size grid: a dense log-ish ladder so the
+/// target exercises a few hundred engine jobs in fast mode.
+pub fn dse_grid(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.5, 2.0, 8.0, 32.0]
+    } else {
+        vec![
+            0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0,
+            96.0, 128.0,
+        ]
+    }
+}
+
+/// The legacy `dse-smoke` spec batch: every kernel, both systems, the full
+/// [`dse_grid`] at the reference configuration, on one tier. Config indices
+/// number the (app, pages) points in ladder order, following the
+/// [`crate::grid::expand`] pairing convention (conventional before RADram).
+pub fn dse_specs(quick: bool, mode: ExecMode) -> Vec<DseSpec> {
+    let cfg = RadramConfig::reference();
+    let mut specs = Vec::new();
+    let mut config_index = 0;
+    for app in App::ALL {
+        for &pages in &dse_grid(quick) {
+            for kind in [SystemKind::Conventional, SystemKind::Radram] {
+                specs.push(DseSpec { config_index, app, kind, pages, cfg: cfg.clone(), mode });
+            }
+            config_index += 1;
+        }
+    }
+    specs
+}
+
+/// Outcome summary in the legacy `dse-smoke` shape.
+#[derive(Debug, Clone)]
+pub struct DseSummary {
+    /// Runs attempted.
+    pub points: usize,
+    /// Runs or design points lost to failures (panic, deadline).
+    pub failed: usize,
+    /// Largest absolute relative cycle error, when both tiers ran; `None`
+    /// on a single-tier run.
+    pub max_cycle_error: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dse_grid_is_a_few_hundred_points() {
+        let full = dse_specs(false, ExecMode::Fast).len();
+        assert!((200..=500).contains(&full), "got {full}");
+        assert!(dse_specs(true, ExecMode::Fast).len() < full);
+    }
+
+    #[test]
+    fn smoke_specs_follow_the_expand_pairing() {
+        let specs = dse_specs(true, ExecMode::Fast);
+        for (i, pair) in specs.chunks(2).enumerate() {
+            assert_eq!(pair[0].config_index, i);
+            assert_eq!(pair[1].config_index, i);
+            assert_eq!(pair[0].kind, SystemKind::Conventional);
+            assert_eq!(pair[1].kind, SystemKind::Radram);
+        }
+    }
+}

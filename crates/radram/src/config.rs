@@ -1,7 +1,7 @@
 //! RADram system parameters (paper, Table 1).
 
 use ap_cpu::CpuConfig;
-use ap_mem::HierarchyConfig;
+use ap_mem::CacheConfig;
 
 /// How inter-page memory references are satisfied.
 ///
@@ -106,22 +106,67 @@ impl RadramConfig {
         self
     }
 
-    /// Reference system with a different DRAM miss latency in ns (Figure 8).
+    /// Same system with a different DRAM miss latency in ns (Figure 8).
+    /// Composes: earlier cache overrides are preserved.
     pub fn with_miss_latency(mut self, latency: u64) -> Self {
-        self.cpu.hierarchy = HierarchyConfig::with_miss_latency(latency);
+        self.cpu.hierarchy.dram.latency = latency;
         self
     }
 
-    /// Reference system with a different L1 data-cache size (Figure 5).
+    /// Same system with a different L1 data-cache size (Figure 5).
+    /// Composes: other hierarchy overrides are preserved.
     pub fn with_l1d_size(mut self, size: usize) -> Self {
-        self.cpu.hierarchy = HierarchyConfig::with_l1d_size(size);
+        self.cpu.hierarchy.l1d = Self::revalidate(&self.cpu.hierarchy.l1d, size, None, None);
         self
     }
 
-    /// Reference system with a different L2 size (Figure 5 discussion).
-    pub fn with_l2_size(mut self, size: usize) -> Self {
-        self.cpu.hierarchy = HierarchyConfig::with_l2_size(size);
+    /// Same system with a different L1 data-cache associativity (the DSE
+    /// grid's ways axis). Composes with the other L1D builders.
+    pub fn with_l1d_assoc(mut self, assoc: usize) -> Self {
+        self.cpu.hierarchy.l1d = Self::revalidate(&self.cpu.hierarchy.l1d, 0, Some(assoc), None);
         self
+    }
+
+    /// Same system with a different L1 data-cache block (line) size.
+    /// Composes with the other L1D builders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is wider than the L2 line — an L2 fill could no
+    /// longer satisfy a whole L1 line.
+    pub fn with_l1d_block(mut self, block: usize) -> Self {
+        assert!(
+            block <= self.cpu.hierarchy.l2.line,
+            "L1D block ({block} B) must not exceed the L2 line ({} B)",
+            self.cpu.hierarchy.l2.line
+        );
+        self.cpu.hierarchy.l1d = Self::revalidate(&self.cpu.hierarchy.l1d, 0, None, Some(block));
+        self
+    }
+
+    /// Same system with a different L2 size (Figure 5 discussion).
+    /// Composes: other hierarchy overrides are preserved.
+    pub fn with_l2_size(mut self, size: usize) -> Self {
+        self.cpu.hierarchy.l2 = Self::revalidate(&self.cpu.hierarchy.l2, size, None, None);
+        self
+    }
+
+    /// Rebuilds a cache config through [`CacheConfig::new`] so every
+    /// override re-runs the geometry assertions (powers of two, at least
+    /// one set). A `size` of 0 keeps the current size.
+    fn revalidate(
+        cur: &CacheConfig,
+        size: usize,
+        assoc: Option<usize>,
+        line: Option<usize>,
+    ) -> CacheConfig {
+        CacheConfig::new(
+            cur.name,
+            if size == 0 { cur.size } else { size },
+            assoc.unwrap_or(cur.assoc),
+            line.unwrap_or(cur.line),
+            cur.hit_latency,
+        )
     }
 
     /// Reference system with a different simulated memory capacity.
@@ -185,6 +230,36 @@ mod tests {
         let cfg = RadramConfig::reference().with_miss_latency(600).with_logic_divisor(2);
         assert_eq!(cfg.cpu.hierarchy.dram.latency, 600);
         assert!((cfg.logic_mhz() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchy_builders_compose_without_resetting_each_other() {
+        let cfg = RadramConfig::reference()
+            .with_l1d_size(16 * 1024)
+            .with_l1d_assoc(4)
+            .with_l1d_block(64)
+            .with_l2_size(2 * 1024 * 1024)
+            .with_miss_latency(600);
+        assert_eq!(cfg.cpu.hierarchy.l1d.size, 16 * 1024, "size survives later overrides");
+        assert_eq!(cfg.cpu.hierarchy.l1d.assoc, 4);
+        assert_eq!(cfg.cpu.hierarchy.l1d.line, 64);
+        assert_eq!(cfg.cpu.hierarchy.l2.size, 2 * 1024 * 1024);
+        assert_eq!(cfg.cpu.hierarchy.dram.latency, 600);
+        // Untouched knobs keep reference values.
+        assert_eq!(cfg.cpu.hierarchy.l1i.size, 64 * 1024);
+        assert_eq!(cfg.cpu.hierarchy.l2.line, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn illegal_cache_geometry_is_rejected_at_override_time() {
+        let _ = RadramConfig::reference().with_l1d_size(48 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed the L2 line")]
+    fn l1d_block_wider_than_l2_line_is_rejected() {
+        let _ = RadramConfig::reference().with_l1d_block(128);
     }
 
     #[test]
