@@ -594,6 +594,14 @@ fn render_metrics(daemon: &Daemon) -> String {
     ] {
         let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
     }
+    let pool = active_pages::parallel::pool_stats();
+    for (name, value) in [
+        ("ap_page_pool_batches", pool.batches),
+        ("ap_page_pool_reuses", pool.reuses),
+        ("ap_page_pool_threads_spawned", pool.threads_spawned),
+    ] {
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+    }
     let snapshot = daemon.registry.snapshot();
     for counter in &snapshot.counters {
         let name = metric_name(counter.name);

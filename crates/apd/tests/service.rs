@@ -119,6 +119,9 @@ fn two_clients_get_bit_identical_results_and_share_the_cache() {
     // The registry also carries absorbed per-job simulation sessions.
     assert!(metrics.contains("cpu_instructions"), "absorbed session counters missing");
     assert!(metrics.contains("apd_job_wall_ms_bucket"), "histogram rendering missing");
+    // The shared page-worker pool is surfaced so operators can watch reuse.
+    assert!(metrics.contains("ap_page_pool_batches"), "pool counters missing:\n{metrics}");
+    assert!(metrics.contains("ap_page_pool_reuses"), "pool counters missing:\n{metrics}");
 
     // HTTP surface.
     assert_eq!(http_get(addr, "/healthz").unwrap(), "ok\n");

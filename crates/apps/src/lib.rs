@@ -79,6 +79,10 @@ pub enum App {
     MatrixBoeing,
     /// MPEG correction via RADram MMX macro-instructions.
     MpegMmx,
+    /// Million-record multi-tenant database (the ROADMAP stress case).
+    /// Not part of [`App::ALL`]: it is a scaling workload, not a Figure 3
+    /// legend entry, and is selected explicitly by name.
+    DatabaseXl,
 }
 
 impl App {
@@ -107,11 +111,16 @@ impl App {
             App::MatrixSimplex => "matrix-simplex",
             App::MatrixBoeing => "matrix-boeing",
             App::MpegMmx => "mpeg-mmx",
+            App::DatabaseXl => "database-xl",
         }
     }
 
-    /// Looks a benchmark up by its legend name.
+    /// Looks a benchmark up by its legend name (or one of the named
+    /// scaling workloads outside [`App::ALL`]).
     pub fn by_name(name: &str) -> Option<App> {
+        if name == App::DatabaseXl.name() {
+            return Some(App::DatabaseXl);
+        }
         App::ALL.into_iter().find(|a| a.name() == name)
     }
 
@@ -149,6 +158,7 @@ impl App {
                 matrix::run_mode(matrix::MatrixVariant::Boeing, kind, pages, cfg, mode)
             }
             App::MpegMmx => mpeg::run_mode(kind, pages, cfg, mode),
+            App::DatabaseXl => database::xl::run_mode(kind, pages, cfg, mode),
         }
     }
 }
@@ -162,6 +172,7 @@ mod tests {
         for app in App::ALL {
             assert_eq!(App::by_name(app.name()), Some(app));
         }
+        assert_eq!(App::by_name("database-xl"), Some(App::DatabaseXl));
         assert_eq!(App::by_name("nonesuch"), None);
     }
 

@@ -61,9 +61,77 @@ fn bench_page_function(c: &mut Criterion) {
     });
 }
 
+fn bench_machine_step(c: &mut Criterion) {
+    use ap_cpu::CpuConfig;
+    use ap_risc::Machine;
+    // A bounded alu/load/branch loop; the run dominates the one-off
+    // load/lint, so the pair isolates per-step fetch dispatch: the
+    // predecoded `Inst` stream vs. decoding the raw word every step.
+    const SPIN: &str = r#"
+    lui  r1, 2              ; data pointer above the code segment
+    addi r2, r0, 0          ; i
+    addi r5, r0, 16384      ; trip count
+loop:
+    lw   r3, (r1)
+    addi r2, r2, 1
+    add  r4, r2, r3
+    blt  r2, r5, loop
+    halt
+"#;
+    let mut run = |name: &str, predecode: bool| {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::load(CpuConfig::reference(), 1 << 20, SPIN).unwrap();
+                m.set_predecode(predecode);
+                black_box(m.run(1 << 20).unwrap())
+            });
+        });
+    };
+    run("machine_step_predecoded", true);
+    run("machine_step_decode", false);
+}
+
+fn bench_batch_executors(c: &mut Criterion) {
+    use active_pages::parallel::{self, PoolMode};
+    use active_pages::{ActivePageMemory, GroupId, PAGE_SIZE};
+    use radram::{ExecMode, PageActivation, RadramConfig, System};
+    use std::sync::Arc;
+
+    // One 8-page activation batch per iteration on a live system: the
+    // pooled executor reuses persistent workers, the spawn executor pays
+    // per-batch `thread::scope` churn — the overhead the pool removes.
+    let mut run = |name: &str, mode: PoolMode| {
+        c.bench_function(name, |b| {
+            parallel::set_thread_budget(4);
+            parallel::set_pool_mode(Some(mode));
+            let pages = 8;
+            let mut sys = System::radram_mode(RadramConfig::reference(), ExecMode::Accurate);
+            let group = GroupId::new(2);
+            let base = sys.ap_alloc_pages(group, pages);
+            sys.ap_bind(group, Arc::new(DatabaseSearchFn));
+            let batch: Vec<PageActivation> = (0..pages)
+                .map(|p| {
+                    PageActivation::new(base + (p * PAGE_SIZE) as u64, 1)
+                        .with_param(sync::PARAM, 64)
+                })
+                .collect();
+            b.iter(|| {
+                sys.activate_pages(&batch);
+                for p in 0..pages {
+                    sys.wait_done(black_box(base + (p * PAGE_SIZE) as u64));
+                }
+            });
+            parallel::set_pool_mode(None);
+        });
+    };
+    run("batch_activation_pooled", PoolMode::Pooled);
+    run("batch_activation_spawn", PoolMode::Spawn);
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_cache_hierarchy, bench_synth, bench_page_function
+    targets = bench_cache_hierarchy, bench_synth, bench_page_function,
+        bench_machine_step, bench_batch_executors
 }
 criterion_main!(benches);

@@ -1,0 +1,291 @@
+//! Batch-executor scaling harness (`experiments --bench-wallclock` /
+//! `experiments database-xl`): the `database-xl` workload under three
+//! executors.
+//!
+//! Where `wallclock` stresses *one* wide activation of compute-dense pages,
+//! this harness stresses the opposite corner the ROADMAP names: millions of
+//! resident records, thousands of pages, and an activation stream whose
+//! batches are brief — so per-batch executor overhead (thread spawn churn,
+//! job-claim serialization) dominates. Every point runs the same prepared
+//! workload three ways:
+//!
+//! * **sequential** — the `AP_SEQUENTIAL=1` oracle;
+//! * **spawn** — the legacy pre-pool executor (a fresh `std::thread::scope`
+//!   plus a mutexed job queue per batch), kept selectable precisely so this
+//!   bench can measure it in-process;
+//! * **pooled** — the persistent page-worker pool with lock-free chunked
+//!   claiming.
+//!
+//! All three must produce bit-identical `RunReport`s (clock, checksum,
+//! stats) before any timing is reported, and the smallest point re-runs the
+//! pooled executor under the dynamic race sanitizer and asserts it comes
+//! back clean. Timings cover the kernel region only (host seconds drained
+//! via [`radram::take_kernel_host_secs`]), excluding the untimed
+//! 128 MiB-scale workload staging both paths share. Results land in
+//! `BENCH_batch_scaling.json` with a pages axis and a threads axis.
+
+use active_pages::parallel::{self, PoolMode};
+use ap_apps::database::xl;
+use ap_apps::{ExecMode, RunReport, SystemKind};
+use radram::RadramConfig;
+
+/// One measured configuration of the batch-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct BatchPoint {
+    /// Pages resident (records = pages × [`xl::RECORDS_PER_PAGE`]).
+    pub pages: usize,
+    /// Records resident at this point.
+    pub records: usize,
+    /// Queries issued (= activation batches of [`xl::TENANT_PAGES`] pages).
+    pub queries: usize,
+    /// Page-thread budget the parallel executors ran under.
+    pub threads: usize,
+    /// Kernel host seconds, sequential oracle.
+    pub sequential_secs: f64,
+    /// Kernel host seconds, legacy spawn-per-batch executor.
+    pub spawn_secs: f64,
+    /// Kernel host seconds, persistent pool executor.
+    pub pooled_secs: f64,
+}
+
+impl BatchPoint {
+    /// Wall-clock speedup of the pooled executor over the pre-pool (spawn)
+    /// executor — the acceptance metric.
+    pub fn speedup_vs_spawn(&self) -> f64 {
+        self.spawn_secs / self.pooled_secs.max(1e-9)
+    }
+
+    /// Wall-clock speedup of the pooled executor over the sequential
+    /// oracle (can dip below 1 on a single-core host; reported honestly).
+    pub fn speedup_vs_sequential(&self) -> f64 {
+        self.sequential_secs / self.pooled_secs.max(1e-9)
+    }
+}
+
+/// The thread budget the sweep's pages axis runs at: every core the host
+/// offers, floored at 4 so single-core CI still exercises a real pool.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get()).max(4)
+}
+
+/// Pages-axis sizes. The full sweep ends at the acceptance point: 2048
+/// pages = 1,048,576 resident records.
+pub fn page_sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![64, 128]
+    } else {
+        vec![512, 1024, 2048]
+    }
+}
+
+/// Threads-axis budgets, measured at the largest pages-axis size.
+pub fn thread_axis(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![2, 4]
+    } else {
+        vec![2, 4, 8]
+    }
+}
+
+fn digest(r: &RunReport) -> (u64, u64, u64, u64, String) {
+    (r.kernel_cycles, r.total_cycles, r.dispatch_cycles, r.checksum, format!("{:?}", r.stats))
+}
+
+/// Runs the prepared workload once under `mode` and returns the kernel
+/// host seconds together with the report.
+fn run_once(wl: &xl::Workload, cfg: &RadramConfig, mode: Option<PoolMode>) -> (f64, RunReport) {
+    radram::set_force_sequential(mode.is_none());
+    parallel::set_pool_mode(mode);
+    let _ = radram::take_kernel_host_secs();
+    let report = xl::run_prepared(SystemKind::Radram, wl, cfg, ExecMode::Accurate);
+    let secs = radram::take_kernel_host_secs();
+    radram::set_force_sequential(false);
+    parallel::set_pool_mode(None);
+    (secs, report)
+}
+
+/// Measures one `(pages, threads)` configuration: sequential oracle, then
+/// the legacy spawn executor, then the pooled executor, asserting all three
+/// reports bit-identical before timing is reported.
+///
+/// # Panics
+///
+/// Panics if any executor diverges from the sequential oracle, or if the
+/// pooled run failed to reuse pool workers.
+pub fn measure(wl: &xl::Workload, threads: usize) -> BatchPoint {
+    // Interleaved best-of-N: the three executors are timed round-robin and
+    // each keeps its fastest round, so slow drift on a shared host (CI
+    // neighbours, background compilation) cannot bias one executor.
+    const REPS: usize = 3;
+    let cfg = RadramConfig::reference();
+    parallel::set_thread_budget(threads);
+    let reuses_before = parallel::pool_stats().reuses;
+    let (mut sequential_secs, mut spawn_secs, mut pooled_secs) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let mut oracle = None;
+    for _ in 0..REPS {
+        let (s, seq) = run_once(wl, &cfg, None);
+        sequential_secs = sequential_secs.min(s);
+        let (s, spawn) = run_once(wl, &cfg, Some(PoolMode::Spawn));
+        spawn_secs = spawn_secs.min(s);
+        let (s, pooled) = run_once(wl, &cfg, Some(PoolMode::Pooled));
+        pooled_secs = pooled_secs.min(s);
+        let d = digest(&seq);
+        assert_eq!(
+            d,
+            digest(&spawn),
+            "spawn executor diverged from the sequential oracle at {} pages",
+            wl.pages
+        );
+        assert_eq!(
+            d,
+            digest(&pooled),
+            "pooled executor diverged from the sequential oracle at {} pages",
+            wl.pages
+        );
+        if let Some(first) = &oracle {
+            assert_eq!(first, &d, "a repeat run diverged at {} pages", wl.pages);
+        } else {
+            oracle = Some(d);
+        }
+    }
+    // On a single-core host the pooled executor runs inline (the budget is
+    // a cap, not a target), so worker reuse is only observable with >= 2
+    // cores; CI asserts it there.
+    if parallel::effective_threads(threads) >= 2 && wl.queries.len() >= 2 {
+        assert!(
+            parallel::pool_stats().reuses > reuses_before,
+            "pooled run should have reused persistent workers"
+        );
+    }
+    BatchPoint {
+        pages: wl.pages,
+        records: wl.pages * xl::RECORDS_PER_PAGE,
+        queries: wl.queries.len(),
+        threads,
+        sequential_secs,
+        spawn_secs,
+        pooled_secs,
+    }
+}
+
+/// Re-runs the pooled executor under the dynamic race sanitizer and
+/// asserts the run comes back clean and bit-identical.
+fn sanitize_check(wl: &xl::Workload) {
+    let cfg = RadramConfig::reference();
+    let (_, clean) = run_once(wl, &cfg, Some(PoolMode::Pooled));
+    radram::set_force_sanitize(true);
+    let (_, audited) = run_once(wl, &cfg, Some(PoolMode::Pooled));
+    radram::set_force_sanitize(false);
+    assert_eq!(audited.stats.race_errors, 0, "sanitizer found races in database-xl");
+    assert_eq!(audited.stats.race_warnings, 0, "sanitizer warned on database-xl");
+    assert_eq!(clean.checksum, audited.checksum, "sanitized run changed the answer");
+}
+
+/// Runs the full sweep: the pages axis at [`default_threads`], then the
+/// threads axis at the largest page count, plus any explicit override
+/// point (`--pages` / `--threads`). The sanitizer cross-check runs on the
+/// smallest workload.
+///
+/// # Panics
+///
+/// Panics on any executor divergence or sanitizer finding.
+pub fn run(
+    quick: bool,
+    pages_override: Option<usize>,
+    threads_override: Option<usize>,
+) -> Vec<BatchPoint> {
+    let mut points = Vec::new();
+    let base_threads = threads_override.unwrap_or_else(default_threads);
+    let mut sizes = page_sizes(quick);
+    if let Some(p) = pages_override {
+        let p = xl::shard_pages(p as f64);
+        if !sizes.contains(&p) {
+            sizes.push(p);
+        }
+    }
+    sizes.sort_unstable();
+    for (i, &pages) in sizes.iter().enumerate() {
+        let wl = xl::Workload::new(pages, xl::queries_for(pages));
+        if i == 0 {
+            sanitize_check(&wl);
+        }
+        points.push(measure(&wl, base_threads));
+        if Some(pages) == sizes.last().copied() {
+            let wl_threads = thread_axis(quick);
+            for t in wl_threads {
+                if t != base_threads {
+                    points.push(measure(&wl, t));
+                }
+            }
+        }
+    }
+    points
+}
+
+/// Renders the sweep as the `BENCH_batch_scaling.json` payload.
+pub fn render_json(points: &[BatchPoint]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let stats = parallel::pool_stats();
+    let mut s = String::from("{\n  \"schema\": 1,\n  \"bench\": \"batch_scaling\",\n");
+    s.push_str(
+        "  \"workload\": \"database-xl: multi-tenant shard queries, one 8-page \
+         activation batch per query\",\n",
+    );
+    s.push_str(&format!("  \"host_cores\": {cores},\n"));
+    s.push_str(&format!("  \"default_threads\": {},\n", default_threads()));
+    s.push_str(&format!(
+        "  \"pool\": {{\"batches\": {}, \"reuses\": {}, \"threads_spawned\": {}}},\n",
+        stats.batches, stats.reuses, stats.threads_spawned
+    ));
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"pages\": {}, \"records\": {}, \"queries\": {}, \"threads\": {}, \
+             \"effective_threads\": {}, \
+             \"sequential_secs\": {:.6}, \"spawn_secs\": {:.6}, \"pooled_secs\": {:.6}, \
+             \"speedup_vs_spawn\": {:.3}, \"speedup_vs_sequential\": {:.3}}}{}\n",
+            p.pages,
+            p.records,
+            p.queries,
+            p.threads,
+            parallel::effective_threads(p.threads),
+            p.sequential_secs,
+            p.spawn_secs,
+            p.pooled_secs,
+            p.speedup_vs_spawn(),
+            p.speedup_vs_sequential(),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_is_deterministic_and_renders() {
+        let points = run(true, None, None);
+        // Pages axis plus the threads axis at the largest size (the default
+        // budget point is not duplicated).
+        assert!(points.len() >= page_sizes(true).len());
+        let json = render_json(&points);
+        assert!(json.contains("\"schema\": 1"), "{json}");
+        assert!(json.contains("\"speedup_vs_spawn\""), "{json}");
+        assert!(json.contains("\"pool\""), "{json}");
+        for p in &points {
+            assert!(p.sequential_secs > 0.0 && p.spawn_secs > 0.0 && p.pooled_secs > 0.0);
+            assert_eq!(p.records, p.pages * xl::RECORDS_PER_PAGE);
+        }
+    }
+
+    #[test]
+    fn override_point_is_added_and_sharded() {
+        let points = run(true, Some(100), Some(3));
+        // 100 rounds up to 104 (13 shards), joining the quick sizes.
+        assert!(points.iter().any(|p| p.pages == 104 && p.threads == 3), "{points:?}");
+    }
+}

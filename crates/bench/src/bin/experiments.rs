@@ -60,6 +60,30 @@ fn main() {
             "BENCH_fastmode.json",
             &ap_bench::fastmode::render_json(&rows, quick),
         ));
+        println!(
+            "Batch-scaling bench (database-xl: sequential oracle vs spawn vs pooled executor)"
+        );
+        let points = ap_bench::batchscale::run(quick, cli.pages, cli.threads);
+        for p in &points {
+            println!(
+                "  {:>5} pages ({:>8} records, {:>3} queries) @ {:>2} threads: \
+                 seq {:>7.3}s  spawn {:>7.3}s  pooled {:>7.3}s  \
+                 vs-spawn {:>5.2}x  vs-seq {:>5.2}x",
+                p.pages,
+                p.records,
+                p.queries,
+                p.threads,
+                p.sequential_secs,
+                p.spawn_secs,
+                p.pooled_secs,
+                p.speedup_vs_spawn(),
+                p.speedup_vs_sequential(),
+            );
+        }
+        report_written(write_result_file(
+            "BENCH_batch_scaling.json",
+            &ap_bench::batchscale::render_json(&points),
+        ));
         return;
     }
 
@@ -195,6 +219,35 @@ fn main() {
         let rows = experiments::table4(&runner, quick);
         render::print_table4(&rows);
         report_written(write_result_file("table4.csv", &render::table4_csv(&rows)));
+        println!();
+    }
+    if cli.wants("database-xl") {
+        use ap_apps::{database::xl, App, SystemKind};
+        use ap_bench::runner::RunSpec;
+        let (mode, _) = cli.mode_or(ap_bench::ExecMode::Accurate);
+        let pages = if quick { 64.0 } else { 2048.0 };
+        let cfg = radram::RadramConfig::reference();
+        let specs = vec![
+            RunSpec::new(App::DatabaseXl, SystemKind::Conventional, pages, cfg.clone())
+                .with_mode(mode),
+            RunSpec::new(App::DatabaseXl, SystemKind::Radram, pages, cfg).with_mode(mode),
+        ];
+        let mut results = runner.run(specs).into_iter();
+        let conv = results.next().unwrap().expect("conventional database-xl run failed");
+        let rad = results.next().unwrap().expect("radram database-xl run failed");
+        println!(
+            "database-xl ({mode} tier): {} pages, {} records resident",
+            conv.pages,
+            conv.pages as usize * xl::RECORDS_PER_PAGE
+        );
+        println!(
+            "  conventional {:>14} cycles   radram {:>14} cycles   speedup {:>6.2}x   \
+             activations {}",
+            conv.kernel_cycles,
+            rad.kernel_cycles,
+            ap_apps::speedup(&conv, &rad),
+            rad.stats.activations
+        );
         println!();
     }
 

@@ -25,6 +25,7 @@ pub const TARGETS: &[(&str, &str)] = &[
     ("fig9", "reconfigurable-logic clock sensitivity"),
     ("dse", "design-space sweep with Pareto-front search (BENCH_dse.json)"),
     ("dse-smoke", "deprecated alias for `dse` (kept for old scripts)"),
+    ("database-xl", "million-record sharded database point (explicit only)"),
 ];
 
 /// The registered target names, in table order.
@@ -78,6 +79,12 @@ pub struct Cli {
     /// each target's default: accurate for the figures, the two-tier
     /// triage-and-promote pipeline for `dse`.
     pub mode: Option<ModeChoice>,
+    /// Page-count override for the batch-scaling bench (`--pages N`,
+    /// `--bench-wallclock` only). Validated like `--jobs`: 0 is an error.
+    pub pages: Option<usize>,
+    /// Thread-budget override for the batch-scaling bench (`--threads N`,
+    /// `--bench-wallclock` only). Validated like `--jobs`: 0 is an error.
+    pub threads: Option<usize>,
     /// Shrink sweeps to CI size (`--quick`, equivalent to `AP_QUICK=1`).
     pub quick: bool,
 }
@@ -90,7 +97,7 @@ pub fn usage() -> String {
     format!(
         "usage: experiments [TARGET] [--jobs N] [--no-cache] [--manifest PATH]\n\
          \x20                  [--trace[=DIR]] [--trace-filter LIST] [--quick]\n\
-         \x20      experiments --bench-wallclock\n\
+         \x20      experiments --bench-wallclock [--pages N] [--threads N]\n\
          \n\
          Runs the paper's experiments through the ap-engine worker pool and\n\
          writes CSV files under the results directory.\n\
@@ -113,7 +120,15 @@ pub fn usage() -> String {
          \x20                     sequential oracle on a page-count sweep and\n\
          \x20                     write BENCH_page_scaling.json, then time the\n\
          \x20                     fast tier against the accurate oracle and\n\
-         \x20                     write BENCH_fastmode.json\n\
+         \x20                     write BENCH_fastmode.json, then sweep the\n\
+         \x20                     database-xl batch executors and write\n\
+         \x20                     BENCH_batch_scaling.json\n\
+         \x20 --pages N           with --bench-wallclock: add a batch-scaling\n\
+         \x20                     point at N pages beyond the built-in sweep\n\
+         \x20                     (N must be >= 1, like --jobs)\n\
+         \x20 --threads N         with --bench-wallclock: add a batch-scaling\n\
+         \x20                     point at a thread budget of N beyond the\n\
+         \x20                     built-in axis (N must be >= 1, like --jobs)\n\
          \x20 --mode M            execution tier for sweep targets: accurate\n\
          \x20                     (cycle oracle, default), fast (counted\n\
          \x20                     functional tier), or both (run both tiers,\n\
@@ -140,6 +155,8 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
         trace_filter: ap_trace::Filter::ALL,
         bench_wallclock: false,
         mode: None,
+        pages: None,
+        threads: None,
         quick: false,
     };
     let mut target_seen = false;
@@ -167,6 +184,22 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
                     return Err("--jobs must be at least 1".to_string());
                 }
                 cli.jobs = Some(n);
+            }
+            "--pages" => {
+                let v = value("--pages")?;
+                let n: usize = v.parse().map_err(|_| format!("invalid --pages value {v:?}"))?;
+                if n == 0 {
+                    return Err("--pages must be at least 1".to_string());
+                }
+                cli.pages = Some(n);
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                let n: usize = v.parse().map_err(|_| format!("invalid --threads value {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                cli.threads = Some(n);
             }
             "--no-cache" => cli.no_cache = true,
             "--manifest" => cli.manifest = Some(PathBuf::from(value("--manifest")?)),
@@ -203,15 +236,19 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
     if cli.bench_wallclock && target_seen {
         return Err("--bench-wallclock replaces the experiment targets; drop the TARGET".into());
     }
+    if !cli.bench_wallclock && (cli.pages.is_some() || cli.threads.is_some()) {
+        return Err("--pages/--threads only apply to --bench-wallclock".into());
+    }
     Ok(cli)
 }
 
 impl Cli {
     /// True when `name` (or `all`) was requested. The DSE targets (`dse`
-    /// and its deprecated `dse-smoke` alias) are explicit only — `all`
-    /// reproduces the paper's figures, not the design-space sweep.
+    /// and its deprecated `dse-smoke` alias) and the `database-xl` scaling
+    /// point are explicit only — `all` reproduces the paper's figures, not
+    /// the extension sweeps.
     pub fn wants(&self, name: &str) -> bool {
-        if name == "dse" || name == "dse-smoke" {
+        if name == "dse" || name == "dse-smoke" || name == "database-xl" {
             return self.target == name;
         }
         self.target == "all" || self.target == name
@@ -354,6 +391,32 @@ mod tests {
         assert!(cli.wants("dse-smoke") && !cli.wants("dse"));
         let all = parse(&[]).unwrap();
         assert!(!all.wants("dse") && !all.wants("dse-smoke"), "`all` must not sweep the DSE grid");
+    }
+
+    #[test]
+    fn database_xl_is_explicit_but_not_part_of_all() {
+        let cli = parse(&["database-xl"]).unwrap();
+        assert!(cli.wants("database-xl") && !cli.wants("fig3"));
+        let all = parse(&[]).unwrap();
+        assert!(!all.wants("database-xl"), "`all` must not run the scaling point");
+    }
+
+    #[test]
+    fn pages_and_threads_overrides_parse_and_validate() {
+        let cli = parse(&["--bench-wallclock", "--pages", "4096", "--threads=8"]).unwrap();
+        assert_eq!(cli.pages, Some(4096));
+        assert_eq!(cli.threads, Some(8));
+        let err = parse(&["--bench-wallclock", "--pages", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&["--bench-wallclock", "--threads=0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(parse(&["--bench-wallclock", "--pages", "many"]).is_err());
+        // The overrides are bench-only: without --bench-wallclock they are
+        // a usage error, not silently ignored.
+        let err = parse(&["fig3", "--pages", "64"]).unwrap_err();
+        assert!(err.contains("--bench-wallclock"), "{err}");
+        let err = parse(&["--threads", "4"]).unwrap_err();
+        assert!(err.contains("--bench-wallclock"), "{err}");
     }
 
     #[test]

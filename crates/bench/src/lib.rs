@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batchscale;
 pub mod cli;
 pub mod dse;
 pub mod experiments;

@@ -49,6 +49,9 @@ pub fn size_grid(app: App, quick: bool) -> Vec<f64> {
         App::Median | App::DynProg => {
             sizes.push(64.0);
         }
+        // The scaling workload is swept by `batchscale`, not the figures;
+        // a figure-style sweep of it gets the standard grid.
+        App::DatabaseXl => {}
     }
     sizes
 }

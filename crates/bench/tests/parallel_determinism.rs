@@ -65,6 +65,141 @@ fn fig3_sweep_points_are_bit_identical_under_both_executors() {
     }
 }
 
+#[test]
+fn database_xl_point_is_bit_identical_and_reuses_the_pool() {
+    let _guard = GLOBALS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_filter(Filter::ALL);
+    active_pages::parallel::set_thread_budget(4);
+    let cfg = RadramConfig::reference();
+    // The million-record scaling workload at a test-sized point: 16 pages,
+    // 16 tenant queries, each an 8-page activation batch — the batch-churn
+    // shape the persistent pool exists for. The dynamic race sanitizer is
+    // forced on for both executors.
+    radram::set_force_sanitize(true);
+    let (seq_report, seq_events, seq_totals) = run_traced(App::DatabaseXl, 16.0, &cfg, true);
+    let reuses_before = active_pages::parallel::pool_stats().reuses;
+    let (par_report, par_events, par_totals) = run_traced(App::DatabaseXl, 16.0, &cfg, false);
+    radram::set_force_sanitize(false);
+    assert_eq!(par_report.stats.race_errors, 0, "sanitizer found races");
+    assert_eq!(par_report.stats.race_warnings, 0, "sanitizer warned");
+    assert_eq!(seq_report, par_report, "database-xl: RunReport diverges");
+    assert_eq!(seq_totals, par_totals, "database-xl: phase totals diverge");
+    assert_eq!(seq_events.len(), par_events.len(), "database-xl: trace event counts diverge");
+    for (i, (s, p)) in seq_events.iter().zip(&par_events).enumerate() {
+        assert_eq!(s, p, "database-xl: trace event {i} diverges");
+    }
+    // The pool only engages helpers up to the host's core count (the
+    // budget is a cap, not a target), so reuse is observable on >= 2 cores.
+    if active_pages::parallel::effective_threads(4) >= 2 {
+        assert!(
+            active_pages::parallel::pool_stats().reuses > reuses_before,
+            "a 16-batch activation stream must reuse persistent pool workers"
+        );
+    }
+}
+
+/// Builds a lint-clean kernel from a seed stream: straight-line ALU work,
+/// loads/stores off the `r1` data base (`lui r1, 2` = 0x20000, inside the
+/// 1 MiB machine), and forward branches that stay inside the program,
+/// terminated by `halt`. Every program this produces passes the load-time
+/// lint gate, so the pair of executions compares the whole machine.
+fn program_from_seeds(seeds: &[(u8, u8, u8, u8, i16)]) -> Vec<ap_risc::Inst> {
+    use ap_risc::{AluOp, BranchCond, Inst, Reg, Width};
+    const ALU: [AluOp; 12] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Mul,
+        AluOp::Div,
+    ];
+    const COND: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+    const WIDTHS: [Width; 5] = [Width::B, Width::Bu, Width::H, Width::Hu, Width::W];
+    let mut prog = vec![Inst::Lui { rd: Reg::new(1), imm: 2 }];
+    let n = seeds.len();
+    for (i, &(kind, a, b, c, imm)) in seeds.iter().enumerate() {
+        let sel = imm as u16 as usize;
+        let rd = Reg::new(2 + (a % 6)); // r2..r7: never the r1 data base
+        let rs = Reg::new(b % 8);
+        let rt = Reg::new(c % 8);
+        prog.push(match kind % 6 {
+            0 => Inst::Alu { op: ALU[sel % ALU.len()], rd, rs, rt },
+            1 => Inst::AluImm { op: ALU[sel % ALU.len()], rd, rs, imm },
+            2 => Inst::Lui { rd, imm: imm as u16 },
+            // Word-aligned displacements keep every width naturally aligned.
+            3 => Inst::Load {
+                width: WIDTHS[sel % WIDTHS.len()],
+                rd,
+                rs: Reg::new(1),
+                imm: ((sel % 256) * 4) as i16,
+            },
+            4 => Inst::Store {
+                width: WIDTHS[sel % WIDTHS.len()],
+                rt,
+                rs: Reg::new(1),
+                imm: ((sel % 256) * 4) as i16,
+            },
+            // Forward only, clamped to land on a later instruction or the
+            // final halt — lint-clean (RK103) and guaranteed to terminate.
+            _ => {
+                let remaining = n - 1 - i;
+                Inst::Branch {
+                    cond: COND[sel % COND.len()],
+                    rs,
+                    rt,
+                    offset: (sel % (remaining + 1)) as i16,
+                }
+            }
+        });
+    }
+    prog.push(ap_risc::Inst::Halt);
+    prog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random lint-clean kernels: the predecoded fast path and the
+    /// decode-every-step raw path are the same machine — outcome, cycle
+    /// clock, retired count, PC and all 32 registers.
+    #[test]
+    fn predecoded_kernels_match_decode_per_step(
+        seeds in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<i16>()),
+            1..40,
+        )
+    ) {
+        use ap_cpu::CpuConfig;
+        use ap_risc::Machine;
+        let prog = program_from_seeds(&seeds);
+        let mut fast = Machine::load_program(CpuConfig::reference(), 1 << 20, &prog)
+            .expect("generated kernels are lint-clean");
+        let mut raw = Machine::load_program(CpuConfig::reference(), 1 << 20, &prog)
+            .expect("generated kernels are lint-clean");
+        raw.set_predecode(false);
+        prop_assert_eq!(fast.run(4096), raw.run(4096));
+        prop_assert_eq!(fast.cycles(), raw.cycles());
+        prop_assert_eq!(fast.retired(), raw.retired());
+        prop_assert_eq!(fast.pc(), raw.pc());
+        for r in 0..32 {
+            prop_assert_eq!(fast.reg(r), raw.reg(r), "r{}", r);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

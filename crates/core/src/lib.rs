@@ -55,7 +55,10 @@
 //! assert_eq!(summary.logic_cycles, 4);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the single sanctioned exception is the
+// persistent page-worker pool in `parallel`, which erases one stack lifetime
+// to reuse worker threads across batches (see that module's safety notes).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod function;

@@ -76,6 +76,13 @@ struct Line {
     stamp: u64,
 }
 
+/// Granularity of the residency filter consulted by
+/// [`Cache::invalidate_range`]: valid-line counts are kept per 512 KiB
+/// region so a range invalidation over a region holding no cached lines
+/// skips the full line walk. 512 KiB matches the Active-Page size, the
+/// range every activation invalidates.
+const REGION_SHIFT: u32 = 19;
+
 /// A set-associative, write-back, write-allocate cache with LRU replacement.
 ///
 /// The cache is *timing-only*: it tracks which lines would be resident, but
@@ -101,6 +108,10 @@ pub struct Cache {
     lines: Vec<Line>,
     tick: u64,
     stats: CacheStats,
+    /// Valid-line count per `1 << REGION_SHIFT` byte address region, grown
+    /// on demand. Kept exact by the fill/evict/invalidate paths; lets
+    /// `invalidate_range` prove "nothing resident" without walking lines.
+    resident: Vec<u32>,
 }
 
 impl std::fmt::Debug for Line {
@@ -130,8 +141,25 @@ impl Cache {
             lines: vec![Line::default(); sets * cfg.assoc],
             tick: 0,
             stats: CacheStats::new(cfg.name),
+            resident: Vec::new(),
             cfg,
         }
+    }
+
+    /// Bumps the residency count of the region holding `addr`.
+    #[inline]
+    fn region_fill(&mut self, addr: u64) {
+        let r = (addr >> REGION_SHIFT) as usize;
+        if r >= self.resident.len() {
+            self.resident.resize(r + 1, 0);
+        }
+        self.resident[r] += 1;
+    }
+
+    /// Drops one resident line from the region holding `addr`.
+    #[inline]
+    fn region_evict(&mut self, addr: u64) {
+        self.resident[(addr >> REGION_SHIFT) as usize] -= 1;
     }
 
     /// Returns the configuration this cache was built with.
@@ -191,9 +219,9 @@ impl Cache {
             }
         }
         let line = &mut ways[victim];
-        let writeback = if line.valid && line.dirty {
+        let evicted = if line.valid {
             let victim_block = (line.tag << self.sets.trailing_zeros()) | set as u64;
-            Some(VAddr::new(victim_block << self.line_shift))
+            Some((victim_block << self.line_shift, line.dirty))
         } else {
             None
         };
@@ -201,6 +229,11 @@ impl Cache {
         line.valid = true;
         line.dirty = write;
         line.stamp = self.tick;
+        if let Some((victim_addr, _)) = evicted {
+            self.region_evict(victim_addr);
+        }
+        self.region_fill(addr.get());
+        let writeback = evicted.and_then(|(a, dirty)| dirty.then_some(VAddr::new(a)));
         self.stats.record(false, write, writeback.is_some());
         AccessOutcome { hit: false, writeback }
     }
@@ -244,7 +277,17 @@ impl Cache {
     /// of lines dropped.
     pub fn invalidate_range(&mut self, start: VAddr, len: u64) -> usize {
         let lo = start.get();
-        let hi = lo + len;
+        let Some(hi) = lo.checked_add(len).filter(|&hi| hi > lo) else { return 0 };
+        // Residency filter: when every region the range touches holds zero
+        // valid lines — the steady state for activation-heavy workloads,
+        // where the processor's cached footprint never overlaps the pages
+        // it activates — the full line walk is skipped. This is what keeps
+        // per-activation invalidation O(1) instead of O(sets × ways).
+        let first = ((lo >> REGION_SHIFT) as usize).min(self.resident.len());
+        let last = ((((hi - 1) >> REGION_SHIFT) + 1) as usize).min(self.resident.len());
+        if self.resident[first..last].iter().all(|&c| c == 0) {
+            return 0;
+        }
         let mut dropped = 0;
         let set_bits = self.sets.trailing_zeros();
         for set in 0..self.sets {
@@ -260,6 +303,7 @@ impl Cache {
                     line.valid = false;
                     line.dirty = false;
                     dropped += 1;
+                    self.resident[(addr >> REGION_SHIFT) as usize] -= 1;
                 }
             }
         }
@@ -273,6 +317,7 @@ impl Cache {
             line.valid = false;
             line.dirty = false;
         }
+        self.resident.clear();
     }
 }
 
@@ -373,6 +418,46 @@ mod tests {
         c.access(VAddr::new(64), false);
         let out = c.access(VAddr::new(128), false);
         assert!(out.writeback.is_none());
+    }
+
+    #[test]
+    fn residency_filter_survives_eviction_churn() {
+        let mut c = small();
+        // Fill set 0 beyond capacity so lines evict (addresses 0, 64, 128
+        // all index set 0 in the 4-set × 2-way geometry).
+        for i in 0..8 {
+            c.access(VAddr::new(i * 64), false);
+        }
+        // Exactly the two surviving ways must be dropped — an over-eager
+        // filter would return 0, a stale one would double-count.
+        assert_eq!(c.invalidate_range(VAddr::new(0), 1 << 19), 2);
+        assert_eq!(c.invalidate_range(VAddr::new(0), 1 << 19), 0);
+        // Refill after the drop: the filter must see the region as
+        // populated again.
+        c.access(VAddr::new(0), true);
+        assert_eq!(c.invalidate_range(VAddr::new(0), 1 << 19), 1);
+    }
+
+    #[test]
+    fn residency_filter_is_per_region() {
+        let mut c = small();
+        let far = VAddr::new(1 << 19); // second 512 KiB region, set 0
+        c.access(far, false);
+        // Invalidating the first region must not walk the second one away.
+        assert_eq!(c.invalidate_range(VAddr::new(0), 1 << 19), 0);
+        assert!(c.contains(far));
+        assert_eq!(c.invalidate_range(far, 16), 1);
+        assert!(!c.contains(far));
+    }
+
+    #[test]
+    fn flush_resets_residency() {
+        let mut c = small();
+        c.access(VAddr::new(0), true);
+        c.flush();
+        assert_eq!(c.invalidate_range(VAddr::new(0), 1 << 19), 0);
+        c.access(VAddr::new(0), false);
+        assert_eq!(c.invalidate_range(VAddr::new(0), 1 << 19), 1);
     }
 
     #[test]

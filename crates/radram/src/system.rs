@@ -127,6 +127,17 @@ struct BatchState {
     sanitize: bool,
 }
 
+impl BatchState {
+    /// Empties the state while keeping its allocations, ready for reuse by
+    /// the next batch.
+    fn recycled(mut self) -> Self {
+        self.deferred.clear();
+        self.deferred_pids.clear();
+        self.sanitize = false;
+        self
+    }
+}
+
 #[derive(Debug, Default)]
 struct Counters {
     non_overlap: u64,
@@ -177,6 +188,10 @@ pub struct System {
     audit: RaceAudit,
     /// Deferral state while a batched activation is in flight.
     batch: Option<BatchState>,
+    /// The previous batch's emptied state, kept so its `deferred` /
+    /// `deferred_pids` allocations are reused instead of reallocated on
+    /// every activation (million-batch runs churn otherwise).
+    batch_spare: Option<BatchState>,
     /// Host timestamp of the open kernel region ([`System::kernel_start`]).
     kernel_t0: Option<std::time::Instant>,
 }
@@ -224,6 +239,7 @@ impl System {
             race: Report::new("ap-race"),
             audit: RaceAudit::default(),
             batch: None,
+            batch_spare: None,
             kernel_t0: None,
         }
     }
@@ -252,6 +268,7 @@ impl System {
             race: Report::new("ap-race"),
             audit: RaceAudit::default(),
             batch: None,
+            batch_spare: None,
             kernel_t0: None,
         }
     }
@@ -581,6 +598,12 @@ impl System {
     /// workload setup only — measured kernels must use the timed stores.
     pub fn ram_write_u8(&mut self, addr: VAddr, v: u8) {
         self.cpu.ram.write_u8(addr, v);
+    }
+
+    /// Untimed bulk write (see [`System::ram_write_u8`]); million-record
+    /// workloads stage their data with this instead of a byte loop.
+    pub fn ram_write_bytes(&mut self, addr: VAddr, bytes: &[u8]) {
+        self.cpu.ram.slice_mut(addr, bytes.len()).copy_from_slice(bytes);
     }
 
     /// Untimed 16-bit write (see [`System::ram_write_u8`]).
@@ -1021,7 +1044,7 @@ impl System {
                     // deferral for the rest of the batch.
                     if self.batch.is_some() {
                         self.flush_deferred();
-                        self.batch = None;
+                        self.batch_spare = self.batch.take().map(BatchState::recycled);
                     }
                     let now = self.cpu.now();
                     let rad = self.rad.as_mut().unwrap();
@@ -1116,7 +1139,9 @@ impl System {
         // instant; triggered executions are deferred. Under the sanitizer
         // the processor's cached traffic in this window — the only window
         // where it coexists with the deferred executions — is tapped.
-        self.batch = Some(BatchState { sanitize, ..BatchState::default() });
+        let mut state = self.batch_spare.take().unwrap_or_default().recycled();
+        state.sanitize = sanitize;
+        self.batch = Some(state);
         if sanitize {
             self.cpu.tap_accesses(true);
         }
@@ -1131,6 +1156,7 @@ impl System {
         // back to inline processing (everything deferred was flushed).
         let Some(state) = self.batch.take() else { return };
         if state.deferred.is_empty() {
+            self.batch_spare = Some(state.recycled());
             return;
         }
         // Phase B: run the page functions in parallel over disjoint slices.
@@ -1146,6 +1172,7 @@ impl System {
         if state.sanitize {
             self.sanitize_batch(&state.deferred, &results, tap);
         }
+        self.batch_spare = Some(state.recycled());
     }
 
     /// Classifies `batch`: `None` sends it down the sequential path,
@@ -1290,16 +1317,27 @@ impl System {
         self.batch = Some(state);
     }
 
-    /// Runs the deferred page functions on a scoped thread pool. Each
-    /// worker pulls `(index, slice)` jobs from a shared queue, so results
-    /// come back keyed by deferral order regardless of which thread ran
-    /// them. Returns one `(Execution, access log)` per deferred entry, in
-    /// order; the log is `Some` only when `sanitize` asked for recording.
+    /// Runs the deferred page functions in parallel over disjoint slices.
+    ///
+    /// The default executor ([`active_pages::parallel::PoolMode::Pooled`])
+    /// dispatches `(index, slice)` jobs onto the persistent page-worker
+    /// pool, which claims them through an atomic cursor with adaptive
+    /// chunking; `PoolMode::Spawn` (or `AP_POOL=spawn`) selects the legacy
+    /// spawn-per-batch executor — a fresh `std::thread::scope` pulling jobs
+    /// from a mutexed queue — kept so benchmarks can measure the pre-pool
+    /// cost in-process. Either way results come back keyed by deferral
+    /// order regardless of which thread ran them, so the deterministic
+    /// merge is executor-independent. Returns one `(Execution, access
+    /// log)` per deferred entry, in order; the log is `Some` only when
+    /// `sanitize` asked for recording.
     fn execute_parallel(
         &mut self,
         deferred: &[DeferredExec],
         sanitize: bool,
     ) -> Vec<(Execution, Option<PageFootprint>)> {
+        if deferred.is_empty() {
+            return Vec::new();
+        }
         // Carve disjoint page views out of one covering RAM region (pages
         // need not be contiguous; `split_pages` skips the gaps).
         let mut order: Vec<usize> = (0..deferred.len()).collect();
@@ -1311,29 +1349,51 @@ impl System {
         let slices = active_pages::split_pages(region, lo, &infos);
 
         let threads = active_pages::parallel::thread_budget().min(slices.len()).max(1);
-        let jobs = Mutex::new(order.into_iter().zip(slices));
-        let (tx, rx) = std::sync::mpsc::channel();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                let jobs = &jobs;
-                scope.spawn(move || loop {
-                    let job = jobs.lock().unwrap().next();
-                    let Some((i, mut slice)) = job else { return };
-                    if sanitize {
-                        slice.record_accesses();
-                    }
-                    let execution = deferred[i].func.execute(&mut slice);
-                    let log = slice.take_access_log();
-                    let _ = tx.send((i, execution, log));
-                });
-            }
-        });
-        drop(tx);
         let mut results: Vec<Option<(Execution, Option<PageFootprint>)>> =
             (0..deferred.len()).map(|_| None).collect();
-        for (i, execution, log) in rx {
-            results[i] = Some((execution, log));
+        match active_pages::parallel::pool_mode() {
+            active_pages::parallel::PoolMode::Pooled => {
+                // The budget is a cap, not a target: the pool never runs
+                // more threads than the host has cores (the legacy spawn
+                // arm below keeps the pre-pool behaviour verbatim).
+                let threads = active_pages::parallel::effective_threads(threads);
+                let jobs: Vec<(usize, PageSlice<'_>)> = order.into_iter().zip(slices).collect();
+                let executed =
+                    active_pages::parallel::run_batch(jobs, threads, |(i, mut slice)| {
+                        if sanitize {
+                            slice.record_accesses();
+                        }
+                        let execution = deferred[i].func.execute(&mut slice);
+                        (i, execution, slice.take_access_log())
+                    });
+                for (i, execution, log) in executed {
+                    results[i] = Some((execution, log));
+                }
+            }
+            active_pages::parallel::PoolMode::Spawn => {
+                let jobs = Mutex::new(order.into_iter().zip(slices));
+                let (tx, rx) = std::sync::mpsc::channel();
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        let tx = tx.clone();
+                        let jobs = &jobs;
+                        scope.spawn(move || loop {
+                            let job = jobs.lock().unwrap().next();
+                            let Some((i, mut slice)) = job else { return };
+                            if sanitize {
+                                slice.record_accesses();
+                            }
+                            let execution = deferred[i].func.execute(&mut slice);
+                            let log = slice.take_access_log();
+                            let _ = tx.send((i, execution, log));
+                        });
+                    }
+                });
+                drop(tx);
+                for (i, execution, log) in rx {
+                    results[i] = Some((execution, log));
+                }
+            }
         }
         results.into_iter().map(|r| r.expect("every deferred page must execute")).collect()
     }
@@ -1745,6 +1805,47 @@ mod tests {
                 "page {p} result"
             );
         }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        // Regression: `execute_parallel` used to index `order[0]` before
+        // checking for an empty deferral list.
+        let (mut sys, _, g) = setup(2);
+        sys.ap_bind(g, Arc::new(Summer));
+        let t0 = sys.now();
+        sys.activate_pages(&[]);
+        assert_eq!(sys.now(), t0);
+        assert!(sys.execute_parallel(&[], false).is_empty());
+        assert!(sys.execute_parallel(&[], true).is_empty());
+    }
+
+    #[test]
+    fn pooled_and_spawn_executors_are_bit_identical() {
+        active_pages::parallel::set_thread_budget(4);
+        let pages = 6;
+        let run = |mode: active_pages::parallel::PoolMode| {
+            active_pages::parallel::set_pool_mode(Some(mode));
+            let (mut sys, base, _) = summer_setup(pages);
+            let batch: Vec<PageActivation> = (0..pages)
+                .map(|p| {
+                    PageActivation::new(base + (p * PAGE_SIZE) as u64, 1).with_param(sync::PARAM, 8)
+                })
+                .collect();
+            sys.activate_pages(&batch);
+            for p in 0..pages {
+                sys.wait_done(base + (p * PAGE_SIZE) as u64);
+            }
+            let results: Vec<u32> = (0..pages)
+                .map(|p| sys.read_ctrl(base + (p * PAGE_SIZE) as u64, sync::RESULT))
+                .collect();
+            let out = (sys.now(), format!("{:?}", sys.stats()), results);
+            active_pages::parallel::set_pool_mode(None);
+            out
+        };
+        let pooled = run(active_pages::parallel::PoolMode::Pooled);
+        let spawn = run(active_pages::parallel::PoolMode::Spawn);
+        assert_eq!(pooled, spawn);
     }
 
     #[test]

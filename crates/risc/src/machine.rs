@@ -79,12 +79,21 @@ pub struct Machine {
     code_len: u32,
     retired: u64,
     lint: ap_lint::Report,
+    /// The program decoded once at load time; [`Machine::step`] dispatches
+    /// from this stream when `predecode` is on (the default).
+    decoded: Vec<Inst>,
+    /// When `false`, every fetch re-reads the encoded word from simulated
+    /// memory and decodes it — the original path, kept for decode-error
+    /// tests and self-modifying code. Timing is identical either way:
+    /// `charge_fetch` carries all of it, and decode is pure.
+    predecode: bool,
 }
 
 impl Machine {
     /// Assembles `source`, statically verifies it, and loads it at the
-    /// bottom of a fresh machine's memory (binary-encoded; the fetch path
-    /// reads these words back).
+    /// bottom of a fresh machine's memory (binary-encoded; the raw-word
+    /// fetch path reads these words back, and the predecoded fast path is
+    /// primed from the same instruction stream).
     ///
     /// # Errors
     ///
@@ -94,6 +103,30 @@ impl Machine {
     /// refuse the load; they stay available via [`Machine::lint_report`].
     pub fn load(cfg: CpuConfig, ram_capacity: usize, source: &str) -> Result<Machine, LoadError> {
         let insts = assemble(source)?;
+        Self::load_insts(cfg, ram_capacity, insts)
+    }
+
+    /// Loads an already-assembled program, skipping only the text parser:
+    /// the lint gate and the memory image are exactly those of
+    /// [`Machine::load`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the lint report when static verification finds an
+    /// Error-severity defect.
+    pub fn load_program(
+        cfg: CpuConfig,
+        ram_capacity: usize,
+        insts: &[Inst],
+    ) -> Result<Machine, LoadError> {
+        Self::load_insts(cfg, ram_capacity, insts.to_vec())
+    }
+
+    fn load_insts(
+        cfg: CpuConfig,
+        ram_capacity: usize,
+        insts: Vec<Inst>,
+    ) -> Result<Machine, LoadError> {
         let report = lint::check("program", &insts);
         if report.has_errors() {
             return Err(LoadError::Lint(report));
@@ -111,7 +144,20 @@ impl Machine {
             code_len: insts.len() as u32,
             retired: 0,
             lint: report,
+            decoded: insts,
+            predecode: true,
         })
+    }
+
+    /// Selects the fetch path: `true` (the default) dispatches from the
+    /// load-time predecoded stream; `false` re-reads and re-decodes the
+    /// encoded word from simulated memory on every step. Cycles, retired
+    /// counts and architectural state are bit-identical between the two —
+    /// they differ only for self-modifying code, which only the raw path
+    /// observes (and which the store-to-code case turns into a
+    /// [`RunError::Decode`] when the overwritten word is undecodable).
+    pub fn set_predecode(&mut self, on: bool) {
+        self.predecode = on;
     }
 
     /// The static-verification report of the loaded program. Never contains
@@ -201,8 +247,14 @@ impl Machine {
         }
         let pc_addr = self.code_base + (self.pc as u64) * 4;
         self.cpu.charge_fetch(pc_addr);
-        let word = self.cpu.ram.read_u32(pc_addr);
-        let inst = Inst::decode(word).map_err(RunError::Decode)?;
+        // `charge_fetch` carries the entire fetch cost; the functional read
+        // below it is what the predecoded stream makes redundant.
+        let inst = if self.predecode {
+            self.decoded[self.pc as usize]
+        } else {
+            let word = self.cpu.ram.read_u32(pc_addr);
+            Inst::decode(word).map_err(RunError::Decode)?
+        };
         self.retired += 1;
         let mut next = self.pc + 1;
         match inst {
@@ -434,6 +486,75 @@ mod tests {
         assert_eq!(spans[0].dur, cycles, "span covers the executed window");
         assert_eq!(spans[0].a, 3, "payload counts retired instructions");
         assert_eq!(spans[0].b, 1, "halted");
+    }
+
+    #[test]
+    fn predecoded_and_raw_paths_are_bit_identical() {
+        let src = r#"
+                addi r1, r0, 0      ; sum
+                addi r2, r0, 1      ; i
+                addi r3, r0, 50     ; bound
+                lui  r6, 2          ; scratch base
+            loop:
+                add  r1, r1, r2
+                sw   r1, (r6)
+                lw   r4, (r6)
+                addi r2, r2, 1
+                blt  r2, r3, loop
+                halt
+            "#;
+        let mut fast = machine(src);
+        let mut raw = machine(src);
+        raw.set_predecode(false);
+        assert_eq!(fast.run(10_000).unwrap(), raw.run(10_000).unwrap());
+        assert_eq!(fast.cycles(), raw.cycles());
+        assert_eq!(fast.retired(), raw.retired());
+        assert_eq!(fast.pc(), raw.pc());
+        for r in 0..32 {
+            assert_eq!(fast.reg(r), raw.reg(r), "r{r}");
+        }
+    }
+
+    #[test]
+    fn raw_path_observes_self_modifying_code() {
+        // Overwrite the upcoming `addi r1, r0, 7` with an undecodable word.
+        // Only the raw-word path fetches it back; the predecoded stream
+        // keeps executing the load-time program.
+        let src = r#"
+            lui  r2, 1          ; r2 = 0x10000 = code_base (first alloc)
+            addi r3, r0, -1     ; 0xFFFF_FFFF decodes to no instruction
+            sw   r3, 12(r2)     ; clobber instruction index 3
+            addi r1, r0, 7
+            halt
+            "#;
+        let mut raw = machine(src);
+        raw.set_predecode(false);
+        assert!(matches!(raw.run(10), Err(RunError::Decode(_))));
+        let mut fast = machine(src);
+        fast.run(10).unwrap();
+        assert_eq!(fast.reg(1), 7);
+    }
+
+    #[test]
+    fn load_program_matches_load() {
+        let src = "addi r1, r0, 3\n add r2, r1, r1\n halt";
+        let insts = crate::asm::assemble(src).unwrap();
+        let mut a = machine(src);
+        let mut b = Machine::load_program(CpuConfig::reference(), 1 << 22, &insts).unwrap();
+        assert_eq!(a.run(10).unwrap(), b.run(10).unwrap());
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.reg(2), b.reg(2));
+        // The lint gate is shared: a program with no terminator is refused.
+        let bad = [crate::isa::Inst::Alu {
+            op: AluOp::Add,
+            rd: crate::isa::Reg::new(1),
+            rs: crate::isa::Reg::new(0),
+            rt: crate::isa::Reg::new(0),
+        }];
+        assert!(matches!(
+            Machine::load_program(CpuConfig::reference(), 1 << 20, &bad),
+            Err(LoadError::Lint(_))
+        ));
     }
 
     #[test]
